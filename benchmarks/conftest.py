@@ -1,0 +1,57 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every ``test_figN_*.py`` / ``test_tabN_*.py`` file reproduces one
+figure/table of the paper.  Reproduced tables are collected here and
+printed in the terminal summary, so ``pytest benchmarks/
+--benchmark-only`` ends with the full set of reproduced artefacts.
+
+The dataset size tier defaults to the full "bench" scale (DESIGN.md §5)
+and can be lowered for quick runs::
+
+    REPRO_BENCH_TIER=tiny pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import pytest
+
+from repro.experiments.report import ExperimentResult
+
+_RESULTS: List[ExperimentResult] = []
+
+
+def bench_tier() -> str:
+    """Dataset tier for the comparison benchmarks (env-overridable)."""
+    return os.environ.get("REPRO_BENCH_TIER", "bench")
+
+
+def record_result(result: ExperimentResult) -> ExperimentResult:
+    """Stash a reproduced figure/table for the end-of-run summary."""
+    _RESULTS.append(result)
+    return result
+
+
+@pytest.fixture(scope="session")
+def tier() -> str:
+    """Dataset tier for the comparison benchmarks."""
+    return bench_tier()
+
+
+@pytest.fixture
+def record():
+    """Callable stashing a reproduced artefact for the final summary."""
+    return record_result
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULTS:
+        return
+    terminalreporter.write_sep("=", "reproduced paper artefacts")
+    for result in _RESULTS:
+        terminalreporter.write_line("")
+        for line in result.render().splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")

@@ -1,0 +1,29 @@
+"""Ablation — the four optimisation stages of §3.2, cumulatively.
+
+Times Li et al.'s literal pipeline and each theorem's rewrite on the
+same graph; every stage must return identical similarities while the
+time falls monotonically overall (stage 0 -> stage 4).
+"""
+
+from repro.experiments.stages import ablation_stages
+
+
+def test_ablation_stages(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: ablation_stages(dataset="FB", tier="small", rank=5, q_size=50),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+
+    seconds = [row["seconds"] for row in result.rows]
+    drifts = [row["drift_value"] for row in result.rows]
+
+    # losslessness: every rewrite returns the same block
+    assert all(d < 1e-8 for d in drifts)
+
+    # the full CSR+ (stage 4) beats the literal method (stage 0) clearly
+    assert seconds[4] < seconds[0] / 2
+
+    # and the trend over the stages is downward
+    assert seconds[4] <= min(seconds[:4])

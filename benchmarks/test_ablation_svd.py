@@ -1,0 +1,54 @@
+"""Ablation — sparse ARPACK SVD vs dense LAPACK SVD.
+
+The offline phase is dominated by the truncated SVD; on sparse graphs
+ARPACK's O(mr)-per-iteration Lanczos beats the dense O(n^3) LAPACK
+factorisation by a growing margin.  This bench quantifies the gap at a
+size where both are feasible.
+"""
+
+import time
+
+import numpy as np
+
+from repro.experiments.report import ExperimentResult
+from repro.graphs.generators import chung_lu
+from repro.graphs.transition import transition_matrix
+from repro.linalg.svd import truncated_svd
+
+
+def test_ablation_svd_backend(benchmark, record):
+    graph = chung_lu(3000, 16000, seed=9)
+    q_sparse = transition_matrix(graph)
+    q_dense = q_sparse.toarray()
+    rank = 8
+
+    def run_sparse():
+        return truncated_svd(q_sparse, rank)
+
+    sparse_svd = benchmark.pedantic(run_sparse, rounds=3, iterations=1)
+
+    start = time.perf_counter()
+    dense_svd = truncated_svd(q_dense, rank)
+    dense_seconds = time.perf_counter() - start
+
+    # Identical subspace either way.
+    np.testing.assert_allclose(sparse_svd.sigma, dense_svd.sigma, rtol=1e-6)
+
+    start = time.perf_counter()
+    run_sparse()
+    sparse_seconds = time.perf_counter() - start
+
+    record(
+        ExperimentResult(
+            exp_id="ablation-svd",
+            title="Truncated SVD backend: sparse ARPACK vs dense LAPACK",
+            columns=["backend", "seconds"],
+            rows=[
+                {"backend": "ARPACK svds (sparse Q)", "seconds": f"{sparse_seconds:.3f}"},
+                {"backend": "LAPACK gesdd (dense Q)", "seconds": f"{dense_seconds:.3f}"},
+            ],
+            parameters={"n": 3000, "m": 16000, "r": rank},
+            notes=["Sparse Lanczos wins on sparse graphs; gap widens with n."],
+        )
+    )
+    assert sparse_seconds < dense_seconds

@@ -1,0 +1,70 @@
+"""Ablation — pruned top-k vs the full scan.
+
+On hub-dominated graphs the ||Z[x]||-ordered threshold scan visits a
+small fraction of the nodes while returning exactly the flat top-k's
+scores.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.index import CSRPlusIndex
+from repro.core.topk import top_k_pruned
+from repro.experiments.report import ExperimentResult
+from repro.graphs.generators import preferential_attachment
+
+
+def test_ablation_topk_pruning(benchmark, record):
+    graph = preferential_attachment(50_000, 4, seed=13)
+    index = CSRPlusIndex(graph, rank=8).prepare()
+    query, k = 17, 10
+
+    result = benchmark.pedantic(
+        lambda: top_k_pruned(index, query, k), rounds=3, iterations=1
+    )
+
+    start = time.perf_counter()
+    result = top_k_pruned(index, query, k)
+    pruned_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    flat = index.top_k(query, k)
+    flat_seconds = time.perf_counter() - start
+
+    flat_scores = index.single_source(query)[flat]
+    np.testing.assert_allclose(
+        np.sort(result.scores), np.sort(flat_scores), atol=1e-10
+    )
+
+    fraction = result.candidates_scored / graph.num_nodes
+    record(
+        ExperimentResult(
+            exp_id="ablation-topk",
+            title="Top-k search: norm-bound pruning vs full scan",
+            columns=["strategy", "seconds", "candidates scored"],
+            rows=[
+                {
+                    "strategy": "pruned threshold scan",
+                    "seconds": f"{pruned_seconds:.4f}",
+                    "candidates scored": f"{result.candidates_scored} "
+                    f"({100 * fraction:.1f}% of n)",
+                },
+                {
+                    "strategy": "full scan + sort",
+                    "seconds": f"{flat_seconds:.4f}",
+                    "candidates scored": f"{graph.num_nodes} (100%)",
+                },
+            ],
+            parameters={"n": graph.num_nodes, "r": 8, "k": k},
+            notes=[
+                "Pruning wins on work (candidates scored) but the "
+                "vectorised full scan can still win wall-clock at these "
+                "sizes: BLAS scores all n rows faster than Python visits "
+                "2% of them. The scan order/bound is the algorithmic "
+                "contribution; a compiled kernel would realise it.",
+            ],
+        )
+    )
+    # pruning must skip a substantial share of candidates on PA graphs
+    assert fraction < 0.9

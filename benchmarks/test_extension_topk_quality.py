@@ -1,0 +1,33 @@
+"""Extension experiment — head-of-ranking quality vs rank.
+
+Not a paper artefact: the paper reports accuracy only as AvgDiff
+(Table 3), which averages away head errors.  This bench quantifies the
+rank the *ranking* needs (precision@10 of CSR+'s top-k vs the exact
+top-k) — the practical question for the applications in §1.
+"""
+
+from repro.experiments.topk_quality import topk_quality
+
+
+def test_extension_topk_quality(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: topk_quality(
+            datasets=(("FB", "small"), ("YT", "tiny")),
+            ranks=(5, 25, 100),
+            k=10,
+            num_queries=10,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+
+    for key in ("FB", "YT"):
+        values = [
+            row["precision_value"] for row in result.rows if row["dataset"] == key
+        ]
+        # the head of the ranking sharpens substantially with rank
+        assert values[-1] > values[0]
+        assert values[-1] >= 0.5
+        # and the paper-default r=5 is visibly coarse for rankings
+        assert values[0] < 0.9

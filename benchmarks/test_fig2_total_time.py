@@ -1,0 +1,41 @@
+"""Figure 2 — total CPU time of multi-source CoSimRank per dataset.
+
+Paper's shape: CSR+ is 1-3 orders of magnitude faster than every rival
+on every dataset; only CSR+ survives the two largest graphs at full
+paper scale.  At our stand-in scale CSR-RLS may survive the large pair
+too (scipy's spmv is efficient), but the ordering must hold.
+"""
+
+from repro.experiments.figures import fig2
+
+
+def test_fig2_total_time(benchmark, tier, record):
+    result = benchmark.pedantic(
+        lambda: fig2(tier=tier), rounds=1, iterations=1
+    )
+    record(result)
+
+    datasets = result.column("dataset")
+    assert datasets == ["FB", "P2P", "YT", "WT", "TW", "WB"]
+
+    # CSR+ completes everywhere.
+    assert all(v is not None for v in result.column("CSR+_seconds"))
+
+    # CSR+ is the fastest completer on each medium/large dataset.
+    # CSR-RLS gets a wall-clock noise margin: at |Q|=100 on the very
+    # sparse WB stand-in the two are close (CSR+'s one-off SVD vs
+    # CSR-RLS's |Q|-linear spmv work), and Figure 5 is where their
+    # divergence with |Q| is asserted.
+    for row in result.rows:
+        if row["dataset"] in ("FB", "P2P"):
+            continue
+        mine = row["CSR+_seconds"]
+        for rival in ("CSR-RLS", "CSR-IT", "CSR-NI"):
+            other = row.get(f"{rival}_seconds")
+            if other is not None:
+                margin = 1.6 if rival == "CSR-RLS" else 1.0
+                assert mine <= other * margin, (row["dataset"], rival)
+
+    # CSR-NI must fail (memory) beyond the small graphs, as in the paper.
+    ni_status = [row["CSR-NI"] for row in result.rows]
+    assert any(cell == "OOM" for cell in ni_status)

@@ -1,0 +1,34 @@
+"""Figure 3 — CSR+ preprocessing vs query time as |Q| grows.
+
+Paper's shape: preprocessing time is flat in |Q| (one black bar per
+dataset); query time grows linearly with |Q| and, on large graphs, is a
+small fraction of preprocessing.
+"""
+
+from repro.experiments.figures import fig3
+
+
+def test_fig3_phase_time(benchmark, tier, record):
+    result = benchmark.pedantic(
+        lambda: fig3(tier=tier), rounds=1, iterations=1
+    )
+    record(result)
+
+    by_dataset = {}
+    for row in result.rows:
+        by_dataset.setdefault(row["dataset"], []).append(row)
+
+    for dataset, rows in by_dataset.items():
+        # preprocessing measured once per dataset -> identical entries
+        assert len({r["preprocess_seconds"] for r in rows}) == 1
+
+        # query cost trends upward with |Q| (wall-clock noise tolerated)
+        times = [r["query_seconds"] for r in rows]
+        assert times[-1] >= times[0] * 0.5, dataset
+
+    # On the biggest graph, online queries are much cheaper than the
+    # offline phase — the amortisation argument of the paper.
+    tw_rows = by_dataset["TW"]
+    assert all(
+        r["query_seconds"] < r["preprocess_seconds"] for r in tw_rows
+    )

@@ -1,0 +1,35 @@
+"""Figure 4 — effect of the low rank r on CPU time.
+
+Paper's shape: CSR+/CSR-RLS/CSR-IT grow mildly with r while CSR-NI's
+O(r^4 n^2) tensor products explode, overtaking CSR-IT mid-grid (and
+eventually dying).  The sweep runs on the small graphs where CSR-NI can
+at least start (DESIGN.md §5); the crossover lands at a smaller r than
+the paper's because n is scaled down.
+"""
+
+from repro.experiments.figures import fig4
+
+
+def test_fig4_rank_time(benchmark, record):
+    result = benchmark.pedantic(lambda: fig4(), rounds=1, iterations=1)
+    record(result)
+
+    for dataset in {row["dataset"] for row in result.rows}:
+        rows = [r for r in result.rows if r["dataset"] == dataset]
+
+        # CSR+ completes at every rank.
+        assert all(r["CSR+_seconds"] is not None for r in rows)
+
+        # CSR-NI's time must grow far faster than CSR+'s over the grid
+        # (quartic vs ~linear in r), wherever it survives.
+        ni = [r["CSR-NI_seconds"] for r in rows if r["CSR-NI_seconds"]]
+        mine = [r["CSR+_seconds"] for r in rows if r["CSR-NI_seconds"]]
+        if len(ni) >= 2:
+            ni_growth = ni[-1] / ni[0]
+            my_growth = max(mine[-1] / mine[0], 1.0)
+            assert ni_growth > 2 * my_growth, dataset
+
+        # At the top of the grid CSR-NI is the slowest (or dead).
+        last = rows[-1]
+        if last["CSR-NI_seconds"] is not None:
+            assert last["CSR-NI_seconds"] >= last["CSR+_seconds"]

@@ -1,0 +1,35 @@
+"""Figure 5 — effect of the query-set size |Q| on CPU time.
+
+Paper's shape: CSR+ and CSR-IT are insensitive to |Q| (preprocessing
+dominates / all-pairs respectively); CSR-RLS and CSR-NI grow with |Q|;
+CSR-IT and CSR-NI crash on the medium WT graph.
+"""
+
+from repro.experiments.figures import fig5
+
+
+def test_fig5_qsize_time(benchmark, record):
+    result = benchmark.pedantic(lambda: fig5(), rounds=1, iterations=1)
+    record(result)
+
+    wt_rows = [r for r in result.rows if r["dataset"] == "WT"]
+    fb_rows = [r for r in result.rows if r["dataset"] == "FB"]
+
+    # Paper: "On medium WT, CSR-IT and CSR-NI fail due to memory crash".
+    assert all(r["CSR-NI"] == "OOM" for r in wt_rows)
+    assert all(r["CSR-IT"] == "OOM" for r in wt_rows)
+
+    # CSR+ survives the whole grid everywhere.
+    assert all(r["CSR+_seconds"] is not None for r in result.rows)
+
+    # CSR-RLS total time grows with |Q| markedly faster than CSR+'s.
+    for rows in (fb_rows, wt_rows):
+        rls = [r["CSR-RLS_seconds"] for r in rows if r["CSR-RLS_seconds"]]
+        mine = [r["CSR+_seconds"] for r in rows if r["CSR-RLS_seconds"]]
+        if len(rls) >= 2:
+            assert rls[-1] / rls[0] > (mine[-1] / mine[0]) * 0.9
+
+    # And at the largest |Q|, CSR-RLS is clearly slower than CSR+.
+    last_wt = wt_rows[-1]
+    if last_wt["CSR-RLS_seconds"] is not None:
+        assert last_wt["CSR-RLS_seconds"] > last_wt["CSR+_seconds"]

@@ -1,0 +1,31 @@
+"""Figure 7 — CSR+ memory per phase as |Q| grows.
+
+Paper's shape: per-phase memory rises mildly with graph size; the query
+phase's n x |Q| result block grows linearly with |Q| and can exceed the
+preprocessing footprint at large |Q|.
+"""
+
+from repro.experiments.figures import fig7
+
+
+def test_fig7_phase_memory(benchmark, tier, record):
+    result = benchmark.pedantic(
+        lambda: fig7(tier=tier), rounds=1, iterations=1
+    )
+    record(result)
+
+    by_dataset = {}
+    for row in result.rows:
+        by_dataset.setdefault(row["dataset"], []).append(row)
+
+    for dataset, rows in by_dataset.items():
+        # preprocessing memory is |Q|-independent
+        assert len({r["preprocess_bytes"] for r in rows}) == 1, dataset
+
+        # query memory is exactly linear in |Q| (n * |Q| * 8 bytes)
+        ratios = [r["query_bytes"] / r["|Q|"] for r in rows]
+        assert max(ratios) - min(ratios) < 1e-6, dataset
+
+    # across datasets, preprocessing memory grows with n (mildly)
+    prep = [rows[0]["preprocess_bytes"] for rows in by_dataset.values()]
+    assert max(prep) > min(prep)

@@ -1,0 +1,32 @@
+"""Figure 8 — effect of the low rank r on memory.
+
+Paper's shape: CSR+ memory grows gently (O(rn)); CSR-NI's O(r^2 n^2)
+tensor products blow up rapidly and die mid-grid.
+"""
+
+from repro.experiments.figures import fig8
+
+
+def test_fig8_rank_memory(benchmark, record):
+    result = benchmark.pedantic(lambda: fig8(), rounds=1, iterations=1)
+    record(result)
+
+    for dataset in {row["dataset"] for row in result.rows}:
+        rows = [r for r in result.rows if r["dataset"] == dataset]
+
+        mine = [r["CSR+_bytes"] for r in rows]
+        assert all(v is not None for v in mine)
+        # gentle growth: O(rn) across the grid (ranks grid spans 5x)
+        assert mine[-1] < mine[0] * 10, dataset
+
+        # CSR-NI: r^2-factor growth wherever it survives
+        ni = [(r["r"], r["CSR-NI_bytes"]) for r in rows if r["CSR-NI_bytes"]]
+        if len(ni) >= 2:
+            (r0, b0), (r1, b1) = ni[0], ni[-1]
+            expected = (r1 / r0) ** 2
+            assert b1 / b0 > expected * 0.5, dataset
+
+        # and CSR-NI dwarfs CSR+ at equal rank
+        for row in rows:
+            if row["CSR-NI_bytes"] is not None:
+                assert row["CSR-NI_bytes"] > 10 * row["CSR+_bytes"]

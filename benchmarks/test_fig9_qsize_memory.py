@@ -1,0 +1,34 @@
+"""Figure 9 — effect of the query-set size |Q| on memory.
+
+Paper's shape: CSR+ and CSR-RLS memory grow with |Q| (they memoise the
+n x |Q| result block); CSR-IT/CSR-NI are |Q|-independent when alive and
+explode on the medium graph; CSR+ stays orders of magnitude below the
+rivals throughout.
+"""
+
+from repro.experiments.figures import fig9
+
+
+def test_fig9_qsize_memory(benchmark, record):
+    result = benchmark.pedantic(lambda: fig9(), rounds=1, iterations=1)
+    record(result)
+
+    fb_rows = [r for r in result.rows if r["dataset"] == "FB"]
+    wt_rows = [r for r in result.rows if r["dataset"] == "WT"]
+
+    # CSR+ memory grows with |Q| but stays linear.
+    mine = [r["CSR+_bytes"] for r in fb_rows]
+    q_sizes = [r["|Q|"] for r in fb_rows]
+    assert mine[-1] > mine[0]
+    assert mine[-1] < mine[0] * (q_sizes[-1] / q_sizes[0]) * 3
+
+    # On WT the quadratic baselines are gone (paper: memory explosion)...
+    assert all(r["CSR-NI_bytes"] is None for r in wt_rows)
+    assert all(r["CSR-IT_bytes"] is None for r in wt_rows)
+    # ...while CSR+ scales through the whole grid.
+    assert all(r["CSR+_bytes"] is not None for r in wt_rows)
+
+    # Wherever CSR-NI survived (small FB), its footprint dwarfs CSR+'s.
+    for row in fb_rows:
+        if row["CSR-NI_bytes"] is not None:
+            assert row["CSR-NI_bytes"] > 10 * row["CSR+_bytes"]

@@ -1,0 +1,66 @@
+"""Micro-benchmarks of CSR+'s individual kernels.
+
+Proper pytest-benchmark timings (multiple rounds) for the pieces
+Theorem 3.7's complexity table accounts line by line: the sparse SVD,
+the subspace Stein solve, the Z build, and the online query.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.index import CSRPlusIndex
+from repro.datasets.queries import sample_queries
+from repro.graphs.generators import chung_lu
+from repro.graphs.transition import transition_matrix
+from repro.linalg.stein import solve_stein_squaring
+from repro.linalg.svd import truncated_svd
+
+
+@pytest.fixture(scope="module")
+def kernel_graph():
+    return chung_lu(20_000, 106_000, seed=11)
+
+
+@pytest.fixture(scope="module")
+def kernel_q(kernel_graph):
+    return transition_matrix(kernel_graph)
+
+
+@pytest.fixture(scope="module")
+def kernel_svd(kernel_q):
+    return truncated_svd(kernel_q, 5)
+
+
+def test_kernel_transition_build(benchmark, kernel_graph):
+    benchmark(transition_matrix, kernel_graph)
+
+
+def test_kernel_truncated_svd(benchmark, kernel_q):
+    benchmark.pedantic(truncated_svd, args=(kernel_q, 5), rounds=3, iterations=1)
+
+
+def test_kernel_stein_solve(benchmark, kernel_svd):
+    h = (kernel_svd.u.T @ kernel_svd.v) * kernel_svd.sigma[np.newaxis, :]
+    benchmark(solve_stein_squaring, h, 0.6, 1e-5)
+
+
+def test_kernel_z_build(benchmark, kernel_svd):
+    h = (kernel_svd.u.T @ kernel_svd.v) * kernel_svd.sigma[np.newaxis, :]
+    p, _ = solve_stein_squaring(h, 0.6, 1e-5)
+
+    def build_z():
+        sps = (kernel_svd.sigma[:, np.newaxis] * p) * kernel_svd.sigma[np.newaxis, :]
+        return kernel_svd.v @ sps
+
+    benchmark(build_z)
+
+
+def test_kernel_online_query(benchmark, kernel_graph):
+    index = CSRPlusIndex(kernel_graph, rank=5).prepare()
+    queries = sample_queries(kernel_graph, 100, seed=7)
+    benchmark(index.query, queries)
+
+
+def test_kernel_top_k(benchmark, kernel_graph):
+    index = CSRPlusIndex(kernel_graph, rank=5).prepare()
+    benchmark(index.top_k, 17, 10)

@@ -1,0 +1,40 @@
+"""Table 1 — complexity comparison, validated by empirical scaling fits.
+
+The published complexities (time, multi-source search):
+
+    CSR+     O(r(m + n(r + |Q|)))      -> ~linear in n, mild in r
+    CSR-NI   O(r^4 n^2 + r^4 n |Q|)    -> ~quadratic in n, quartic in r
+    CSR-IT   O(n^2 log(1/eps)|Q|)      -> superlinear in n
+    CSR-RLS  O(K m |Q|)                -> ~linear in n (m = Theta(n))
+
+The bench fits log-log slopes of measured total time over an n-grid and
+an r-grid and checks the *orderings* those exponents imply.
+"""
+
+from repro.experiments.tables import tab1
+
+
+def test_tab1_scaling(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: tab1(n_grid=(400, 800, 1600), r_grid=(4, 8, 16), repeats=3),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    by_name = {row["algorithm"]: row for row in result.rows}
+
+    # CSR-NI's r-exponent must sit far above everyone else's (r^4 term).
+    ni_r = by_name["CSR-NI"]["r_exponent_value"]
+    assert ni_r > 2.0
+    for other in ("CSR+", "CSR-IT", "CSR-RLS"):
+        assert ni_r > by_name[other]["r_exponent_value"] + 0.8
+
+    # CSR-NI's n-exponent is clearly superlinear; CSR+'s stays small.
+    assert by_name["CSR-NI"]["n_exponent_value"] > 1.3
+    assert by_name["CSR+"]["n_exponent_value"] < 1.6
+
+    # CSR+ scales no worse in n than the quadratic-memory CSR-NI.
+    assert (
+        by_name["CSR+"]["n_exponent_value"]
+        < by_name["CSR-NI"]["n_exponent_value"]
+    )

@@ -1,0 +1,57 @@
+"""Table 3 — AvgDiff of CSR+ (and CSR-NI) vs exact CoSimRank.
+
+Paper's shape: AvgDiff decreases mildly as r grows from 25 to 200, and
+CSR+'s error is *identical* to CSR-NI's wherever CSR-NI survives
+(losslessness of Theorems 3.1-3.5).  CSR-NI survives far less often at
+laptop scale than on the paper's 256 GB server — those cells read OOM,
+which is itself the paper's scalability point.
+"""
+
+from repro.experiments.tables import tab3
+
+
+def test_tab3_accuracy(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: tab3(
+            datasets=(("FB", "small"), ("P2P", "small")),
+            ranks=(25, 50, 100, 200),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+
+    for key in ("FB", "P2P"):
+        values = [
+            row["avg_diff_value"] for row in result.rows if row["dataset"] == key
+        ]
+        assert len(values) == 4
+        # mild decrease across the rank grid (paper Table 3's trend).
+        # CSR+ plugs a truncated SVD into the series rather than
+        # computing the best rank-r approximation of S itself, so the
+        # per-rank error is not strictly monotone — allow mild slack.
+        assert values[-1] <= values[0] * 1.3
+        # absolute errors stay small
+        assert values[0] < 0.05
+
+    # losslessness wherever CSR-NI fits
+    assert all(
+        row["lossless"] == "yes"
+        for row in result.rows
+        if row["lossless"] != "n/a"
+    )
+
+
+def test_tab3_losslessness_at_tiny_scale(benchmark, record):
+    """Dedicated equality check where CSR-NI definitely fits."""
+    result = benchmark.pedantic(
+        lambda: tab3(
+            datasets=(("FB", "tiny"), ("P2P", "tiny")), ranks=(10, 25), q_size=50
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    checked = [row for row in result.rows if row["lossless"] != "n/a"]
+    assert len(checked) >= 2
+    assert all(row["lossless"] == "yes" for row in checked)

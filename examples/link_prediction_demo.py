@@ -1,0 +1,42 @@
+"""Link prediction with CoSimRank scores.
+
+Hides 20% of a synthetic social graph's edges, indexes the rest with
+CSR+, and checks that the hidden edges out-score random non-edges
+(AUC well above 0.5).  Also shows the pair-scoring API directly.
+
+Run with:  python examples/link_prediction_demo.py
+"""
+
+from repro.applications import evaluate_link_prediction, score_pairs, split_edges
+from repro.core import CSRPlusIndex
+from repro.graphs import preferential_attachment
+
+
+def main() -> None:
+    graph = preferential_attachment(num_nodes=1_500, out_degree=6, seed=9)
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
+
+    report = evaluate_link_prediction(
+        graph, holdout_fraction=0.2, rank=32, damping=0.6, seed=3
+    )
+    print(
+        f"AUC = {report.auc:.3f} over {report.num_positives} held-out edges "
+        f"vs {report.num_negatives} non-edges"
+    )
+    print(
+        f"mean score: held-out edges {report.mean_positive_score:.4f} "
+        f"vs non-edges {report.mean_negative_score:.4f}"
+    )
+
+    # Direct pair scoring: group-by-target = one multi-source query.
+    training, held_out = split_edges(graph, 0.2, seed=3)
+    engine = CSRPlusIndex(training, rank=16).prepare()
+    sample = held_out[:5]
+    scores = score_pairs(engine, sample)
+    print("\nsample held-out edges and their scores on the training graph:")
+    for (s, t), score in zip(sample, scores):
+        print(f"  {s:>5} -> {t:<5}  {score:.5f}")
+
+
+if __name__ == "__main__":
+    main()

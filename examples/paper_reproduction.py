@@ -1,0 +1,58 @@
+"""One-command reproduction of the paper's evaluation section.
+
+Runs every registered experiment (Figures 2-9, Tables 1 & 3, plus the
+§3.2 stage ablation) and writes the rendered tables to a report file.
+Equivalent to `csrplus experiments run all --output report.txt`, with a
+size knob for quick passes.
+
+Run with:
+    python examples/paper_reproduction.py              # full bench tier
+    python examples/paper_reproduction.py --tier tiny  # quick pass
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import list_experiments, run_experiment
+
+TIER_AWARE = {"fig2", "fig3", "fig6", "fig7", "ablation-stages"}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tier", choices=("tiny", "small", "bench"), default="bench"
+    )
+    parser.add_argument("--output", default="reproduction_report.txt")
+    parser.add_argument(
+        "--only", default=None,
+        help="comma-separated experiment ids (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    wanted = (
+        [tok for tok in args.only.split(",") if tok.strip()]
+        if args.only
+        else list_experiments()
+    )
+
+    sections = []
+    for exp_id in wanted:
+        kwargs = {"tier": args.tier} if exp_id in TIER_AWARE else {}
+        print(f"running {exp_id} ...", flush=True)
+        start = time.perf_counter()
+        result = run_experiment(exp_id, **kwargs)
+        elapsed = time.perf_counter() - start
+        print(f"  done in {elapsed:.1f}s")
+        sections.append(result.render())
+
+    report = "\n\n".join(sections) + "\n"
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(report)
+    print(f"\nwrote {len(wanted)} reproduced artefacts to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Item-to-item recommendations from interaction logs.
+
+Builds a bipartite user->item graph from synthetic interaction data
+with planted taste clusters and shows that CoSimRank recovers them:
+similar-item queries stay inside a cluster, and per-user
+recommendations surface unseen items from the user's own cluster.
+
+Run with:  python examples/recommendations.py
+"""
+
+import numpy as np
+
+from repro.applications import Recommender
+
+
+def synthetic_interactions(num_users=300, items_per_cluster=20, clusters=4, seed=19):
+    """Users belong to a taste cluster; 90% of interactions stay inside it."""
+    rng = np.random.default_rng(seed)
+    items = [
+        f"c{c}-item{i}" for c in range(clusters) for i in range(items_per_cluster)
+    ]
+    records = []
+    for user in range(num_users):
+        cluster = user % clusters
+        for _ in range(8):
+            if rng.random() < 0.9:
+                idx = cluster * items_per_cluster + int(
+                    rng.integers(items_per_cluster)
+                )
+            else:
+                idx = int(rng.integers(len(items)))
+            records.append((f"user{user}", items[idx]))
+    return records
+
+
+def main() -> None:
+    records = synthetic_interactions()
+    recommender = Recommender(records, rank=16, damping=0.8)
+    print(
+        f"{recommender.num_users} users x {recommender.num_items} items, "
+        f"{len(records)} interactions"
+    )
+
+    probe = "c1-item3"
+    print(f"\nitems similar to {probe}:")
+    hits = 0
+    for item, score in recommender.similar_items(probe, k=5):
+        marker = "*" if item.startswith("c1-") else " "
+        hits += item.startswith("c1-")
+        print(f"  {marker} {item:<12} {score:.4f}")
+    print(f"  ({hits}/5 from the same taste cluster)")
+
+    user = "user5"  # cluster 1
+    print(f"\nrecommendations for {user} (cluster 1, unseen items only):")
+    recs = recommender.recommend_for_user(user, k=5)
+    in_cluster = sum(1 for item, _ in recs if item.startswith("c1-"))
+    for item, score in recs:
+        print(f"    {item:<12} {score:.4f}")
+    print(f"  ({in_cluster}/5 from the user's own cluster)")
+
+
+if __name__ == "__main__":
+    main()

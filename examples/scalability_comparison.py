@@ -1,0 +1,57 @@
+"""Scalability shoot-out: CSR+ vs the baselines as graphs grow.
+
+A miniature of the paper's Figures 2/6: runs every competitor on
+progressively larger power-law graphs under a fixed memory budget and
+prints who survives, how fast, and at what memory cost.  Watch CSR-NI
+die first (tensor products), then CSR-IT (quadratic fill-in), while
+CSR+ stays linear.
+
+Run with:  python examples/scalability_comparison.py
+"""
+
+from repro.baselines import COMPARISON_ENGINES
+from repro.datasets import sample_queries
+from repro.experiments import format_bytes, format_seconds, measure
+from repro.graphs import chung_lu
+
+SIZES = [(1_000, 5_300), (5_000, 26_500), (20_000, 106_000), (60_000, 318_000)]
+MEMORY_BUDGET = 400_000_000  # 400 MB of accounted arrays
+TIME_BUDGET = 30.0           # seconds per phase
+
+
+def main() -> None:
+    print(f"{'n':>8} {'m':>9}  " + "".join(f"{name:>24}" for name in COMPARISON_ENGINES))
+    for num_nodes, num_edges in SIZES:
+        graph = chung_lu(num_nodes, num_edges, seed=21)
+        queries = sample_queries(graph, 100, seed=7)
+        cells = []
+        for name in COMPARISON_ENGINES:
+            record = measure(
+                name,
+                graph,
+                queries,
+                rank=5,
+                memory_budget_bytes=MEMORY_BUDGET,
+                time_budget_seconds=TIME_BUDGET,
+            )
+            if record.status == "memory":
+                cells.append("OOM")
+            elif record.status == "timeout":
+                cells.append("DNF")
+            else:
+                cells.append(
+                    f"{format_seconds(record.total_seconds)}"
+                    f" / {format_bytes(record.peak_bytes)}"
+                )
+        print(
+            f"{graph.num_nodes:>8} {graph.num_edges:>9}  "
+            + "".join(f"{cell:>24}" for cell in cells)
+        )
+    print(
+        f"\n(budget: {format_bytes(MEMORY_BUDGET)} accounted memory, "
+        f"{TIME_BUDGET:.0f}s per phase; |Q|=100, r=5, c=0.6)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Synonym expansion on a word co-occurrence graph.
+
+CoSimRank's original use case (Rothe & Schütze, ACL 2014): rank
+candidate synonyms of a word by graph-theoretic similarity.  Words are
+similar when they point at (and are pointed at by) similar words —
+classic distributional semantics, done with link structure only.
+
+Run with:  python examples/synonym_expansion.py
+"""
+
+from repro.applications import SynonymExpander
+
+# A small hand-built dependency/co-occurrence graph.  Edges are directed
+# "appears-in-context-of" links; synonyms share contexts, not edges.
+EDGES = [
+    # vehicle cluster: car/auto/automobile share contexts
+    ("car", "road"), ("car", "wheel"), ("car", "engine"), ("car", "driver"),
+    ("auto", "road"), ("auto", "wheel"), ("auto", "engine"),
+    ("automobile", "road"), ("automobile", "engine"), ("automobile", "driver"),
+    ("truck", "road"), ("truck", "wheel"), ("truck", "cargo"),
+    # road infrastructure context
+    ("road", "city"), ("wheel", "engine"),
+    # medicine cluster: doctor/physician share contexts
+    ("doctor", "hospital"), ("doctor", "patient"), ("doctor", "medicine"),
+    ("physician", "hospital"), ("physician", "patient"), ("physician", "medicine"),
+    ("nurse", "hospital"), ("nurse", "patient"),
+    ("medicine", "patient"),
+    # bridge word with two senses
+    ("operator", "engine"), ("operator", "hospital"),
+]
+
+
+def main() -> None:
+    expander = SynonymExpander(EDGES, rank=8, damping=0.8)
+    print(f"vocabulary: {len(expander.vocabulary)} words")
+
+    for word in ("car", "doctor", "truck"):
+        candidates = expander.expand(word, k=3)
+        pretty = ", ".join(f"{w} ({score:.4f})" for w, score in candidates)
+        print(f"expand({word!r}):  {pretty}")
+
+    # Multi-source expansion: words similar to the whole seed set at once —
+    # one CSR+ query block instead of |seeds| independent searches.
+    seeds = ["car", "automobile"]
+    print(f"\nexpand_set({seeds}):")
+    for word, score in expander.expand_set(seeds, k=4):
+        print(f"  {word:<12} {score:.4f}")
+
+    print(f"\nsimilarity(car, auto)      = {expander.similarity('car', 'auto'):.4f}")
+    print(f"similarity(car, physician) = {expander.similarity('car', 'physician'):.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Weighted CoSimRank: edge weights shape the similarity.
+
+The paper's graphs are unweighted COO triples ``(x, y, 1)``; this
+library also supports positive edge weights, where the transition
+matrix becomes weight-proportional: ``Q[x, y] = w(x, y)/in_strength(y)``.
+Every engine works unchanged.
+
+The demo builds a citation-style graph twice — once unweighted, once
+with weights — and shows how weighting moves the similarity ranking.
+
+Run with:  python examples/weighted_graphs.py
+"""
+
+from repro.core import CSRPlusIndex
+from repro.graphs import DiGraph, WeightedDiGraph
+
+# Papers 0..2 are "classics"; 3..8 cite them with varying intensity.
+CITATIONS = [
+    # (citing, cited, times-cited-in-text)
+    (3, 0, 8.0), (3, 1, 1.0),
+    (4, 0, 7.0), (4, 1, 1.0),
+    (5, 0, 1.0), (5, 2, 9.0),
+    (6, 0, 1.0), (6, 2, 8.0),
+    (7, 1, 5.0), (7, 2, 5.0),
+    (8, 1, 5.0), (8, 2, 5.0),
+]
+
+
+def main() -> None:
+    # CoSimRank similarity flows through *in*-links: two nodes are
+    # similar when similar nodes point at them.  To compare citing
+    # papers by WHAT THEY CITE (bibliographic coupling), orient the
+    # edges cited -> citing, so each citing paper's in-neighbourhood is
+    # its reference list.
+    unweighted = DiGraph(9, [(t, s) for s, t, _ in CITATIONS])
+    weighted = WeightedDiGraph(9, [(t, s, w) for s, t, w in CITATIONS])
+
+    plain = CSRPlusIndex(unweighted, rank=6, damping=0.8).prepare()
+    tuned = CSRPlusIndex(weighted, rank=6, damping=0.8).prepare()
+
+    print("similarity of the citing papers to paper 3 (cites 0 heavily):")
+    print(f"{'paper':>6} {'unweighted':>12} {'weighted':>10}")
+    for paper in (4, 5, 6, 7, 8):
+        a = plain.single_pair(3, paper)
+        b = tuned.single_pair(3, paper)
+        print(f"{paper:>6} {a:12.4f} {b:10.4f}")
+
+    print(
+        "\npaper 4 (same heavy citation of 0) gains similarity to 3 under\n"
+        "weights, while 5/6 (heavy on 2 instead) lose it — binary edges\n"
+        "cannot see that distinction."
+    )
+    top_plain = plain.top_k(3, 2).tolist()
+    top_tuned = tuned.top_k(3, 2).tolist()
+    print(f"\ntop-2 neighbours of paper 3: unweighted={top_plain}, weighted={top_tuned}")
+
+
+if __name__ == "__main__":
+    main()

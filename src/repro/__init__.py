@@ -1,0 +1,70 @@
+"""cosimrank-csrplus — reproduction of CSR+ (EDBT 2024).
+
+Fast multi-source CoSimRank search on large directed graphs via
+low-rank SVD, plus every baseline the paper evaluates against and a
+harness that regenerates each figure/table of its evaluation.
+
+Quickstart
+----------
+>>> from repro import CSRPlusIndex
+>>> from repro.graphs import chung_lu
+>>> graph = chung_lu(2000, 10_000, seed=7)
+>>> index = CSRPlusIndex(graph, rank=5).prepare()
+>>> similarities = index.query([3, 14, 159])    # n x 3 block of [S]_{*,Q}
+"""
+
+from repro.core import (
+    CSRPlusConfig,
+    CSRPlusIndex,
+    DynamicCSRPlus,
+    SimilarityEngine,
+    cosimrank_all_pairs,
+    cosimrank_multi_source,
+    cosimrank_single_pair,
+    cosimrank_single_source,
+    cosimrank_top_k,
+    suggest_rank,
+)
+from repro.errors import (
+    ConvergenceError,
+    DatasetError,
+    DecompositionError,
+    ExperimentError,
+    GraphConstructionError,
+    GraphFormatError,
+    InvalidParameterError,
+    MemoryBudgetExceeded,
+    NotPreparedError,
+    QueryError,
+    ReproError,
+)
+from repro.graphs import DiGraph, WeightedDiGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRPlusIndex",
+    "CSRPlusConfig",
+    "DynamicCSRPlus",
+    "SimilarityEngine",
+    "DiGraph",
+    "WeightedDiGraph",
+    "suggest_rank",
+    "cosimrank_multi_source",
+    "cosimrank_single_source",
+    "cosimrank_single_pair",
+    "cosimrank_all_pairs",
+    "cosimrank_top_k",
+    "ReproError",
+    "GraphFormatError",
+    "GraphConstructionError",
+    "InvalidParameterError",
+    "QueryError",
+    "NotPreparedError",
+    "ConvergenceError",
+    "DecompositionError",
+    "MemoryBudgetExceeded",
+    "DatasetError",
+    "ExperimentError",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Application layers from the paper's introduction: categorisation,
+synonym expansion, link prediction."""
+
+from repro.applications.categorisation import CategorisationResult, categorise
+from repro.applications.link_prediction import (
+    LinkPredictionReport,
+    evaluate_link_prediction,
+    sample_negative_pairs,
+    score_pairs,
+    split_edges,
+)
+from repro.applications.recommendation import Recommender
+from repro.applications.synonyms import SynonymExpander
+
+__all__ = [
+    "Recommender",
+    "categorise",
+    "CategorisationResult",
+    "SynonymExpander",
+    "split_edges",
+    "score_pairs",
+    "sample_negative_pairs",
+    "evaluate_link_prediction",
+    "LinkPredictionReport",
+]

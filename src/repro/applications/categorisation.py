@@ -1,0 +1,106 @@
+"""Wikipedians categorisation — the motivating application of §1.
+
+Given a graph and a few labelled seed nodes per category (e.g.
+Wikipedia users tagged "law" or "art"), every unlabelled node is scored
+against each category by one *multi-source* CoSimRank query per
+category (``[S]_{*,Q_label}``) and assigned the argmax.  This is
+exactly the workload CSR+ accelerates: the offline index is shared by
+all categories and all future labellings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import SimilarityEngine
+from repro.core.config import CSRPlusConfig
+from repro.core.index import CSRPlusIndex
+from repro.errors import InvalidParameterError
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["CategorisationResult", "categorise"]
+
+
+@dataclass
+class CategorisationResult:
+    """Output of :func:`categorise`."""
+
+    #: category -> score vector over all nodes (n,)
+    scores: Dict[str, np.ndarray]
+    #: predicted category per node ("" where every score is 0)
+    assignments: List[str]
+    #: the categories in a fixed order (sorted)
+    categories: List[str] = field(default_factory=list)
+
+    def top_nodes(self, category: str, k: int) -> np.ndarray:
+        """The ``k`` highest-scoring nodes for ``category`` (descending)."""
+        score = self.scores[category]
+        order = np.lexsort((np.arange(score.size), -score))
+        return order[:k].astype(np.int64)
+
+
+def categorise(
+    graph: DiGraph,
+    seeds: Mapping[str, Sequence[int]],
+    engine: Optional[SimilarityEngine] = None,
+    rank: int = 5,
+    damping: float = 0.6,
+    exclude_seeds: bool = True,
+) -> CategorisationResult:
+    """Assign every node to the category of its most similar seed set.
+
+    Parameters
+    ----------
+    graph:
+        The directed graph (e.g. a talk/communication network).
+    seeds:
+        ``category -> node ids`` of the labelled examples.
+    engine:
+        A prepared (or preparable) similarity engine to reuse; defaults
+        to a fresh :class:`CSRPlusIndex` with the given ``rank`` and
+        ``damping``.
+    exclude_seeds:
+        When ``True`` (default), seed nodes keep their own label in
+        ``assignments`` rather than competing on scores.
+
+    A node's score for a category is the *sum* of its similarities to
+    the category's seeds — the multi-source semantics of §1's example.
+    """
+    if not seeds:
+        raise InvalidParameterError("seeds must contain at least one category")
+    for category, nodes in seeds.items():
+        if len(nodes) == 0:
+            raise InvalidParameterError(f"category {category!r} has no seed nodes")
+
+    if engine is None:
+        config = CSRPlusConfig(damping=damping, rank=min(rank, graph.num_nodes))
+        engine = CSRPlusIndex(graph, config)
+    engine.prepare()
+
+    categories = sorted(seeds)
+    scores: Dict[str, np.ndarray] = {}
+    for category in categories:
+        block = engine.query(list(seeds[category]))
+        scores[category] = block.sum(axis=1)
+
+    stacked = np.column_stack([scores[c] for c in categories])
+    best = np.argmax(stacked, axis=1)
+    assignments = []
+    seed_owner: Dict[int, str] = {}
+    if exclude_seeds:
+        for category, nodes in seeds.items():
+            for node in nodes:
+                seed_owner[int(node)] = category
+    for node in range(graph.num_nodes):
+        if node in seed_owner:
+            assignments.append(seed_owner[node])
+        elif stacked[node].max() <= 0.0:
+            assignments.append("")
+        else:
+            assignments.append(categories[int(best[node])])
+    return CategorisationResult(
+        scores=scores, assignments=assignments, categories=categories
+    )

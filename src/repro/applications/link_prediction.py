@@ -1,0 +1,176 @@
+"""Link prediction by CoSimRank similarity.
+
+A standard evaluation protocol: hide a fraction of a graph's edges,
+score candidate node pairs by similarity on the remaining graph, and
+check how highly the hidden edges rank against random non-edges.
+CoSimRank is a natural scorer here (paper §1 cites link prediction as a
+target application); CSR+ makes scoring many candidate sources cheap
+because all candidates sharing a target hit the same multi-source
+query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import SimilarityEngine
+from repro.core.config import CSRPlusConfig
+from repro.core.index import CSRPlusIndex
+from repro.errors import InvalidParameterError
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["LinkPredictionReport", "split_edges", "score_pairs", "evaluate_link_prediction"]
+
+
+@dataclass(frozen=True)
+class LinkPredictionReport:
+    """AUC-style outcome of one link-prediction evaluation."""
+
+    auc: float
+    num_positives: int
+    num_negatives: int
+    mean_positive_score: float
+    mean_negative_score: float
+
+
+def split_edges(
+    graph: DiGraph, holdout_fraction: float = 0.2, seed: int = 0
+) -> Tuple[DiGraph, List[Tuple[int, int]]]:
+    """Remove a random ``holdout_fraction`` of edges.
+
+    Returns ``(training_graph, held_out_edges)``.
+    """
+    if not (0.0 < holdout_fraction < 1.0):
+        raise InvalidParameterError(
+            f"holdout_fraction must be in (0, 1), got {holdout_fraction}"
+        )
+    m = graph.num_edges
+    if m < 2:
+        raise InvalidParameterError("graph too small to split")
+    rng = np.random.default_rng(seed)
+    num_holdout = max(1, int(round(m * holdout_fraction)))
+    chosen = rng.choice(m, size=num_holdout, replace=False)
+    src = graph.edge_sources
+    dst = graph.edge_targets
+    held_out = [(int(src[i]), int(dst[i])) for i in chosen]
+    training = graph.with_edges_removed(held_out)
+    return training, held_out
+
+
+def score_pairs(
+    engine: SimilarityEngine,
+    pairs: Sequence[Tuple[int, int]],
+    mode: str = "inlink",
+    max_neighbors: int = 10,
+) -> np.ndarray:
+    """Score each candidate edge ``(source, target)``.
+
+    Two scorers:
+
+    * ``"inlink"`` (default): ``sum_w S[source, w]`` over up to
+      ``max_neighbors`` existing in-neighbours ``w`` of ``target`` —
+      "does the source resemble the nodes already pointing at the
+      target?"  This is the predictive signal; it folds in both
+      structural similarity and the target's popularity.
+    * ``"direct"``: the raw similarity ``S[source, target]`` — useful
+      for inspection, but a weak predictor of *directed* links (similar
+      nodes need not link to each other).
+
+    Either way, all needed similarity columns are fetched with a single
+    multi-source query — the access pattern CSR+ is built for.
+    """
+    if not pairs:
+        raise InvalidParameterError("need at least one pair to score")
+    if mode not in ("inlink", "direct"):
+        raise InvalidParameterError(f"mode must be 'inlink' or 'direct', got {mode!r}")
+
+    if mode == "direct":
+        targets = sorted({int(t) for _, t in pairs})
+        column_of = {t: i for i, t in enumerate(targets)}
+        block = engine.query(targets)
+        return np.array([block[int(s), column_of[int(t)]] for s, t in pairs])
+
+    graph = engine.graph
+    neighbors = {
+        int(t): graph.in_neighbors(int(t))[:max_neighbors]
+        for t in {int(t) for _, t in pairs}
+    }
+    witness_ids = sorted({int(w) for ws in neighbors.values() for w in ws})
+    if not witness_ids:
+        return np.zeros(len(pairs))
+    column_of = {w: i for i, w in enumerate(witness_ids)}
+    block = engine.query(witness_ids)
+    scores = []
+    for s, t in pairs:
+        ws = neighbors[int(t)]
+        if ws.size == 0:
+            scores.append(0.0)
+        else:
+            cols = [column_of[int(w)] for w in ws]
+            scores.append(float(block[int(s), cols].sum()))
+    return np.array(scores)
+
+
+def sample_negative_pairs(
+    graph: DiGraph, count: int, seed: int = 0
+) -> List[Tuple[int, int]]:
+    """``count`` uniformly random node pairs that are not edges."""
+    n = graph.num_nodes
+    if n < 2:
+        raise InvalidParameterError("graph too small for negative sampling")
+    rng = np.random.default_rng(seed)
+    existing = {(int(s), int(t)) for s, t in zip(graph.edge_sources, graph.edge_targets)}
+    out: List[Tuple[int, int]] = []
+    guard = 0
+    while len(out) < count:
+        s = int(rng.integers(0, n))
+        t = int(rng.integers(0, n))
+        guard += 1
+        if guard > 100 * count + 1000:
+            raise InvalidParameterError(
+                "could not sample enough non-edges (graph too dense?)"
+            )
+        if s == t or (s, t) in existing:
+            continue
+        out.append((s, t))
+    return out
+
+
+def evaluate_link_prediction(
+    graph: DiGraph,
+    holdout_fraction: float = 0.2,
+    rank: int = 10,
+    damping: float = 0.6,
+    seed: int = 0,
+    engine: Optional[SimilarityEngine] = None,
+    mode: str = "inlink",
+) -> LinkPredictionReport:
+    """Full protocol: split, index the training graph, compare scores.
+
+    AUC is estimated by pairwise comparison of held-out-edge scores
+    against an equal number of sampled non-edges (ties count 0.5).
+    """
+    training, positives = split_edges(graph, holdout_fraction, seed=seed)
+    negatives = sample_negative_pairs(graph, len(positives), seed=seed + 1)
+    if engine is None:
+        config = CSRPlusConfig(
+            damping=damping, rank=min(rank, training.num_nodes)
+        )
+        engine = CSRPlusIndex(training, config)
+    engine.prepare()
+    pos_scores = score_pairs(engine, positives, mode=mode)
+    neg_scores = score_pairs(engine, negatives, mode=mode)
+
+    greater = (pos_scores[:, None] > neg_scores[None, :]).sum()
+    equal = (pos_scores[:, None] == neg_scores[None, :]).sum()
+    auc = (greater + 0.5 * equal) / (pos_scores.size * neg_scores.size)
+    return LinkPredictionReport(
+        auc=float(auc),
+        num_positives=len(positives),
+        num_negatives=len(negatives),
+        mean_positive_score=float(pos_scores.mean()),
+        mean_negative_score=float(neg_scores.mean()),
+    )

@@ -1,0 +1,144 @@
+"""Item-to-item recommendation over bipartite interaction data.
+
+A classic CoSimRank deployment: users interact with items; two items
+are similar when similar users interact with them (collaborative
+filtering by link structure alone).  The interaction list is compiled
+into a digraph with user -> item edges — so each item's in-neighbours
+are its users, which is exactly the direction CoSimRank's similarity
+propagates through — and a CSR+ index answers "items like this one"
+and "items for this user" queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import SimilarityEngine
+from repro.core.config import CSRPlusConfig
+from repro.core.index import CSRPlusIndex
+from repro.errors import InvalidParameterError, QueryError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.weighted import WeightedDiGraph
+
+__all__ = ["Recommender"]
+
+
+class Recommender:
+    """Item recommendations from (user, item[, strength]) interactions.
+
+    Parameters
+    ----------
+    interactions:
+        Iterable of ``(user, item)`` or ``(user, item, strength)``
+        records over arbitrary hashable labels.  Strengths, when given,
+        weight the transition matrix (repeat interactions accumulate).
+    rank, damping:
+        CSR+ parameters for the underlying index.
+    """
+
+    def __init__(
+        self,
+        interactions: Iterable[Tuple],
+        rank: int = 8,
+        damping: float = 0.6,
+    ):
+        records = [tuple(r) for r in interactions]
+        if not records:
+            raise InvalidParameterError("need at least one interaction")
+        weighted = any(len(r) == 3 for r in records)
+
+        self._user_ids: Dict[object, int] = {}
+        self._item_ids: Dict[object, int] = {}
+        triples: List[Tuple[int, int, float]] = []
+        for record in records:
+            if len(record) == 2:
+                user, item, strength = record[0], record[1], 1.0
+            elif len(record) == 3:
+                user, item, strength = record
+            else:
+                raise InvalidParameterError(
+                    f"interactions must be (user, item[, strength]); got {record!r}"
+                )
+            if user not in self._user_ids:
+                self._user_ids[user] = len(self._user_ids)
+            if item not in self._item_ids:
+                self._item_ids[item] = len(self._item_ids)
+            triples.append(
+                (self._user_ids[user], self._item_ids[item], float(strength))
+            )
+
+        num_users = len(self._user_ids)
+        num_items = len(self._item_ids)
+        n = num_users + num_items
+        # user u occupies node u; item i occupies node num_users + i
+        edges = [(u, num_users + i, w) for u, i, w in triples]
+        if weighted:
+            graph: DiGraph = WeightedDiGraph(n, edges)
+        else:
+            graph = DiGraph(n, [(s, t) for s, t, _ in edges])
+        self._num_users = num_users
+        self.graph = graph
+        config = CSRPlusConfig(damping=damping, rank=min(rank, n))
+        self.index: SimilarityEngine = CSRPlusIndex(graph, config).prepare()
+        self._items_in_order = sorted(self._item_ids, key=self._item_ids.get)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_users(self) -> int:
+        return self._num_users
+
+    @property
+    def num_items(self) -> int:
+        return len(self._item_ids)
+
+    def _item_node(self, item) -> int:
+        try:
+            return self._num_users + self._item_ids[item]
+        except KeyError:
+            raise QueryError(f"unknown item {item!r}") from None
+
+    # ------------------------------------------------------------------
+    def similar_items(self, item, k: int = 10) -> List[Tuple[object, float]]:
+        """The ``k`` items most similar to ``item`` (itself excluded)."""
+        node = self._item_node(item)
+        scores = self.index.single_source(node)
+        item_scores = scores[self._num_users :]
+        own = self._item_ids[item]
+        order = np.lexsort((np.arange(item_scores.size), -item_scores))
+        out = []
+        for idx in order:
+            if int(idx) == own:
+                continue
+            out.append((self._items_in_order[int(idx)], float(item_scores[int(idx)])))
+            if len(out) == k:
+                break
+        return out
+
+    def recommend_for_user(self, user, k: int = 10) -> List[Tuple[object, float]]:
+        """Items similar to the user's interacted items, unseen first.
+
+        Scores each candidate item by its summed similarity to the
+        user's history (one multi-source query), then drops the history
+        itself.
+        """
+        try:
+            user_id = self._user_ids[user]
+        except KeyError:
+            raise QueryError(f"unknown user {user!r}") from None
+        history_nodes = [int(t) for t in self.graph.out_neighbors(user_id)]
+        if not history_nodes:
+            return []
+        block = self.index.query(history_nodes)
+        scores = block.sum(axis=1)[self._num_users :]
+        seen = {node - self._num_users for node in history_nodes}
+        order = np.lexsort((np.arange(scores.size), -scores))
+        out = []
+        for idx in order:
+            if int(idx) in seen:
+                continue
+            out.append((self._items_in_order[int(idx)], float(scores[int(idx)])))
+            if len(out) == k:
+                break
+        return out

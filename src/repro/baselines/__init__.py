@@ -1,0 +1,31 @@
+"""Every CoSimRank competitor the paper evaluates, plus the exact solver."""
+
+from repro.baselines.cosimmate import CoSimMateEngine
+from repro.baselines.exact import (
+    ExactCoSimRank,
+    exact_cosimrank_direct,
+    exact_cosimrank_matrix,
+)
+from repro.baselines.fcosim import FCoSimEngine
+from repro.baselines.iterative import CSRITEngine
+from repro.baselines.ni import CSRNIEngine
+from repro.baselines.registry import COMPARISON_ENGINES, engine_names, make_engine
+from repro.baselines.rls import CSRRLSEngine
+from repro.baselines.rpcosim import RPCoSimEngine
+from repro.baselines.single_pair import single_pair_cosimrank
+
+__all__ = [
+    "ExactCoSimRank",
+    "exact_cosimrank_matrix",
+    "exact_cosimrank_direct",
+    "CSRNIEngine",
+    "CSRITEngine",
+    "CSRRLSEngine",
+    "CoSimMateEngine",
+    "RPCoSimEngine",
+    "FCoSimEngine",
+    "single_pair_cosimrank",
+    "make_engine",
+    "engine_names",
+    "COMPARISON_ENGINES",
+]

@@ -1,0 +1,116 @@
+"""Exact CoSimRank — the ground truth for every accuracy experiment.
+
+Two interchangeable methods, both solving Eq. (1) ``S = c Q^T S Q + I``:
+
+* dense fixed-point iteration until the max-norm update falls below a
+  tolerance (the default; ``O(K n^3)`` time but trivially correct);
+* the direct linear solve ``vec(S) = (I - c(Q kron Q)^T)^{-1} vec(I)``
+  of Eq. (5) (``O(n^6)`` — tiny graphs only, used to cross-check the
+  iteration in tests).
+
+Both are ``O(n^2)`` memory and budget-checked, so they refuse to run on
+graphs where the dense matrix would not fit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import SimilarityEngine
+from repro.core.iterations import fixed_point_iterations
+from repro.errors import InvalidParameterError
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["ExactCoSimRank", "exact_cosimrank_matrix", "exact_cosimrank_direct"]
+
+
+def exact_cosimrank_matrix(
+    q_dense: np.ndarray,
+    damping: float,
+    epsilon: float = 1e-12,
+    tick=None,
+) -> np.ndarray:
+    """Dense fixed-point solve of ``S = c Q^T S Q + I`` to ``epsilon``.
+
+    ``tick``, if given, is called once per iteration (used for the
+    cooperative time budget).
+    """
+    n = q_dense.shape[0]
+    identity = np.eye(n)
+    s_matrix = identity.copy()
+    for _ in range(fixed_point_iterations(damping, epsilon) + 1):
+        if tick is not None:
+            tick()
+        s_matrix = damping * (q_dense.T @ s_matrix @ q_dense) + identity
+    return s_matrix
+
+
+def exact_cosimrank_direct(q_dense: np.ndarray, damping: float) -> np.ndarray:
+    """Closed-form solve via Eq. (5); ``O(n^6)``, tiny graphs only."""
+    n = q_dense.shape[0]
+    if n > 64:
+        raise InvalidParameterError(
+            f"direct vec-solve is O(n^6); refusing n={n} > 64"
+        )
+    system = np.eye(n * n) - damping * np.kron(q_dense.T, q_dense.T)
+    rhs = np.eye(n).reshape(-1, order="F")
+    solution = np.linalg.solve(system, rhs)
+    return solution.reshape(n, n, order="F")
+
+
+class ExactCoSimRank(SimilarityEngine):
+    """Reference engine computing CoSimRank to machine-level accuracy.
+
+    Parameters
+    ----------
+    graph, damping, memory_budget_bytes:
+        As for every :class:`SimilarityEngine`.
+    epsilon:
+        Convergence tolerance of the fixed-point iteration (default
+        ``1e-12``, i.e. far below any approximation error under study).
+    method:
+        ``"iteration"`` (default) or ``"direct"`` (Eq. 5, n <= 64).
+    """
+
+    name = "Exact"
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        damping: float = 0.6,
+        epsilon: float = 1e-12,
+        method: str = "iteration",
+        memory_budget_bytes: Optional[int] = None,
+        dangling: str = "zero",
+    ):
+        super().__init__(graph, damping, memory_budget_bytes, dangling)
+        if method not in ("iteration", "direct"):
+            raise InvalidParameterError(
+                f"method must be 'iteration' or 'direct', got {method!r}"
+            )
+        if not (0.0 < epsilon < 1.0):
+            raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = epsilon
+        self.method = method
+        self._s_matrix: Optional[np.ndarray] = None
+
+    def _prepare_impl(self) -> None:
+        n = self.num_nodes
+        self.memory.require("precompute/S", 3 * n * n * 8)
+        q_dense = self.transition().toarray()
+        self.memory.charge("precompute/Q_dense", q_dense.nbytes)
+        if self.method == "direct":
+            self._s_matrix = exact_cosimrank_direct(q_dense, self.damping)
+        else:
+            self._s_matrix = exact_cosimrank_matrix(
+                q_dense, self.damping, self.epsilon, tick=self.check_time_budget
+            )
+        self.memory.charge("precompute/S", self._s_matrix.nbytes)
+        self.memory.release("precompute/Q_dense")
+
+    def _query_impl(self, query_ids: np.ndarray) -> np.ndarray:
+        result = self._s_matrix[:, query_ids].copy()
+        self.memory.charge("query/S", result.nbytes)
+        return result

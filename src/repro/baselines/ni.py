@@ -1,0 +1,129 @@
+"""CSR-NI — Li et al.'s non-iterative SVD method [4], the paper's §2 recap.
+
+This is the *literal* algorithm the paper criticises, Kronecker products
+and all:
+
+Precomputation (Eq. 6b)
+    1. rank-``r`` SVD with ``Q^T = U Sigma V^T`` (same convention as
+       CSR+, see :mod:`repro.core.index`);
+    2. materialise the tensor products ``U kron U`` and ``V kron V``
+       (each ``n^2 x r^2`` — the ``O(r^2 n^2)`` memory the paper calls
+       cost-inhibitive);
+    3. ``M = (V kron V)^T (U kron U)`` by literal matrix product
+       (``O(r^4 n^2)`` time);
+    4. ``Lambda = ((Sigma kron Sigma)^{-1} - c M)^{-1}``  (``r^2 x r^2``).
+
+Online query (Eq. 6a)
+    ``vec(S) = vec(I_n) + c (U kron U) Lambda (V kron V)^T vec(I_n)``,
+    then the requested columns are sliced out of the unvec'd ``S``.
+
+Every large intermediate is charged to the memory meter *before*
+allocation, so on graphs where the paper reports CSR-NI crashing, this
+implementation raises :class:`~repro.errors.MemoryBudgetExceeded`
+instead of taking the machine down.
+
+Because CSR+ (Theorems 3.1–3.5) is an exact algebraic rewriting of this
+pipeline, ``CSRNIEngine`` and :class:`~repro.core.index.CSRPlusIndex`
+produce identical similarities at equal rank — the losslessness claim
+verified in the test suite and Table 3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import SimilarityEngine
+from repro.errors import DecompositionError, InvalidParameterError
+from repro.graphs.digraph import DiGraph
+from repro.linalg.kronecker import unvec, vec_identity
+from repro.linalg.svd import truncated_svd
+
+__all__ = ["CSRNIEngine"]
+
+
+class CSRNIEngine(SimilarityEngine):
+    """Li et al. 2010's low-rank method with literal tensor products."""
+
+    name = "CSR-NI"
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        damping: float = 0.6,
+        rank: int = 5,
+        svd_seed: int = 0,
+        memory_budget_bytes: Optional[int] = None,
+        dangling: str = "zero",
+    ):
+        super().__init__(graph, damping, memory_budget_bytes, dangling)
+        if rank < 1:
+            raise InvalidParameterError(f"rank must be >= 1, got {rank}")
+        if rank > max(1, graph.num_nodes):
+            raise InvalidParameterError(
+                f"rank {rank} exceeds the number of nodes {graph.num_nodes}"
+            )
+        self.rank = int(rank)
+        self.svd_seed = svd_seed
+        self._kron_u: Optional[np.ndarray] = None
+        self._kron_v: Optional[np.ndarray] = None
+        self._lambda: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def _prepare_impl(self) -> None:
+        n = self.num_nodes
+        r = self.rank
+        q_matrix = self.transition()
+
+        svd = truncated_svd(q_matrix, r, seed=self.svd_seed)
+        # Paper convention: Q^T = U Sigma V^T, hence U := V_q, V := U_q.
+        u_factor, v_factor, sigma = svd.v, svd.u, svd.sigma
+        if np.any(sigma <= 0):
+            raise DecompositionError(
+                "CSR-NI needs strictly positive singular values to invert "
+                "Sigma kron Sigma; lower the rank"
+            )
+        self.memory.charge("precompute/U", u_factor.nbytes)
+        self.memory.charge("precompute/V", v_factor.nbytes)
+
+        # The cost-inhibitive tensor products (checked before allocation).
+        kron_bytes = (n * n) * (r * r) * 8
+        self.memory.require("precompute/U_kron_U", kron_bytes)
+        kron_u = np.kron(u_factor, u_factor)
+        self.memory.charge("precompute/U_kron_U", kron_u.nbytes)
+
+        self.memory.require("precompute/V_kron_V", kron_bytes)
+        kron_v = np.kron(v_factor, v_factor)
+        self.memory.charge("precompute/V_kron_V", kron_v.nbytes)
+
+        # (V kron V)^T (U kron U): the O(r^4 n^2) product of Eq. (6b).
+        m_matrix = kron_v.T @ kron_u
+        self.memory.charge("precompute/M", m_matrix.nbytes)
+
+        sigma_kron_inv = np.diag(1.0 / np.kron(sigma, sigma))
+        try:
+            lambda_matrix = np.linalg.inv(sigma_kron_inv - self.damping * m_matrix)
+        except np.linalg.LinAlgError as exc:
+            raise DecompositionError(f"Lambda inverse failed: {exc}") from exc
+        self.memory.charge("precompute/Lambda", lambda_matrix.nbytes)
+
+        self._kron_u = kron_u
+        self._kron_v = kron_v
+        self._lambda = lambda_matrix
+        self.memory.release("precompute/M")
+
+    # ------------------------------------------------------------------
+    def _query_impl(self, query_ids: np.ndarray) -> np.ndarray:
+        n = self.num_nodes
+        # Eq. (6a), literally: the redundant (V kron V)^T vec(I_n) product
+        # included (its removal is CSR+'s Theorem 3.2, not CSR-NI).
+        self.memory.require("query/vecS", n * n * 8)
+        rhs = self._kron_v.T @ vec_identity(n)          # r^2 vector
+        middle = self._lambda @ rhs                      # r^2 vector
+        vec_s = vec_identity(n) + self.damping * (self._kron_u @ middle)
+        self.memory.charge("query/vecS", vec_s.nbytes)
+        s_matrix = unvec(vec_s, n, n)
+        result = s_matrix[:, query_ids].copy()
+        self.memory.charge("query/S", result.nbytes)
+        return result

@@ -1,0 +1,116 @@
+"""Name-based engine registry.
+
+The experiment harness and CLI refer to engines by the names the paper
+uses ("CSR+", "CSR-NI", "CSR-IT", "CSR-RLS", ...).  The registry maps
+those names to factory callables that accept a graph plus the shared
+experiment parameters and return a ready-to-prepare engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.baselines.cosimmate import CoSimMateEngine
+from repro.baselines.exact import ExactCoSimRank
+from repro.baselines.fcosim import FCoSimEngine
+from repro.baselines.iterative import CSRITEngine
+from repro.baselines.ni import CSRNIEngine
+from repro.baselines.rls import CSRRLSEngine
+from repro.baselines.rpcosim import RPCoSimEngine
+from repro.core.base import SimilarityEngine
+from repro.core.config import CSRPlusConfig
+from repro.core.index import CSRPlusIndex
+from repro.core.iterations import baseline_iterations_for_rank
+from repro.errors import InvalidParameterError
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["make_engine", "engine_names", "COMPARISON_ENGINES"]
+
+#: The competitor set of the paper's figures (§4.1 "Competitors").
+COMPARISON_ENGINES = ("CSR+", "CSR-RLS", "CSR-IT", "CSR-NI")
+
+
+def _make_csr_plus(graph, damping, rank, budget) -> SimilarityEngine:
+    config = CSRPlusConfig(damping=damping, rank=rank, memory_budget_bytes=budget)
+    return CSRPlusIndex(graph, config)
+
+
+def _make_ni(graph, damping, rank, budget) -> SimilarityEngine:
+    return CSRNIEngine(graph, damping=damping, rank=rank, memory_budget_bytes=budget)
+
+
+def _make_it(graph, damping, rank, budget) -> SimilarityEngine:
+    return CSRITEngine(
+        graph,
+        damping=damping,
+        iterations=baseline_iterations_for_rank(rank),
+        memory_budget_bytes=budget,
+    )
+
+
+def _make_rls(graph, damping, rank, budget) -> SimilarityEngine:
+    return CSRRLSEngine(
+        graph,
+        damping=damping,
+        iterations=baseline_iterations_for_rank(rank),
+        memory_budget_bytes=budget,
+    )
+
+
+def _make_cosimmate(graph, damping, rank, budget) -> SimilarityEngine:
+    return CoSimMateEngine(graph, damping=damping, memory_budget_bytes=budget)
+
+
+def _make_rpcosim(graph, damping, rank, budget) -> SimilarityEngine:
+    return RPCoSimEngine(
+        graph,
+        damping=damping,
+        iterations=baseline_iterations_for_rank(rank),
+        memory_budget_bytes=budget,
+    )
+
+
+def _make_fcosim(graph, damping, rank, budget) -> SimilarityEngine:
+    return FCoSimEngine(graph, damping=damping, memory_budget_bytes=budget)
+
+
+def _make_exact(graph, damping, rank, budget) -> SimilarityEngine:
+    return ExactCoSimRank(graph, damping=damping, memory_budget_bytes=budget)
+
+
+_FACTORIES: Dict[str, Callable[..., SimilarityEngine]] = {
+    "CSR+": _make_csr_plus,
+    "CSR-NI": _make_ni,
+    "CSR-IT": _make_it,
+    "CSR-RLS": _make_rls,
+    "CoSimMate": _make_cosimmate,
+    "RP-CoSim": _make_rpcosim,
+    "F-CoSim": _make_fcosim,
+    "Exact": _make_exact,
+}
+
+
+def engine_names() -> List[str]:
+    """All registered engine names."""
+    return list(_FACTORIES)
+
+
+def make_engine(
+    name: str,
+    graph: DiGraph,
+    damping: float = 0.6,
+    rank: int = 5,
+    memory_budget_bytes: Optional[int] = None,
+) -> SimilarityEngine:
+    """Instantiate the engine registered under ``name``.
+
+    ``rank`` doubles as the iteration count of the iterative baselines,
+    per the paper's fairness rule (§4.1).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown engine {name!r}; known: {sorted(_FACTORIES)}"
+        ) from None
+    return factory(graph, damping, rank, memory_budget_bytes)

@@ -1,0 +1,206 @@
+"""Command-line interface.
+
+::
+
+    csrplus experiments list
+    csrplus experiments run fig2 [--tier bench]
+    csrplus datasets
+    csrplus query --dataset FB --tier small --queries 3,14,15 --rank 5 --top 10
+    csrplus query --edge-list graph.txt --queries 0,1 --rank 8
+
+(Also reachable as ``python -m repro``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import CSRPlusConfig
+from repro.core.index import CSRPlusIndex
+from repro.datasets.registry import dataset_keys, load_dataset, paper_table
+from repro.errors import ReproError
+from repro.experiments.report import render_table
+from repro.experiments.runner import list_experiments, run_experiment
+from repro.graphs.io import read_edge_list
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="csrplus",
+        description="CSR+: scalable multi-source CoSimRank search (EDBT 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiments", help="list or run the paper's experiments")
+    exp_sub = exp.add_subparsers(dest="subcommand", required=True)
+    exp_sub.add_parser("list", help="list experiment ids")
+    exp_run = exp_sub.add_parser("run", help="run one experiment (or all)")
+    exp_run.add_argument(
+        "exp_id", help="experiment id (e.g. fig2, tab3) or 'all'"
+    )
+    exp_run.add_argument(
+        "--tier",
+        choices=("tiny", "small", "bench"),
+        default=None,
+        help="dataset size tier (experiments that take one)",
+    )
+    exp_run.add_argument(
+        "--output",
+        default=None,
+        help="also append the rendered result(s) to this file",
+    )
+
+    sub.add_parser("datasets", help="show the paper's dataset table")
+
+    query = sub.add_parser("query", help="run a multi-source CoSimRank query")
+    source = query.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", choices=dataset_keys(), help="built-in stand-in")
+    source.add_argument("--edge-list", help="path to a SNAP-style edge list")
+    query.add_argument("--tier", choices=("tiny", "small", "bench"), default="small")
+    query.add_argument(
+        "--queries", required=True, help="comma-separated node ids, e.g. 3,14,15"
+    )
+    query.add_argument("--rank", type=int, default=5)
+    query.add_argument("--damping", type=float, default=0.6)
+    query.add_argument("--top", type=int, default=10, help="rows to print per query")
+
+    stats = sub.add_parser("stats", help="structural statistics of a graph")
+    stats_source = stats.add_mutually_exclusive_group(required=True)
+    stats_source.add_argument("--dataset", choices=dataset_keys())
+    stats_source.add_argument("--edge-list")
+    stats.add_argument("--tier", choices=("tiny", "small", "bench"), default="small")
+
+    tune = sub.add_parser("tune", help="suggest an SVD rank for an error target")
+    tune_source = tune.add_mutually_exclusive_group(required=True)
+    tune_source.add_argument("--dataset", choices=dataset_keys())
+    tune_source.add_argument("--edge-list")
+    tune.add_argument("--tier", choices=("tiny", "small", "bench"), default="small")
+    tune.add_argument("--target-error", type=float, required=True)
+    tune.add_argument(
+        "--candidates", default="5,10,25,50,100",
+        help="comma-separated candidate ranks",
+    )
+    tune.add_argument("--damping", type=float, default=0.6)
+    return parser
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    if args.subcommand == "list":
+        for exp_id in list_experiments():
+            print(exp_id)
+        return 0
+    exp_ids = list_experiments() if args.exp_id == "all" else [args.exp_id]
+    rendered = []
+    for exp_id in exp_ids:
+        kwargs = {}
+        # only forward --tier to runners that accept it
+        if args.tier is not None and exp_id in (
+            "fig2", "fig3", "fig6", "fig7", "ablation-stages"
+        ):
+            kwargs["tier"] = args.tier
+        result = run_experiment(exp_id, **kwargs)
+        text = result.render()
+        print(text)
+        print()
+        rendered.append(text)
+    if args.output:
+        with open(args.output, "a", encoding="utf-8") as handle:
+            for text in rendered:
+                handle.write(text + "\n\n")
+    return 0
+
+
+def _cmd_datasets() -> int:
+    rows = paper_table()
+    print(render_table(["Data", "m", "n", "m/n", "Description"], rows))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    if args.dataset:
+        graph = load_dataset(args.dataset, args.tier)
+    else:
+        graph, _ = read_edge_list(args.edge_list)
+    queries = [int(tok) for tok in args.queries.split(",") if tok.strip()]
+    config = CSRPlusConfig(damping=args.damping, rank=min(args.rank, graph.num_nodes))
+    index = CSRPlusIndex(graph, config).prepare()
+    block = index.query(queries)
+    print(
+        f"graph: n={graph.num_nodes} m={graph.num_edges}  "
+        f"rank={config.rank} c={config.damping}  "
+        f"prepare={index.prepare_seconds:.3f}s query={index.last_query_seconds:.4f}s"
+    )
+    for col, q in enumerate(queries):
+        order = block[:, col].argsort()[::-1][: args.top]
+        print(f"\ntop-{args.top} most similar to node {q}:")
+        for node in order:
+            print(f"  {int(node):>10d}  {block[int(node), col]:.6f}")
+    return 0
+
+
+def _load_graph(args: argparse.Namespace):
+    if args.dataset:
+        return load_dataset(args.dataset, args.tier)
+    graph, _ = read_edge_list(args.edge_list)
+    return graph
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.graphs.components import (
+        largest_component_fraction,
+        num_weakly_connected_components,
+    )
+    from repro.graphs.validation import graph_stats
+
+    graph = _load_graph(args)
+    row = graph_stats(graph).as_row()
+    row["weak components"] = num_weakly_connected_components(graph)
+    row["largest component"] = f"{100 * largest_component_fraction(graph):.1f}%"
+    for key, value in row.items():
+        print(f"{key:>18}: {value}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.core.tuning import estimate_rank_error, suggest_rank
+
+    graph = _load_graph(args)
+    candidates = [int(tok) for tok in args.candidates.split(",") if tok.strip()]
+    rank = suggest_rank(
+        graph, args.target_error, candidates=candidates, damping=args.damping
+    )
+    achieved = estimate_rank_error(graph, rank, damping=args.damping)
+    print(
+        f"suggested rank: {rank} (estimated AvgDiff {achieved:.3e}, "
+        f"target {args.target_error:.3e})"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "experiments":
+            return _cmd_experiments(args)
+        if args.command == "datasets":
+            return _cmd_datasets()
+        if args.command == "query":
+            return _cmd_query(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
+        if args.command == "tune":
+            return _cmd_tune(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

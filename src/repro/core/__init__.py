@@ -1,0 +1,56 @@
+"""CSR+ core: the paper's primary contribution."""
+
+from repro.core.base import SimilarityEngine, normalize_queries
+from repro.core.config import (
+    DEFAULT_DAMPING,
+    DEFAULT_EPSILON,
+    DEFAULT_RANK,
+    CSRPlusConfig,
+)
+from repro.core.csr_plus import (
+    cosimrank_all_pairs,
+    cosimrank_multi_source,
+    cosimrank_single_pair,
+    cosimrank_single_source,
+    cosimrank_top_k,
+)
+from repro.core.dynamic import DynamicCSRPlus
+from repro.core.index import CSRPlusIndex
+from repro.core.iterations import (
+    baseline_iterations_for_rank,
+    fixed_point_iterations,
+    squaring_iterations,
+    truncation_error_bound,
+)
+from repro.core.memory import MemoryMeter, array_nbytes, nbytes_of, sparse_nbytes
+from repro.core.topk import TopKResult, top_k_pruned
+from repro.core.tuning import estimate_rank_error, singular_value_profile, suggest_rank
+
+__all__ = [
+    "CSRPlusIndex",
+    "DynamicCSRPlus",
+    "CSRPlusConfig",
+    "SimilarityEngine",
+    "normalize_queries",
+    "cosimrank_multi_source",
+    "cosimrank_single_source",
+    "cosimrank_single_pair",
+    "cosimrank_all_pairs",
+    "cosimrank_top_k",
+    "MemoryMeter",
+    "array_nbytes",
+    "sparse_nbytes",
+    "nbytes_of",
+    "squaring_iterations",
+    "fixed_point_iterations",
+    "baseline_iterations_for_rank",
+    "truncation_error_bound",
+    "DEFAULT_DAMPING",
+    "DEFAULT_RANK",
+    "DEFAULT_EPSILON",
+    "singular_value_profile",
+    "estimate_rank_error",
+    "suggest_rank",
+    "TopKResult",
+    "top_k_pruned",
+]

@@ -1,0 +1,83 @@
+"""Functional one-shot API over :class:`~repro.core.index.CSRPlusIndex`.
+
+For users who just want numbers without managing an index object:
+
+>>> from repro.core.csr_plus import cosimrank_multi_source
+>>> from repro.graphs import ring
+>>> block = cosimrank_multi_source(ring(10), [2, 7], rank=5)
+>>> block.shape
+(10, 2)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import CSRPlusConfig
+from repro.core.index import CSRPlusIndex
+from repro.graphs.digraph import DiGraph
+
+__all__ = [
+    "cosimrank_multi_source",
+    "cosimrank_single_source",
+    "cosimrank_single_pair",
+    "cosimrank_all_pairs",
+    "cosimrank_top_k",
+]
+
+
+def _build(graph: DiGraph, config: Optional[CSRPlusConfig], **overrides) -> CSRPlusIndex:
+    return CSRPlusIndex(graph, config, **overrides).prepare()
+
+
+def cosimrank_multi_source(
+    graph: DiGraph,
+    queries: Sequence[int],
+    config: Optional[CSRPlusConfig] = None,
+    **overrides,
+) -> np.ndarray:
+    """``[S]_{*,Q}`` for a query set, as an ``n x |Q|`` array."""
+    return _build(graph, config, **overrides).query(queries)
+
+
+def cosimrank_single_source(
+    graph: DiGraph,
+    query: int,
+    config: Optional[CSRPlusConfig] = None,
+    **overrides,
+) -> np.ndarray:
+    """``[S]_{*,q}`` as a length-``n`` vector."""
+    return _build(graph, config, **overrides).single_source(query)
+
+
+def cosimrank_single_pair(
+    graph: DiGraph,
+    a: int,
+    b: int,
+    config: Optional[CSRPlusConfig] = None,
+    **overrides,
+) -> float:
+    """The scalar similarity ``[S]_{a,b}``."""
+    return _build(graph, config, **overrides).single_pair(a, b)
+
+
+def cosimrank_all_pairs(
+    graph: DiGraph,
+    config: Optional[CSRPlusConfig] = None,
+    **overrides,
+) -> np.ndarray:
+    """The full dense ``n x n`` similarity matrix (small graphs only)."""
+    return _build(graph, config, **overrides).all_pairs()
+
+
+def cosimrank_top_k(
+    graph: DiGraph,
+    query: int,
+    k: int,
+    config: Optional[CSRPlusConfig] = None,
+    **overrides,
+) -> np.ndarray:
+    """Ids of the ``k`` nodes most similar to ``query`` (self excluded)."""
+    return _build(graph, config, **overrides).top_k(query, k)

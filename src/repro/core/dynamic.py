@@ -1,0 +1,144 @@
+"""Maintaining a CSR+ index over an evolving graph.
+
+The paper targets static graphs and cites dynamic CoSimRank [14] as the
+evolving-graph line of work.  For CSR+ itself the natural production
+pattern — used by search systems that batch index refreshes — is a
+*rebuild policy*: queries are served from the last built index while
+edge updates accumulate, and the index is rebuilt (one truncated SVD)
+according to a policy.  :class:`DynamicCSRPlus` implements that
+pattern:
+
+* ``policy="immediate"`` — rebuild on every update batch (always
+  fresh, costs one SVD per batch);
+* ``policy="batch"`` — rebuild after ``batch_size`` accumulated edge
+  changes (bounded staleness, amortised SVD cost);
+* ``policy="manual"`` — rebuild only on :meth:`refresh` (caller-managed).
+
+For *exact* per-query dynamics, use
+:class:`repro.baselines.fcosim.FCoSimEngine` instead — it re-verifies
+cached columns against a hop-bounded reachability argument.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import CSRPlusConfig
+from repro.core.index import CSRPlusIndex
+from repro.errors import InvalidParameterError
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["DynamicCSRPlus"]
+
+_POLICIES = ("immediate", "batch", "manual")
+
+
+class DynamicCSRPlus:
+    """A CSR+ index plus an update log and a rebuild policy.
+
+    Parameters
+    ----------
+    graph:
+        Initial graph.
+    config:
+        Index configuration (or keyword overrides, as for
+        :class:`CSRPlusIndex`).
+    policy:
+        One of ``"immediate"``, ``"batch"``, ``"manual"``.
+    batch_size:
+        Edge-change threshold for the ``"batch"`` policy.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        config: Optional[CSRPlusConfig] = None,
+        policy: str = "batch",
+        batch_size: int = 100,
+        **overrides,
+    ):
+        if policy not in _POLICIES:
+            raise InvalidParameterError(
+                f"policy must be one of {_POLICIES}, got {policy!r}"
+            )
+        if batch_size < 1:
+            raise InvalidParameterError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        self._config = (config or CSRPlusConfig()).with_overrides(**overrides)
+        self.policy = policy
+        self.batch_size = int(batch_size)
+        self._graph = graph
+        self._index = CSRPlusIndex(graph, self._config).prepare()
+        self._pending_changes = 0
+        self.rebuild_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DiGraph:
+        """The current (post-updates) graph."""
+        return self._graph
+
+    @property
+    def index(self) -> CSRPlusIndex:
+        """The last built index (may lag the graph; see ``staleness``)."""
+        return self._index
+
+    @property
+    def staleness(self) -> int:
+        """Number of edge changes not yet reflected in the index."""
+        return self._pending_changes
+
+    @property
+    def is_fresh(self) -> bool:
+        return self._pending_changes == 0
+
+    # ------------------------------------------------------------------
+    def update_edges(
+        self,
+        added: Sequence[Tuple[int, int]] = (),
+        removed: Sequence[Tuple[int, int]] = (),
+    ) -> None:
+        """Apply edge changes; rebuild per the policy."""
+        added = list(added)
+        removed = list(removed)
+        if not added and not removed:
+            return
+        self._graph = self._graph.with_edges_added(added).with_edges_removed(removed)
+        # staleness counts *requested* changes — a conservative upper
+        # bound (duplicate adds / missing removals still age the index
+        # from the caller's perspective)
+        self._pending_changes += len(added) + len(removed)
+        if self.policy == "immediate":
+            self.refresh()
+        elif self.policy == "batch" and self._pending_changes >= self.batch_size:
+            self.refresh()
+
+    def refresh(self) -> None:
+        """Rebuild the index against the current graph."""
+        if self._pending_changes == 0:
+            return
+        self._index = CSRPlusIndex(self._graph, self._config).prepare()
+        self._pending_changes = 0
+        self.rebuild_count += 1
+
+    # ------------------------------------------------------------------
+    # query surface (served from the last built index)
+    # ------------------------------------------------------------------
+    def query(self, queries) -> np.ndarray:
+        """``[S]_{*,Q}`` from the last built index (possibly stale)."""
+        return self._index.query(queries)
+
+    def single_source(self, query: int) -> np.ndarray:
+        return self._index.single_source(query)
+
+    def top_k(self, query: int, k: int) -> np.ndarray:
+        return self._index.top_k(query, k)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DynamicCSRPlus(policy={self.policy!r}, staleness="
+            f"{self._pending_changes}, rebuilds={self.rebuild_count})"
+        )

@@ -1,0 +1,412 @@
+"""CSR+ — Algorithm 1 of the paper.
+
+:class:`CSRPlusIndex` implements the full pipeline:
+
+Precomputation (offline, graph-only)
+    1. ``Q``  — column-normalised adjacency (sparse, ``O(m)``);
+    2. ``U, Sigma, V`` — rank-``r`` truncated SVD of ``Q`` (``O(mr + r^3)``);
+    3. ``H = V^T U Sigma`` — the ``r x r`` subspace map (``O(nr^2)``);
+    4. ``P`` — solution of ``P = c H P H^T + I_r`` by repeated squaring
+       (lines 4–5, ``O(r^3)`` per step, ``O(log2 log_c eps)`` steps);
+    5. ``Z = U (Sigma P Sigma)`` — memoised ``n x r`` query factor.
+
+Online multi-source query
+    ``[S]_{*,Q} = [I_n]_{*,Q} + c * Z @ (U[Q, :])^T``     (Theorem 3.5)
+
+Total: ``O(r(m + n(r + |Q|)))`` time and ``O(rn)`` memory (Theorem 3.7),
+with output identical to the CSR-NI baseline at equal rank
+(Theorems 3.1–3.5 are exact identities, not approximations).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.base import QueryLike, SimilarityEngine
+from repro.core.config import CSRPlusConfig
+from repro.core.memory import sparse_nbytes
+from repro.errors import InvalidParameterError, NotPreparedError
+from repro.graphs.digraph import DiGraph
+from repro.linalg.stein import (
+    solve_stein_direct,
+    solve_stein_fixed_point,
+    solve_stein_squaring,
+)
+from repro.linalg.svd import truncated_svd
+
+__all__ = ["CSRPlusIndex"]
+
+
+class CSRPlusIndex(SimilarityEngine):
+    """Multi-source CoSimRank index (the paper's CSR+ algorithm).
+
+    Parameters
+    ----------
+    graph:
+        Directed graph to index.
+    config:
+        A :class:`CSRPlusConfig`; keyword overrides may be passed
+        instead (or additionally), e.g. ``CSRPlusIndex(g, rank=10)``.
+
+    Examples
+    --------
+    >>> from repro.graphs import ring
+    >>> index = CSRPlusIndex(ring(8), rank=4).prepare()
+    >>> block = index.query([0, 3])          # n x 2 similarity block
+    >>> float(block[0, 0]) >= 1.0            # diagonal dominates
+    True
+    """
+
+    name = "CSR+"
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        config: Optional[CSRPlusConfig] = None,
+        **overrides,
+    ):
+        config = (config or CSRPlusConfig()).with_overrides(**overrides)
+        max_rank = max(1, graph.num_nodes)
+        if config.rank > max_rank:
+            raise InvalidParameterError(
+                f"rank {config.rank} exceeds the number of nodes {graph.num_nodes}"
+            )
+        super().__init__(
+            graph,
+            damping=config.damping,
+            memory_budget_bytes=config.memory_budget_bytes,
+            dangling=config.dangling,
+        )
+        self.config = config
+        self._u: Optional[np.ndarray] = None
+        self._sigma: Optional[np.ndarray] = None
+        self._h: Optional[np.ndarray] = None
+        self._p: Optional[np.ndarray] = None
+        self._z: Optional[np.ndarray] = None
+        self.stein_iterations: int = 0
+
+    # ------------------------------------------------------------------
+    # offline phase (Algorithm 1, lines 1-6)
+    # ------------------------------------------------------------------
+    def _prepare_impl(self) -> None:
+        cfg = self.config
+        q_matrix = self.transition()  # line 1 (charged by base class)
+
+        # line 2: the paper's factors satisfy Q^T = U Sigma V^T (so that
+        # S - I = c Q^T S Q is U-flanked, as Theorem 3.5 requires; see the
+        # worked Example 3.6, where row b of the printed U is non-zero even
+        # though row b of Q vanishes).  We decompose Q = U_q Sigma V_q^T and
+        # take U := V_q, V := U_q.
+        svd = truncated_svd(q_matrix, cfg.rank, seed=cfg.svd_seed)
+        u_factor, v_factor = svd.v, svd.u
+        self.memory.charge("precompute/U", u_factor.nbytes)
+        self.memory.charge("precompute/V", v_factor.nbytes)
+        self.memory.charge("precompute/Sigma", svd.sigma.nbytes)
+
+        # line 3: H = V^T U Sigma  (r x r)
+        h_matrix = (v_factor.T @ u_factor) * svd.sigma[np.newaxis, :]
+        self.memory.charge("precompute/H", h_matrix.nbytes)
+
+        # lines 4-5: P via the configured Stein solver
+        if cfg.solver == "squaring":
+            p_matrix, iterations = solve_stein_squaring(
+                h_matrix, cfg.damping, cfg.epsilon
+            )
+        elif cfg.solver == "fixed_point":
+            p_matrix, iterations = solve_stein_fixed_point(
+                h_matrix, cfg.damping, cfg.epsilon
+            )
+        else:  # "direct"
+            p_matrix, iterations = solve_stein_direct(h_matrix, cfg.damping), 0
+        self.stein_iterations = iterations
+        self.memory.charge("precompute/P", p_matrix.nbytes)
+
+        # line 6: Z = U (Sigma P Sigma)  — n x r, the only large factor kept
+        sps = (svd.sigma[:, np.newaxis] * p_matrix) * svd.sigma[np.newaxis, :]
+        z_matrix = u_factor @ sps
+
+        if cfg.dtype == "float32":
+            # halve the retained factors; all computation above stayed
+            # in float64 for accuracy
+            u_factor = u_factor.astype(np.float32)
+            z_matrix = z_matrix.astype(np.float32)
+            self.memory.charge("precompute/U", u_factor.nbytes)
+        self.memory.charge("precompute/Z", z_matrix.nbytes)
+
+        self._u = u_factor
+        self._sigma = svd.sigma
+        self._h = h_matrix  # damping-independent; kept for re-damping
+        self._p = p_matrix
+        self._z = z_matrix
+        # V is only needed to form H; drop it to realise the O(rn) bound.
+        self.memory.release("precompute/V")
+
+    # ------------------------------------------------------------------
+    # online phase (Algorithm 1, line 7)
+    # ------------------------------------------------------------------
+    def _query_impl(self, query_ids: np.ndarray) -> np.ndarray:
+        if self._z is None or self._u is None:
+            raise NotPreparedError("CSR+ factors missing; prepare() did not run")
+        n = self.num_nodes
+        num_queries = query_ids.size
+        self.memory.require("query/S", n * num_queries * 8)
+
+        # [S]_{*,Q} = [I_n]_{*,Q} + c * Z * (U[Q, :])^T
+        result = self.damping * (self._z @ self._u[query_ids, :].T)
+        result[query_ids, np.arange(num_queries)] += 1.0
+        self.memory.charge("query/S", result.nbytes)
+        return result
+
+    # ------------------------------------------------------------------
+    # diagonal and normalised scores
+    # ------------------------------------------------------------------
+    def diagonal(self) -> np.ndarray:
+        """All self-similarities ``[S]_{x,x} = 1 + c <Z[x], U[x]>``.
+
+        Computed in ``O(nr)`` without materialising any ``n x n`` block.
+        Unlike SimRank, CoSimRank's diagonal is not constant — hubs with
+        rich in-neighbourhoods score higher — which is why normalised
+        comparisons (:meth:`query_normalized`) are useful downstream.
+        """
+        self._require_prepared()
+        return 1.0 + self.damping * np.einsum("ij,ij->i", self._z, self._u)
+
+    def query_normalized(self, queries: QueryLike) -> np.ndarray:
+        """Cosine-normalised similarities ``S[x,q] / sqrt(S[x,x] S[q,q])``.
+
+        Self-similarity becomes exactly 1 for every node, making scores
+        comparable across hub and non-hub queries (the usual move when
+        CoSimRank feeds a ranking application).
+        """
+        block = self.query(queries)
+        diag = self.diagonal()
+        from repro.core.base import normalize_queries
+
+        query_ids = normalize_queries(queries, self.num_nodes)
+        scale = np.sqrt(
+            np.maximum(diag[:, np.newaxis], 1e-300)
+            * np.maximum(diag[query_ids][np.newaxis, :], 1e-300)
+        )
+        return block / scale
+
+    # ------------------------------------------------------------------
+    # cheap re-damping (no new SVD)
+    # ------------------------------------------------------------------
+    def rebuild_for_damping(self, damping: float) -> "CSRPlusIndex":
+        """A prepared index for a different damping factor, reusing the SVD.
+
+        The expensive line of Algorithm 1 (the truncated SVD) does not
+        depend on ``c``; only the ``r x r`` Stein solve and the ``n x r``
+        ``Z`` build do.  This constructs the new index in
+        ``O(r^3 + n r^2)`` instead of ``O(mr + ...)``, sharing the ``U``
+        factor with this one.
+        """
+        self._require_prepared()
+        if not (0.0 < damping < 1.0):
+            raise InvalidParameterError(
+                f"damping must be in (0, 1), got {damping}"
+            )
+        if self._h is None:
+            raise NotPreparedError(
+                "this index lacks the H factor (saved by an older version); "
+                "rebuild it from the graph to enable re-damping"
+            )
+        sibling = CSRPlusIndex(
+            self.graph, self.config.with_overrides(damping=damping)
+        )
+        cfg = sibling.config
+        if cfg.solver == "squaring":
+            p_matrix, iterations = solve_stein_squaring(
+                self._h, damping, cfg.epsilon
+            )
+        elif cfg.solver == "fixed_point":
+            p_matrix, iterations = solve_stein_fixed_point(
+                self._h, damping, cfg.epsilon
+            )
+        else:
+            p_matrix, iterations = solve_stein_direct(self._h, damping), 0
+        sibling.stein_iterations = iterations
+        sps = (self._sigma[:, np.newaxis] * p_matrix) * self._sigma[np.newaxis, :]
+        sibling._u = self._u  # shared, read-only
+        sibling._sigma = self._sigma
+        sibling._h = self._h
+        sibling._p = p_matrix
+        sibling._z = self._u @ sps
+        sibling.memory.charge("precompute/U", self._u.nbytes)
+        sibling.memory.charge("precompute/Sigma", self._sigma.nbytes)
+        sibling.memory.charge("precompute/H", self._h.nbytes)
+        sibling.memory.charge("precompute/P", p_matrix.nbytes)
+        sibling.memory.charge("precompute/Z", sibling._z.nbytes)
+        sibling._prepared = True
+        return sibling
+
+    def truncate_to_rank(self, rank: int) -> "CSRPlusIndex":
+        """A prepared index at a *smaller* rank, reusing this SVD.
+
+        The rank-``r'`` truncated SVD is exactly the first ``r'``
+        columns of the rank-``r`` one, so downgrading never needs a new
+        decomposition: slice ``U``/``Sigma``, re-derive ``H``, ``P`` and
+        ``Z`` in ``O(r'^3 + n r'^2)``.  Useful for accuracy/cost sweeps
+        (one SVD, many ranks) — the rank-tuning helpers and Table-3
+        style studies are the intended callers.
+        """
+        self._require_prepared()
+        if not (1 <= rank <= self.config.rank):
+            raise InvalidParameterError(
+                f"rank must be in [1, {self.config.rank}] "
+                f"(the built rank), got {rank}"
+            )
+        if self._h is None:
+            raise NotPreparedError(
+                "this index lacks the H factor; rebuild it from the graph"
+            )
+        sibling = CSRPlusIndex(
+            self.graph, self.config.with_overrides(rank=rank)
+        )
+        cfg = sibling.config
+        u_small = np.ascontiguousarray(self._u[:, :rank])
+        sigma_small = self._sigma[:rank].copy()
+        # H = V^T U Sigma truncates to its leading principal block.
+        h_small = self._h[:rank, :rank].copy()
+        if cfg.solver == "squaring":
+            p_small, iterations = solve_stein_squaring(
+                h_small, cfg.damping, cfg.epsilon
+            )
+        elif cfg.solver == "fixed_point":
+            p_small, iterations = solve_stein_fixed_point(
+                h_small, cfg.damping, cfg.epsilon
+            )
+        else:
+            p_small, iterations = solve_stein_direct(h_small, cfg.damping), 0
+        sibling.stein_iterations = iterations
+        sps = (sigma_small[:, np.newaxis] * p_small) * sigma_small[np.newaxis, :]
+        z_small = (u_small.astype(np.float64) @ sps)
+        if cfg.dtype == "float32":
+            u_small = u_small.astype(np.float32)
+            z_small = z_small.astype(np.float32)
+        sibling._u = u_small
+        sibling._sigma = sigma_small
+        sibling._h = h_small
+        sibling._p = p_small
+        sibling._z = z_small
+        sibling.memory.charge("precompute/U", u_small.nbytes)
+        sibling.memory.charge("precompute/Sigma", sigma_small.nbytes)
+        sibling.memory.charge("precompute/H", h_small.nbytes)
+        sibling.memory.charge("precompute/P", p_small.nbytes)
+        sibling.memory.charge("precompute/Z", sibling._z.nbytes)
+        sibling._prepared = True
+        return sibling
+
+    # ------------------------------------------------------------------
+    # memory-bounded streaming queries
+    # ------------------------------------------------------------------
+    def query_chunked(self, queries, chunk_size: int = 1024):
+        """Yield ``(query_ids_chunk, block_chunk)`` pairs.
+
+        For very large query sets the full ``n x |Q|`` result may not
+        fit in memory even though the index itself is only ``O(rn)``;
+        this generator bounds the live result to ``n x chunk_size``.
+        """
+        if chunk_size < 1:
+            raise InvalidParameterError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        self.prepare()
+        from repro.core.base import normalize_queries
+
+        query_ids = normalize_queries(queries, self.num_nodes)
+        for start in range(0, query_ids.size, chunk_size):
+            chunk = query_ids[start : start + chunk_size]
+            yield chunk, self.query(chunk)
+
+    def top_k_multi(self, queries, k: int, chunk_size: int = 1024) -> np.ndarray:
+        """Top-``k`` similar nodes per query (self excluded), streamed.
+
+        Returns a ``|Q| x k`` int array; row ``j`` holds the ids most
+        similar to ``queries[j]`` in descending order (ties broken by
+        ascending id).  Processes queries in chunks so the peak result
+        memory is ``O(n * chunk_size)`` regardless of ``|Q|``.
+        """
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        rows = []
+        node_ids = np.arange(self.num_nodes)
+        for chunk, block in self.query_chunked(queries, chunk_size):
+            for j, query in enumerate(chunk):
+                scores = block[:, j]
+                order = np.lexsort((node_ids, -scores))
+                order = order[order != int(query)]
+                rows.append(order[: min(k, order.size)])
+        width = min(k, max(0, self.num_nodes - 1))
+        return np.vstack([row[:width] for row in rows]).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # accessors for tests / downstream tools
+    # ------------------------------------------------------------------
+    @property
+    def factors(self):
+        """The retained factors ``(U, sigma, P, Z)`` (after prepare)."""
+        self._require_prepared()
+        return self._u, self._sigma, self._p, self._z
+
+    @property
+    def rank(self) -> int:
+        return self.config.rank
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, "os.PathLike[str]"]) -> None:
+        """Serialise the prepared index to an ``.npz`` file.
+
+        Only the query-time factors (``U``, ``Z``) plus metadata are
+        stored — exactly the ``O(rn)`` state of Theorem 3.7.
+        """
+        self._require_prepared()
+        np.savez_compressed(
+            os.fspath(path),
+            u=self._u,
+            z=self._z,
+            sigma=self._sigma,
+            h=self._h,
+            p=self._p,
+            num_nodes=np.int64(self.num_nodes),
+            damping=np.float64(self.damping),
+            rank=np.int64(self.config.rank),
+            epsilon=np.float64(self.config.epsilon),
+        )
+
+    @classmethod
+    def load(
+        cls, path: Union[str, "os.PathLike[str]"], graph: DiGraph
+    ) -> "CSRPlusIndex":
+        """Load an index saved with :meth:`save` for the same graph."""
+        with np.load(os.fspath(path)) as data:
+            num_nodes = int(data["num_nodes"])
+            if num_nodes != graph.num_nodes:
+                raise InvalidParameterError(
+                    f"saved index is for a graph with {num_nodes} nodes, "
+                    f"got one with {graph.num_nodes}"
+                )
+            config = CSRPlusConfig(
+                damping=float(data["damping"]),
+                rank=int(data["rank"]),
+                epsilon=float(data["epsilon"]),
+                dtype=str(data["u"].dtype),
+            )
+            index = cls(graph, config)
+            index._u = data["u"]
+            index._z = data["z"]
+            index._sigma = data["sigma"]
+            index._h = data["h"] if "h" in data else None
+            index._p = data["p"]
+        index.memory.charge("precompute/U", index._u.nbytes)
+        index.memory.charge("precompute/Z", index._z.nbytes)
+        index.memory.charge("precompute/Sigma", index._sigma.nbytes)
+        index.memory.charge("precompute/P", index._p.nbytes)
+        index._prepared = True
+        return index

@@ -1,0 +1,47 @@
+"""Iteration-count helpers shared by CSR+ and the iterative baselines.
+
+The paper makes the iteration budget explicit in two places:
+
+* Algorithm 1 line 4: repeated squaring runs while
+  ``k <= max(0, floor(log2 log_c eps) + 1)``;
+* §4.1 "Parameters": for fairness, the iterative baselines (CSR-IT,
+  CSR-RLS) run ``k = r`` iterations, i.e. the iteration count is tied
+  to the low rank used by CSR+/CSR-NI.
+"""
+
+from __future__ import annotations
+
+from repro.linalg.stein import fixed_point_iteration_count, squaring_iteration_count
+
+__all__ = [
+    "squaring_iterations",
+    "fixed_point_iterations",
+    "baseline_iterations_for_rank",
+    "truncation_error_bound",
+]
+
+
+def squaring_iterations(damping: float, epsilon: float) -> int:
+    """Squaring steps needed for ``||P_k - P||_max < epsilon`` (Alg. 1)."""
+    return squaring_iteration_count(damping, epsilon)
+
+
+def fixed_point_iterations(damping: float, epsilon: float) -> int:
+    """Plain-iteration count: smallest ``K`` with ``c^K < epsilon``."""
+    return fixed_point_iteration_count(damping, epsilon)
+
+
+def baseline_iterations_for_rank(rank: int) -> int:
+    """Iteration count for CSR-IT / CSR-RLS under the paper's fairness rule."""
+    return max(1, int(rank))
+
+
+def truncation_error_bound(damping: float, iterations: int) -> float:
+    """Upper bound on the series tail after ``iterations`` power terms.
+
+    ``sum_{k > K} c^k ||(Q^k)^T Q^k||_max <= c^(K+1) / (1 - c)`` for a
+    column-substochastic ``Q``.
+    """
+    if iterations < 0:
+        raise ValueError(f"iterations must be >= 0, got {iterations}")
+    return damping ** (iterations + 1) / (1.0 - damping)

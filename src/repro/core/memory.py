@@ -1,0 +1,157 @@
+"""Explicit memory accounting.
+
+The paper's Figures 6–9 compare the memory footprint of each algorithm
+and report "memory crash" for the quadratic-memory baselines on medium
+and large graphs.  Wall-clock RSS measurements are noisy and allocator
+dependent, so this package instead accounts *deterministically* for
+every numerically significant array an engine materialises:
+
+* every engine owns a :class:`MemoryMeter`;
+* before allocating a large array, the engine calls
+  :meth:`MemoryMeter.charge` with a label such as ``"precompute/U"``;
+  the meter tracks current and peak totals;
+* when a configured budget would be exceeded the meter raises
+  :class:`~repro.errors.MemoryBudgetExceeded` *before* the allocation
+  happens, reproducing the paper's crash behaviour safely.
+
+Labels use ``phase/name`` convention so per-phase breakdowns (Figure 7)
+fall out of the same bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import InvalidParameterError, MemoryBudgetExceeded
+
+__all__ = ["MemoryMeter", "array_nbytes", "sparse_nbytes", "nbytes_of"]
+
+
+def array_nbytes(shape, dtype=np.float64) -> int:
+    """Bytes a dense array of ``shape``/``dtype`` would occupy."""
+    count = 1
+    for dim in shape:
+        if dim < 0:
+            raise InvalidParameterError(f"negative dimension in shape {shape}")
+        count *= int(dim)
+    return count * np.dtype(dtype).itemsize
+
+
+def sparse_nbytes(matrix: sparse.spmatrix) -> int:
+    """Bytes held by a scipy sparse matrix's buffers."""
+    total = 0
+    for attr in ("data", "indices", "indptr", "row", "col", "offsets"):
+        buf = getattr(matrix, attr, None)
+        if buf is not None:
+            total += buf.nbytes
+    return total
+
+
+def nbytes_of(obj: Union[np.ndarray, sparse.spmatrix]) -> int:
+    """Bytes held by a dense or sparse matrix."""
+    if sparse.issparse(obj):
+        return sparse_nbytes(obj)
+    return int(np.asarray(obj).nbytes)
+
+
+class MemoryMeter:
+    """Label-based byte accounting with an optional hard budget.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Hard ceiling on the *current* total; ``None`` means unlimited.
+
+    Notes
+    -----
+    The meter tracks the current total (sum over live labels), the peak
+    of that total, and a per-label high-water mark.  Charging an
+    existing label replaces its previous size (engines overwrite
+    intermediates in place).
+    """
+
+    def __init__(self, budget_bytes: Optional[int] = None):
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise InvalidParameterError(
+                f"budget_bytes must be positive or None, got {budget_bytes}"
+            )
+        self.budget_bytes = budget_bytes
+        self._live: Dict[str, int] = {}
+        self._high_water: Dict[str, int] = {}
+        self.peak_bytes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def current_bytes(self) -> int:
+        """Sum of all live labels."""
+        return sum(self._live.values())
+
+    def charge(self, label: str, nbytes: int) -> None:
+        """Account ``nbytes`` under ``label`` (replacing any prior charge).
+
+        Raises :class:`MemoryBudgetExceeded` — without recording the
+        charge — if the new total would exceed the budget.
+        """
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise InvalidParameterError(f"nbytes must be >= 0, got {nbytes}")
+        new_total = self.current_bytes - self._live.get(label, 0) + nbytes
+        if self.budget_bytes is not None and new_total > self.budget_bytes:
+            raise MemoryBudgetExceeded(new_total, self.budget_bytes, what=label)
+        self._live[label] = nbytes
+        self._high_water[label] = max(self._high_water.get(label, 0), nbytes)
+        self.peak_bytes = max(self.peak_bytes, new_total)
+
+    def charge_array(self, label: str, obj: Union[np.ndarray, sparse.spmatrix]) -> None:
+        """Charge the actual size of an existing array/sparse matrix."""
+        self.charge(label, nbytes_of(obj))
+
+    def require(self, label: str, nbytes: int) -> None:
+        """Pre-flight check: would charging ``nbytes`` break the budget?
+
+        Unlike :meth:`charge`, nothing is recorded on success.  Engines
+        call this before attempting an allocation that might be huge.
+        """
+        nbytes = int(nbytes)
+        new_total = self.current_bytes - self._live.get(label, 0) + nbytes
+        if self.budget_bytes is not None and new_total > self.budget_bytes:
+            raise MemoryBudgetExceeded(new_total, self.budget_bytes, what=label)
+
+    def release(self, label: str) -> None:
+        """Drop a live label (freeing its bytes from the current total)."""
+        self._live.pop(label, None)
+
+    def reset(self) -> None:
+        """Forget everything, including the peak."""
+        self._live.clear()
+        self._high_water.clear()
+        self.peak_bytes = 0
+
+    # ------------------------------------------------------------------
+    def live_breakdown(self) -> Dict[str, int]:
+        """Currently live bytes per label."""
+        return dict(self._live)
+
+    def high_water_breakdown(self) -> Dict[str, int]:
+        """Per-label high-water marks over the meter's lifetime."""
+        return dict(self._high_water)
+
+    def phase_peak_bytes(self, phase: str) -> int:
+        """Sum of high-water marks of labels with prefix ``"<phase>/"``.
+
+        This is the quantity plotted per phase in Figure 7.
+        """
+        prefix = phase.rstrip("/") + "/"
+        return sum(
+            size for label, size in self._high_water.items() if label.startswith(prefix)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        budget = "unlimited" if self.budget_bytes is None else f"{self.budget_bytes:,}"
+        return (
+            f"MemoryMeter(current={self.current_bytes:,}, "
+            f"peak={self.peak_bytes:,}, budget={budget})"
+        )

@@ -1,0 +1,108 @@
+"""Pruned top-k search over a CSR+ index.
+
+``SimilarityEngine.top_k`` scores all ``n`` nodes and sorts.  For large
+graphs with a skewed score distribution most of that work is wasted:
+by Eq. (12), ``S[x, q] = [x = q] + c * <Z[x], U[q]>``, and
+Cauchy–Schwarz bounds the off-diagonal part by
+``c * ||Z[x]|| * ||U[q]||``.  Visiting candidates in decreasing
+``||Z[x]||`` order therefore admits classic threshold-algorithm
+pruning: once the k-th best score found so far exceeds the bound of
+every unvisited candidate, the scan can stop.
+
+:func:`top_k_pruned` implements this with instrumentation (how many
+candidates were actually scored), so the tests can verify both the
+exactness of the result and that pruning genuinely skips work on
+skewed graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.index import CSRPlusIndex
+from repro.errors import InvalidParameterError
+
+__all__ = ["TopKResult", "top_k_pruned"]
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """Result of a pruned top-k scan."""
+
+    #: node ids in descending score order (ties: ascending id)
+    nodes: np.ndarray
+    #: matching similarity scores
+    scores: np.ndarray
+    #: how many candidates were actually scored (<= n)
+    candidates_scored: int
+
+
+def top_k_pruned(
+    index: CSRPlusIndex,
+    query: int,
+    k: int,
+    exclude_self: bool = True,
+) -> TopKResult:
+    """Exact top-k most-similar nodes using norm-bound pruning.
+
+    Produces exactly the same ranking as
+    ``SimilarityEngine.top_k`` (ties broken by ascending node id) but
+    typically scores far fewer than ``n`` candidates when ``||Z[x]||``
+    is skewed (hub-dominated graphs).
+    """
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    index.prepare()
+    u_matrix, _, _, z_matrix = index.factors
+    n = index.num_nodes
+    query = int(query)
+    if not (0 <= query < n):
+        raise InvalidParameterError(f"query {query} out of range for n={n}")
+
+    c = index.damping
+    u_q = u_matrix[query]
+    u_q_norm = float(np.linalg.norm(u_q))
+    z_norms = np.linalg.norm(z_matrix, axis=1)
+
+    # candidate visit order: decreasing upper bound c * ||Z[x]|| * ||U[q]||
+    order = np.lexsort((np.arange(n), -z_norms))
+
+    # The query node's diagonal +1 breaks the bound ordering; score it
+    # up front so the scan only needs the off-diagonal bound.
+    best_nodes: list = []
+    best_scores: list = []
+
+    def push(node: int, score: float) -> None:
+        best_nodes.append(node)
+        best_scores.append(score)
+
+    if not exclude_self:
+        self_score = 1.0 + c * float(z_matrix[query] @ u_q)
+        push(query, self_score)
+
+    scored = 0
+    kth_floor = -np.inf
+    for position in range(n):
+        node = int(order[position])
+        bound = c * z_norms[node] * u_q_norm
+        if len(best_scores) >= k and bound < kth_floor:
+            break  # no unvisited candidate can enter the top-k
+        if node == query:
+            continue  # handled above / excluded
+        score = c * float(z_matrix[node] @ u_q)
+        scored += 1
+        push(node, score)
+        if len(best_scores) >= k:
+            kth_floor = np.partition(np.asarray(best_scores), -k)[-k]
+
+    nodes_arr = np.asarray(best_nodes, dtype=np.int64)
+    scores_arr = np.asarray(best_scores, dtype=np.float64)
+    top_order = np.lexsort((nodes_arr, -scores_arr))[:k]
+    return TopKResult(
+        nodes=nodes_arr[top_order],
+        scores=scores_arr[top_order],
+        candidates_scored=scored,
+    )

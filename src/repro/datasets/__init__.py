@@ -1,0 +1,39 @@
+"""Datasets: the paper's SNAP catalogue, synthetic stand-ins, toy graphs."""
+
+from repro.datasets.queries import sample_queries
+from repro.datasets.registry import (
+    PAPER_DATASETS,
+    DatasetSpec,
+    dataset_keys,
+    load_dataset,
+    paper_table,
+)
+from repro.datasets.synthetic import make_standin
+from repro.datasets.toy import (
+    EXAMPLE_3_6_DAMPING,
+    EXAMPLE_3_6_RANK,
+    FIGURE1_LABELS,
+    FIGURE1_NODES,
+    example_3_6_expected,
+    example_3_6_queries,
+    figure1_graph,
+    figure1_node_ids,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "PAPER_DATASETS",
+    "dataset_keys",
+    "load_dataset",
+    "paper_table",
+    "make_standin",
+    "sample_queries",
+    "figure1_graph",
+    "figure1_node_ids",
+    "example_3_6_queries",
+    "example_3_6_expected",
+    "FIGURE1_NODES",
+    "FIGURE1_LABELS",
+    "EXAMPLE_3_6_RANK",
+    "EXAMPLE_3_6_DAMPING",
+]

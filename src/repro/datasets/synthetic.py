@@ -1,0 +1,58 @@
+"""Custom-size stand-in generation.
+
+The registry's tiers (tiny/small/bench) cover the reproduction; this
+module provides the "scale knob" for anyone who wants the same stand-in
+*families* at other sizes — e.g. to push CSR+ further on a bigger
+machine, or to shrink a failing case while debugging.
+
+``make_standin("TW", num_nodes=500_000)`` builds a Twitter-like R-MAT
+graph with the paper's m/n ratio at half a million nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datasets.registry import PAPER_DATASETS
+from repro.errors import DatasetError, InvalidParameterError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import chung_lu, erdos_renyi, preferential_attachment, rmat
+
+__all__ = ["make_standin"]
+
+
+def make_standin(
+    key: str,
+    num_nodes: int,
+    seed: Optional[int] = None,
+) -> DiGraph:
+    """A stand-in for dataset ``key`` at a custom node count.
+
+    The edge count is derived from the paper's m/n ratio for that
+    dataset; the generator family matches the registry's choice
+    (DESIGN.md §5).  Deterministic given ``seed`` (default: the
+    registry seed for the key).
+    """
+    try:
+        spec = PAPER_DATASETS[key]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {key!r}; known: {sorted(PAPER_DATASETS)}"
+        ) from None
+    if num_nodes < 2:
+        raise InvalidParameterError(f"num_nodes must be >= 2, got {num_nodes}")
+    if seed is None:
+        seed = spec.seed
+    num_edges = max(1, int(round(num_nodes * spec.paper_density)))
+
+    if key == "FB":
+        out_degree = max(1, round(spec.paper_density / 1.5))
+        return preferential_attachment(num_nodes, out_degree, seed=seed)
+    if key == "P2P":
+        max_edges = num_nodes * (num_nodes - 1)
+        return erdos_renyi(num_nodes, min(num_edges, max_edges), seed=seed)
+    if key in ("YT", "WT"):
+        return chung_lu(num_nodes, num_edges, exponent=2.2, seed=seed)
+    # TW / WB
+    scale = max(1, (num_nodes - 1).bit_length())
+    return rmat(scale, num_edges, seed=seed)

@@ -1,0 +1,83 @@
+"""The paper's running example: the 6-node Wiki-Talk fragment of Figure 1.
+
+Nodes are the Wikipedia users ``a .. f`` (dense ids 0 .. 5); the edge
+``x -> y`` means "user x edited user y's talk page".  Users ``a``, ``b``
+and ``d`` carry Wikipedian-by-interest labels ("art" for ``a``, "law"
+for ``b`` and ``d``), which drives the categorisation application of
+§1 and Example 1.1's multi-source query ``Q = {b, d}``.
+
+The module also records the numbers of the worked Example 3.6
+(rank-3 CSR+ output with ``c = 0.6``) so tests can assert the paper's
+arithmetic end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.graphs.digraph import DiGraph
+
+__all__ = [
+    "FIGURE1_NODES",
+    "FIGURE1_LABELS",
+    "figure1_graph",
+    "figure1_node_ids",
+    "example_3_6_queries",
+    "example_3_6_expected",
+    "EXAMPLE_3_6_RANK",
+    "EXAMPLE_3_6_DAMPING",
+]
+
+#: Node names in dense-id order.
+FIGURE1_NODES: Tuple[str, ...] = ("a", "b", "c", "d", "e", "f")
+
+#: Wikipedian-by-interest labels shown in Figure 1(a).
+FIGURE1_LABELS: Dict[str, str] = {"a": "art", "b": "law", "d": "law"}
+
+#: Figure 1(a) edges, derived from the example's column-normalised Q:
+#: column y of Q has entries 1/indeg(y) at the rows of y's in-neighbours.
+_EDGES: List[Tuple[str, str]] = [
+    ("d", "a"),
+    ("a", "b"),
+    ("c", "b"),
+    ("e", "b"),
+    ("d", "c"),
+    ("a", "d"),
+    ("e", "d"),
+    ("f", "d"),
+    ("c", "e"),
+    ("f", "e"),
+    ("d", "f"),
+]
+
+#: Parameters of the worked Example 3.6.
+EXAMPLE_3_6_RANK = 3
+EXAMPLE_3_6_DAMPING = 0.6
+
+
+def figure1_node_ids() -> Dict[str, int]:
+    """Mapping from node name (``"a" .. "f"``) to dense id."""
+    return {name: idx for idx, name in enumerate(FIGURE1_NODES)}
+
+def figure1_graph() -> DiGraph:
+    """The 6-node, 11-edge Wiki-Talk fragment of Figure 1(a)."""
+    ids = figure1_node_ids()
+    return DiGraph(len(FIGURE1_NODES), [(ids[s], ids[t]) for s, t in _EDGES])
+
+
+def example_3_6_queries() -> np.ndarray:
+    """The multi-source query set ``Q = {b, d}`` as dense ids."""
+    ids = figure1_node_ids()
+    return np.asarray([ids["b"], ids["d"]], dtype=np.int64)
+
+
+def example_3_6_expected() -> np.ndarray:
+    """``[S]_{*,Q}`` printed at the end of Example 3.6 (2 decimals).
+
+    Columns are for queries ``b`` and ``d``; rows in node order a..f.
+    """
+    column_b = [0.16, 1.49, 0.16, 0.49, 0.48, 0.16]
+    column_d = [0.16, 0.49, 0.16, 1.49, 0.48, 0.16]
+    return np.column_stack([column_b, column_d])

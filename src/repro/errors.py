@@ -1,0 +1,93 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can guard a whole pipeline with a single
+``except ReproError`` clause while still being able to distinguish the
+individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphFormatError(ReproError):
+    """An edge-list file or in-memory edge description is malformed."""
+
+
+class GraphConstructionError(ReproError):
+    """Edges reference invalid node ids or otherwise cannot form a graph."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A user-supplied parameter is outside its documented domain.
+
+    Inherits from :class:`ValueError` so generic callers that expect
+    ``ValueError`` for bad arguments keep working.
+    """
+
+
+class QueryError(ReproError):
+    """A query references unknown nodes or is otherwise unanswerable."""
+
+
+class NotPreparedError(ReproError):
+    """An online query was issued before the offline phase ran."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to reach the requested accuracy."""
+
+
+class DecompositionError(ReproError):
+    """A matrix decomposition (e.g. truncated SVD) failed or is ill-posed."""
+
+
+class MemoryBudgetExceeded(ReproError, MemoryError):
+    """An engine would materialise more bytes than its configured budget.
+
+    This reproduces, deterministically and at laptop scale, the
+    "memory crash" behaviour the paper reports for the quadratic-memory
+    baselines on medium and large graphs.  Inherits from
+    :class:`MemoryError` because that is what a genuine overflow would
+    raise.
+    """
+
+    def __init__(self, requested_bytes: int, budget_bytes: int, what: str = ""):
+        self.requested_bytes = int(requested_bytes)
+        self.budget_bytes = int(budget_bytes)
+        self.what = what
+        detail = f" for {what}" if what else ""
+        super().__init__(
+            f"allocation of {self.requested_bytes:,} bytes{detail} exceeds "
+            f"memory budget of {self.budget_bytes:,} bytes"
+        )
+
+
+class TimeBudgetExceeded(ReproError):
+    """An engine's cooperative deadline passed mid-phase.
+
+    The experiment harness uses this to record "did not finish" for
+    baselines that are too slow at a given scale (the paper's figures
+    simply omit such bars), without hanging the benchmark run.
+    """
+
+    def __init__(self, elapsed_seconds: float, budget_seconds: float, what: str = ""):
+        self.elapsed_seconds = float(elapsed_seconds)
+        self.budget_seconds = float(budget_seconds)
+        self.what = what
+        detail = f" during {what}" if what else ""
+        super().__init__(
+            f"time budget of {self.budget_seconds:.1f}s exceeded{detail} "
+            f"({self.elapsed_seconds:.1f}s elapsed)"
+        )
+
+
+class DatasetError(ReproError):
+    """A dataset key is unknown or a dataset failed to materialise."""
+
+
+class ExperimentError(ReproError):
+    """An experiment id is unknown or an experiment failed to run."""

@@ -1,0 +1,36 @@
+"""Experiment harness reproducing every figure/table of the paper's §4."""
+
+from repro.experiments.harness import (
+    DEFAULT_MEMORY_BUDGET,
+    DEFAULT_TIME_BUDGET,
+    Measurement,
+    format_bytes,
+    format_seconds,
+    measure,
+)
+from repro.experiments.complexity import CostModel, cost_models, feasible_under_budget
+from repro.experiments.grid import sweep
+from repro.experiments.report import ExperimentResult, render_table
+from repro.experiments.runner import EXPERIMENTS, list_experiments, run_experiment
+from repro.experiments.stages import ablation_stages, run_stage, stage_names
+
+__all__ = [
+    "measure",
+    "Measurement",
+    "DEFAULT_MEMORY_BUDGET",
+    "DEFAULT_TIME_BUDGET",
+    "format_bytes",
+    "format_seconds",
+    "ExperimentResult",
+    "render_table",
+    "run_experiment",
+    "list_experiments",
+    "EXPERIMENTS",
+    "run_stage",
+    "stage_names",
+    "ablation_stages",
+    "CostModel",
+    "cost_models",
+    "feasible_under_budget",
+    "sweep",
+]

@@ -1,0 +1,146 @@
+"""Analytic cost models from the paper's complexity analysis.
+
+Theorem 3.7 proves CSR+'s bound by costing Algorithm 1 line by line;
+Table 1 states every competitor's bound.  This module encodes those
+formulas as callable models so that
+
+* the Table-1 bench can print predicted-vs-fitted exponents,
+* users can estimate feasibility ("will CSR-NI fit on my graph?")
+  before running anything, and
+* tests can assert the models' orderings match measurements.
+
+All values are unit-free operation/byte counts — only *ratios* between
+configurations are meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "CostModel",
+    "cost_models",
+    "csr_plus_cost",
+    "csr_ni_cost",
+    "csr_it_cost",
+    "csr_rls_cost",
+    "feasible_under_budget",
+]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Predicted time (ops) and memory (bytes) for one algorithm."""
+
+    name: str
+    time_ops: Callable[[int, int, int, int], float]
+    memory_bytes: Callable[[int, int, int, int], float]
+    time_formula: str
+    memory_formula: str
+
+    def time(self, n: int, m: int, r: int, q: int) -> float:
+        _validate(n, m, r, q)
+        return float(self.time_ops(n, m, r, q))
+
+    def memory(self, n: int, m: int, r: int, q: int) -> float:
+        _validate(n, m, r, q)
+        return float(self.memory_bytes(n, m, r, q))
+
+
+def _validate(n: int, m: int, r: int, q: int) -> None:
+    if min(n, r, q) < 1 or m < 0:
+        raise InvalidParameterError(
+            f"need n, r, q >= 1 and m >= 0; got n={n}, m={m}, r={r}, q={q}"
+        )
+
+
+# --- Theorem 3.7's per-line table for CSR+ -----------------------------
+def csr_plus_cost(n: int, m: int, r: int, q: int) -> float:
+    """Σ of Algorithm 1's line costs: O(m) + O(mr + r^3) + O(nr^2 + nr)
+    + O(r^3) + O(nr^2) + O(nr|Q|)."""
+    return m + (m * r + r**3) + (n * r**2 + n * r) + r**3 + n * r**2 + n * r * q
+
+
+def _csr_plus_memory(n: int, m: int, r: int, q: int) -> float:
+    # O(m) for Q, O(nr) for U and Z, O(r^2) subspace, O(nq) result
+    return 8.0 * (2 * m + 2 * n * r + 2 * r * r + n * q)
+
+
+def csr_ni_cost(n: int, m: int, r: int, q: int) -> float:
+    """Li et al.: O(r^4 n^2) precompute + O(n^2 r^2) query."""
+    return (r**4) * (n**2) + (n**2) * (r**2)
+
+
+def _csr_ni_memory(n: int, m: int, r: int, q: int) -> float:
+    # two n^2 x r^2-entry tensor products dominate
+    return 8.0 * 2 * (n**2) * (r**2)
+
+
+def csr_it_cost(n: int, m: int, r: int, q: int) -> float:
+    """All-pairs iteration: K sparse triple products; fill-in makes the
+    effective per-iteration cost approach n * m (pessimistically n^2)."""
+    k_iters = r  # fairness rule
+    return k_iters * n * m
+
+
+def _csr_it_memory(n: int, m: int, r: int, q: int) -> float:
+    return 8.0 * (n**2)
+
+
+def csr_rls_cost(n: int, m: int, r: int, q: int) -> float:
+    """Per query: 2K sparse mat-vecs of m ops each."""
+    k_iters = r
+    return 2.0 * k_iters * m * q
+
+
+def _csr_rls_memory(n: int, m: int, r: int, q: int) -> float:
+    # Q + Q^T, the (K+1) x n stack, and the n x q result
+    return 8.0 * (2 * m + (r + 1) * n + n * q)
+
+
+_MODELS: Dict[str, CostModel] = {
+    "CSR+": CostModel(
+        "CSR+", csr_plus_cost, _csr_plus_memory,
+        "O(r(m + n(r + |Q|)))", "O(rn)",
+    ),
+    "CSR-NI": CostModel(
+        "CSR-NI", csr_ni_cost, _csr_ni_memory,
+        "O(r^4 n^2)", "O(r^2 n^2)",
+    ),
+    "CSR-IT": CostModel(
+        "CSR-IT", csr_it_cost, _csr_it_memory,
+        "O(K n m) ~ O(n^2)", "O(n^2)",
+    ),
+    "CSR-RLS": CostModel(
+        "CSR-RLS", csr_rls_cost, _csr_rls_memory,
+        "O(K m |Q|)", "O(m + n(K + |Q|))",
+    ),
+}
+
+
+def cost_models() -> Dict[str, CostModel]:
+    """All analytic models, keyed by the paper's algorithm names."""
+    return dict(_MODELS)
+
+
+def feasible_under_budget(
+    name: str, n: int, m: int, r: int, q: int, budget_bytes: int
+) -> bool:
+    """Whether the model predicts the algorithm fits in ``budget_bytes``.
+
+    This is the pencil-and-paper version of the memory meter: it lets a
+    user rule out CSR-NI on a big graph without allocating anything.
+    """
+    try:
+        model = _MODELS[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown algorithm {name!r}; known: {sorted(_MODELS)}"
+        ) from None
+    if budget_bytes <= 0:
+        raise InvalidParameterError(f"budget must be positive, got {budget_bytes}")
+    return model.memory(n, m, r, q) <= budget_bytes

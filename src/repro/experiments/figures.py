@@ -1,0 +1,487 @@
+"""Runners for the paper's Figures 2–9.
+
+Each ``figN`` function replays the corresponding experiment on the
+synthetic stand-ins and returns an
+:class:`~repro.experiments.report.ExperimentResult` holding the same
+rows/series the paper plots.  Scales, budgets and sweeps default to the
+values in DESIGN.md §4–5 but are all overridable, so the figures can be
+re-run larger on bigger machines or tiny in CI.
+
+Shared sweeps (Figure 2/6 use the same runs, as do 4/8 and 5/9) are
+cached in-process, so rendering both views costs one run.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.registry import COMPARISON_ENGINES
+from repro.core.config import CSRPlusConfig
+from repro.core.index import CSRPlusIndex
+from repro.datasets.queries import sample_queries
+from repro.datasets.registry import dataset_keys, load_dataset
+from repro.experiments.harness import (
+    DEFAULT_MEMORY_BUDGET,
+    DEFAULT_TIME_BUDGET,
+    Measurement,
+    format_bytes,
+    format_seconds,
+    measure,
+)
+from repro.experiments.report import ExperimentResult
+
+__all__ = ["fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]
+
+#: Paper defaults (§4.1): |Q| = 100, c = 0.6, r = 5.
+DEFAULT_Q_SIZE = 100
+DEFAULT_RANK = 5
+DEFAULT_DAMPING = 0.6
+QUERY_SEED = 7
+
+#: Sweep grids of Figures 3/5/7/9 and 4/8.
+Q_SIZE_GRID: Tuple[int, ...] = (100, 300, 500, 700)
+RANK_GRID: Tuple[int, ...] = (5, 10, 15, 20, 25)
+
+#: Default dataset tiers per experiment family (DESIGN.md §5): the
+#: comparison figures run at "bench" scale; the rank sweeps run on the
+#: small graphs where CSR-NI can survive the low end of the grid.
+_RANK_SWEEP_DATASETS: Tuple[Tuple[str, str], ...] = (("FB", "tiny"), ("P2P", "tiny"))
+_QSIZE_SWEEP_DATASETS: Tuple[Tuple[str, str], ...] = (("FB", "small"), ("WT", "bench"))
+
+
+def _status_cell(record: Measurement, value: str) -> str:
+    if record.status == "memory":
+        return "OOM"
+    if record.status == "timeout":
+        return "DNF"
+    return value
+
+
+# ----------------------------------------------------------------------
+# shared sweeps (cached)
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=8)
+def _dataset_sweep(
+    tier: str,
+    q_size: int,
+    rank: int,
+    damping: float,
+    memory_budget: Optional[int],
+    time_budget: Optional[float],
+) -> Tuple[Tuple[str, Tuple[Measurement, ...]], ...]:
+    """All comparison engines on every dataset — backs Figures 2 and 6."""
+    out = []
+    for key in dataset_keys():
+        graph = load_dataset(key, tier)
+        queries = sample_queries(graph, min(q_size, graph.num_nodes), seed=QUERY_SEED)
+        runs = tuple(
+            measure(
+                name,
+                graph,
+                queries,
+                rank=rank,
+                damping=damping,
+                memory_budget_bytes=memory_budget,
+                time_budget_seconds=time_budget,
+            )
+            for name in COMPARISON_ENGINES
+        )
+        out.append((key, runs))
+    return tuple(out)
+
+
+@lru_cache(maxsize=8)
+def _rank_sweep(
+    datasets: Tuple[Tuple[str, str], ...],
+    ranks: Tuple[int, ...],
+    q_size: int,
+    damping: float,
+    memory_budget: Optional[int],
+    time_budget: Optional[float],
+) -> Tuple[Tuple[str, int, Tuple[Measurement, ...]], ...]:
+    """All comparison engines across the rank grid — backs Figures 4 and 8."""
+    out = []
+    for key, tier in datasets:
+        graph = load_dataset(key, tier)
+        queries = sample_queries(graph, min(q_size, graph.num_nodes), seed=QUERY_SEED)
+        for rank in ranks:
+            runs = tuple(
+                measure(
+                    name,
+                    graph,
+                    queries,
+                    rank=rank,
+                    damping=damping,
+                    memory_budget_bytes=memory_budget,
+                    time_budget_seconds=time_budget,
+                )
+                for name in COMPARISON_ENGINES
+            )
+            out.append((key, rank, runs))
+    return tuple(out)
+
+
+@lru_cache(maxsize=8)
+def _qsize_sweep(
+    datasets: Tuple[Tuple[str, str], ...],
+    q_sizes: Tuple[int, ...],
+    rank: int,
+    damping: float,
+    memory_budget: Optional[int],
+    time_budget: Optional[float],
+) -> Tuple[Tuple[str, int, Tuple[Measurement, ...]], ...]:
+    """All comparison engines across the |Q| grid — backs Figures 5 and 9."""
+    out = []
+    for key, tier in datasets:
+        graph = load_dataset(key, tier)
+        for q_size in q_sizes:
+            queries = sample_queries(
+                graph, min(q_size, graph.num_nodes), seed=QUERY_SEED
+            )
+            runs = tuple(
+                measure(
+                    name,
+                    graph,
+                    queries,
+                    rank=rank,
+                    damping=damping,
+                    memory_budget_bytes=memory_budget,
+                    time_budget_seconds=time_budget,
+                )
+                for name in COMPARISON_ENGINES
+            )
+            out.append((key, q_size, runs))
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — total CPU time per dataset
+# ----------------------------------------------------------------------
+def fig2(
+    tier: str = "bench",
+    q_size: int = DEFAULT_Q_SIZE,
+    rank: int = DEFAULT_RANK,
+    damping: float = DEFAULT_DAMPING,
+    memory_budget: Optional[int] = DEFAULT_MEMORY_BUDGET,
+    time_budget: Optional[float] = DEFAULT_TIME_BUDGET,
+) -> ExperimentResult:
+    """Figure 2: total time (preprocess + query) of all engines per dataset."""
+    rows = []
+    for key, runs in _dataset_sweep(
+        tier, q_size, rank, damping, memory_budget, time_budget
+    ):
+        row: Dict[str, object] = {"dataset": key}
+        for record in runs:
+            row[record.engine] = _status_cell(
+                record, format_seconds(record.total_seconds)
+            )
+            row[f"{record.engine}_seconds"] = (
+                record.total_seconds if record.completed else None
+            )
+        rows.append(row)
+    columns = ["dataset"] + list(COMPARISON_ENGINES)
+    return ExperimentResult(
+        exp_id="fig2",
+        title="Total CPU time of multi-source CoSimRank per dataset",
+        columns=columns,
+        rows=rows,
+        parameters={
+            "tier": tier,
+            "|Q|": q_size,
+            "r": rank,
+            "c": damping,
+            "memory_budget": format_bytes(memory_budget) if memory_budget else "none",
+        },
+        notes=[
+            "OOM = exceeded the memory budget (paper: memory crash); "
+            "DNF = exceeded the per-phase time budget.",
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — CSR+ per-phase time vs |Q|
+# ----------------------------------------------------------------------
+def fig3(
+    tier: str = "bench",
+    q_sizes: Sequence[int] = Q_SIZE_GRID,
+    rank: int = DEFAULT_RANK,
+    damping: float = DEFAULT_DAMPING,
+) -> ExperimentResult:
+    """Figure 3: CSR+ preprocessing vs query time as |Q| grows.
+
+    The index is prepared once per dataset (preprocessing does not
+    depend on |Q|) and queried at each size.
+    """
+    rows = []
+    for key in dataset_keys():
+        graph = load_dataset(key, tier)
+        config = CSRPlusConfig(damping=damping, rank=rank)
+        index = CSRPlusIndex(graph, config).prepare()
+        for q_size in q_sizes:
+            queries = sample_queries(
+                graph, min(q_size, graph.num_nodes), seed=QUERY_SEED
+            )
+            index.query(queries)
+            rows.append(
+                {
+                    "dataset": key,
+                    "|Q|": q_size,
+                    "preprocess": format_seconds(index.prepare_seconds),
+                    "query": format_seconds(index.last_query_seconds),
+                    "preprocess_seconds": index.prepare_seconds,
+                    "query_seconds": index.last_query_seconds,
+                }
+            )
+    return ExperimentResult(
+        exp_id="fig3",
+        title="CSR+ time per phase as |Q| grows",
+        columns=["dataset", "|Q|", "preprocess", "query"],
+        rows=rows,
+        parameters={"tier": tier, "r": rank, "c": damping},
+        notes=["Preprocessing is |Q|-independent; query time grows linearly."],
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — effect of rank r on time
+# ----------------------------------------------------------------------
+def fig4(
+    datasets: Tuple[Tuple[str, str], ...] = _RANK_SWEEP_DATASETS,
+    ranks: Sequence[int] = RANK_GRID,
+    q_size: int = DEFAULT_Q_SIZE,
+    damping: float = DEFAULT_DAMPING,
+    memory_budget: Optional[int] = DEFAULT_MEMORY_BUDGET,
+    time_budget: Optional[float] = DEFAULT_TIME_BUDGET,
+) -> ExperimentResult:
+    """Figure 4: total time of every engine as the rank r grows."""
+    rows = []
+    for key, rank, runs in _rank_sweep(
+        tuple(datasets), tuple(ranks), q_size, damping, memory_budget, time_budget
+    ):
+        row: Dict[str, object] = {"dataset": key, "r": rank}
+        for record in runs:
+            row[record.engine] = _status_cell(
+                record, format_seconds(record.total_seconds)
+            )
+            row[f"{record.engine}_seconds"] = (
+                record.total_seconds if record.completed else None
+            )
+        rows.append(row)
+    return ExperimentResult(
+        exp_id="fig4",
+        title="Effect of low rank r on CPU time",
+        columns=["dataset", "r"] + list(COMPARISON_ENGINES),
+        rows=rows,
+        parameters={"|Q|": q_size, "c": damping, "datasets": dict(datasets)},
+        notes=[
+            "CSR-NI's O(r^4 n^2) tensor products make its time explode "
+            "with r; the iterative baselines use k = r iterations.",
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — effect of |Q| on time
+# ----------------------------------------------------------------------
+def fig5(
+    datasets: Tuple[Tuple[str, str], ...] = _QSIZE_SWEEP_DATASETS,
+    q_sizes: Sequence[int] = Q_SIZE_GRID,
+    rank: int = DEFAULT_RANK,
+    damping: float = DEFAULT_DAMPING,
+    memory_budget: Optional[int] = DEFAULT_MEMORY_BUDGET,
+    time_budget: Optional[float] = DEFAULT_TIME_BUDGET,
+) -> ExperimentResult:
+    """Figure 5: total time of every engine as |Q| grows."""
+    rows = []
+    for key, q_size, runs in _qsize_sweep(
+        tuple(datasets), tuple(q_sizes), rank, damping, memory_budget, time_budget
+    ):
+        row: Dict[str, object] = {"dataset": key, "|Q|": q_size}
+        for record in runs:
+            row[record.engine] = _status_cell(
+                record, format_seconds(record.total_seconds)
+            )
+            row[f"{record.engine}_seconds"] = (
+                record.total_seconds if record.completed else None
+            )
+        rows.append(row)
+    return ExperimentResult(
+        exp_id="fig5",
+        title="Effect of query-set size |Q| on CPU time",
+        columns=["dataset", "|Q|"] + list(COMPARISON_ENGINES),
+        rows=rows,
+        parameters={"r": rank, "c": damping, "datasets": dict(datasets)},
+        notes=[
+            "CSR+ and CSR-IT are |Q|-insensitive; CSR-RLS and CSR-NI "
+            "grow with |Q| (per-query duplication).",
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — total memory per dataset
+# ----------------------------------------------------------------------
+def fig6(
+    tier: str = "bench",
+    q_size: int = DEFAULT_Q_SIZE,
+    rank: int = DEFAULT_RANK,
+    damping: float = DEFAULT_DAMPING,
+    memory_budget: Optional[int] = DEFAULT_MEMORY_BUDGET,
+    time_budget: Optional[float] = DEFAULT_TIME_BUDGET,
+) -> ExperimentResult:
+    """Figure 6: peak accounted memory of all engines per dataset."""
+    rows = []
+    for key, runs in _dataset_sweep(
+        tier, q_size, rank, damping, memory_budget, time_budget
+    ):
+        row: Dict[str, object] = {"dataset": key}
+        for record in runs:
+            # Peak bytes are meaningful even for crashed runs (they show
+            # how far the engine got); crashes are annotated.
+            cell = format_bytes(record.peak_bytes)
+            if record.status == "memory":
+                cell = f">{format_bytes(memory_budget)} (OOM)" if memory_budget else cell
+            elif record.status == "timeout":
+                cell = f"{cell} (DNF)"
+            row[record.engine] = cell
+            row[f"{record.engine}_bytes"] = (
+                record.peak_bytes if record.completed else None
+            )
+        rows.append(row)
+    return ExperimentResult(
+        exp_id="fig6",
+        title="Peak memory of multi-source CoSimRank per dataset",
+        columns=["dataset"] + list(COMPARISON_ENGINES),
+        rows=rows,
+        parameters={
+            "tier": tier,
+            "|Q|": q_size,
+            "r": rank,
+            "c": damping,
+            "memory_budget": format_bytes(memory_budget) if memory_budget else "none",
+        },
+        notes=["Memory is deterministic byte accounting of materialised arrays."],
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — CSR+ per-phase memory vs |Q|
+# ----------------------------------------------------------------------
+def fig7(
+    tier: str = "bench",
+    q_sizes: Sequence[int] = Q_SIZE_GRID,
+    rank: int = DEFAULT_RANK,
+    damping: float = DEFAULT_DAMPING,
+) -> ExperimentResult:
+    """Figure 7: CSR+ memory per phase as |Q| grows."""
+    rows = []
+    for key in dataset_keys():
+        graph = load_dataset(key, tier)
+        config = CSRPlusConfig(damping=damping, rank=rank)
+        index = CSRPlusIndex(graph, config).prepare()
+        prepare_bytes = index.memory.phase_peak_bytes("precompute")
+        for q_size in q_sizes:
+            queries = sample_queries(
+                graph, min(q_size, graph.num_nodes), seed=QUERY_SEED
+            )
+            index.query(queries)
+            query_bytes = index.memory.live_breakdown().get("query/S", 0)
+            rows.append(
+                {
+                    "dataset": key,
+                    "|Q|": q_size,
+                    "preprocess": format_bytes(prepare_bytes),
+                    "query": format_bytes(query_bytes),
+                    "preprocess_bytes": prepare_bytes,
+                    "query_bytes": query_bytes,
+                }
+            )
+    return ExperimentResult(
+        exp_id="fig7",
+        title="CSR+ memory per phase as |Q| grows",
+        columns=["dataset", "|Q|", "preprocess", "query"],
+        rows=rows,
+        parameters={"tier": tier, "r": rank, "c": damping},
+        notes=["Query memory is the n x |Q| result block; linear in |Q|."],
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — effect of rank r on memory
+# ----------------------------------------------------------------------
+def fig8(
+    datasets: Tuple[Tuple[str, str], ...] = _RANK_SWEEP_DATASETS,
+    ranks: Sequence[int] = RANK_GRID,
+    q_size: int = DEFAULT_Q_SIZE,
+    damping: float = DEFAULT_DAMPING,
+    memory_budget: Optional[int] = DEFAULT_MEMORY_BUDGET,
+    time_budget: Optional[float] = DEFAULT_TIME_BUDGET,
+) -> ExperimentResult:
+    """Figure 8: peak memory of every engine as the rank r grows."""
+    rows = []
+    for key, rank, runs in _rank_sweep(
+        tuple(datasets), tuple(ranks), q_size, damping, memory_budget, time_budget
+    ):
+        row: Dict[str, object] = {"dataset": key, "r": rank}
+        for record in runs:
+            cell = format_bytes(record.peak_bytes)
+            if record.status == "memory":
+                cell = f">{format_bytes(memory_budget)} (OOM)" if memory_budget else cell
+            elif record.status == "timeout":
+                cell = f"{cell} (DNF)"
+            row[record.engine] = cell
+            row[f"{record.engine}_bytes"] = (
+                record.peak_bytes if record.completed else None
+            )
+        rows.append(row)
+    return ExperimentResult(
+        exp_id="fig8",
+        title="Effect of low rank r on memory",
+        columns=["dataset", "r"] + list(COMPARISON_ENGINES),
+        rows=rows,
+        parameters={"|Q|": q_size, "c": damping, "datasets": dict(datasets)},
+        notes=["CSR-NI's tensor products need O(r^2 n^2) bytes — quartic blowup."],
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — effect of |Q| on memory
+# ----------------------------------------------------------------------
+def fig9(
+    datasets: Tuple[Tuple[str, str], ...] = _QSIZE_SWEEP_DATASETS,
+    q_sizes: Sequence[int] = Q_SIZE_GRID,
+    rank: int = DEFAULT_RANK,
+    damping: float = DEFAULT_DAMPING,
+    memory_budget: Optional[int] = DEFAULT_MEMORY_BUDGET,
+    time_budget: Optional[float] = DEFAULT_TIME_BUDGET,
+) -> ExperimentResult:
+    """Figure 9: peak memory of every engine as |Q| grows."""
+    rows = []
+    for key, q_size, runs in _qsize_sweep(
+        tuple(datasets), tuple(q_sizes), rank, damping, memory_budget, time_budget
+    ):
+        row: Dict[str, object] = {"dataset": key, "|Q|": q_size}
+        for record in runs:
+            cell = format_bytes(record.peak_bytes)
+            if record.status == "memory":
+                cell = f">{format_bytes(memory_budget)} (OOM)" if memory_budget else cell
+            elif record.status == "timeout":
+                cell = f"{cell} (DNF)"
+            row[record.engine] = cell
+            row[f"{record.engine}_bytes"] = (
+                record.peak_bytes if record.completed else None
+            )
+        rows.append(row)
+    return ExperimentResult(
+        exp_id="fig9",
+        title="Effect of query-set size |Q| on memory",
+        columns=["dataset", "|Q|"] + list(COMPARISON_ENGINES),
+        rows=rows,
+        parameters={"r": rank, "c": damping, "datasets": dict(datasets)},
+        notes=["CSR+/CSR-RLS memory grows with |Q| (result block); "
+               "CSR-IT/CSR-NI are |Q|-independent when they survive."],
+    )

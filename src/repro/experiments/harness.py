@@ -1,0 +1,133 @@
+"""Measurement harness shared by every experiment.
+
+One :func:`measure` call runs a named engine through the two-phase
+protocol on a graph + query set and records what the paper's figures
+plot: phase times, phase memory (from the engine's deterministic byte
+accounting), and a completion status:
+
+* ``"ok"``      — both phases finished;
+* ``"memory"``  — the engine hit its memory budget (the paper's
+  "memory crash" annotation);
+* ``"timeout"`` — the engine blew its cooperative time budget (the
+  paper's bars that simply never finished).
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.baselines.registry import make_engine
+from repro.errors import MemoryBudgetExceeded, TimeBudgetExceeded
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["Measurement", "measure", "format_bytes", "format_seconds"]
+
+logger = logging.getLogger("repro.experiments")
+
+#: Default hard budgets for the comparison experiments; chosen so that
+#: at the default "bench" tier each baseline survives/crashes exactly
+#: where the paper reports it doing so (see DESIGN.md §5).
+DEFAULT_MEMORY_BUDGET = 1_500_000_000  # 1.5 GB of accounted arrays
+DEFAULT_TIME_BUDGET = 120.0  # seconds per phase
+
+
+@dataclass
+class Measurement:
+    """Everything recorded about one (engine, graph, queries) run."""
+
+    engine: str
+    status: str = "ok"
+    prepare_seconds: float = 0.0
+    query_seconds: float = 0.0
+    peak_bytes: int = 0
+    prepare_bytes: int = 0
+    query_bytes: int = 0
+    error: str = ""
+    result: Optional[np.ndarray] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.prepare_seconds + self.query_seconds
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "ok"
+
+
+def measure(
+    engine_name: str,
+    graph: DiGraph,
+    queries: np.ndarray,
+    rank: int = 5,
+    damping: float = 0.6,
+    memory_budget_bytes: Optional[int] = DEFAULT_MEMORY_BUDGET,
+    time_budget_seconds: Optional[float] = DEFAULT_TIME_BUDGET,
+    keep_result: bool = False,
+) -> Measurement:
+    """Run ``engine_name`` on ``graph``/``queries`` and record the outcome.
+
+    Failures covered by the budgets are converted to statuses, not
+    exceptions; anything else propagates (a real bug should fail loud).
+    """
+    engine = make_engine(
+        engine_name,
+        graph,
+        damping=damping,
+        rank=rank,
+        memory_budget_bytes=memory_budget_bytes,
+    )
+    engine.time_budget_seconds = time_budget_seconds
+    record = Measurement(engine=engine_name)
+    try:
+        engine.prepare()
+        record.prepare_seconds = engine.prepare_seconds
+        result = engine.query(queries)
+        record.query_seconds = engine.last_query_seconds
+        if keep_result:
+            record.result = result
+    except MemoryBudgetExceeded as exc:
+        record.status = "memory"
+        record.error = str(exc)
+        logger.info("%s on n=%d: memory budget hit (%s)",
+                    engine_name, graph.num_nodes, exc)
+    except TimeBudgetExceeded as exc:
+        record.status = "timeout"
+        record.error = str(exc)
+        logger.info("%s on n=%d: time budget hit (%s)",
+                    engine_name, graph.num_nodes, exc)
+    record.peak_bytes = engine.memory.peak_bytes
+    record.prepare_bytes = engine.memory.phase_peak_bytes("precompute")
+    record.query_bytes = engine.memory.phase_peak_bytes("query")
+    return record
+
+
+# ----------------------------------------------------------------------
+# human-readable formatting used by the text reports
+# ----------------------------------------------------------------------
+def format_bytes(num_bytes: float) -> str:
+    """``1234567 -> '1.2 MB'`` (decimal units, one decimal)."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1000.0 or unit == "TB":
+            if unit == "B":
+                return f"{value:.0f} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1000.0
+    return f"{value:.1f} TB"  # pragma: no cover - unreachable
+
+
+def format_seconds(seconds: float) -> str:
+    """Adaptive precision: microseconds up to minutes."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.1f} min"

@@ -1,0 +1,104 @@
+"""Plain-text rendering and JSON serialisation of experiment results.
+
+The paper's artefacts are bar/line figures and one table; this module
+renders the same data as aligned text tables — the rows/series a plot
+would show — so the reproduction is inspectable without matplotlib.
+Results also round-trip through JSON for archiving and plotting with
+external tools.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+__all__ = ["ExperimentResult", "render_table"]
+
+
+def render_table(columns: Sequence[str], rows: Sequence[Dict[str, object]]) -> str:
+    """Monospace table with one header row; missing cells render empty."""
+    def cell(row: Dict[str, object], col: str) -> str:
+        value = row.get(col, "")
+        return "" if value is None else str(value)
+
+    widths = {col: len(col) for col in columns}
+    for row in rows:
+        for col in columns:
+            widths[col] = max(widths[col], len(cell(row, col)))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(v.ljust(widths[c]) for v, c in zip(values, columns))
+
+    out = [line(list(columns)), line(["-" * widths[c] for c in columns])]
+    out.extend(line([cell(row, c) for c in columns]) for row in rows)
+    return "\n".join(out)
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced figure/table: id, title, tabular data, free-form notes."""
+
+    exp_id: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]]
+    notes: List[str] = field(default_factory=list)
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Multi-line text block: header, parameters, table, notes."""
+        parts = [f"== {self.exp_id}: {self.title} =="]
+        if self.parameters:
+            params = ", ".join(f"{k}={v}" for k, v in self.parameters.items())
+            parts.append(f"parameters: {params}")
+        parts.append(render_table(self.columns, self.rows))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialise to a JSON string (non-JSON values via ``str``)."""
+        payload = {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": self.rows,
+            "notes": list(self.notes),
+            "parameters": self.parameters,
+        }
+        return json.dumps(payload, default=str, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        return cls(
+            exp_id=payload["exp_id"],
+            title=payload["title"],
+            columns=list(payload["columns"]),
+            rows=list(payload["rows"]),
+            notes=list(payload.get("notes", [])),
+            parameters=dict(payload.get("parameters", {})),
+        )
+
+    def save_json(self, path) -> None:
+        """Write :meth:`to_json` to a file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load_json(cls, path) -> "ExperimentResult":
+        """Read a result saved with :meth:`save_json`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,50 @@
+"""Experiment dispatch: one id per paper artefact.
+
+``run_experiment("fig2")`` replays Figure 2 and returns an
+:class:`~repro.experiments.report.ExperimentResult`; ``list_experiments``
+enumerates everything the harness can reproduce.  Keyword arguments are
+forwarded to the underlying runner (scales, budgets, grids).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ExperimentError
+from repro.experiments import figures, tables
+from repro.experiments.report import ExperimentResult
+from repro.experiments.stages import ablation_stages
+from repro.experiments.topk_quality import topk_quality
+
+__all__ = ["run_experiment", "list_experiments", "EXPERIMENTS"]
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig2": figures.fig2,
+    "fig3": figures.fig3,
+    "fig4": figures.fig4,
+    "fig5": figures.fig5,
+    "fig6": figures.fig6,
+    "fig7": figures.fig7,
+    "fig8": figures.fig8,
+    "fig9": figures.fig9,
+    "tab1": tables.tab1,
+    "tab3": tables.tab3,
+    "ablation-stages": ablation_stages,
+    "topk-quality": topk_quality,
+}
+
+
+def list_experiments() -> List[str]:
+    """All experiment ids, figures first."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(exp_id: str, **kwargs) -> ExperimentResult:
+    """Run the experiment registered under ``exp_id``."""
+    try:
+        runner = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(**kwargs)

@@ -1,0 +1,175 @@
+"""Ablation of the four-stage optimisation scheme (§3.2).
+
+The paper derives CSR+ from Li et al.'s method through four exact
+rewrites (Theorems 3.1–3.5).  Each function below computes the same
+multi-source block ``[S]_{*,Q}`` with the optimisations applied
+*cumulatively*, so timing them in sequence shows exactly how much each
+theorem buys — and the test suite checks that every stage returns the
+same numbers (each rewrite is lossless):
+
+========  ==========================================================
+stage 0   Li et al. literal: Eq. (6b) + Eq. (6a), all tensor products
+stage 1   + Thm 3.1: Lambda built from Theta kron Theta
+stage 2   + Thm 3.2: query uses vec(I_r), (V kron V) never formed
+stage 3   + Thms 3.3/3.4: Lambda never formed, P solved in r-space
+stage 4   + Thm 3.5: no tensor products at all (this is CSR+)
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.config import CSRPlusConfig
+from repro.core.index import CSRPlusIndex
+from repro.datasets.queries import sample_queries
+from repro.datasets.registry import load_dataset
+from repro.experiments.harness import format_seconds
+from repro.experiments.report import ExperimentResult
+from repro.graphs.digraph import DiGraph
+from repro.graphs.transition import transition_matrix
+from repro.linalg.kronecker import unvec, vec_identity
+from repro.linalg.stein import solve_stein_squaring
+from repro.linalg.svd import truncated_svd
+
+__all__ = ["run_stage", "stage_names", "ablation_stages", "STAGE_COUNT"]
+
+STAGE_COUNT = 5
+
+
+def _factors(graph: DiGraph, rank: int):
+    """Shared SVD factors in the paper convention (Q^T = U Sigma V^T)."""
+    q_matrix = transition_matrix(graph)
+    svd = truncated_svd(q_matrix, rank)
+    return svd.v, svd.u, svd.sigma  # U, V, sigma
+
+
+def _query_literal(u, lam, kron_v, damping, n, query_ids):
+    """Eq. (6a) with the literal (V kron V)^T vec(I_n) product."""
+    kron_u = np.kron(u, u)
+    rhs = kron_v.T @ vec_identity(n)
+    vec_s = vec_identity(n) + damping * (kron_u @ (lam @ rhs))
+    return unvec(vec_s, n, n)[:, query_ids].copy()
+
+
+def _stage0(graph, query_ids, rank, damping):
+    """Li et al. literal: tensor products in both phases."""
+    n = graph.num_nodes
+    u, v, sigma = _factors(graph, rank)
+    kron_u = np.kron(u, u)
+    kron_v = np.kron(v, v)
+    m_matrix = kron_v.T @ kron_u                      # O(r^4 n^2)
+    lam = np.linalg.inv(np.diag(1.0 / np.kron(sigma, sigma)) - damping * m_matrix)
+    return _query_literal(u, lam, kron_v, damping, n, query_ids)
+
+
+def _stage1(graph, query_ids, rank, damping):
+    """+ Thm 3.1: (V kron V)^T (U kron U) = Theta kron Theta."""
+    n = graph.num_nodes
+    u, v, sigma = _factors(graph, rank)
+    theta = v.T @ u                                    # O(r^2 n)
+    m_matrix = np.kron(theta, theta)                   # O(r^4)
+    lam = np.linalg.inv(np.diag(1.0 / np.kron(sigma, sigma)) - damping * m_matrix)
+    kron_v = np.kron(v, v)                             # still needed by Eq. (6a)
+    return _query_literal(u, lam, kron_v, damping, n, query_ids)
+
+
+def _stage2(graph, query_ids, rank, damping):
+    """+ Thm 3.2: (V kron V)^T vec(I_n) = vec(I_r); V kron V never formed."""
+    n = graph.num_nodes
+    u, v, sigma = _factors(graph, rank)
+    rank_eff = sigma.size
+    theta = v.T @ u
+    lam = np.linalg.inv(
+        np.diag(1.0 / np.kron(sigma, sigma)) - damping * np.kron(theta, theta)
+    )
+    kron_u = np.kron(u, u)
+    vec_s = vec_identity(n) + damping * (kron_u @ (lam @ vec_identity(rank_eff)))
+    return unvec(vec_s, n, n)[:, query_ids].copy()
+
+
+def _stage3(graph, query_ids, rank, damping):
+    """+ Thms 3.3/3.4: Lambda vec(I_r) = vec(Sigma P Sigma), P in r-space."""
+    n = graph.num_nodes
+    u, v, sigma = _factors(graph, rank)
+    h_matrix = (v.T @ u) * sigma[np.newaxis, :]
+    p_matrix, _ = solve_stein_squaring(h_matrix, damping, 1e-12)
+    sps = (sigma[:, np.newaxis] * p_matrix) * sigma[np.newaxis, :]
+    kron_u = np.kron(u, u)                             # the one tensor left
+    vec_s = vec_identity(n) + damping * (kron_u @ sps.reshape(-1, order="F"))
+    return unvec(vec_s, n, n)[:, query_ids].copy()
+
+
+def _stage4(graph, query_ids, rank, damping):
+    """+ Thm 3.5: full CSR+ — no tensor products anywhere."""
+    config = CSRPlusConfig(damping=damping, rank=rank, epsilon=1e-12)
+    return CSRPlusIndex(graph, config).query(query_ids)
+
+
+_STAGES = (_stage0, _stage1, _stage2, _stage3, _stage4)
+_NAMES = (
+    "stage0: Li et al. literal",
+    "stage1: +Thm3.1 Theta kron Theta",
+    "stage2: +Thm3.2 vec(I_r)",
+    "stage3: +Thm3.3/3.4 Stein P",
+    "stage4: +Thm3.5 = CSR+",
+)
+
+
+def stage_names() -> Tuple[str, ...]:
+    """Human-readable stage labels, index-aligned with :func:`run_stage`."""
+    return _NAMES
+
+
+def run_stage(
+    stage: int,
+    graph: DiGraph,
+    query_ids: np.ndarray,
+    rank: int = 5,
+    damping: float = 0.6,
+) -> np.ndarray:
+    """Compute ``[S]_{*,Q}`` with optimisations 0..``stage`` applied."""
+    if not (0 <= stage < STAGE_COUNT):
+        raise ValueError(f"stage must be in [0, {STAGE_COUNT}), got {stage}")
+    return _STAGES[stage](graph, np.asarray(query_ids, dtype=np.int64), rank, damping)
+
+
+def ablation_stages(
+    dataset: str = "FB",
+    tier: str = "tiny",
+    rank: int = 5,
+    q_size: int = 20,
+    damping: float = 0.6,
+) -> ExperimentResult:
+    """Time each cumulative stage on one dataset (all stages agree)."""
+    graph = load_dataset(dataset, tier)
+    queries = sample_queries(graph, min(q_size, graph.num_nodes), seed=7)
+    rows: List[Dict[str, object]] = []
+    reference = None
+    for stage, (fn, name) in enumerate(zip(_STAGES, _NAMES)):
+        start = time.perf_counter()
+        block = fn(graph, queries, rank, damping)
+        elapsed = time.perf_counter() - start
+        if reference is None:
+            reference = block
+        drift = float(np.max(np.abs(block - reference)))
+        rows.append(
+            {
+                "stage": name,
+                "time": format_seconds(elapsed),
+                "max drift vs stage0": f"{drift:.2e}",
+                "seconds": elapsed,
+                "drift_value": drift,
+            }
+        )
+    return ExperimentResult(
+        exp_id="ablation-stages",
+        title="Cumulative effect of the four optimisation stages (§3.2)",
+        columns=["stage", "time", "max drift vs stage0"],
+        rows=rows,
+        parameters={"dataset": dataset, "tier": tier, "r": rank, "|Q|": q_size},
+        notes=["Every rewrite is exact: drift stays at floating-point noise."],
+    )

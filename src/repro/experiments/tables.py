@@ -1,0 +1,205 @@
+"""Runners for the paper's tables.
+
+* :func:`tab3` — the accuracy study of §4.2.3: AvgDiff of CSR+ (and
+  CSR-NI where it fits in memory) against the exact CoSimRank, across
+  ranks, with the losslessness check CSR+ == CSR-NI.
+* :func:`tab1` — Table 1 validated empirically: scaling exponents of
+  each algorithm's measured time as ``n`` and ``r`` grow, compared with
+  the stated complexity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.exact import ExactCoSimRank
+from repro.baselines.ni import CSRNIEngine
+from repro.core.config import CSRPlusConfig
+from repro.core.index import CSRPlusIndex
+from repro.datasets.queries import sample_queries
+from repro.datasets.registry import load_dataset
+from repro.errors import MemoryBudgetExceeded
+from repro.experiments.harness import DEFAULT_MEMORY_BUDGET, measure
+from repro.experiments.report import ExperimentResult
+from repro.graphs.generators import erdos_renyi
+from repro.metrics.accuracy import avg_diff, max_diff
+
+__all__ = ["tab3", "tab1"]
+
+QUERY_SEED = 7
+
+#: Table 3's rank grid.
+TAB3_RANKS: Tuple[int, ...] = (25, 50, 100, 200)
+
+#: Theoretical complexities from Table 1 (for the report only).
+_THEORY_TIME = {
+    "CSR+": "O(r(m + n(r + |Q|)))",
+    "CSR-NI": "O(r^4 n^2 + r^4 n |Q|)",
+    "CSR-IT": "O(n^2 log(1/eps) |Q|)",
+    "CSR-RLS": "O(K m |Q|)",
+}
+
+
+def tab3(
+    datasets: Sequence[Tuple[str, str]] = (("FB", "small"), ("P2P", "small")),
+    ranks: Sequence[int] = TAB3_RANKS,
+    q_size: int = 100,
+    damping: float = 0.6,
+    memory_budget: Optional[int] = DEFAULT_MEMORY_BUDGET,
+) -> ExperimentResult:
+    """Table 3: AvgDiff of CSR+/CSR-NI vs the exact CoSimRank.
+
+    CSR-NI is attempted at each rank under the memory budget; cells
+    where it cannot materialise its tensor products read "OOM" (on the
+    paper's 256 GB server it survived — at our laptop stand-in scale it
+    cannot, which is itself the paper's scalability point).  Wherever
+    both run, the CSR+ == CSR-NI losslessness is checked bit-for-bit
+    and reported in the ``lossless`` column.
+    """
+    rows: List[Dict[str, object]] = []
+    for key, tier in datasets:
+        graph = load_dataset(key, tier)
+        queries = sample_queries(graph, min(q_size, graph.num_nodes), seed=QUERY_SEED)
+        exact = ExactCoSimRank(graph, damping=damping, epsilon=1e-12)
+        exact_block = exact.query(queries)
+        for rank in ranks:
+            if rank >= graph.num_nodes:
+                continue
+            config = CSRPlusConfig(damping=damping, rank=rank)
+            plus_block = CSRPlusIndex(graph, config).query(queries)
+            row: Dict[str, object] = {
+                "dataset": key,
+                "r": rank,
+                "AvgDiff(CSR+)": f"{avg_diff(plus_block, exact_block):.4e}",
+                "avg_diff_value": avg_diff(plus_block, exact_block),
+            }
+            try:
+                ni = CSRNIEngine(
+                    graph,
+                    damping=damping,
+                    rank=rank,
+                    memory_budget_bytes=memory_budget,
+                )
+                ni_block = ni.query(queries)
+            except MemoryBudgetExceeded:
+                row["AvgDiff(CSR-NI)"] = "OOM"
+                row["lossless"] = "n/a"
+            else:
+                row["AvgDiff(CSR-NI)"] = f"{avg_diff(ni_block, exact_block):.4e}"
+                row["lossless"] = (
+                    "yes" if max_diff(plus_block, ni_block) < 1e-8 else "NO"
+                )
+            rows.append(row)
+    return ExperimentResult(
+        exp_id="tab3",
+        title="AvgDiff of CSR+ and CSR-NI vs exact CoSimRank",
+        columns=["dataset", "r", "AvgDiff(CSR+)", "AvgDiff(CSR-NI)", "lossless"],
+        rows=rows,
+        parameters={"|Q|": q_size, "c": damping, "datasets": dict(datasets)},
+        notes=[
+            "AvgDiff decreases mildly as r grows (paper Table 3); "
+            "'lossless' = CSR+ and CSR-NI agree to < 1e-8 wherever CSR-NI fits.",
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 1 — complexity table validated by scaling fits
+# ----------------------------------------------------------------------
+def _fit_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) vs log(x)."""
+    xs_arr = np.log(np.asarray(xs, dtype=np.float64))
+    ys_arr = np.log(np.maximum(np.asarray(ys, dtype=np.float64), 1e-9))
+    slope, _ = np.polyfit(xs_arr, ys_arr, deg=1)
+    return float(slope)
+
+
+def tab1(
+    n_grid: Sequence[int] = (400, 800, 1600),
+    r_grid: Sequence[int] = (4, 8, 16),
+    edges_per_node: int = 4,
+    q_size: int = 50,
+    damping: float = 0.6,
+    repeats: int = 3,
+) -> ExperimentResult:
+    """Table 1, empirically: fitted time-scaling exponents per algorithm.
+
+    Engines run on Erdős–Rényi graphs over an ``n`` grid (fixed
+    ``r = r_grid[0]``) and over an ``r`` grid (fixed ``n = n_grid[0]``);
+    the log-log slope of total time is reported next to the published
+    complexity.  Exponents are indicative (small grids, wall-clock
+    noise) — the test suite only asserts the orderings that matter,
+    e.g. CSR-NI's r-exponent far above CSR+'s.
+    """
+    engines = ("CSR+", "CSR-NI", "CSR-IT", "CSR-RLS")
+    times_by_n: Dict[str, List[float]] = {name: [] for name in engines}
+    times_by_r: Dict[str, List[float]] = {name: [] for name in engines}
+
+    for n in n_grid:
+        graph = erdos_renyi(n, edges_per_node * n, seed=11)
+        queries = sample_queries(graph, min(q_size, n), seed=QUERY_SEED)
+        for name in engines:
+            best = math.inf
+            for _ in range(repeats):
+                record = measure(
+                    name,
+                    graph,
+                    queries,
+                    rank=r_grid[0],
+                    damping=damping,
+                    memory_budget_bytes=None,
+                    time_budget_seconds=None,
+                )
+                best = min(best, record.total_seconds)
+            times_by_n[name].append(best)
+
+    base_graph = erdos_renyi(n_grid[0], edges_per_node * n_grid[0], seed=11)
+    base_queries = sample_queries(base_graph, min(q_size, n_grid[0]), seed=QUERY_SEED)
+    for rank in r_grid:
+        for name in engines:
+            best = math.inf
+            for _ in range(repeats):
+                record = measure(
+                    name,
+                    base_graph,
+                    base_queries,
+                    rank=rank,
+                    damping=damping,
+                    memory_budget_bytes=None,
+                    time_budget_seconds=None,
+                )
+                best = min(best, record.total_seconds)
+            times_by_r[name].append(best)
+
+    rows = []
+    for name in engines:
+        rows.append(
+            {
+                "algorithm": name,
+                "theoretical time": _THEORY_TIME[name],
+                "fitted n-exponent": f"{_fit_exponent(n_grid, times_by_n[name]):.2f}",
+                "fitted r-exponent": f"{_fit_exponent(r_grid, times_by_r[name]):.2f}",
+                "n_exponent_value": _fit_exponent(n_grid, times_by_n[name]),
+                "r_exponent_value": _fit_exponent(r_grid, times_by_r[name]),
+            }
+        )
+    return ExperimentResult(
+        exp_id="tab1",
+        title="Table 1 complexities, validated by empirical scaling fits",
+        columns=["algorithm", "theoretical time", "fitted n-exponent", "fitted r-exponent"],
+        rows=rows,
+        parameters={
+            "n_grid": tuple(n_grid),
+            "r_grid": tuple(r_grid),
+            "m/n": edges_per_node,
+            "|Q|": q_size,
+        },
+        notes=[
+            "Exponents are log-log least-squares slopes of best-of-"
+            f"{repeats} total times; expect ~1 for CSR+ in n, ~2 for "
+            "CSR-NI in n, and ~4 for CSR-NI in r.",
+        ],
+    )

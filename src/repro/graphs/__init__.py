@@ -1,0 +1,74 @@
+"""Directed-graph substrate: data structure, IO, generators, transition matrices."""
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import (
+    chung_lu,
+    complete,
+    erdos_renyi,
+    path_graph,
+    preferential_attachment,
+    random_dag,
+    ring,
+    rmat,
+    star,
+)
+from repro.graphs.io import (
+    graph_from_labeled_edges,
+    parse_edge_list,
+    read_edge_list,
+    read_weighted_edge_list,
+    write_edge_list,
+    write_weighted_edge_list,
+)
+from repro.graphs.transition import (
+    is_column_substochastic,
+    row_normalized,
+    transition_matrix,
+)
+from repro.graphs.validation import (
+    GraphStats,
+    degree_histogram,
+    graph_stats,
+    powerlaw_tail_exponent,
+)
+from repro.graphs.interop import from_networkx, to_networkx
+from repro.graphs.weighted import WeightedDiGraph
+from repro.graphs.components import (
+    largest_component_fraction,
+    num_weakly_connected_components,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+
+__all__ = [
+    "DiGraph",
+    "WeightedDiGraph",
+    "erdos_renyi",
+    "preferential_attachment",
+    "chung_lu",
+    "rmat",
+    "ring",
+    "star",
+    "complete",
+    "path_graph",
+    "random_dag",
+    "read_edge_list",
+    "parse_edge_list",
+    "write_edge_list",
+    "read_weighted_edge_list",
+    "write_weighted_edge_list",
+    "graph_from_labeled_edges",
+    "transition_matrix",
+    "row_normalized",
+    "is_column_substochastic",
+    "GraphStats",
+    "graph_stats",
+    "weakly_connected_components",
+    "strongly_connected_components",
+    "num_weakly_connected_components",
+    "largest_component_fraction",
+    "from_networkx",
+    "to_networkx",
+    "degree_histogram",
+    "powerlaw_tail_exponent",
+]

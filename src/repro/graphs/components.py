@@ -1,0 +1,126 @@
+"""Connectivity utilities.
+
+Weakly/strongly connected components of the directed substrate.  Used
+by the dataset validation tests, by users inspecting stand-ins, and by
+the dynamic engine's locality story (edits in one weak component can
+never affect queries in another — a fact the F-CoSim tests exploit).
+
+Implementations are iterative (no recursion limits): WCC by union-find
+over the edge list, SCC by Tarjan's algorithm with an explicit stack.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.graphs.digraph import DiGraph
+
+__all__ = [
+    "weakly_connected_components",
+    "strongly_connected_components",
+    "num_weakly_connected_components",
+    "largest_component_fraction",
+]
+
+
+def weakly_connected_components(graph: DiGraph) -> np.ndarray:
+    """Component label per node (labels are 0-based, dense, arbitrary order)."""
+    n = graph.num_nodes
+    parent = np.arange(n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    for s, t in zip(graph.edge_sources, graph.edge_targets):
+        rs, rt = find(int(s)), find(int(t))
+        if rs != rt:
+            parent[rt] = rs
+
+    roots = np.fromiter((find(i) for i in range(n)), dtype=np.int64, count=n)
+    _, labels = np.unique(roots, return_inverse=True)
+    return labels.astype(np.int64)
+
+
+def num_weakly_connected_components(graph: DiGraph) -> int:
+    """Number of weakly connected components."""
+    if graph.num_nodes == 0:
+        return 0
+    return int(weakly_connected_components(graph).max()) + 1
+
+
+def largest_component_fraction(graph: DiGraph) -> float:
+    """Fraction of nodes in the largest weak component (0.0 if empty)."""
+    if graph.num_nodes == 0:
+        return 0.0
+    labels = weakly_connected_components(graph)
+    counts = np.bincount(labels)
+    return float(counts.max() / graph.num_nodes)
+
+
+def strongly_connected_components(graph: DiGraph) -> np.ndarray:
+    """SCC label per node (Tarjan, iterative).
+
+    Labels are dense 0-based integers; nodes in the same label form a
+    maximal set with directed paths both ways.
+    """
+    n = graph.num_nodes
+    index_of = np.full(n, -1, dtype=np.int64)
+    lowlink = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    labels = np.full(n, -1, dtype=np.int64)
+    stack: List[int] = []
+    next_index = 0
+    next_label = 0
+
+    csr = graph.adjacency()
+
+    for start in range(n):
+        if index_of[start] != -1:
+            continue
+        # explicit DFS stack of (node, next-child-offset)
+        work: List[List[int]] = [[start, 0]]
+        while work:
+            node, child_pos = work[-1]
+            if child_pos == 0:
+                index_of[node] = lowlink[node] = next_index
+                next_index += 1
+                stack.append(node)
+                on_stack[node] = True
+            row_start, row_end = csr.indptr[node], csr.indptr[node + 1]
+            advanced = False
+            while child_pos < row_end - row_start:
+                child = int(csr.indices[row_start + child_pos])
+                child_pos += 1
+                work[-1][1] = child_pos
+                if index_of[child] == -1:
+                    work.append([child, 0])
+                    advanced = True
+                    break
+                if on_stack[child]:
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            if advanced:
+                continue
+            # node finished
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    labels[member] = next_label
+                    if member == node:
+                        break
+                next_label += 1
+
+    # relabel densely in first-seen node order for determinism
+    _, dense = np.unique(labels, return_inverse=True)
+    return dense.astype(np.int64)

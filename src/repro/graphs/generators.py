@@ -1,0 +1,332 @@
+"""Synthetic graph generators.
+
+These generators stand in for the SNAP datasets of the paper's
+evaluation (ego-Facebook, Gnutella, YouTube, Wiki-Talk, Twitter,
+Webbase).  What the CoSimRank algorithms are sensitive to is the size
+``(n, m)``, the average degree ``m/n``, and the skew of the in-degree
+distribution — not edge semantics — so the stand-ins match those
+statistics:
+
+* :func:`erdos_renyi` — homogeneous sparse graphs (Gnutella-like);
+* :func:`preferential_attachment` — dense social graphs with hubs
+  (ego-Facebook-like);
+* :func:`chung_lu` — power-law in/out-degree graphs with a chosen
+  exponent (YouTube/Wiki-Talk-like);
+* :func:`rmat` — Kronecker-recursive graphs with strong skew
+  (Twitter/Webbase-like).
+
+All generators are deterministic given ``seed`` and return
+:class:`~repro.graphs.digraph.DiGraph` instances with duplicate edges
+coalesced (so the realised ``m`` can land slightly under the requested
+``num_edges``; each generator oversamples to compensate).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.graphs.digraph import DiGraph
+
+__all__ = [
+    "erdos_renyi",
+    "preferential_attachment",
+    "chung_lu",
+    "rmat",
+    "ring",
+    "star",
+    "complete",
+    "path_graph",
+    "random_dag",
+]
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _validate_counts(num_nodes: int, num_edges: int) -> None:
+    if num_nodes <= 0:
+        raise InvalidParameterError(f"num_nodes must be positive, got {num_nodes}")
+    if num_edges < 0:
+        raise InvalidParameterError(f"num_edges must be >= 0, got {num_edges}")
+
+
+def _dedupe_to_target(
+    src: np.ndarray, dst: np.ndarray, num_nodes: int, num_edges: int
+) -> DiGraph:
+    """Build a graph from candidate arrays, trimming to ``num_edges`` uniques."""
+    keys = src.astype(np.int64) * num_nodes + dst.astype(np.int64)
+    _, first = np.unique(keys, return_index=True)
+    first.sort()
+    first = first[:num_edges]
+    return DiGraph.from_arrays(num_nodes, src[first], dst[first])
+
+
+def erdos_renyi(
+    num_nodes: int,
+    num_edges: int,
+    seed: Optional[int] = None,
+    allow_self_loops: bool = False,
+) -> DiGraph:
+    """G(n, m)-style directed random graph with exactly ``num_edges`` edges.
+
+    Sampling is uniform over ordered pairs; with ``allow_self_loops``
+    false (default) pairs ``(x, x)`` are rejected.
+    """
+    _validate_counts(num_nodes, num_edges)
+    max_edges = num_nodes * (num_nodes - (0 if allow_self_loops else 1))
+    if num_edges > max_edges:
+        raise InvalidParameterError(
+            f"requested {num_edges} edges but only {max_edges} distinct "
+            f"pairs exist for n={num_nodes}"
+        )
+    rng = _rng(seed)
+    src_parts = []
+    dst_parts = []
+    collected = 0
+    # Rejection-sample batches until enough unique pairs exist.
+    while collected < num_edges:
+        want = max(1024, int((num_edges - collected) * 1.3))
+        s = rng.integers(0, num_nodes, size=want, dtype=np.int64)
+        t = rng.integers(0, num_nodes, size=want, dtype=np.int64)
+        if not allow_self_loops:
+            mask = s != t
+            s, t = s[mask], t[mask]
+        src_parts.append(s)
+        dst_parts.append(t)
+        all_s = np.concatenate(src_parts)
+        all_t = np.concatenate(dst_parts)
+        collected = np.unique(all_s * num_nodes + all_t).size
+    return _dedupe_to_target(
+        np.concatenate(src_parts), np.concatenate(dst_parts), num_nodes, num_edges
+    )
+
+
+def preferential_attachment(
+    num_nodes: int,
+    out_degree: int,
+    seed: Optional[int] = None,
+) -> DiGraph:
+    """Directed Barabási–Albert-style graph.
+
+    Nodes arrive one at a time; each new node emits ``out_degree`` edges
+    whose targets are chosen proportionally to (1 + current in-degree),
+    producing hub-dominated in-degree tails like social graphs.  Edges
+    also get mirrored with probability 0.5 to create reciprocity, as in
+    friendship networks (ego-Facebook is undirected; mirroring
+    approximates that).
+    """
+    if out_degree <= 0:
+        raise InvalidParameterError(f"out_degree must be positive, got {out_degree}")
+    _validate_counts(num_nodes, out_degree)
+    rng = _rng(seed)
+    # Repeated-nodes list trick: choosing uniformly from `targets_pool`
+    # realises preferential attachment in O(1) per draw.
+    pool = [0]
+    sources = []
+    targets = []
+    for node in range(1, num_nodes):
+        k = min(out_degree, node)
+        chosen = set()
+        while len(chosen) < k:
+            pick = pool[rng.integers(0, len(pool))]
+            if pick != node:
+                chosen.add(int(pick))
+        for tgt in chosen:
+            sources.append(node)
+            targets.append(tgt)
+            pool.append(tgt)
+            if rng.random() < 0.5:
+                sources.append(tgt)
+                targets.append(node)
+        pool.append(node)
+    return DiGraph.from_arrays(
+        num_nodes,
+        np.asarray(sources, dtype=np.int64),
+        np.asarray(targets, dtype=np.int64),
+    )
+
+
+def chung_lu(
+    num_nodes: int,
+    num_edges: int,
+    exponent: float = 2.2,
+    seed: Optional[int] = None,
+) -> DiGraph:
+    """Directed Chung–Lu graph with power-law expected degrees.
+
+    Both endpoint distributions are drawn proportionally to weights
+    ``w_i = (i + 1)^(-1/(exponent - 1))`` (Zipfian), giving a power-law
+    in-degree tail with the requested ``exponent``.  The realised edge
+    count equals ``num_edges`` (after duplicate coalescing and
+    resampling).
+    """
+    _validate_counts(num_nodes, num_edges)
+    if exponent <= 1.0:
+        raise InvalidParameterError(f"exponent must be > 1, got {exponent}")
+    rng = _rng(seed)
+    ranks = np.arange(1, num_nodes + 1, dtype=np.float64)
+    weights = ranks ** (-1.0 / (exponent - 1.0))
+    weights /= weights.sum()
+    # Independent permutations decorrelate "heavy in" from "heavy out"
+    # node identities, like real graphs where hubs differ per direction.
+    out_perm = rng.permutation(num_nodes)
+    in_perm = rng.permutation(num_nodes)
+
+    src_parts = []
+    dst_parts = []
+    collected = 0
+    while collected < num_edges:
+        want = max(2048, int((num_edges - collected) * 1.4))
+        s = out_perm[rng.choice(num_nodes, size=want, p=weights)]
+        t = in_perm[rng.choice(num_nodes, size=want, p=weights)]
+        mask = s != t
+        src_parts.append(s[mask])
+        dst_parts.append(t[mask])
+        all_s = np.concatenate(src_parts)
+        all_t = np.concatenate(dst_parts)
+        collected = np.unique(all_s * num_nodes + all_t).size
+        if collected < num_edges and all_s.size > 50 * num_edges:
+            # Extremely skewed weights can make new unique pairs rare;
+            # accept what we have rather than loop indefinitely.
+            break
+    return _dedupe_to_target(
+        np.concatenate(src_parts), np.concatenate(dst_parts), num_nodes, num_edges
+    )
+
+
+def rmat(
+    scale: int,
+    num_edges: int,
+    probabilities: Tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+    seed: Optional[int] = None,
+) -> DiGraph:
+    """R-MAT (recursive matrix / Kronecker) graph on ``2**scale`` nodes.
+
+    The default quadrant probabilities are the Graph500 values, which
+    produce the heavy skew characteristic of web/Twitter crawls.
+    Duplicate edges are coalesced; the generator oversamples so the
+    realised edge count is close to (and capped at) ``num_edges``.
+    """
+    if scale <= 0 or scale > 30:
+        raise InvalidParameterError(f"scale must be in [1, 30], got {scale}")
+    p = np.asarray(probabilities, dtype=np.float64)
+    if p.shape != (4,) or np.any(p < 0) or not np.isclose(p.sum(), 1.0):
+        raise InvalidParameterError(
+            f"probabilities must be 4 non-negative values summing to 1, got {probabilities}"
+        )
+    num_nodes = 1 << scale
+    _validate_counts(num_nodes, num_edges)
+    rng = _rng(seed)
+
+    def sample(count: int) -> Tuple[np.ndarray, np.ndarray]:
+        rows = np.zeros(count, dtype=np.int64)
+        cols = np.zeros(count, dtype=np.int64)
+        pa, pb, pc, _ = p
+        for _ in range(scale):
+            u = rng.random(count)
+            right = (u >= pa) & (u < pa + pb)
+            down = (u >= pa + pb) & (u < pa + pb + pc)
+            diag = u >= pa + pb + pc
+            rows = (rows << 1) | (down | diag)
+            cols = (cols << 1) | (right | diag)
+        return rows, cols
+
+    src_parts = []
+    dst_parts = []
+    collected = 0
+    while collected < num_edges:
+        want = max(4096, int((num_edges - collected) * 1.5))
+        s, t = sample(want)
+        mask = s != t
+        src_parts.append(s[mask])
+        dst_parts.append(t[mask])
+        all_s = np.concatenate(src_parts)
+        all_t = np.concatenate(dst_parts)
+        collected = np.unique(all_s * num_nodes + all_t).size
+        if collected < num_edges and all_s.size > 50 * num_edges:
+            break
+    return _dedupe_to_target(
+        np.concatenate(src_parts), np.concatenate(dst_parts), num_nodes, num_edges
+    )
+
+
+# ----------------------------------------------------------------------
+# small deterministic graphs (tests and examples)
+# ----------------------------------------------------------------------
+def ring(num_nodes: int) -> DiGraph:
+    """Directed cycle ``0 -> 1 -> ... -> n-1 -> 0``."""
+    _validate_counts(num_nodes, num_nodes)
+    nodes = np.arange(num_nodes, dtype=np.int64)
+    return DiGraph.from_arrays(num_nodes, nodes, (nodes + 1) % num_nodes)
+
+
+def star(num_leaves: int, inward: bool = True) -> DiGraph:
+    """Star on ``num_leaves + 1`` nodes; hub is node 0.
+
+    ``inward=True`` points leaves at the hub (leaf -> 0).
+    """
+    if num_leaves <= 0:
+        raise InvalidParameterError(f"num_leaves must be positive, got {num_leaves}")
+    leaves = np.arange(1, num_leaves + 1, dtype=np.int64)
+    hub = np.zeros(num_leaves, dtype=np.int64)
+    if inward:
+        return DiGraph.from_arrays(num_leaves + 1, leaves, hub)
+    return DiGraph.from_arrays(num_leaves + 1, hub, leaves)
+
+
+def complete(num_nodes: int) -> DiGraph:
+    """Complete digraph without self-loops."""
+    _validate_counts(num_nodes, 0)
+    src, dst = np.meshgrid(
+        np.arange(num_nodes, dtype=np.int64), np.arange(num_nodes, dtype=np.int64),
+        indexing="ij",
+    )
+    mask = src != dst
+    return DiGraph.from_arrays(num_nodes, src[mask], dst[mask])
+
+
+def path_graph(num_nodes: int) -> DiGraph:
+    """Directed path ``0 -> 1 -> ... -> n-1``."""
+    _validate_counts(num_nodes, 0)
+    if num_nodes == 1:
+        return DiGraph(1)
+    nodes = np.arange(num_nodes - 1, dtype=np.int64)
+    return DiGraph.from_arrays(num_nodes, nodes, nodes + 1)
+
+
+def random_dag(
+    num_nodes: int,
+    num_edges: int,
+    seed: Optional[int] = None,
+) -> DiGraph:
+    """Random DAG: edges only go from lower to higher node ids."""
+    _validate_counts(num_nodes, num_edges)
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    if num_edges > max_edges:
+        raise InvalidParameterError(
+            f"requested {num_edges} edges but a DAG on {num_nodes} nodes "
+            f"has at most {max_edges}"
+        )
+    rng = _rng(seed)
+    src_parts = []
+    dst_parts = []
+    collected = 0
+    while collected < num_edges:
+        want = max(1024, int((num_edges - collected) * 1.5))
+        a = rng.integers(0, num_nodes, size=want, dtype=np.int64)
+        b = rng.integers(0, num_nodes, size=want, dtype=np.int64)
+        mask = a != b
+        a, b = a[mask], b[mask]
+        lo, hi = np.minimum(a, b), np.maximum(a, b)
+        src_parts.append(lo)
+        dst_parts.append(hi)
+        all_s = np.concatenate(src_parts)
+        all_t = np.concatenate(dst_parts)
+        collected = np.unique(all_s * num_nodes + all_t).size
+    return _dedupe_to_target(
+        np.concatenate(src_parts), np.concatenate(dst_parts), num_nodes, num_edges
+    )

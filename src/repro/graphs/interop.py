@@ -1,0 +1,75 @@
+"""NetworkX interoperability.
+
+Many users already hold their graphs as ``networkx`` objects; these
+converters bridge them to this package's dense-id substrate without
+making networkx a hard dependency (it is imported lazily and only
+needed if you call these functions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import GraphConstructionError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.weighted import WeightedDiGraph
+
+__all__ = ["from_networkx", "to_networkx"]
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - nx is a test dep here
+        raise GraphConstructionError(
+            "networkx is not installed; install it to use the interop helpers"
+        ) from exc
+    return networkx
+
+
+def from_networkx(nx_graph, weight: str = "weight"):
+    """Convert a networkx (Di)Graph to this package's graph types.
+
+    Undirected graphs become digraphs with both edge directions.  If
+    any edge carries the ``weight`` attribute a
+    :class:`WeightedDiGraph` is returned (missing weights default to
+    1.0); otherwise a plain :class:`DiGraph`.
+
+    Returns ``(graph, node_mapping)`` where ``node_mapping`` maps the
+    original networkx node objects to dense integer ids.
+    """
+    networkx = _require_networkx()
+    nodes = list(nx_graph.nodes())
+    mapping: Dict[object, int] = {node: i for i, node in enumerate(nodes)}
+
+    directed = nx_graph.is_directed()
+    triples = []
+    weighted = False
+    for s, t, data in nx_graph.edges(data=True):
+        w = data.get(weight)
+        if w is not None:
+            weighted = True
+        triples.append((mapping[s], mapping[t], 1.0 if w is None else float(w)))
+        if not directed:
+            triples.append((mapping[t], mapping[s], 1.0 if w is None else float(w)))
+
+    if weighted:
+        graph = WeightedDiGraph(len(nodes), triples)
+    else:
+        graph = DiGraph(len(nodes), [(s, t) for s, t, _ in triples])
+    return graph, mapping
+
+
+def to_networkx(graph: DiGraph):
+    """Convert to a ``networkx.DiGraph`` (weights preserved if present)."""
+    networkx = _require_networkx()
+    nx_graph = networkx.DiGraph()
+    nx_graph.add_nodes_from(range(graph.num_nodes))
+    if isinstance(graph, WeightedDiGraph):
+        nx_graph.add_weighted_edges_from(
+            (int(s), int(t), float(w))
+            for (s, t), w in zip(graph.edges(), graph.edge_weights)
+        )
+    else:
+        nx_graph.add_edges_from(graph.edges())
+    return nx_graph

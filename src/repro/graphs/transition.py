@@ -1,0 +1,121 @@
+"""Column-normalised transition matrices (the paper's ``Q``).
+
+CoSimRank (Eq. 1) is defined on the column-normalised adjacency matrix:
+
+    Q[x, y] = 1 / indeg(y)   iff the edge ``x -> y`` exists.
+
+Every column with in-degree > 0 then sums to 1, and the PPR-style
+iteration ``p^(k+1) = Q p^(k)`` pushes probability mass from a node to
+its *in-neighbours*, exactly the "in-linked propagation" of Figure 1.
+
+Nodes with in-degree zero produce all-zero columns ("dangling" columns
+for this backwards walk).  The paper keeps those columns zero — mass
+starting at such a node simply vanishes after one hop — and so does our
+default ``dangling="zero"`` policy.  A ``"uniform"`` policy (teleport
+to all nodes, the PageRank fix) is provided for users who want a strict
+stochastic matrix; it changes CoSimRank values and is never used by the
+reproduction experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import InvalidParameterError
+from repro.graphs.digraph import DiGraph
+
+__all__ = [
+    "transition_matrix",
+    "row_normalized",
+    "is_column_substochastic",
+]
+
+_DANGLING_POLICIES = ("zero", "uniform")
+
+
+def transition_matrix(
+    graph: DiGraph,
+    dangling: str = "zero",
+    dtype=np.float64,
+) -> sparse.csr_matrix:
+    """Column-normalised adjacency matrix ``Q`` of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The directed graph.
+    dangling:
+        ``"zero"`` (default, paper semantics) leaves columns of
+        in-degree-0 nodes at zero; ``"uniform"`` replaces them with the
+        uniform distribution ``1/n`` (dense columns — only sensible on
+        small graphs).
+    dtype:
+        Floating dtype of the result.
+
+    Returns
+    -------
+    scipy.sparse.csr_matrix
+        ``n x n`` matrix with ``Q[x, y] = 1/indeg(y)`` for each edge
+        ``x -> y``.
+    """
+    if dangling not in _DANGLING_POLICIES:
+        raise InvalidParameterError(
+            f"dangling policy must be one of {_DANGLING_POLICIES}, got {dangling!r}"
+        )
+    n = graph.num_nodes
+    # Column-normalise the (possibly weighted) adjacency generically:
+    # for a binary graph the column sums are exactly the in-degrees,
+    # for a WeightedDiGraph they are the in-strengths.
+    adjacency = graph.adjacency(dtype)
+    colsum = np.asarray(adjacency.sum(axis=0)).ravel().astype(np.float64)
+    with np.errstate(divide="ignore"):
+        inv = np.where(colsum > 0, 1.0 / colsum, 0.0)
+    matrix = (adjacency @ sparse.diags(inv.astype(dtype))).tocsr()
+
+    if dangling == "uniform" and n > 0:
+        zero_cols = np.flatnonzero(colsum == 0)
+        if zero_cols.size:
+            rows = np.repeat(np.arange(n, dtype=np.int64), zero_cols.size)
+            cols = np.tile(zero_cols, n)
+            fill = sparse.csr_matrix(
+                (np.full(rows.size, 1.0 / n, dtype=dtype), (rows, cols)),
+                shape=(n, n),
+            )
+            matrix = (matrix + fill).tocsr()
+    return matrix
+
+
+def row_normalized(graph: DiGraph, dtype=np.float64) -> sparse.csr_matrix:
+    """Row-normalised adjacency (forward random walk), for applications.
+
+    Not used by CoSimRank itself — provided because several application
+    helpers (link prediction) want the forward walk.
+    """
+    n = graph.num_nodes
+    outdeg = graph.out_degrees().astype(np.float64)
+    src = graph.edge_sources
+    dst = graph.edge_targets
+    with np.errstate(divide="ignore"):
+        inv = np.where(outdeg > 0, 1.0 / outdeg, 0.0)
+    data = inv[src].astype(dtype)
+    return sparse.csr_matrix((data, (src, dst)), shape=(n, n), dtype=dtype)
+
+
+def is_column_substochastic(
+    matrix: Union[sparse.spmatrix, np.ndarray], atol: float = 1e-10
+) -> bool:
+    """Whether every column sum lies in ``[0, 1]`` (up to ``atol``).
+
+    The paper's ``Q`` is column-substochastic: exactly 1 on columns of
+    nodes with in-edges, 0 on dangling columns.
+    """
+    if sparse.issparse(matrix):
+        sums = np.asarray(matrix.sum(axis=0)).ravel()
+    else:
+        sums = np.asarray(matrix).sum(axis=0)
+    if sums.size == 0:
+        return True
+    return bool(np.all(sums >= -atol) and np.all(sums <= 1.0 + atol))

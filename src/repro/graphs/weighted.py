@@ -1,0 +1,239 @@
+"""Weighted directed graphs.
+
+The paper stores graphs as unweighted COO triples ``(x, y, 1)``; this
+module generalises the substrate to ``(x, y, w)`` with positive edge
+weights.  CoSimRank extends naturally: the transition matrix becomes
+weight-proportional, ``Q[x, y] = w(x, y) / in_strength(y)``, and every
+engine in this package works unchanged because they only consume ``Q``.
+
+Duplicate edges are coalesced by *summing* their weights (the standard
+multigraph-collapse semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import GraphConstructionError, InvalidParameterError
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["WeightedDiGraph"]
+
+
+class WeightedDiGraph(DiGraph):
+    """A :class:`DiGraph` whose edges carry positive weights.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; ids are ``0 .. n-1``.
+    edges:
+        Iterable of ``(source, target, weight)`` triples.  Duplicate
+        ``(source, target)`` pairs are coalesced by summing weights.
+
+    Structural queries (degrees, neighbours, reachability) ignore the
+    weights; :meth:`adjacency`, :meth:`in_strength` and
+    :meth:`out_strength` expose them.
+    """
+
+    __slots__ = ("_weights",)
+
+    def __init__(
+        self, num_nodes: int, edges: Iterable[Tuple[int, int, float]] = ()
+    ):
+        triples = list(edges)
+        if triples:
+            arr = np.asarray(triples, dtype=np.float64)
+            if arr.ndim != 2 or arr.shape[1] != 3:
+                raise GraphConstructionError(
+                    "edges must be (source, target, weight) triples"
+                )
+            src = arr[:, 0].astype(np.int64)
+            dst = arr[:, 1].astype(np.int64)
+            weights = arr[:, 2]
+        else:
+            src = np.empty(0, dtype=np.int64)
+            dst = np.empty(0, dtype=np.int64)
+            weights = np.empty(0, dtype=np.float64)
+        self._init_weighted(int(num_nodes), src, dst, weights)
+
+    # ------------------------------------------------------------------
+    def _init_weighted(
+        self,
+        num_nodes: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        if num_nodes < 0:
+            raise InvalidParameterError(f"num_nodes must be >= 0, got {num_nodes}")
+        if weights.size and np.any(weights <= 0):
+            raise GraphConstructionError("edge weights must be positive")
+        if weights.size and not np.all(np.isfinite(weights)):
+            raise GraphConstructionError("edge weights must be finite")
+        self._n = num_nodes
+        if src.size:
+            if src.min(initial=0) < 0 or dst.min(initial=0) < 0:
+                raise GraphConstructionError("edge endpoints must be non-negative")
+            if max(src.max(initial=-1), dst.max(initial=-1)) >= num_nodes:
+                raise GraphConstructionError(
+                    f"edge endpoint out of range for graph with {num_nodes} nodes"
+                )
+            order = np.lexsort((dst, src))
+            src, dst, weights = src[order], dst[order], weights[order]
+            # Group-sum weights of identical (src, dst) pairs.
+            new_group = np.empty(src.size, dtype=bool)
+            new_group[0] = True
+            np.logical_or(
+                src[1:] != src[:-1], dst[1:] != dst[:-1], out=new_group[1:]
+            )
+            starts = np.flatnonzero(new_group)
+            weights = np.add.reduceat(weights, starts)
+            src, dst = src[starts], dst[starts]
+        self._src = src
+        self._dst = dst
+        self._weights = weights.astype(np.float64)
+        self._csr = None
+        self._csc = None
+
+    @classmethod
+    def from_weighted_arrays(
+        cls,
+        num_nodes: int,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray,
+    ) -> "WeightedDiGraph":
+        """Build from parallel source/target/weight arrays."""
+        sources = np.asarray(sources, dtype=np.int64).ravel()
+        targets = np.asarray(targets, dtype=np.int64).ravel()
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        if not (sources.size == targets.size == weights.size):
+            raise GraphConstructionError(
+                "sources, targets and weights must have equal length"
+            )
+        graph = cls.__new__(cls)
+        graph._init_weighted(
+            int(num_nodes), sources.copy(), targets.copy(), weights.copy()
+        )
+        return graph
+
+    @classmethod
+    def from_digraph(
+        cls, graph: DiGraph, weights: Optional[np.ndarray] = None
+    ) -> "WeightedDiGraph":
+        """Lift a binary graph to a weighted one (default weight 1)."""
+        if weights is None:
+            weights = np.ones(graph.num_edges)
+        return cls.from_weighted_arrays(
+            graph.num_nodes, graph.edge_sources, graph.edge_targets, weights
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def edge_weights(self) -> np.ndarray:
+        """Read-only weight array aligned with the COO edge arrays."""
+        return self._weights
+
+    def adjacency(self, dtype=np.float64) -> sparse.csr_matrix:
+        """Weighted adjacency: ``A[x, y] = w(x, y)``."""
+        if self._csr is None or self._csr.dtype != np.dtype(dtype):
+            self._csr = sparse.csr_matrix(
+                (self._weights.astype(dtype), (self._src, self._dst)),
+                shape=(self._n, self._n),
+            )
+        return self._csr
+
+    def in_strength(self) -> np.ndarray:
+        """Sum of incoming edge weights per node."""
+        return np.bincount(
+            self._dst, weights=self._weights, minlength=self._n
+        )
+
+    def out_strength(self) -> np.ndarray:
+        """Sum of outgoing edge weights per node."""
+        return np.bincount(
+            self._src, weights=self._weights, minlength=self._n
+        )
+
+    def edge_weight(self, source: int, target: int) -> float:
+        """Weight of edge ``source -> target`` (0.0 when absent)."""
+        self._check_node(source)
+        self._check_node(target)
+        mask = (self._src == source) & (self._dst == target)
+        hit = np.flatnonzero(mask)
+        return float(self._weights[hit[0]]) if hit.size else 0.0
+
+    # ------------------------------------------------------------------
+    # weight-preserving derived graphs
+    # ------------------------------------------------------------------
+    def reverse(self) -> "WeightedDiGraph":
+        return WeightedDiGraph.from_weighted_arrays(
+            self._n, self._dst, self._src, self._weights
+        )
+
+    def with_edges_added(
+        self, edges: Sequence[Tuple[int, int, float]]
+    ) -> "WeightedDiGraph":
+        """A new graph with weighted ``(s, t, w)`` edges added (weights
+        of duplicated pairs accumulate)."""
+        if not edges:
+            return self
+        arr = np.asarray(list(edges), dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != 3:
+            raise GraphConstructionError("edges must be (s, t, w) triples")
+        return WeightedDiGraph.from_weighted_arrays(
+            self._n,
+            np.concatenate([self._src, arr[:, 0].astype(np.int64)]),
+            np.concatenate([self._dst, arr[:, 1].astype(np.int64)]),
+            np.concatenate([self._weights, arr[:, 2]]),
+        )
+
+    def with_edges_removed(
+        self, edges: Sequence[Tuple[int, int]]
+    ) -> "WeightedDiGraph":
+        if not edges:
+            return self
+        drop = {(int(s), int(t)) for s, t in edges}
+        keep = np.fromiter(
+            ((s, t) not in drop for s, t in zip(self._src, self._dst)),
+            dtype=bool,
+            count=self.num_edges,
+        )
+        return WeightedDiGraph.from_weighted_arrays(
+            self._n, self._src[keep], self._dst[keep], self._weights[keep]
+        )
+
+    def subgraph(self, nodes: Sequence[int]) -> "WeightedDiGraph":
+        nodes_arr = np.asarray(list(nodes), dtype=np.int64)
+        if np.unique(nodes_arr).size != nodes_arr.size:
+            raise InvalidParameterError("subgraph nodes must be unique")
+        for node in nodes_arr:
+            self._check_node(int(node))
+        relabel = -np.ones(self._n, dtype=np.int64)
+        relabel[nodes_arr] = np.arange(nodes_arr.size)
+        mask = (relabel[self._src] >= 0) & (relabel[self._dst] >= 0)
+        return WeightedDiGraph.from_weighted_arrays(
+            nodes_arr.size,
+            relabel[self._src[mask]],
+            relabel[self._dst[mask]],
+            self._weights[mask],
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightedDiGraph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and np.array_equal(self._src, other._src)
+            and np.array_equal(self._dst, other._dst)
+            and np.array_equal(self._weights, other._weights)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._n, self._src.tobytes(), self._dst.tobytes(), self._weights.tobytes())
+        )

@@ -1,0 +1,26 @@
+"""Linear-algebra substrate: truncated SVD, Kronecker toolkit, Stein solvers."""
+
+from repro.linalg.kronecker import kron, mixed_product, unvec, vec, vec_identity
+from repro.linalg.stein import (
+    fixed_point_iteration_count,
+    solve_stein_direct,
+    solve_stein_fixed_point,
+    solve_stein_squaring,
+    squaring_iteration_count,
+)
+from repro.linalg.svd import TruncatedSVD, truncated_svd
+
+__all__ = [
+    "TruncatedSVD",
+    "truncated_svd",
+    "vec",
+    "unvec",
+    "kron",
+    "vec_identity",
+    "mixed_product",
+    "solve_stein_fixed_point",
+    "solve_stein_squaring",
+    "solve_stein_direct",
+    "squaring_iteration_count",
+    "fixed_point_iteration_count",
+]

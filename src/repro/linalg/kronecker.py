@@ -1,0 +1,89 @@
+"""vec / Kronecker-product toolkit.
+
+These operators are Definitions 2.1–2.2 of the paper.  They exist in
+this package for two reasons:
+
+1. the CSR-NI baseline (Li et al. 2010) literally materialises the
+   Kronecker products of Eqs. (6a)/(6b), and
+2. the unit tests verify Theorems 3.1–3.5 by comparing CSR+'s
+   tensor-free expressions against these literal ones.
+
+Note on ``vec`` orientation: this module uses the standard
+*column-stacking* convention, ``vec(X)[i + j*p] = X[i, j]``, for which
+the identity ``vec(A X B) = (B^T kron A) vec(X)`` holds.  All of the
+paper's derivations (Thms 3.1–3.5) are convention-independent as long as
+one convention is used consistently, which the tests confirm.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["vec", "unvec", "kron", "vec_identity", "mixed_product"]
+
+Matrix = Union[np.ndarray, sparse.spmatrix]
+
+
+def vec(matrix: Matrix) -> np.ndarray:
+    """Column-stacking vectorisation (Definition 2.1).
+
+    Returns a 1-D array of length ``p*q`` for a ``p x q`` input, with
+    column ``j`` of the matrix occupying positions ``j*p .. (j+1)*p - 1``.
+    """
+    if sparse.issparse(matrix):
+        matrix = matrix.toarray()
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise InvalidParameterError(f"vec expects a 2-D matrix, got ndim={arr.ndim}")
+    return arr.reshape(-1, order="F").copy()
+
+
+def unvec(vector: np.ndarray, rows: int, cols: int) -> np.ndarray:
+    """Inverse of :func:`vec`: reshape a length ``rows*cols`` vector."""
+    vector = np.asarray(vector).ravel()
+    if vector.size != rows * cols:
+        raise InvalidParameterError(
+            f"cannot unvec length-{vector.size} vector into {rows}x{cols}"
+        )
+    return vector.reshape(rows, cols, order="F").copy()
+
+
+def kron(a: Matrix, b: Matrix) -> np.ndarray:
+    """Dense Kronecker (tensor) product (Definition 2.2).
+
+    Deliberately dense: the CSR-NI baseline's whole point is that these
+    products are huge, and our memory accounting charges for them.
+    """
+    a_arr = a.toarray() if sparse.issparse(a) else np.asarray(a)
+    b_arr = b.toarray() if sparse.issparse(b) else np.asarray(b)
+    if a_arr.ndim != 2 or b_arr.ndim != 2:
+        raise InvalidParameterError("kron expects two 2-D matrices")
+    return np.kron(a_arr, b_arr)
+
+
+def vec_identity(n: int) -> np.ndarray:
+    """``vec(I_n)``: length ``n*n`` vector with 1s at positions ``i*(n+1)``."""
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n}")
+    out = np.zeros(n * n, dtype=np.float64)
+    if n:
+        out[:: n + 1] = 1.0
+    return out
+
+
+def mixed_product(a: Matrix, b: Matrix, c: Matrix, d: Matrix) -> np.ndarray:
+    """``(A kron B)(C kron D)`` computed as ``(AC) kron (BD)``.
+
+    The mixed-product property used throughout §3.2 (proof of Thm 3.1).
+    Shapes must be conformable: ``A @ C`` and ``B @ D`` must exist.
+    """
+    ac = (a @ c) if not sparse.issparse(a) or not sparse.issparse(c) else (a @ c)
+    bd = b @ d
+    ac_arr = ac.toarray() if sparse.issparse(ac) else np.asarray(ac)
+    bd_arr = bd.toarray() if sparse.issparse(bd) else np.asarray(bd)
+    return np.kron(ac_arr, bd_arr)

@@ -1,0 +1,46 @@
+"""Sparse-matrix helpers shared by the iterative engines.
+
+The all-pairs baselines (CSR-IT, CoSimMate) keep the similarity matrix
+sparse and its fill-in grows with every iteration.  To reproduce the
+paper's "memory crash" behaviour *safely*, an engine must know whether
+the next sparse product could exceed its budget **before** scipy
+allocates it; :func:`spmm_nnz_upper_bound` supplies the standard cheap
+upper bound used for that pre-flight check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["spmm_nnz_upper_bound", "sparse_bytes_for_nnz", "densify_small"]
+
+
+def spmm_nnz_upper_bound(a: sparse.spmatrix, b: sparse.spmatrix) -> int:
+    """Upper bound on ``nnz(A @ B)`` without computing the product.
+
+    For CSR operands, ``nnz(A @ B) <= sum_j colnnz_A[j] * rownnz_B[j]``:
+    each nonzero ``A[i, j]`` can contribute at most ``rownnz_B[j]``
+    output entries.  ``O(nnz)`` time.
+    """
+    a = a.tocsc() if not sparse.issparse(a) else a
+    col_counts = np.diff(a.tocsc().indptr).astype(np.int64)
+    row_counts = np.diff(b.tocsr().indptr).astype(np.int64)
+    return int(np.dot(col_counts, row_counts))
+
+
+def sparse_bytes_for_nnz(nnz: int, index_bytes: int = 4, value_bytes: int = 8) -> int:
+    """Approximate CSR storage for ``nnz`` entries (data + indices)."""
+    return int(nnz) * (index_bytes + value_bytes)
+
+
+def densify_small(matrix: sparse.spmatrix, max_elements: int = 10_000_000):
+    """Convert to dense when small enough, else return the input.
+
+    Several metrics helpers accept either representation; this keeps
+    tiny matrices in the cheaper dense form.
+    """
+    rows, cols = matrix.shape
+    if rows * cols <= max_elements:
+        return matrix.toarray()
+    return matrix

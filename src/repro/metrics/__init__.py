@@ -1,0 +1,14 @@
+"""Accuracy and ranking metrics (AvgDiff of §4.2.3 and friends)."""
+
+from repro.metrics.accuracy import avg_diff, max_diff, rmse
+from repro.metrics.ranking import kendall_tau, ndcg_at_k, precision_at_k, rank_of
+
+__all__ = [
+    "avg_diff",
+    "max_diff",
+    "rmse",
+    "precision_at_k",
+    "ndcg_at_k",
+    "kendall_tau",
+    "rank_of",
+]

@@ -1,0 +1,49 @@
+"""Accuracy metrics.
+
+``avg_diff`` is the paper's measure (§4.2.3):
+
+    AvgDiff_Q(S_hat, S) = (1 / (|V| * |Q|)) *
+                          sum_{(i, j) in V x Q} |S_hat[i, j] - S[i, j]|
+
+evaluated over the ``n x |Q|`` multi-source blocks.  ``max_diff`` and
+``rmse`` are the standard companions used in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["avg_diff", "max_diff", "rmse"]
+
+
+def _as_blocks(estimate: np.ndarray, reference: np.ndarray):
+    estimate = np.asarray(estimate, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if estimate.shape != reference.shape:
+        raise InvalidParameterError(
+            f"shape mismatch: estimate {estimate.shape} vs reference "
+            f"{reference.shape}"
+        )
+    if estimate.size == 0:
+        raise InvalidParameterError("cannot score empty similarity blocks")
+    return estimate, reference
+
+
+def avg_diff(estimate: np.ndarray, reference: np.ndarray) -> float:
+    """Mean absolute difference over all ``(node, query)`` pairs."""
+    estimate, reference = _as_blocks(estimate, reference)
+    return float(np.mean(np.abs(estimate - reference)))
+
+
+def max_diff(estimate: np.ndarray, reference: np.ndarray) -> float:
+    """Maximum absolute difference (the max-norm error)."""
+    estimate, reference = _as_blocks(estimate, reference)
+    return float(np.max(np.abs(estimate - reference)))
+
+
+def rmse(estimate: np.ndarray, reference: np.ndarray) -> float:
+    """Root-mean-square error."""
+    estimate, reference = _as_blocks(estimate, reference)
+    return float(np.sqrt(np.mean((estimate - reference) ** 2)))

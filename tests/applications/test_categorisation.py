@@ -1,0 +1,87 @@
+"""Unit tests for the Wikipedians-categorisation application."""
+
+import numpy as np
+import pytest
+
+from repro.applications.categorisation import categorise
+from repro.baselines.exact import ExactCoSimRank
+from repro.datasets.toy import FIGURE1_LABELS, figure1_graph, figure1_node_ids
+from repro.errors import InvalidParameterError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import chung_lu
+
+
+class TestFigure1Scenario:
+    def test_seed_nodes_keep_labels(self):
+        graph = figure1_graph()
+        ids = figure1_node_ids()
+        seeds = {"law": [ids["b"], ids["d"]], "art": [ids["a"]]}
+        result = categorise(graph, seeds, rank=4)
+        assert result.assignments[ids["b"]] == "law"
+        assert result.assignments[ids["d"]] == "law"
+        assert result.assignments[ids["a"]] == "art"
+
+    def test_e_is_law_like(self):
+        """Node e shares in-structure with b and d (Example 1.1)."""
+        graph = figure1_graph()
+        ids = figure1_node_ids()
+        seeds = {"law": [ids["b"], ids["d"]], "art": [ids["a"]]}
+        result = categorise(graph, seeds, rank=4)
+        assert result.assignments[ids["e"]] == "law"
+
+    def test_scores_match_engine_sums(self):
+        graph = figure1_graph()
+        ids = figure1_node_ids()
+        seeds = {"law": [ids["b"], ids["d"]]}
+        result = categorise(graph, seeds, rank=4)
+        exact = ExactCoSimRank(graph).query([ids["b"], ids["d"]])
+        np.testing.assert_allclose(
+            result.scores["law"], exact.sum(axis=1), atol=1e-6
+        )
+
+
+class TestPlantedCommunities:
+    def test_recovery_above_ninety_percent(self):
+        rng = np.random.default_rng(5)
+        size, communities = 100, 3
+        n = size * communities
+        edges = []
+        for k in range(communities):
+            base = k * size
+            for _ in range(size * 6):
+                s, t = rng.integers(0, size, size=2)
+                if s != t:
+                    edges.append((base + int(s), base + int(t)))
+        graph = DiGraph(n, edges)
+        seeds = {f"c{k}": [k * size, k * size + 1] for k in range(communities)}
+        result = categorise(graph, seeds, rank=12)
+        correct = sum(
+            1
+            for node in range(n)
+            if result.assignments[node] == f"c{node // size}"
+        )
+        assert correct / n > 0.9
+
+    def test_top_nodes(self):
+        graph = chung_lu(60, 300, seed=18)
+        result = categorise(graph, {"x": [0, 1]}, rank=8)
+        top = result.top_nodes("x", 5)
+        assert len(top) == 5
+        scores = result.scores["x"]
+        assert scores[top[0]] >= scores[top[-1]]
+
+
+class TestValidation:
+    def test_empty_seeds(self):
+        with pytest.raises(InvalidParameterError):
+            categorise(figure1_graph(), {})
+
+    def test_empty_category(self):
+        with pytest.raises(InvalidParameterError):
+            categorise(figure1_graph(), {"law": []})
+
+    def test_isolated_nodes_unassigned(self):
+        graph = DiGraph(4, [(0, 1)])  # nodes 2, 3 isolated
+        result = categorise(graph, {"only": [1]}, rank=2)
+        assert result.assignments[2] == ""
+        assert result.assignments[3] == ""

@@ -1,0 +1,102 @@
+"""Unit tests for the link-prediction application."""
+
+import numpy as np
+import pytest
+
+from repro.applications.link_prediction import (
+    evaluate_link_prediction,
+    sample_negative_pairs,
+    score_pairs,
+    split_edges,
+)
+from repro.core.index import CSRPlusIndex
+from repro.errors import InvalidParameterError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import complete, preferential_attachment
+
+
+@pytest.fixture(scope="module")
+def social_graph():
+    return preferential_attachment(400, 5, seed=6)
+
+
+class TestSplit:
+    def test_split_sizes(self, social_graph):
+        training, held_out = split_edges(social_graph, 0.25, seed=1)
+        assert len(held_out) == round(social_graph.num_edges * 0.25)
+        assert training.num_edges == social_graph.num_edges - len(held_out)
+
+    def test_held_out_edges_removed(self, social_graph):
+        training, held_out = split_edges(social_graph, 0.2, seed=2)
+        for s, t in held_out[:20]:
+            assert not training.has_edge(s, t)
+
+    def test_deterministic(self, social_graph):
+        _, a = split_edges(social_graph, 0.2, seed=3)
+        _, b = split_edges(social_graph, 0.2, seed=3)
+        assert a == b
+
+    def test_invalid_fraction(self, social_graph):
+        with pytest.raises(InvalidParameterError):
+            split_edges(social_graph, 1.5)
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            split_edges(DiGraph(2, [(0, 1)]), 0.5)
+
+
+class TestNegativeSampling:
+    def test_no_existing_edges_sampled(self, social_graph):
+        negatives = sample_negative_pairs(social_graph, 50, seed=4)
+        assert len(negatives) == 50
+        for s, t in negatives:
+            assert not social_graph.has_edge(s, t)
+            assert s != t
+
+    def test_dense_graph_raises(self):
+        with pytest.raises(InvalidParameterError):
+            sample_negative_pairs(complete(3), 100, seed=5)
+
+
+class TestScoring:
+    def test_direct_mode_matches_engine(self, social_graph):
+        engine = CSRPlusIndex(social_graph, rank=8).prepare()
+        pairs = [(0, 5), (3, 7)]
+        scores = score_pairs(engine, pairs, mode="direct")
+        assert scores[0] == pytest.approx(engine.single_pair(0, 5), abs=1e-12)
+
+    def test_inlink_mode_positive_for_attached_pairs(self, social_graph):
+        engine = CSRPlusIndex(social_graph, rank=16).prepare()
+        s, t = next(iter(social_graph.edges()))
+        scores = score_pairs(engine, [(s, t)], mode="inlink")
+        assert scores.shape == (1,)
+
+    def test_empty_pairs_rejected(self, social_graph):
+        engine = CSRPlusIndex(social_graph, rank=4).prepare()
+        with pytest.raises(InvalidParameterError):
+            score_pairs(engine, [])
+
+    def test_bad_mode(self, social_graph):
+        engine = CSRPlusIndex(social_graph, rank=4).prepare()
+        with pytest.raises(InvalidParameterError):
+            score_pairs(engine, [(0, 1)], mode="psychic")
+
+    def test_inlink_no_neighbors_scores_zero(self):
+        graph = DiGraph(4, [(0, 1), (1, 2)])
+        engine = CSRPlusIndex(graph, rank=2).prepare()
+        scores = score_pairs(engine, [(0, 3)], mode="inlink")  # 3 has no in-edges
+        assert scores[0] == 0.0
+
+
+class TestEndToEnd:
+    def test_auc_beats_random(self, social_graph):
+        report = evaluate_link_prediction(
+            social_graph, holdout_fraction=0.2, rank=24, seed=7
+        )
+        assert report.auc > 0.55
+        assert report.num_positives == report.num_negatives
+
+    def test_report_fields(self, social_graph):
+        report = evaluate_link_prediction(social_graph, rank=8, seed=8)
+        assert np.isfinite(report.mean_positive_score)
+        assert np.isfinite(report.mean_negative_score)

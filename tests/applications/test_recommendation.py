@@ -1,0 +1,85 @@
+"""Unit tests for the item-recommendation application."""
+
+import pytest
+
+from repro.applications.recommendation import Recommender
+from repro.errors import InvalidParameterError, QueryError
+
+# Two taste clusters: users u1/u2 like sci-fi, u3/u4 like romance;
+# u5 bridges weakly.
+INTERACTIONS = [
+    ("u1", "dune"), ("u1", "foundation"), ("u1", "hyperion"),
+    ("u2", "dune"), ("u2", "foundation"), ("u2", "neuromancer"),
+    ("u3", "pride"), ("u3", "emma"), ("u3", "persuasion"),
+    ("u4", "pride"), ("u4", "emma"), ("u4", "jane-eyre"),
+    ("u5", "dune"), ("u5", "pride"),
+]
+
+
+@pytest.fixture(scope="module")
+def recommender():
+    return Recommender(INTERACTIONS, rank=8, damping=0.8)
+
+
+class TestSimilarItems:
+    def test_within_cluster_beats_cross_cluster(self, recommender):
+        ranked = [item for item, _ in recommender.similar_items("dune", k=8)]
+        assert ranked.index("foundation") < ranked.index("emma")
+
+    def test_self_excluded(self, recommender):
+        assert all(i != "dune" for i, _ in recommender.similar_items("dune", k=8))
+
+    def test_scores_descending(self, recommender):
+        scores = [s for _, s in recommender.similar_items("pride", k=6)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unknown_item(self, recommender):
+        with pytest.raises(QueryError):
+            recommender.similar_items("moby-dick")
+
+
+class TestRecommendForUser:
+    def test_unseen_items_only(self, recommender):
+        recs = [item for item, _ in recommender.recommend_for_user("u1", k=5)]
+        assert "dune" not in recs
+        assert "foundation" not in recs
+        assert "hyperion" not in recs
+
+    def test_cluster_affinity(self, recommender):
+        recs = [item for item, _ in recommender.recommend_for_user("u1", k=2)]
+        # u1's taste cluster: neuromancer (via u2) should lead romance titles
+        assert "neuromancer" in recs
+
+    def test_unknown_user(self, recommender):
+        with pytest.raises(QueryError):
+            recommender.recommend_for_user("u99")
+
+
+class TestWeightedInteractions:
+    def test_strengths_shift_ranking(self):
+        base = [
+            ("a", "x", 1.0), ("a", "y", 1.0),
+            ("b", "x", 1.0), ("b", "z", 1.0),
+            ("c", "y", 1.0), ("c", "z", 1.0),
+        ]
+        # heavily tie user a to x: items y (shares a) should gain
+        skewed = [("a", "x", 10.0) if r[:2] == ("a", "x") else r for r in base]
+        plain = Recommender(base, rank=6)
+        heavy = Recommender(skewed, rank=6)
+        plain_sim = dict((i, s) for i, s in plain.similar_items("x", k=2))
+        heavy_sim = dict((i, s) for i, s in heavy.similar_items("x", k=2))
+        assert set(plain_sim) == {"y", "z"}
+        # weighting changes the numbers
+        assert plain_sim != heavy_sim
+
+    def test_counts(self, recommender):
+        assert recommender.num_users == 5
+        assert recommender.num_items == 8
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Recommender([])
+
+    def test_malformed_record(self):
+        with pytest.raises(InvalidParameterError):
+            Recommender([("u", "i", 1.0, "extra")])

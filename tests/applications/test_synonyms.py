@@ -1,0 +1,76 @@
+"""Unit tests for the synonym-expansion application."""
+
+import pytest
+
+from repro.applications.synonyms import SynonymExpander
+from repro.errors import InvalidParameterError, QueryError
+
+EDGES = [
+    ("car", "road"), ("car", "wheel"), ("car", "engine"),
+    ("auto", "road"), ("auto", "wheel"), ("auto", "engine"),
+    ("truck", "road"), ("truck", "cargo"),
+    ("doctor", "hospital"), ("doctor", "patient"),
+    ("physician", "hospital"), ("physician", "patient"),
+]
+
+
+@pytest.fixture(scope="module")
+def expander():
+    return SynonymExpander(EDGES, rank=8, damping=0.8)
+
+
+class TestExpansion:
+    def test_synonym_ranks_first(self, expander):
+        top_word, score = expander.expand("car", k=1)[0]
+        assert top_word == "auto"
+        assert score > 0
+
+    def test_cross_domain_similarity_lower(self, expander):
+        same = expander.similarity("doctor", "physician")
+        cross = expander.similarity("car", "physician")
+        assert same > cross
+
+    def test_expand_returns_descending_scores(self, expander):
+        results = expander.expand("car", k=5)
+        scores = [s for _, s in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_expand_excludes_word_itself(self, expander):
+        assert all(w != "car" for w, _ in expander.expand("car", k=10))
+
+    def test_expand_set_excludes_seeds(self, expander):
+        results = expander.expand_set(["car", "auto"], k=5)
+        words = [w for w, _ in results]
+        assert "car" not in words
+        assert "auto" not in words
+
+    def test_expand_set_needs_seed(self, expander):
+        with pytest.raises(InvalidParameterError):
+            expander.expand_set([])
+
+    def test_unknown_word(self, expander):
+        with pytest.raises(QueryError):
+            expander.expand("zeppelin")
+
+    def test_vocabulary_complete(self, expander):
+        assert set(expander.vocabulary) == {
+            "car", "road", "wheel", "engine", "auto", "truck", "cargo",
+            "doctor", "hospital", "patient", "physician",
+        }
+
+
+class TestOrientation:
+    def test_as_is_orientation_changes_semantics(self):
+        default = SynonymExpander(EDGES, rank=8)
+        as_is = SynonymExpander(EDGES, rank=8, orientation="as-is")
+        # with as-is edges, "car" has no in-neighbours -> only self-similar
+        assert as_is.similarity("car", "auto") == pytest.approx(0.0, abs=1e-6)
+        assert default.similarity("car", "auto") > 0.1
+
+    def test_invalid_orientation(self):
+        with pytest.raises(InvalidParameterError):
+            SynonymExpander(EDGES, orientation="backwards")
+
+    def test_empty_edges(self):
+        with pytest.raises(InvalidParameterError):
+            SynonymExpander([])

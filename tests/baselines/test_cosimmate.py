@@ -1,0 +1,50 @@
+"""Unit tests for the CoSimMate baseline (repeated squaring, all-pairs)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cosimmate import CoSimMateEngine
+from repro.baselines.exact import ExactCoSimRank
+from repro.errors import InvalidParameterError, MemoryBudgetExceeded
+from repro.graphs.generators import chung_lu, erdos_renyi
+from repro.linalg.stein import squaring_iteration_count
+
+
+class TestCorrectness:
+    def test_matches_exact_at_tight_epsilon(self, small_er):
+        exact = ExactCoSimRank(small_er).all_pairs()
+        mate = CoSimMateEngine(small_er, epsilon=1e-10).all_pairs()
+        np.testing.assert_allclose(mate, exact, atol=1e-8)
+
+    def test_epsilon_bound_respected(self, small_er):
+        exact = ExactCoSimRank(small_er).all_pairs()
+        for eps in (1e-2, 1e-4, 1e-6):
+            mate = CoSimMateEngine(small_er, epsilon=eps).all_pairs()
+            assert np.max(np.abs(mate - exact)) < eps
+
+    def test_squaring_steps_exponentially_fewer(self, small_er):
+        engine = CoSimMateEngine(small_er, epsilon=1e-5).prepare()
+        assert engine.squaring_steps == squaring_iteration_count(0.6, 1e-5) + 1
+        assert engine.squaring_steps <= 8  # vs ~23 plain iterations
+
+    def test_query_slices_precomputed_matrix(self, small_er):
+        engine = CoSimMateEngine(small_er, epsilon=1e-8)
+        matrix = engine.all_pairs()
+        np.testing.assert_array_equal(engine.query([4])[:, 0], matrix[:, 4])
+
+
+class TestGuards:
+    def test_invalid_epsilon(self, small_er):
+        with pytest.raises(InvalidParameterError):
+            CoSimMateEngine(small_er, epsilon=0.0)
+
+    def test_memory_crash_with_tiny_budget(self):
+        graph = chung_lu(800, 4800, seed=12)
+        engine = CoSimMateEngine(graph, memory_budget_bytes=400_000)
+        with pytest.raises(MemoryBudgetExceeded):
+            engine.prepare()
+
+    def test_w_matrix_memory_tracked(self, small_er):
+        engine = CoSimMateEngine(small_er).prepare()
+        assert "precompute/W" in engine.memory.high_water_breakdown()
+        assert "precompute/S" in engine.memory.high_water_breakdown()

@@ -1,0 +1,75 @@
+"""Unit tests for the exact reference solver."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import (
+    ExactCoSimRank,
+    exact_cosimrank_direct,
+    exact_cosimrank_matrix,
+)
+from repro.errors import InvalidParameterError, MemoryBudgetExceeded
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import erdos_renyi, ring
+from repro.graphs.transition import transition_matrix
+
+
+class TestReferenceImplementations:
+    def test_iteration_matches_direct(self):
+        graph = erdos_renyi(20, 80, seed=1)
+        q_dense = transition_matrix(graph).toarray()
+        via_iter = exact_cosimrank_matrix(q_dense, 0.6, epsilon=1e-13)
+        via_direct = exact_cosimrank_direct(q_dense, 0.6)
+        np.testing.assert_allclose(via_iter, via_direct, atol=1e-10)
+
+    def test_direct_size_guard(self):
+        with pytest.raises(InvalidParameterError):
+            exact_cosimrank_direct(np.zeros((65, 65)), 0.6)
+
+    def test_fixed_point_property(self):
+        graph = erdos_renyi(15, 60, seed=2)
+        q_dense = transition_matrix(graph).toarray()
+        s_matrix = exact_cosimrank_matrix(q_dense, 0.7, epsilon=1e-13)
+        residual = s_matrix - (0.7 * q_dense.T @ s_matrix @ q_dense + np.eye(15))
+        assert np.max(np.abs(residual)) < 1e-10
+
+
+class TestEngine:
+    def test_engine_methods_agree(self, small_er):
+        engine = ExactCoSimRank(small_er)
+        matrix = engine.all_pairs()
+        column = engine.single_source(4)
+        np.testing.assert_array_equal(column, matrix[:, 4])
+        assert engine.single_pair(2, 4) == matrix[2, 4]
+
+    def test_direct_method_option(self):
+        graph = ring(8)
+        a = ExactCoSimRank(graph, method="direct").all_pairs()
+        b = ExactCoSimRank(graph, method="iteration").all_pairs()
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_bad_method(self):
+        with pytest.raises(InvalidParameterError):
+            ExactCoSimRank(ring(3), method="guess")
+
+    def test_bad_epsilon(self):
+        with pytest.raises(InvalidParameterError):
+            ExactCoSimRank(ring(3), epsilon=2.0)
+
+    def test_budget_refusal_before_allocation(self):
+        graph = erdos_renyi(200, 800, seed=3)
+        engine = ExactCoSimRank(graph, memory_budget_bytes=100_000)
+        with pytest.raises(MemoryBudgetExceeded):
+            engine.prepare()
+
+    def test_known_values_on_star(self):
+        """Inward star: all leaves share in-neighbour structure trivially."""
+        # leaves 1..3 -> hub 0; leaves have no in-edges
+        graph = DiGraph(4, [(1, 0), (2, 0), (3, 0)])
+        s_matrix = ExactCoSimRank(graph, damping=0.6).all_pairs()
+        # hub similarity: p_0^(1) is uniform over leaves, then dies
+        # S[0,0] = 1 + 0.6 * ||p^(1)||^2 = 1 + 0.6 * 3 * (1/3)^2
+        assert s_matrix[0, 0] == pytest.approx(1.0 + 0.6 / 3.0, abs=1e-10)
+        # leaves are only similar to themselves
+        assert s_matrix[1, 1] == pytest.approx(1.0)
+        assert s_matrix[1, 2] == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,101 @@
+"""Unit tests for the F-CoSim engine (exact single-source + dynamics)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactCoSimRank
+from repro.baselines.fcosim import FCoSimEngine
+from repro.errors import InvalidParameterError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import chung_lu
+
+
+def _two_components(size, edges_each, seed):
+    left = chung_lu(size, edges_each, seed=seed)
+    right = chung_lu(size, edges_each, seed=seed + 1)
+    src = np.concatenate([left.edge_sources, right.edge_sources + size])
+    dst = np.concatenate([left.edge_targets, right.edge_targets + size])
+    return DiGraph.from_arrays(2 * size, src, dst)
+
+
+class TestExactness:
+    def test_matches_exact_to_epsilon(self, small_er):
+        exact = ExactCoSimRank(small_er).query([1, 8, 30])
+        engine = FCoSimEngine(small_er, epsilon=1e-8)
+        np.testing.assert_allclose(engine.query([1, 8, 30]), exact, atol=1e-7)
+
+    def test_depth_chosen_from_epsilon(self, small_er):
+        shallow = FCoSimEngine(small_er, epsilon=1e-2)
+        deep = FCoSimEngine(small_er, epsilon=1e-10)
+        assert deep.depth > shallow.depth
+
+    def test_invalid_epsilon(self, small_er):
+        with pytest.raises(InvalidParameterError):
+            FCoSimEngine(small_er, epsilon=1.5)
+
+
+class TestCaching:
+    def test_cache_grows_and_hits(self, small_er):
+        engine = FCoSimEngine(small_er)
+        engine.query([1, 2])
+        assert engine.cache_size == 2
+        first = engine.query([1])[:, 0]
+        second = engine.query([1])[:, 0]
+        np.testing.assert_array_equal(first, second)
+        assert engine.cache_size == 2  # no new entries
+
+    def test_cached_column_is_reused_object_level(self, small_er):
+        engine = FCoSimEngine(small_er)
+        engine.query([4])
+        cached = engine._cache[4]
+        engine.query([4])
+        assert engine._cache[4] is cached
+
+
+class TestDynamics:
+    def test_update_correctness_random_edits(self):
+        """After arbitrary updates, results equal a fresh engine's."""
+        rng = np.random.default_rng(3)
+        graph = chung_lu(150, 700, seed=13)
+        engine = FCoSimEngine(graph, epsilon=1e-6)
+        queries = [0, 25, 50, 149]
+        engine.query(queries)
+        for _ in range(3):
+            add = [(int(rng.integers(150)), int(rng.integers(150)))]
+            add = [(s, t) for s, t in add if s != t]
+            engine.update_edges(added=add)
+            block = engine.query(queries)
+            fresh = FCoSimEngine(engine.graph, epsilon=1e-6).query(queries)
+            np.testing.assert_allclose(block, fresh, atol=1e-10)
+
+    def test_removal_correctness(self):
+        graph = chung_lu(100, 500, seed=14)
+        engine = FCoSimEngine(graph, epsilon=1e-6)
+        engine.query([10, 20])
+        edge = (int(graph.edge_sources[0]), int(graph.edge_targets[0]))
+        engine.update_edges(removed=[edge])
+        assert not engine.graph.has_edge(*edge)
+        fresh = FCoSimEngine(engine.graph, epsilon=1e-6).query([10, 20])
+        np.testing.assert_allclose(engine.query([10, 20]), fresh, atol=1e-10)
+
+    def test_locality_of_invalidation(self):
+        """Edits in one component leave the other's cache warm."""
+        graph = _two_components(200, 600, seed=15)
+        engine = FCoSimEngine(graph, epsilon=1e-4)
+        engine.query([5, 205])  # one query per component
+        invalidated = engine.update_edges(added=[(1, 2)])  # left component
+        assert invalidated <= 1
+        assert engine.cache_size >= 1  # the right-component column survives
+
+    def test_noop_update(self, small_er):
+        engine = FCoSimEngine(small_er)
+        engine.query([0])
+        assert engine.update_edges() == 0
+        assert engine.cache_size == 1
+
+    def test_update_applies_graph_change(self, small_er):
+        engine = FCoSimEngine(small_er)
+        engine.prepare()
+        new_edge = (0, 1) if not small_er.has_edge(0, 1) else (1, 0)
+        engine.update_edges(added=[new_edge])
+        assert engine.graph.has_edge(*new_edge)

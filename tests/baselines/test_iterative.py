@@ -1,0 +1,70 @@
+"""Unit tests for the CSR-IT baseline (all-pairs iteration)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactCoSimRank
+from repro.baselines.iterative import CSRITEngine
+from repro.errors import InvalidParameterError, MemoryBudgetExceeded, TimeBudgetExceeded
+from repro.graphs.generators import chung_lu, erdos_renyi
+from repro.graphs.transition import transition_matrix
+
+
+class TestCorrectness:
+    def test_matches_truncated_series(self, small_er):
+        """After K iterations, S equals the K-term power series."""
+        k_iters = 4
+        q_dense = transition_matrix(small_er).toarray()
+        expected = np.eye(small_er.num_nodes)
+        for _ in range(k_iters):
+            expected = 0.6 * q_dense.T @ expected @ q_dense + np.eye(
+                small_er.num_nodes
+            )
+        engine = CSRITEngine(small_er, iterations=k_iters)
+        np.testing.assert_allclose(engine.all_pairs(), expected, atol=1e-10)
+
+    def test_converges_to_exact(self, small_er):
+        exact = ExactCoSimRank(small_er).all_pairs()
+        engine = CSRITEngine(small_er, iterations=60)
+        np.testing.assert_allclose(engine.all_pairs(), exact, atol=1e-10)
+
+    def test_query_columns_match_all_pairs(self, small_er):
+        engine = CSRITEngine(small_er, iterations=10)
+        matrix = engine.all_pairs()
+        block = engine.query([3, 7])
+        np.testing.assert_array_equal(block[:, 0], matrix[:, 3])
+        np.testing.assert_array_equal(block[:, 1], matrix[:, 7])
+
+    def test_for_rank_fairness_rule(self, small_er):
+        engine = CSRITEngine.for_rank(small_er, rank=7)
+        assert engine.iterations == 7
+
+
+class TestResourceGuards:
+    def test_memory_crash_on_dense_fill_in(self):
+        graph = chung_lu(1000, 6000, seed=8)
+        engine = CSRITEngine(graph, iterations=5, memory_budget_bytes=500_000)
+        with pytest.raises(MemoryBudgetExceeded):
+            engine.prepare()
+
+    def test_time_budget_polled(self):
+        graph = chung_lu(2000, 12000, seed=9)
+        engine = CSRITEngine(graph, iterations=50)
+        engine.time_budget_seconds = 1e-9
+        with pytest.raises(TimeBudgetExceeded):
+            engine.prepare()
+
+    def test_invalid_iterations(self, small_er):
+        with pytest.raises(InvalidParameterError):
+            CSRITEngine(small_er, iterations=0)
+
+
+class TestQIndependence:
+    def test_preprocessing_holds_whole_matrix(self, small_er):
+        """The method is all-pairs: query cost is slicing only."""
+        engine = CSRITEngine(small_er, iterations=5).prepare()
+        small_block = engine.query([0])
+        large_block = engine.query(list(range(20)))
+        np.testing.assert_array_equal(small_block[:, 0], large_block[:, 0])
+        # the stored S matrix exists independent of queries
+        assert engine._s_matrix is not None

@@ -1,0 +1,88 @@
+"""Unit tests for the CSR-NI baseline (Li et al. 2010)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactCoSimRank
+from repro.baselines.ni import CSRNIEngine
+from repro.core.index import CSRPlusIndex
+from repro.errors import (
+    DecompositionError,
+    InvalidParameterError,
+    MemoryBudgetExceeded,
+)
+from repro.graphs.generators import chung_lu, erdos_renyi
+
+
+class TestLosslessnessVsCSRPlus:
+    """The paper's central exactness claim: Theorems 3.1-3.5 are
+    rewrites, so CSR-NI and CSR+ agree at every rank."""
+
+    @pytest.mark.parametrize("rank", [2, 5, 10, 25])
+    def test_equal_outputs_across_ranks(self, rank):
+        graph = chung_lu(60, 280, seed=4)
+        queries = [0, 10, 59]
+        ni = CSRNIEngine(graph, rank=rank).query(queries)
+        plus = CSRPlusIndex(graph, rank=rank, epsilon=1e-13).query(queries)
+        np.testing.assert_allclose(ni, plus, atol=1e-9)
+
+    @pytest.mark.parametrize("damping", [0.4, 0.6, 0.8])
+    def test_equal_outputs_across_damping(self, damping):
+        graph = erdos_renyi(50, 220, seed=5)
+        ni = CSRNIEngine(graph, rank=6, damping=damping).query([1, 2])
+        plus = CSRPlusIndex(
+            graph, rank=6, damping=damping, epsilon=1e-13
+        ).query([1, 2])
+        np.testing.assert_allclose(ni, plus, atol=1e-9)
+
+    def test_full_rank_matches_exact(self):
+        graph = erdos_renyi(25, 120, seed=6)
+        exact = ExactCoSimRank(graph).all_pairs()
+        # full numerical rank may be < n; use the largest safe rank
+        from repro.graphs.transition import transition_matrix
+
+        sigma = np.linalg.svd(
+            transition_matrix(graph).toarray(), compute_uv=False
+        )
+        rank = int(np.sum(sigma > 1e-10))
+        ni = CSRNIEngine(graph, rank=rank).all_pairs()
+        np.testing.assert_allclose(ni, exact, atol=1e-7)
+
+
+class TestCostStructure:
+    def test_tensor_products_materialised(self, small_er):
+        """The literal method really holds the O(n^2 r^2) arrays."""
+        n = small_er.num_nodes
+        rank = 3
+        engine = CSRNIEngine(small_er, rank=rank).prepare()
+        breakdown = engine.memory.high_water_breakdown()
+        assert breakdown["precompute/U_kron_U"] == n * n * rank * rank * 8
+        assert breakdown["precompute/V_kron_V"] == n * n * rank * rank * 8
+
+    def test_budget_crash_before_allocation(self):
+        graph = chung_lu(300, 1500, seed=7)
+        engine = CSRNIEngine(graph, rank=5, memory_budget_bytes=10_000_000)
+        with pytest.raises(MemoryBudgetExceeded):
+            engine.prepare()
+
+    def test_query_charges_vec_s(self, small_er):
+        engine = CSRNIEngine(small_er, rank=3)
+        engine.query([0])
+        n = small_er.num_nodes
+        assert engine.memory.high_water_breakdown()["query/vecS"] == n * n * 8
+
+
+class TestValidation:
+    def test_rank_bounds(self, small_er):
+        with pytest.raises(InvalidParameterError):
+            CSRNIEngine(small_er, rank=0)
+        with pytest.raises(InvalidParameterError):
+            CSRNIEngine(small_er, rank=small_er.num_nodes + 1)
+
+    def test_zero_singular_value_rejected(self):
+        """Rank exceeding rank(Q) makes Sigma kron Sigma singular."""
+        from repro.datasets.toy import figure1_graph
+
+        engine = CSRNIEngine(figure1_graph(), rank=6)  # rank(Q) = 4
+        with pytest.raises(DecompositionError):
+            engine.prepare()

@@ -1,0 +1,46 @@
+"""Unit tests for the engine registry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import COMPARISON_ENGINES, engine_names, make_engine
+from repro.errors import InvalidParameterError
+from repro.graphs.generators import erdos_renyi
+
+
+class TestRegistry:
+    def test_comparison_set_matches_paper(self):
+        assert COMPARISON_ENGINES == ("CSR+", "CSR-RLS", "CSR-IT", "CSR-NI")
+
+    def test_all_names_instantiable(self, small_er):
+        for name in engine_names():
+            engine = make_engine(name, small_er, rank=4)
+            assert engine.name == name
+
+    def test_unknown_name(self, small_er):
+        with pytest.raises(InvalidParameterError):
+            make_engine("CSR-??", small_er)
+
+    def test_fairness_rule_wiring(self, small_er):
+        it_engine = make_engine("CSR-IT", small_er, rank=9)
+        rls_engine = make_engine("CSR-RLS", small_er, rank=9)
+        assert it_engine.iterations == 9
+        assert rls_engine.iterations == 9
+
+    def test_budget_passed_through(self, small_er):
+        engine = make_engine("CSR+", small_er, memory_budget_bytes=123456)
+        assert engine.memory.budget_bytes == 123456
+
+    def test_all_engines_roughly_agree(self):
+        """Every registered engine approximates the same similarity."""
+        graph = erdos_renyi(40, 200, seed=16)
+        queries = [0, 5]
+        reference = make_engine("Exact", graph).query(queries)
+        for name in engine_names():
+            if name == "Exact":
+                continue
+            engine = make_engine(name, graph, rank=39)
+            block = engine.query(queries)
+            # RP-CoSim is stochastic; everything else is tight.
+            tolerance = 0.5 if name == "RP-CoSim" else 2e-2
+            assert np.max(np.abs(block - reference)) < tolerance, name

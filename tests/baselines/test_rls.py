@@ -1,0 +1,71 @@
+"""Unit tests for the CSR-RLS baseline (per-query forward/backward)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.iterative import CSRITEngine
+from repro.baselines.rls import CSRRLSEngine
+from repro.errors import InvalidParameterError, TimeBudgetExceeded
+from repro.graphs.generators import chung_lu
+from repro.graphs.transition import transition_matrix
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k_iters", [1, 3, 8])
+    def test_matches_truncated_series_per_query(self, small_er, k_iters):
+        """u_0 = sum_{j<=K} c^j (Q^T)^j Q^j e_q, per the linearisation."""
+        q_dense = transition_matrix(small_er).toarray()
+        n = small_er.num_nodes
+        query = 5
+        expected = np.zeros(n)
+        power = np.eye(n)[:, query]
+        forward = [power]
+        for _ in range(k_iters):
+            forward.append(q_dense @ forward[-1])
+        for j, vec in enumerate(forward):
+            expected += (0.6**j) * np.linalg.matrix_power(q_dense.T, j) @ vec
+        engine = CSRRLSEngine(small_er, iterations=k_iters)
+        np.testing.assert_allclose(engine.single_source(query), expected, atol=1e-10)
+
+    def test_agrees_with_csr_it_at_equal_iterations(self, small_powerlaw):
+        """Same truncation depth => identical numbers (both exact)."""
+        queries = [0, 17, 63]
+        rls = CSRRLSEngine(small_powerlaw, iterations=6).query(queries)
+        it = CSRITEngine(small_powerlaw, iterations=6).query(queries)
+        np.testing.assert_allclose(rls, it, atol=1e-10)
+
+    def test_for_rank_fairness_rule(self, small_er):
+        assert CSRRLSEngine.for_rank(small_er, rank=9).iterations == 9
+
+
+class TestPerQueryCostStructure:
+    def test_query_time_grows_with_q(self):
+        """The per-query loop means more queries -> more matvecs.
+
+        Asserted structurally (matvec counter), not by wall clock.
+        """
+        graph = chung_lu(500, 2500, seed=10)
+        engine = CSRRLSEngine(graph, iterations=5).prepare()
+        calls = {"n": 0}
+        original = engine._single_query_column
+
+        def counting(query):
+            calls["n"] += 1
+            return original(query)
+
+        engine._single_query_column = counting
+        engine.query(list(range(10)))
+        assert calls["n"] == 10
+        engine.query(list(range(30)))
+        assert calls["n"] == 40
+
+    def test_time_budget_polled_between_queries(self):
+        graph = chung_lu(500, 2500, seed=11)
+        engine = CSRRLSEngine(graph, iterations=5).prepare()
+        engine.time_budget_seconds = 1e-9
+        with pytest.raises(TimeBudgetExceeded):
+            engine.query(list(range(5)))
+
+    def test_invalid_iterations(self, small_er):
+        with pytest.raises(InvalidParameterError):
+            CSRRLSEngine(small_er, iterations=-1)

@@ -1,0 +1,80 @@
+"""Unit tests for the RP-CoSim baseline (random projections)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactCoSimRank
+from repro.baselines.rpcosim import RPCoSimEngine
+from repro.errors import InvalidParameterError
+from repro.metrics.accuracy import avg_diff
+
+
+class TestEstimatorQuality:
+    def test_error_shrinks_with_more_projections(self, small_er):
+        exact = ExactCoSimRank(small_er).query([0, 5, 9])
+        errors = []
+        for d in (16, 256, 4096):
+            engine = RPCoSimEngine(
+                small_er, iterations=30, num_projections=d, seed=1
+            )
+            errors.append(avg_diff(engine.query([0, 5, 9]), exact))
+        assert errors[2] < errors[0]
+        assert errors[2] < 0.05
+
+    def test_roughly_unbiased_across_seeds(self, small_er):
+        """Averaging estimates over seeds approaches the exact value."""
+        exact = ExactCoSimRank(small_er).single_pair(3, 8)
+        estimates = [
+            RPCoSimEngine(
+                small_er, iterations=30, num_projections=64, seed=s
+            ).single_pair(3, 8)
+            for s in range(20)
+        ]
+        assert np.mean(estimates) == pytest.approx(exact, abs=0.05)
+
+    def test_standard_error_bound_positive_and_shrinking(self, small_er):
+        loose = RPCoSimEngine(small_er, num_projections=16).standard_error_bound()
+        tight = RPCoSimEngine(small_er, num_projections=1024).standard_error_bound()
+        assert 0 < tight < loose
+
+
+class TestModes:
+    def test_modes_agree(self, small_er):
+        all_pairs = RPCoSimEngine(
+            small_er, iterations=10, num_projections=128, seed=3, mode="all-pairs"
+        ).query([2, 4])
+        multi = RPCoSimEngine(
+            small_er, iterations=10, num_projections=128, seed=3, mode="multi-source"
+        ).query([2, 4])
+        np.testing.assert_allclose(all_pairs, multi, atol=1e-9)
+
+    def test_all_pairs_mode_materialises_n_squared(self, small_er):
+        engine = RPCoSimEngine(small_er, mode="all-pairs").prepare()
+        n = small_er.num_nodes
+        assert engine.memory.high_water_breakdown()["precompute/S_hat"] == n * n * 8
+
+    def test_multi_source_mode_does_not(self, small_er):
+        engine = RPCoSimEngine(small_er, mode="multi-source").prepare()
+        assert "precompute/S_hat" not in engine.memory.high_water_breakdown()
+
+    def test_deterministic_given_seed(self, small_er):
+        a = RPCoSimEngine(small_er, seed=7).query([0])
+        b = RPCoSimEngine(small_er, seed=7).query([0])
+        np.testing.assert_array_equal(a, b)
+
+
+class TestValidation:
+    def test_bad_mode(self, small_er):
+        with pytest.raises(InvalidParameterError):
+            RPCoSimEngine(small_er, mode="exactly")
+
+    def test_bad_projections(self, small_er):
+        with pytest.raises(InvalidParameterError):
+            RPCoSimEngine(small_er, num_projections=0)
+
+    def test_bad_iterations(self, small_er):
+        with pytest.raises(InvalidParameterError):
+            RPCoSimEngine(small_er, iterations=0)
+
+    def test_for_rank(self, small_er):
+        assert RPCoSimEngine.for_rank(small_er, rank=4).iterations == 4

@@ -1,0 +1,73 @@
+"""Unit tests for the single-pair early-termination algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactCoSimRank
+from repro.baselines.single_pair import single_pair_cosimrank
+from repro.errors import InvalidParameterError, QueryError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import chung_lu, path_graph, ring
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("pair", [(0, 0), (1, 8), (30, 55)])
+    def test_matches_exact(self, small_er, pair):
+        exact = ExactCoSimRank(small_er).single_pair(*pair)
+        value, _ = single_pair_cosimrank(small_er, *pair, epsilon=1e-10)
+        assert value == pytest.approx(exact, abs=1e-8)
+
+    def test_self_pair_at_least_one(self, small_powerlaw):
+        value, _ = single_pair_cosimrank(small_powerlaw, 3, 3)
+        assert value >= 1.0
+
+    def test_symmetry(self, small_er):
+        ab, _ = single_pair_cosimrank(small_er, 2, 9, epsilon=1e-10)
+        ba, _ = single_pair_cosimrank(small_er, 9, 2, epsilon=1e-10)
+        assert ab == pytest.approx(ba, abs=1e-12)
+
+    def test_epsilon_bound(self, small_powerlaw):
+        exact = ExactCoSimRank(small_powerlaw).single_pair(5, 17)
+        for eps in (1e-2, 1e-5, 1e-8):
+            value, _ = single_pair_cosimrank(small_powerlaw, 5, 17, epsilon=eps)
+            assert abs(value - exact) < eps
+
+
+class TestEarlyTermination:
+    def test_dead_walk_stops_early(self):
+        """On a path the walk leaves the graph after n steps."""
+        graph = path_graph(5)
+        _, iterations = single_pair_cosimrank(graph, 4, 4, epsilon=1e-300,
+                                              max_iterations=1000)
+        assert iterations <= 5
+
+    def test_tail_bound_termination(self):
+        """On a ring the walk lives forever; the tail bound stops it."""
+        graph = ring(6)
+        _, iterations = single_pair_cosimrank(graph, 0, 0, epsilon=1e-6)
+        # c^k/(1-c) < 1e-6 at k ~ 27 for c = 0.6
+        assert 20 <= iterations <= 40
+
+    def test_tighter_epsilon_more_iterations(self, small_powerlaw):
+        _, loose = single_pair_cosimrank(small_powerlaw, 0, 1, epsilon=1e-2)
+        _, tight = single_pair_cosimrank(small_powerlaw, 0, 1, epsilon=1e-10)
+        assert tight >= loose
+
+
+class TestValidation:
+    def test_bad_damping(self, small_er):
+        with pytest.raises(InvalidParameterError):
+            single_pair_cosimrank(small_er, 0, 1, damping=1.0)
+
+    def test_bad_epsilon(self, small_er):
+        with pytest.raises(InvalidParameterError):
+            single_pair_cosimrank(small_er, 0, 1, epsilon=0.0)
+
+    def test_bad_nodes(self, small_er):
+        with pytest.raises(QueryError):
+            single_pair_cosimrank(small_er, 0, 999)
+
+    def test_disconnected_pair_zero(self):
+        graph = DiGraph(4, [(0, 1), (2, 3)])
+        value, _ = single_pair_cosimrank(graph, 1, 3)
+        assert value == 0.0

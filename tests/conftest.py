@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.toy import figure1_graph
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import chung_lu, erdos_renyi, preferential_attachment
+
+
+@pytest.fixture
+def toy_graph() -> DiGraph:
+    """The paper's 6-node Figure-1 graph."""
+    return figure1_graph()
+
+
+@pytest.fixture
+def small_er() -> DiGraph:
+    """A deterministic 60-node Erdos-Renyi graph."""
+    return erdos_renyi(60, 240, seed=17)
+
+
+@pytest.fixture
+def small_powerlaw() -> DiGraph:
+    """A deterministic 120-node Chung-Lu graph."""
+    return chung_lu(120, 600, seed=23)
+
+
+@pytest.fixture
+def medium_powerlaw() -> DiGraph:
+    """A deterministic 400-node Chung-Lu graph (integration tests)."""
+    return chung_lu(400, 2000, seed=29)
+
+
+@pytest.fixture
+def small_social() -> DiGraph:
+    """A deterministic preferential-attachment graph."""
+    return preferential_attachment(150, 4, seed=31)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,163 @@
+"""Unit tests for the SimilarityEngine interface and query plumbing."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.base import SimilarityEngine, normalize_queries
+from repro.core.index import CSRPlusIndex
+from repro.errors import (
+    InvalidParameterError,
+    QueryError,
+    TimeBudgetExceeded,
+)
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import ring
+
+
+class TestNormalizeQueries:
+    def test_scalar(self):
+        np.testing.assert_array_equal(normalize_queries(3, 10), [3])
+
+    def test_list(self):
+        np.testing.assert_array_equal(normalize_queries([1, 5, 2], 10), [1, 5, 2])
+
+    def test_numpy_array(self):
+        arr = np.array([0, 9])
+        np.testing.assert_array_equal(normalize_queries(arr, 10), [0, 9])
+
+    def test_duplicates_preserved(self):
+        np.testing.assert_array_equal(normalize_queries([2, 2], 10), [2, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            normalize_queries([], 10)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(QueryError):
+            normalize_queries([10], 10)
+        with pytest.raises(QueryError):
+            normalize_queries([-1], 10)
+
+
+class _CountingEngine(SimilarityEngine):
+    """Minimal engine: similarity = identity; counts prepare calls."""
+
+    name = "counting"
+
+    def __init__(self, graph, **kwargs):
+        super().__init__(graph, **kwargs)
+        self.prepare_calls = 0
+
+    def _prepare_impl(self):
+        self.prepare_calls += 1
+
+    def _query_impl(self, query_ids):
+        out = np.zeros((self.num_nodes, query_ids.size))
+        out[query_ids, np.arange(query_ids.size)] = 1.0
+        return out
+
+
+class TestEngineProtocol:
+    def test_prepare_idempotent(self):
+        engine = _CountingEngine(ring(5))
+        engine.prepare().prepare()
+        engine.query(0)
+        assert engine.prepare_calls == 1
+        assert engine.is_prepared
+
+    def test_query_auto_prepares(self):
+        engine = _CountingEngine(ring(5))
+        engine.query([1, 2])
+        assert engine.prepare_calls == 1
+
+    def test_query_shape_and_order(self):
+        engine = _CountingEngine(ring(6))
+        block = engine.query([4, 1])
+        assert block.shape == (6, 2)
+        assert block[4, 0] == 1.0
+        assert block[1, 1] == 1.0
+
+    def test_single_source_and_pair(self):
+        engine = _CountingEngine(ring(6))
+        column = engine.single_source(2)
+        assert column.shape == (6,)
+        assert engine.single_pair(2, 2) == 1.0
+        assert engine.single_pair(0, 2) == 0.0
+
+    def test_single_pair_validates_row(self):
+        engine = _CountingEngine(ring(4))
+        with pytest.raises(QueryError):
+            engine.single_pair(9, 1)
+
+    def test_all_pairs(self):
+        engine = _CountingEngine(ring(4))
+        np.testing.assert_array_equal(engine.all_pairs(), np.eye(4))
+
+    def test_bad_damping(self):
+        with pytest.raises(InvalidParameterError):
+            _CountingEngine(ring(3), damping=1.5)
+
+    def test_timers_recorded(self):
+        engine = _CountingEngine(ring(4))
+        engine.query(0)
+        assert engine.prepare_seconds >= 0.0
+        assert engine.last_query_seconds >= 0.0
+
+
+class TestTopK:
+    def test_top_k_excludes_self(self):
+        index = CSRPlusIndex(ring(8), rank=4).prepare()
+        top = index.top_k(3, 3)
+        assert 3 not in top
+        assert len(top) == 3
+
+    def test_top_k_include_self(self):
+        index = CSRPlusIndex(ring(8), rank=8).prepare()
+        top = index.top_k(3, 1, exclude_self=False)
+        # the diagonal dominates, so the node itself ranks first
+        assert top[0] == 3
+
+    def test_top_k_deterministic_ties(self):
+        engine = _CountingEngine(ring(6))
+        # every other node scores 0 -> ties broken by ascending id
+        assert engine.top_k(2, 3).tolist() == [0, 1, 3]
+
+    def test_top_k_validates_k(self):
+        engine = _CountingEngine(ring(4))
+        with pytest.raises(InvalidParameterError):
+            engine.top_k(0, 0)
+
+    def test_top_k_clips_k(self):
+        engine = _CountingEngine(ring(4))
+        assert engine.top_k(0, 100).size == 3  # n-1 after excluding self
+
+
+class _SlowEngine(SimilarityEngine):
+    """Engine that polls the time budget from a long loop."""
+
+    name = "slow"
+
+    def _prepare_impl(self):
+        deadline = time.perf_counter() + 5.0
+        while time.perf_counter() < deadline:
+            self.check_time_budget()
+            time.sleep(0.005)
+
+    def _query_impl(self, query_ids):  # pragma: no cover - never reached
+        return np.zeros((self.num_nodes, query_ids.size))
+
+
+class TestTimeBudget:
+    def test_budget_triggers(self):
+        engine = _SlowEngine(ring(3))
+        engine.time_budget_seconds = 0.05
+        with pytest.raises(TimeBudgetExceeded) as err:
+            engine.prepare()
+        assert err.value.budget_seconds == 0.05
+        assert "prepare" in str(err.value)
+
+    def test_no_budget_no_check(self):
+        engine = _CountingEngine(ring(3))
+        engine.check_time_budget()  # no-op without a budget

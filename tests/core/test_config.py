@@ -1,0 +1,77 @@
+"""Unit tests for CSRPlusConfig."""
+
+import pytest
+
+from repro.core.config import (
+    DEFAULT_DAMPING,
+    DEFAULT_EPSILON,
+    DEFAULT_RANK,
+    CSRPlusConfig,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = CSRPlusConfig()
+        assert config.damping == DEFAULT_DAMPING == 0.6
+        assert config.rank == DEFAULT_RANK == 5
+        assert config.epsilon == DEFAULT_EPSILON == 1e-5
+        assert config.solver == "squaring"
+        assert config.dangling == "zero"
+        assert config.memory_budget_bytes is None
+
+    def test_frozen(self):
+        config = CSRPlusConfig()
+        with pytest.raises(Exception):
+            config.rank = 10
+
+
+class TestValidation:
+    @pytest.mark.parametrize("damping", [0.0, 1.0, -0.5, 2.0])
+    def test_bad_damping(self, damping):
+        with pytest.raises(InvalidParameterError):
+            CSRPlusConfig(damping=damping)
+
+    def test_bad_rank(self):
+        with pytest.raises(InvalidParameterError):
+            CSRPlusConfig(rank=0)
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, -1e-5])
+    def test_bad_epsilon(self, epsilon):
+        with pytest.raises(InvalidParameterError):
+            CSRPlusConfig(epsilon=epsilon)
+
+    def test_bad_solver(self):
+        with pytest.raises(InvalidParameterError):
+            CSRPlusConfig(solver="magic")
+
+    def test_bad_dangling(self):
+        with pytest.raises(InvalidParameterError):
+            CSRPlusConfig(dangling="loop")
+
+    def test_bad_budget(self):
+        with pytest.raises(InvalidParameterError):
+            CSRPlusConfig(memory_budget_bytes=-5)
+
+    def test_is_value_error(self):
+        """Generic callers that catch ValueError keep working."""
+        with pytest.raises(ValueError):
+            CSRPlusConfig(rank=-1)
+
+
+class TestOverrides:
+    def test_with_overrides(self):
+        config = CSRPlusConfig().with_overrides(rank=12, damping=0.8)
+        assert config.rank == 12
+        assert config.damping == 0.8
+        assert config.epsilon == DEFAULT_EPSILON
+
+    def test_overrides_validated(self):
+        with pytest.raises(InvalidParameterError):
+            CSRPlusConfig().with_overrides(damping=7.0)
+
+    def test_overrides_do_not_mutate(self):
+        base = CSRPlusConfig()
+        base.with_overrides(rank=9)
+        assert base.rank == DEFAULT_RANK

@@ -1,0 +1,57 @@
+"""Unit tests for the functional one-shot API."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CSRPlusConfig
+from repro.core.csr_plus import (
+    cosimrank_all_pairs,
+    cosimrank_multi_source,
+    cosimrank_single_pair,
+    cosimrank_single_source,
+    cosimrank_top_k,
+)
+from repro.core.index import CSRPlusIndex
+from repro.graphs.generators import chung_lu
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu(80, 400, seed=3)
+
+
+class TestFunctionalAPI:
+    def test_multi_source_matches_index(self, graph):
+        via_fn = cosimrank_multi_source(graph, [1, 2], rank=6)
+        via_index = CSRPlusIndex(graph, rank=6).query([1, 2])
+        np.testing.assert_array_equal(via_fn, via_index)
+
+    def test_single_source(self, graph):
+        column = cosimrank_single_source(graph, 5, rank=6)
+        assert column.shape == (80,)
+        assert column[5] >= 0.9  # diagonal term
+
+    def test_single_pair_symmetry(self, graph):
+        ab = cosimrank_single_pair(graph, 3, 11, rank=10)
+        ba = cosimrank_single_pair(graph, 11, 3, rank=10)
+        assert ab == pytest.approx(ba, abs=1e-9)
+
+    def test_all_pairs_shape(self, graph):
+        matrix = cosimrank_all_pairs(graph, rank=4)
+        assert matrix.shape == (80, 80)
+
+    def test_top_k(self, graph):
+        top = cosimrank_top_k(graph, 7, 5, rank=6)
+        assert len(top) == 5
+        assert 7 not in top
+
+    def test_config_object_accepted(self, graph):
+        config = CSRPlusConfig(rank=4, damping=0.7)
+        block = cosimrank_multi_source(graph, [0], config)
+        assert block.shape == (80, 1)
+
+    def test_override_beats_config(self, graph):
+        config = CSRPlusConfig(rank=4)
+        a = cosimrank_multi_source(graph, [0], config, rank=12)
+        b = cosimrank_multi_source(graph, [0], rank=12)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,91 @@
+"""Unit tests for the O(nr) diagonal and cosine-normalised queries."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactCoSimRank
+from repro.core.index import CSRPlusIndex
+from repro.errors import NotPreparedError
+from repro.graphs.generators import chung_lu, ring
+from repro.graphs.transition import transition_matrix
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu(120, 600, seed=57)
+
+
+class TestDiagonal:
+    def test_matches_all_pairs_diagonal(self, graph):
+        index = CSRPlusIndex(graph, rank=15).prepare()
+        np.testing.assert_allclose(
+            index.diagonal(), np.diag(index.all_pairs()), atol=1e-10
+        )
+
+    def test_full_rank_matches_exact(self, graph):
+        index = CSRPlusIndex(graph, rank=120, epsilon=1e-12).prepare()
+        exact_diag = np.diag(ExactCoSimRank(graph).all_pairs())
+        np.testing.assert_allclose(index.diagonal(), exact_diag, atol=1e-7)
+
+    def test_diagonal_not_constant(self, graph):
+        """The §1 nuance: unlike SimRank, self-similarity varies."""
+        index = CSRPlusIndex(graph, rank=120, epsilon=1e-12).prepare()
+        diag = index.diagonal()
+        assert diag.max() - diag.min() > 1e-3
+
+    def test_requires_prepare(self, graph):
+        with pytest.raises(NotPreparedError):
+            CSRPlusIndex(graph, rank=5).diagonal()
+
+
+class TestQueryNormalized:
+    def test_self_similarity_becomes_one(self, graph):
+        index = CSRPlusIndex(graph, rank=120, epsilon=1e-12).prepare()
+        queries = [3, 40, 119]
+        block = index.query_normalized(queries)
+        for col, q in enumerate(queries):
+            assert block[q, col] == pytest.approx(1.0, abs=1e-9)
+
+    def test_matches_manual_normalisation(self, graph):
+        index = CSRPlusIndex(graph, rank=20).prepare()
+        queries = [5, 9]
+        raw = index.query(queries)
+        diag = index.diagonal()
+        manual = raw / np.sqrt(
+            np.abs(diag)[:, None] * np.abs(diag)[queries][None, :]
+        )
+        np.testing.assert_allclose(
+            index.query_normalized(queries), manual, atol=1e-9
+        )
+
+    def test_normalised_scores_bounded_at_full_rank(self, graph):
+        """Cauchy-Schwarz per term: |S[x,q]| <= sqrt(S[x,x] S[q,q])."""
+        index = CSRPlusIndex(graph, rank=120, epsilon=1e-12).prepare()
+        block = index.query_normalized(list(range(0, 120, 7)))
+        assert block.max() <= 1.0 + 1e-8
+        assert block.min() >= -1.0 - 1e-8
+
+    def test_ring_normalised_identity(self):
+        index = CSRPlusIndex(ring(8), rank=8, epsilon=1e-12).prepare()
+        block = index.query_normalized([0, 4])
+        np.testing.assert_allclose(block, np.eye(8)[:, [0, 4]], atol=1e-8)
+
+
+class TestUniformDanglingPolicy:
+    """Engine-level correctness under the 'uniform' dangling policy."""
+
+    def test_csr_plus_matches_exact_under_uniform(self):
+        graph = chung_lu(60, 250, seed=58)
+        exact = ExactCoSimRank(graph, dangling="uniform").all_pairs()
+        index = CSRPlusIndex(
+            graph, rank=60, epsilon=1e-12, dangling="uniform"
+        ).prepare()
+        np.testing.assert_allclose(index.all_pairs(), exact, atol=1e-7)
+
+    def test_uniform_differs_from_zero_when_dangling_exists(self):
+        graph = chung_lu(60, 250, seed=58)
+        if not graph.dangling_nodes().size:
+            pytest.skip("stand-in has no dangling nodes")
+        zero = ExactCoSimRank(graph, dangling="zero").all_pairs()
+        uniform = ExactCoSimRank(graph, dangling="uniform").all_pairs()
+        assert np.max(np.abs(zero - uniform)) > 1e-9

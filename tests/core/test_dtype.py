@@ -1,0 +1,56 @@
+"""Unit tests for float32 factor storage."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CSRPlusConfig
+from repro.core.index import CSRPlusIndex
+from repro.errors import InvalidParameterError
+from repro.graphs.generators import chung_lu
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu(200, 1000, seed=63)
+
+
+class TestFloat32Index:
+    def test_results_close_to_float64(self, graph):
+        queries = [0, 50, 199]
+        full = CSRPlusIndex(graph, rank=10).query(queries)
+        half = CSRPlusIndex(graph, rank=10, dtype="float32").query(queries)
+        np.testing.assert_allclose(half, full, atol=1e-4)
+
+    def test_factor_dtype_and_memory_halved(self, graph):
+        full = CSRPlusIndex(graph, rank=10).prepare()
+        half = CSRPlusIndex(graph, rank=10, dtype="float32").prepare()
+        u32, _, _, z32 = half.factors
+        assert u32.dtype == np.float32
+        assert z32.dtype == np.float32
+        live_full = full.memory.live_breakdown()
+        live_half = half.memory.live_breakdown()
+        assert live_half["precompute/U"] * 2 == live_full["precompute/U"]
+        assert live_half["precompute/Z"] * 2 == live_full["precompute/Z"]
+
+    def test_query_result_dtype(self, graph):
+        index = CSRPlusIndex(graph, rank=5, dtype="float32").prepare()
+        assert index.query([0]).dtype == np.float32
+
+    def test_top_k_agrees_between_dtypes(self, graph):
+        full = CSRPlusIndex(graph, rank=10).prepare()
+        half = CSRPlusIndex(graph, rank=10, dtype="float32").prepare()
+        # head of the ranking survives the precision drop
+        full_top = set(full.top_k(7, 5).tolist())
+        half_top = set(half.top_k(7, 10).tolist())
+        assert full_top <= half_top
+
+    def test_invalid_dtype_rejected(self, graph):
+        with pytest.raises(InvalidParameterError):
+            CSRPlusConfig(dtype="float16")
+
+    def test_save_load_preserves_dtype(self, graph, tmp_path):
+        index = CSRPlusIndex(graph, rank=5, dtype="float32").prepare()
+        path = tmp_path / "half.npz"
+        index.save(path)
+        loaded = CSRPlusIndex.load(path, graph)
+        assert loaded.factors[0].dtype == np.float32

@@ -1,0 +1,91 @@
+"""Unit tests for the dynamic CSR+ rebuild-policy wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import DynamicCSRPlus
+from repro.core.index import CSRPlusIndex
+from repro.errors import InvalidParameterError
+from repro.graphs.generators import chung_lu
+
+
+@pytest.fixture
+def graph():
+    return chung_lu(120, 600, seed=37)
+
+
+def _fresh_block(graph, queries, rank=6):
+    return CSRPlusIndex(graph, rank=rank).query(queries)
+
+
+class TestPolicies:
+    def test_immediate_always_fresh(self, graph):
+        dyn = DynamicCSRPlus(graph, rank=6, policy="immediate")
+        dyn.update_edges(added=[(0, 5)])
+        assert dyn.is_fresh
+        assert dyn.rebuild_count == 1
+        np.testing.assert_allclose(
+            dyn.query([3]), _fresh_block(dyn.graph, [3]), atol=1e-12
+        )
+
+    def test_batch_accumulates_then_rebuilds(self, graph):
+        dyn = DynamicCSRPlus(graph, rank=6, policy="batch", batch_size=3)
+        dyn.update_edges(added=[(0, 7)])
+        dyn.update_edges(added=[(1, 8)])
+        assert dyn.staleness == 2
+        assert dyn.rebuild_count == 0
+        dyn.update_edges(added=[(2, 9)])  # hits the threshold
+        assert dyn.is_fresh
+        assert dyn.rebuild_count == 1
+
+    def test_manual_never_auto_rebuilds(self, graph):
+        dyn = DynamicCSRPlus(graph, rank=6, policy="manual")
+        for i in range(10):
+            dyn.update_edges(added=[(i, (i + 11) % 120)])
+        assert dyn.staleness == 10
+        assert dyn.rebuild_count == 0
+        dyn.refresh()
+        assert dyn.is_fresh
+        assert dyn.rebuild_count == 1
+
+    def test_stale_queries_serve_old_index(self, graph):
+        dyn = DynamicCSRPlus(graph, rank=6, policy="manual")
+        before = dyn.query([4]).copy()
+        dyn.update_edges(added=[(0, 4), (1, 4), (2, 4)])
+        np.testing.assert_array_equal(dyn.query([4]), before)  # stale
+        dyn.refresh()
+        after = dyn.query([4])
+        assert np.max(np.abs(after - before)) > 0  # updates took effect
+
+    def test_refresh_matches_fresh_build(self, graph):
+        dyn = DynamicCSRPlus(graph, rank=6, policy="manual")
+        dyn.update_edges(added=[(5, 50), (6, 60)], removed=[next(iter(graph.edges()))])
+        dyn.refresh()
+        np.testing.assert_allclose(
+            dyn.query([5, 50]), _fresh_block(dyn.graph, [5, 50]), atol=1e-12
+        )
+
+    def test_noop_refresh_cheap(self, graph):
+        dyn = DynamicCSRPlus(graph, rank=6)
+        index_before = dyn.index
+        dyn.refresh()
+        assert dyn.index is index_before
+        assert dyn.rebuild_count == 0
+
+
+class TestSurface:
+    def test_query_helpers(self, graph):
+        dyn = DynamicCSRPlus(graph, rank=6)
+        assert dyn.single_source(2).shape == (120,)
+        assert dyn.top_k(2, 4).size == 4
+
+    def test_empty_update_noop(self, graph):
+        dyn = DynamicCSRPlus(graph, rank=6)
+        dyn.update_edges()
+        assert dyn.is_fresh
+
+    def test_validation(self, graph):
+        with pytest.raises(InvalidParameterError):
+            DynamicCSRPlus(graph, policy="psychic")
+        with pytest.raises(InvalidParameterError):
+            DynamicCSRPlus(graph, batch_size=0)

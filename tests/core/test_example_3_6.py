@@ -1,0 +1,120 @@
+"""End-to-end check of the paper's worked Example 3.6 and Figure 1.
+
+These tests pin the reproduction to the paper's own arithmetic: the
+Figure-1 graph structure, the printed transition matrix, the singular
+values, the rank-3 multi-source result, and the duplicate-PPR
+observation of Example 1.1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.index import CSRPlusIndex
+from repro.datasets.toy import (
+    EXAMPLE_3_6_DAMPING,
+    EXAMPLE_3_6_RANK,
+    FIGURE1_LABELS,
+    FIGURE1_NODES,
+    example_3_6_expected,
+    example_3_6_queries,
+    figure1_graph,
+    figure1_node_ids,
+)
+from repro.graphs.transition import transition_matrix
+from repro.linalg.svd import truncated_svd
+
+
+class TestFigure1Structure:
+    def test_size(self):
+        graph = figure1_graph()
+        assert graph.num_nodes == 6
+        assert graph.num_edges == 11
+
+    def test_one_hop_in_neighbours_of_b_and_d_share_a_and_e(self):
+        """Example 1.1: in(b) and in(d) share exactly {a, e}."""
+        graph = figure1_graph()
+        ids = figure1_node_ids()
+        in_b = set(graph.in_neighbors(ids["b"]).tolist())
+        in_d = set(graph.in_neighbors(ids["d"]).tolist())
+        assert in_b & in_d == {ids["a"], ids["e"]}
+
+    def test_c_and_f_share_in_neighbour_d(self):
+        """Example 1.1: c and f have the same in-neighbour set {d}."""
+        graph = figure1_graph()
+        ids = figure1_node_ids()
+        assert graph.in_neighbors(ids["c"]).tolist() == [ids["d"]]
+        assert graph.in_neighbors(ids["f"]).tolist() == [ids["d"]]
+
+    def test_identical_ppr_from_second_hop(self):
+        """Example 1.1: p_b^(k) == p_d^(k) for every k >= 2."""
+        graph = figure1_graph()
+        ids = figure1_node_ids()
+        q_matrix = transition_matrix(graph).toarray()
+        p_b = np.eye(6)[:, ids["b"]]
+        p_d = np.eye(6)[:, ids["d"]]
+        for hop in range(1, 6):
+            p_b = q_matrix @ p_b
+            p_d = q_matrix @ p_d
+            if hop >= 2:
+                np.testing.assert_allclose(p_b, p_d, atol=1e-12)
+
+    def test_labels(self):
+        assert FIGURE1_LABELS == {"a": "art", "b": "law", "d": "law"}
+        assert FIGURE1_NODES == ("a", "b", "c", "d", "e", "f")
+
+
+class TestTransitionMatrixOfExample:
+    def test_printed_q(self):
+        """The Q block printed in Example 3.6."""
+        q_matrix = transition_matrix(figure1_graph()).toarray()
+        third = 1.0 / 3.0
+        expected = np.array(
+            [
+                [0, third, 0, third, 0, 0],
+                [0, 0, 0, 0, 0, 0],
+                [0, third, 0, 0, 0.5, 0],
+                [1, 0, 1, 0, 0, 1],
+                [0, third, 0, third, 0, 0],
+                [0, 0, 0, third, 0.5, 0],
+            ]
+        )
+        np.testing.assert_allclose(q_matrix, expected, atol=1e-12)
+
+    def test_printed_singular_values(self):
+        """Sigma = diag(1.73, 0.87, 0.54) at rank 3."""
+        q_matrix = transition_matrix(figure1_graph())
+        svd = truncated_svd(q_matrix, 3)
+        np.testing.assert_allclose(
+            svd.sigma, [1.73, 0.87, 0.54], atol=5e-3
+        )
+
+
+class TestWorkedExample:
+    def test_rank3_multi_source_result(self):
+        """CSR+ with r=3, c=0.6, Q={b,d} reproduces the printed block."""
+        graph = figure1_graph()
+        index = CSRPlusIndex(
+            graph, rank=EXAMPLE_3_6_RANK, damping=EXAMPLE_3_6_DAMPING
+        ).prepare()
+        block = index.query(example_3_6_queries())
+        np.testing.assert_allclose(block, example_3_6_expected(), atol=5e-3)
+
+    def test_columns_b_and_d_symmetric_pattern(self):
+        """b and d are structurally exchangeable in the result."""
+        block = CSRPlusIndex(
+            figure1_graph(), rank=3, damping=0.6
+        ).query(example_3_6_queries())
+        ids = figure1_node_ids()
+        # [S]_{b,b} == [S]_{d,d} and [S]_{d,b} == [S]_{b,d}
+        assert block[ids["b"], 0] == pytest.approx(block[ids["d"], 1], abs=1e-9)
+        assert block[ids["d"], 0] == pytest.approx(block[ids["b"], 1], abs=1e-9)
+
+    def test_against_li_et_al_at_same_rank(self):
+        """Example 3.6's closing claim: same result as Li et al. [4]."""
+        from repro.baselines.ni import CSRNIEngine
+
+        graph = figure1_graph()
+        queries = example_3_6_queries()
+        plus = CSRPlusIndex(graph, rank=3, damping=0.6).query(queries)
+        ni = CSRNIEngine(graph, rank=3, damping=0.6).query(queries)
+        np.testing.assert_allclose(plus, ni, atol=1e-10)

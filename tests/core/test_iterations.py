@@ -1,0 +1,56 @@
+"""Unit tests for the iteration-count helpers."""
+
+import pytest
+
+from repro.core.iterations import (
+    baseline_iterations_for_rank,
+    fixed_point_iterations,
+    squaring_iterations,
+    truncation_error_bound,
+)
+
+
+class TestCounts:
+    def test_squaring_matches_paper_formula(self):
+        # max(0, floor(log2(log_0.6 1e-5)) + 1) = 5
+        assert squaring_iterations(0.6, 1e-5) == 5
+
+    def test_loose_epsilon_zero_iterations(self):
+        assert squaring_iterations(0.6, 0.9) == 0
+
+    def test_fixed_point_geometric(self):
+        k = fixed_point_iterations(0.8, 1e-4)
+        assert 0.8**k < 1e-4 <= 0.8 ** (k - 1)
+
+    def test_baseline_fairness_rule(self):
+        assert baseline_iterations_for_rank(5) == 5
+        assert baseline_iterations_for_rank(0) == 1  # floor at 1
+
+
+class TestTruncationBound:
+    def test_bound_formula(self):
+        assert truncation_error_bound(0.6, 4) == pytest.approx(0.6**5 / 0.4)
+
+    def test_bound_decreases(self):
+        assert truncation_error_bound(0.6, 10) < truncation_error_bound(0.6, 5)
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            truncation_error_bound(0.6, -1)
+
+    def test_bound_holds_empirically(self, small_er):
+        """The tail bound really dominates the truncation error."""
+        import numpy as np
+
+        from repro.graphs.transition import transition_matrix
+
+        q_dense = transition_matrix(small_er).toarray()
+        n = small_er.num_nodes
+        full = np.eye(n)
+        for _ in range(200):
+            full = 0.6 * q_dense.T @ full @ q_dense + np.eye(n)
+        truncated = np.eye(n)
+        for _ in range(6):
+            truncated = 0.6 * q_dense.T @ truncated @ q_dense + np.eye(n)
+        observed = np.max(np.abs(full - truncated))
+        assert observed <= truncation_error_bound(0.6, 6) + 1e-12

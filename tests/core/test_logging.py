@@ -1,0 +1,36 @@
+"""Logging instrumentation tests."""
+
+import logging
+
+import numpy as np
+
+from repro.core.index import CSRPlusIndex
+from repro.experiments.harness import measure
+from repro.graphs.generators import chung_lu, ring
+
+
+class TestEngineLogging:
+    def test_prepare_and_query_logged_at_debug(self, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.engines"):
+            index = CSRPlusIndex(ring(10), rank=4).prepare()
+            index.query([0, 1])
+        messages = [r.message for r in caplog.records]
+        assert any("prepared" in m for m in messages)
+        assert any("query" in m for m in messages)
+
+    def test_silent_at_default_level(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.engines"):
+            CSRPlusIndex(ring(10), rank=4).prepare()
+        assert not caplog.records
+
+
+class TestHarnessLogging:
+    def test_budget_crash_logged_at_info(self, caplog):
+        graph = chung_lu(500, 2500, seed=44)
+        with caplog.at_level(logging.INFO, logger="repro.experiments"):
+            record = measure(
+                "CSR-NI", graph, np.array([0]),
+                memory_budget_bytes=1_000_000, time_budget_seconds=None,
+            )
+        assert record.status == "memory"
+        assert any("memory budget" in r.message for r in caplog.records)

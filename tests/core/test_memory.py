@@ -1,0 +1,146 @@
+"""Unit tests for the memory meter."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.memory import MemoryMeter, array_nbytes, nbytes_of, sparse_nbytes
+from repro.errors import InvalidParameterError, MemoryBudgetExceeded
+
+
+class TestByteHelpers:
+    def test_array_nbytes(self):
+        assert array_nbytes((10, 20)) == 1600
+        assert array_nbytes((3,), np.float32) == 12
+        assert array_nbytes(()) == 8  # scalar
+
+    def test_array_nbytes_negative_dim(self):
+        with pytest.raises(InvalidParameterError):
+            array_nbytes((-1, 5))
+
+    def test_sparse_nbytes_csr(self):
+        matrix = sparse.identity(100, format="csr")
+        expected = matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+        assert sparse_nbytes(matrix) == expected
+
+    def test_sparse_nbytes_coo(self):
+        matrix = sparse.identity(50, format="coo")
+        assert sparse_nbytes(matrix) > 0
+
+    def test_nbytes_of_dense(self):
+        assert nbytes_of(np.zeros((4, 4))) == 128
+
+    def test_nbytes_of_sparse(self):
+        matrix = sparse.identity(10, format="csr")
+        assert nbytes_of(matrix) == sparse_nbytes(matrix)
+
+
+class TestMeterAccounting:
+    def test_charge_and_peak(self):
+        meter = MemoryMeter()
+        meter.charge("a", 100)
+        meter.charge("b", 50)
+        assert meter.current_bytes == 150
+        assert meter.peak_bytes == 150
+        meter.release("a")
+        assert meter.current_bytes == 50
+        assert meter.peak_bytes == 150  # peak survives releases
+
+    def test_recharge_replaces(self):
+        meter = MemoryMeter()
+        meter.charge("s", 100)
+        meter.charge("s", 30)
+        assert meter.current_bytes == 30
+        assert meter.peak_bytes == 100
+
+    def test_high_water_per_label(self):
+        meter = MemoryMeter()
+        meter.charge("x", 10)
+        meter.charge("x", 5)
+        assert meter.high_water_breakdown()["x"] == 10
+        assert meter.live_breakdown()["x"] == 5
+
+    def test_release_unknown_is_noop(self):
+        meter = MemoryMeter()
+        meter.release("ghost")
+        assert meter.current_bytes == 0
+
+    def test_reset(self):
+        meter = MemoryMeter()
+        meter.charge("a", 10)
+        meter.reset()
+        assert meter.current_bytes == 0
+        assert meter.peak_bytes == 0
+
+    def test_charge_array(self):
+        meter = MemoryMeter()
+        meter.charge_array("arr", np.zeros(10))
+        assert meter.current_bytes == 80
+
+    def test_negative_charge_rejected(self):
+        meter = MemoryMeter()
+        with pytest.raises(InvalidParameterError):
+            meter.charge("a", -1)
+
+
+class TestBudget:
+    def test_budget_enforced(self):
+        meter = MemoryMeter(budget_bytes=100)
+        meter.charge("a", 60)
+        with pytest.raises(MemoryBudgetExceeded) as err:
+            meter.charge("b", 60)
+        assert err.value.budget_bytes == 100
+        assert err.value.requested_bytes == 120
+        # failed charge must not be recorded
+        assert meter.current_bytes == 60
+
+    def test_replacing_label_within_budget(self):
+        meter = MemoryMeter(budget_bytes=100)
+        meter.charge("a", 90)
+        meter.charge("a", 95)  # replaces, stays within budget
+        assert meter.current_bytes == 95
+
+    def test_require_checks_without_recording(self):
+        meter = MemoryMeter(budget_bytes=100)
+        meter.require("big", 80)
+        assert meter.current_bytes == 0
+        with pytest.raises(MemoryBudgetExceeded):
+            meter.require("big", 200)
+
+    def test_require_accounts_for_replacement(self):
+        meter = MemoryMeter(budget_bytes=100)
+        meter.charge("s", 90)
+        meter.require("s", 95)  # replacement frees the old 90 first
+
+    def test_invalid_budget(self):
+        with pytest.raises(InvalidParameterError):
+            MemoryMeter(budget_bytes=0)
+
+    def test_unlimited_budget(self):
+        meter = MemoryMeter()
+        meter.charge("huge", 10**15)
+        assert meter.peak_bytes == 10**15
+
+    def test_exception_is_memory_error(self):
+        with pytest.raises(MemoryError):
+            MemoryMeter(budget_bytes=1).charge("x", 2)
+
+
+class TestPhaseBreakdown:
+    def test_phase_peak(self):
+        meter = MemoryMeter()
+        meter.charge("precompute/U", 100)
+        meter.charge("precompute/Z", 50)
+        meter.charge("query/S", 30)
+        assert meter.phase_peak_bytes("precompute") == 150
+        assert meter.phase_peak_bytes("query") == 30
+        assert meter.phase_peak_bytes("precompute/") == 150  # trailing slash ok
+
+    def test_phase_peak_uses_high_water(self):
+        meter = MemoryMeter()
+        meter.charge("query/S", 100)
+        meter.charge("query/S", 10)
+        assert meter.phase_peak_bytes("query") == 100
+
+    def test_unknown_phase_zero(self):
+        assert MemoryMeter().phase_peak_bytes("nothing") == 0

@@ -1,0 +1,74 @@
+"""Theorem 3.7's memory accounting, checked byte for byte.
+
+The meter is deterministic, so the O(rn) claim can be verified against
+closed-form predictions of every factor's size — not just trends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.index import CSRPlusIndex
+from repro.core.memory import sparse_nbytes
+from repro.graphs.generators import chung_lu, erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    graph = erdos_renyi(500, 2500, seed=81)
+    index = CSRPlusIndex(graph, rank=7).prepare()
+    return graph, index
+
+
+class TestFactorSizes:
+    def test_u_and_z_are_8nr_bytes(self, prepared):
+        graph, index = prepared
+        n, r = graph.num_nodes, 7
+        live = index.memory.live_breakdown()
+        assert live["precompute/U"] == 8 * n * r
+        assert live["precompute/Z"] == 8 * n * r
+
+    def test_subspace_factors_are_r_squared(self, prepared):
+        _, index = prepared
+        live = index.memory.live_breakdown()
+        assert live["precompute/H"] == 8 * 7 * 7
+        assert live["precompute/P"] == 8 * 7 * 7
+        assert live["precompute/Sigma"] == 8 * 7
+
+    def test_q_charged_at_sparse_size(self, prepared):
+        _, index = prepared
+        live = index.memory.live_breakdown()
+        assert live["precompute/Q"] == sparse_nbytes(index.transition())
+
+    def test_v_not_retained(self, prepared):
+        _, index = prepared
+        assert "precompute/V" not in index.memory.live_breakdown()
+
+    def test_query_block_is_8nq_bytes(self, prepared):
+        graph, index = prepared
+        index.query(list(range(13)))
+        live = index.memory.live_breakdown()
+        assert live["query/S"] == 8 * graph.num_nodes * 13
+
+
+class TestScalingLaws:
+    def test_peak_memory_linear_in_rank(self):
+        graph = chung_lu(400, 2000, seed=82)
+        peaks = {}
+        for rank in (5, 10, 20):
+            index = CSRPlusIndex(graph, rank=rank).prepare()
+            peaks[rank] = index.memory.peak_bytes
+        # difference the rank-independent Q cost away: the increments
+        # between consecutive rank doublings must themselves double
+        growth = (peaks[20] - peaks[10]) / (peaks[10] - peaks[5])
+        assert growth == pytest.approx(2.0, rel=0.35)
+
+    def test_peak_memory_linear_in_n(self):
+        peaks = []
+        for n in (300, 600, 1200):
+            graph = erdos_renyi(n, 5 * n, seed=83)
+            index = CSRPlusIndex(graph, rank=6).prepare()
+            peaks.append(index.memory.peak_bytes)
+        ratio1 = peaks[1] / peaks[0]
+        ratio2 = peaks[2] / peaks[1]
+        assert ratio1 == pytest.approx(2.0, rel=0.3)
+        assert ratio2 == pytest.approx(2.0, rel=0.3)

@@ -1,0 +1,69 @@
+"""Unit tests for re-damping an index without recomputing the SVD."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import CSRPlusIndex
+from repro.errors import InvalidParameterError
+from repro.graphs.generators import chung_lu
+
+
+@pytest.fixture(scope="module")
+def base_index():
+    graph = chung_lu(150, 750, seed=91)
+    return CSRPlusIndex(graph, rank=10, damping=0.6).prepare()
+
+
+class TestRebuildForDamping:
+    def test_matches_fresh_index(self, base_index):
+        rebuilt = base_index.rebuild_for_damping(0.8)
+        fresh = CSRPlusIndex(base_index.graph, rank=10, damping=0.8).prepare()
+        np.testing.assert_allclose(
+            rebuilt.query([0, 5, 9]), fresh.query([0, 5, 9]), atol=1e-10
+        )
+
+    def test_shares_u_factor(self, base_index):
+        rebuilt = base_index.rebuild_for_damping(0.4)
+        assert rebuilt.factors[0] is base_index.factors[0]
+
+    def test_original_unchanged(self, base_index):
+        before = base_index.query([3]).copy()
+        base_index.rebuild_for_damping(0.9)
+        np.testing.assert_array_equal(base_index.query([3]), before)
+        assert base_index.damping == 0.6
+
+    def test_new_config_recorded(self, base_index):
+        rebuilt = base_index.rebuild_for_damping(0.3)
+        assert rebuilt.damping == 0.3
+        assert rebuilt.config.rank == 10
+        assert rebuilt.is_prepared
+
+    def test_validates_damping(self, base_index):
+        with pytest.raises(InvalidParameterError):
+            base_index.rebuild_for_damping(1.0)
+
+    def test_requires_prepared(self):
+        graph = chung_lu(50, 200, seed=92)
+        index = CSRPlusIndex(graph, rank=5)
+        from repro.errors import NotPreparedError
+
+        with pytest.raises(NotPreparedError):
+            index.rebuild_for_damping(0.5)
+
+    def test_chain_of_redampings(self, base_index):
+        """Re-damping a re-damped index still matches a fresh build."""
+        chained = base_index.rebuild_for_damping(0.8).rebuild_for_damping(0.5)
+        fresh = CSRPlusIndex(base_index.graph, rank=10, damping=0.5).prepare()
+        np.testing.assert_allclose(
+            chained.query([1]), fresh.query([1]), atol=1e-10
+        )
+
+    def test_save_load_preserves_redamping_ability(self, base_index, tmp_path):
+        path = tmp_path / "index.npz"
+        base_index.save(path)
+        loaded = CSRPlusIndex.load(path, base_index.graph)
+        rebuilt = loaded.rebuild_for_damping(0.7)
+        fresh = CSRPlusIndex(base_index.graph, rank=10, damping=0.7).prepare()
+        np.testing.assert_allclose(
+            rebuilt.query([2]), fresh.query([2]), atol=1e-10
+        )

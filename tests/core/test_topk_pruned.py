@@ -1,0 +1,81 @@
+"""Unit tests for the norm-bound pruned top-k search."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import CSRPlusIndex
+from repro.core.topk import top_k_pruned
+from repro.errors import InvalidParameterError
+from repro.graphs.generators import chung_lu, preferential_attachment, ring
+
+
+@pytest.fixture(scope="module")
+def skewed_index():
+    graph = preferential_attachment(2_000, 4, seed=41)
+    return CSRPlusIndex(graph, rank=8).prepare()
+
+
+class TestExactness:
+    @pytest.mark.parametrize("query", [0, 17, 1999])
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_matches_flat_top_k_scores(self, skewed_index, query, k):
+        result = top_k_pruned(skewed_index, query, k)
+        flat = skewed_index.top_k(query, k)
+        flat_scores = skewed_index.single_source(query)[flat]
+        # identical score multisets (ordering of fp-ties may differ)
+        np.testing.assert_allclose(
+            np.sort(result.scores), np.sort(flat_scores), atol=1e-10
+        )
+
+    def test_scores_match_engine_values(self, skewed_index):
+        result = top_k_pruned(skewed_index, 5, 10)
+        column = skewed_index.single_source(5)
+        np.testing.assert_allclose(
+            result.scores, column[result.nodes], atol=1e-10
+        )
+
+    def test_descending_order(self, skewed_index):
+        result = top_k_pruned(skewed_index, 3, 15)
+        assert np.all(np.diff(result.scores) <= 1e-12)
+
+    def test_self_excluded_by_default(self, skewed_index):
+        result = top_k_pruned(skewed_index, 7, 10)
+        assert 7 not in result.nodes
+
+    def test_self_included_ranks_first(self, skewed_index):
+        result = top_k_pruned(skewed_index, 7, 3, exclude_self=False)
+        assert result.nodes[0] == 7  # diagonal +1 dominates
+
+
+class TestPruningEffectiveness:
+    def test_skewed_graph_scores_fewer_than_n(self, skewed_index):
+        n = skewed_index.num_nodes
+        result = top_k_pruned(skewed_index, 11, 10)
+        assert result.candidates_scored < n
+
+    def test_uniform_graph_still_correct(self):
+        """On a ring (all norms equal) pruning cannot help, but the
+        result must still be exact."""
+        index = CSRPlusIndex(ring(50), rank=10).prepare()
+        result = top_k_pruned(index, 4, 5)
+        flat = index.top_k(4, 5)
+        np.testing.assert_allclose(
+            np.sort(result.scores),
+            np.sort(index.single_source(4)[flat]),
+            atol=1e-10,
+        )
+
+
+class TestValidation:
+    def test_bad_k(self, skewed_index):
+        with pytest.raises(InvalidParameterError):
+            top_k_pruned(skewed_index, 0, 0)
+
+    def test_bad_query(self, skewed_index):
+        with pytest.raises(InvalidParameterError):
+            top_k_pruned(skewed_index, 10**6, 3)
+
+    def test_auto_prepares(self):
+        index = CSRPlusIndex(chung_lu(100, 500, seed=42), rank=5)
+        result = top_k_pruned(index, 0, 3)
+        assert result.nodes.size == 3

@@ -1,0 +1,65 @@
+"""Unit tests for rank truncation (one SVD, many ranks)."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import CSRPlusIndex
+from repro.errors import InvalidParameterError, NotPreparedError
+from repro.graphs.generators import chung_lu
+
+
+@pytest.fixture(scope="module")
+def base():
+    graph = chung_lu(150, 750, seed=67)
+    return CSRPlusIndex(graph, rank=40).prepare()
+
+
+class TestTruncateToRank:
+    @pytest.mark.parametrize("rank", [1, 5, 20, 40])
+    def test_matches_fresh_build(self, base, rank):
+        truncated = base.truncate_to_rank(rank)
+        fresh = CSRPlusIndex(base.graph, rank=rank).prepare()
+        np.testing.assert_allclose(
+            truncated.query([0, 10]), fresh.query([0, 10]), atol=1e-6
+        )
+
+    def test_factor_shapes(self, base):
+        truncated = base.truncate_to_rank(7)
+        u, sigma, p, z = truncated.factors
+        n = base.graph.num_nodes
+        assert u.shape == (n, 7)
+        assert sigma.shape == (7,)
+        assert p.shape == (7, 7)
+        assert z.shape == (n, 7)
+
+    def test_original_untouched(self, base):
+        before = base.query([3]).copy()
+        base.truncate_to_rank(5)
+        np.testing.assert_array_equal(base.query([3]), before)
+        assert base.config.rank == 40
+
+    def test_validates_rank(self, base):
+        with pytest.raises(InvalidParameterError):
+            base.truncate_to_rank(0)
+        with pytest.raises(InvalidParameterError):
+            base.truncate_to_rank(41)  # cannot go UP without a new SVD
+
+    def test_requires_prepared(self):
+        index = CSRPlusIndex(chung_lu(50, 200, seed=68), rank=10)
+        with pytest.raises(NotPreparedError):
+            index.truncate_to_rank(5)
+
+    def test_chain_truncations(self, base):
+        """Truncating twice equals truncating once to the final rank."""
+        twice = base.truncate_to_rank(20).truncate_to_rank(6)
+        once = base.truncate_to_rank(6)
+        np.testing.assert_allclose(
+            twice.query([1]), once.query([1]), atol=1e-10
+        )
+
+    def test_float32_preserved(self):
+        graph = chung_lu(80, 400, seed=69)
+        base32 = CSRPlusIndex(graph, rank=20, dtype="float32").prepare()
+        truncated = base32.truncate_to_rank(5)
+        assert truncated.factors[0].dtype == np.float32
+        assert truncated.factors[3].dtype == np.float32

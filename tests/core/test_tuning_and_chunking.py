@@ -1,0 +1,106 @@
+"""Unit tests for rank-selection tooling and chunked queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import CSRPlusIndex
+from repro.core.tuning import (
+    estimate_rank_error,
+    singular_value_profile,
+    suggest_rank,
+)
+from repro.errors import InvalidParameterError
+from repro.graphs.generators import chung_lu, ring
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu(200, 1000, seed=61)
+
+
+class TestSingularValueProfile:
+    def test_descending_and_bounded(self, graph):
+        sigma = singular_value_profile(graph, 20)
+        assert sigma.shape == (20,)
+        assert np.all(np.diff(sigma) <= 1e-12)
+        assert np.all(sigma >= 0)
+
+    def test_clipped_to_n(self):
+        sigma = singular_value_profile(ring(5), 50)
+        assert sigma.size == 5
+
+    def test_validation(self, graph):
+        with pytest.raises(InvalidParameterError):
+            singular_value_profile(graph, 0)
+
+
+class TestEstimateRankError:
+    def test_error_positive_and_decreasing(self, graph):
+        low = estimate_rank_error(graph, 5, reference_rank=120)
+        high = estimate_rank_error(graph, 40, reference_rank=120)
+        assert low > 0
+        assert high < low
+
+    def test_default_reference(self, graph):
+        error = estimate_rank_error(graph, 10)
+        assert error >= 0
+
+    def test_reference_must_exceed_rank(self, graph):
+        with pytest.raises(InvalidParameterError):
+            estimate_rank_error(graph, 10, reference_rank=10)
+
+    def test_rank_bounds(self, graph):
+        with pytest.raises(InvalidParameterError):
+            estimate_rank_error(graph, 0)
+
+
+class TestSuggestRank:
+    def test_loose_target_picks_smallest(self, graph):
+        assert suggest_rank(graph, 1.0, candidates=(5, 20, 50)) == 5
+
+    def test_tight_target_picks_larger(self, graph):
+        loose = suggest_rank(graph, 1.0, candidates=(5, 20, 80))
+        tight = suggest_rank(graph, 1e-5, candidates=(5, 20, 80))
+        assert tight >= loose
+
+    def test_unreachable_target_returns_largest(self, graph):
+        assert suggest_rank(graph, 1e-30, candidates=(5, 20)) == 20
+
+    def test_validation(self, graph):
+        with pytest.raises(InvalidParameterError):
+            suggest_rank(graph, 0.0)
+        with pytest.raises(InvalidParameterError):
+            suggest_rank(ring(3), 0.1, candidates=(50,))
+
+
+class TestChunkedQueries:
+    def test_chunks_concatenate_to_full_block(self, graph):
+        index = CSRPlusIndex(graph, rank=8).prepare()
+        queries = np.arange(50)
+        full = index.query(queries)
+        pieces = [block for _, block in index.query_chunked(queries, chunk_size=7)]
+        np.testing.assert_allclose(np.hstack(pieces), full, atol=1e-12)
+
+    def test_chunk_ids_partition_queries(self, graph):
+        index = CSRPlusIndex(graph, rank=4).prepare()
+        queries = np.array([3, 9, 27, 81, 162])
+        seen = [chunk for chunk, _ in index.query_chunked(queries, chunk_size=2)]
+        np.testing.assert_array_equal(np.concatenate(seen), queries)
+
+    def test_invalid_chunk_size(self, graph):
+        index = CSRPlusIndex(graph, rank=4)
+        with pytest.raises(InvalidParameterError):
+            list(index.query_chunked([0], chunk_size=0))
+
+    def test_top_k_multi_matches_top_k(self, graph):
+        index = CSRPlusIndex(graph, rank=8).prepare()
+        queries = [0, 10, 199]
+        table = index.top_k_multi(queries, k=5, chunk_size=2)
+        assert table.shape == (3, 5)
+        for row, query in zip(table, queries):
+            np.testing.assert_array_equal(row, index.top_k(query, 5))
+
+    def test_top_k_multi_validates_k(self, graph):
+        index = CSRPlusIndex(graph, rank=4)
+        with pytest.raises(InvalidParameterError):
+            index.top_k_multi([0], k=0)

@@ -1,0 +1,81 @@
+"""Unit tests for the dataset registry and stand-ins."""
+
+import pytest
+
+from repro.datasets.registry import (
+    PAPER_DATASETS,
+    dataset_keys,
+    load_dataset,
+    paper_table,
+)
+from repro.errors import DatasetError
+
+
+class TestCatalogue:
+    def test_keys_in_paper_order(self):
+        assert dataset_keys() == ["FB", "P2P", "YT", "WT", "TW", "WB"]
+
+    def test_paper_statistics(self):
+        """The §4.1 table, transcribed."""
+        fb = PAPER_DATASETS["FB"]
+        assert (fb.paper_nodes, fb.paper_edges) == (4_039, 88_234)
+        tw = PAPER_DATASETS["TW"]
+        assert (tw.paper_nodes, tw.paper_edges) == (41_625_230, 1_468_365_182)
+        assert PAPER_DATASETS["WB"].paper_edges == 1_019_903_190
+
+    def test_paper_density_ratios(self):
+        assert PAPER_DATASETS["FB"].paper_density == pytest.approx(21.9, abs=0.1)
+        assert PAPER_DATASETS["P2P"].paper_density == pytest.approx(2.4, abs=0.1)
+        assert PAPER_DATASETS["TW"].paper_density == pytest.approx(35.3, abs=0.1)
+
+    def test_paper_table_rows(self):
+        rows = paper_table()
+        assert len(rows) == 6
+        assert rows[0]["Data"] == "FB"
+        assert rows[-1]["Description"].startswith("A graph obtained")
+
+
+class TestStandins:
+    def test_tiny_tier_sizes(self):
+        for key in dataset_keys():
+            graph = load_dataset(key, "tiny")
+            spec_nodes, _ = PAPER_DATASETS[key].standin_sizes["tiny"]
+            assert graph.num_nodes >= spec_nodes * 0.9
+            assert graph.num_edges > 0
+
+    def test_density_tracks_paper_ratio(self):
+        """Each stand-in keeps the paper's m/n within a factor ~2."""
+        for key in dataset_keys():
+            graph = load_dataset(key, "tiny")
+            paper_ratio = PAPER_DATASETS[key].paper_density
+            assert graph.density == pytest.approx(paper_ratio, rel=0.8), key
+
+    def test_size_ordering_preserved(self):
+        """Small -> large dataset ordering survives scaling (bench tier)."""
+        sizes = [
+            PAPER_DATASETS[key].standin_sizes["bench"][0] for key in dataset_keys()
+        ]
+        # FB and P2P are the small pair; TW/WB the large pair
+        assert sizes[0] < sizes[2] < sizes[4]
+        assert sizes[1] < sizes[3] < sizes[5]
+
+    def test_deterministic_and_cached(self):
+        a = load_dataset("FB", "tiny")
+        b = load_dataset("FB", "tiny")
+        assert a is b  # lru_cache
+
+    def test_unknown_key(self):
+        with pytest.raises(DatasetError):
+            load_dataset("NOPE")
+
+    def test_unknown_tier(self):
+        with pytest.raises(DatasetError):
+            load_dataset("FB", "huge")
+
+    def test_heavy_tail_for_crawl_standins(self):
+        """TW/WB stand-ins are skewed; P2P's ER stand-in is not."""
+        tw = load_dataset("TW", "tiny")
+        p2p = load_dataset("P2P", "tiny")
+        tw_ratio = tw.in_degrees().max() / max(1.0, tw.in_degrees().mean())
+        p2p_ratio = p2p.in_degrees().max() / max(1.0, p2p.in_degrees().mean())
+        assert tw_ratio > 2 * p2p_ratio

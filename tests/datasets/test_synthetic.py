@@ -1,0 +1,48 @@
+"""Unit tests for custom-size stand-in generation."""
+
+import pytest
+
+from repro.datasets.registry import PAPER_DATASETS, dataset_keys
+from repro.datasets.synthetic import make_standin
+from repro.errors import DatasetError, InvalidParameterError
+
+
+class TestMakeStandin:
+    @pytest.mark.parametrize("key", ["P2P", "YT", "WT"])
+    def test_density_matches_paper(self, key):
+        graph = make_standin(key, 2_000)
+        paper_ratio = PAPER_DATASETS[key].paper_density
+        assert graph.density == pytest.approx(paper_ratio, rel=0.2)
+
+    def test_fb_is_dense_social(self):
+        graph = make_standin("FB", 500)
+        assert graph.density > 10  # FB's m/n is 21.9
+
+    def test_rmat_keys_round_to_power_of_two(self):
+        graph = make_standin("TW", 1_000)
+        assert graph.num_nodes == 1_024
+
+    @pytest.mark.parametrize("key", dataset_keys())
+    def test_every_key_buildable(self, key):
+        graph = make_standin(key, 300)
+        assert graph.num_edges > 0
+
+    def test_deterministic_default_seed(self):
+        assert make_standin("YT", 400) == make_standin("YT", 400)
+
+    def test_custom_seed_changes_graph(self):
+        assert make_standin("YT", 400, seed=1) != make_standin("YT", 400, seed=2)
+
+    def test_unknown_key(self):
+        with pytest.raises(DatasetError):
+            make_standin("??", 100)
+
+    def test_too_small(self):
+        with pytest.raises(InvalidParameterError):
+            make_standin("FB", 1)
+
+    def test_scales_beyond_bench_tier(self):
+        """The knob genuinely goes bigger than the registry tier."""
+        bench_nodes = PAPER_DATASETS["P2P"].standin_sizes["bench"][0]
+        graph = make_standin("P2P", bench_nodes * 4)
+        assert graph.num_nodes == bench_nodes * 4

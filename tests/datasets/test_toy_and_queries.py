@@ -1,0 +1,59 @@
+"""Unit tests for the toy dataset module and query sampling."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.queries import sample_queries
+from repro.datasets.toy import (
+    example_3_6_expected,
+    example_3_6_queries,
+    figure1_graph,
+    figure1_node_ids,
+)
+from repro.errors import InvalidParameterError
+from repro.graphs.generators import ring
+
+
+class TestToy:
+    def test_node_ids_stable(self):
+        ids = figure1_node_ids()
+        assert ids == {"a": 0, "b": 1, "c": 2, "d": 3, "e": 4, "f": 5}
+
+    def test_queries_are_b_and_d(self):
+        np.testing.assert_array_equal(example_3_6_queries(), [1, 3])
+
+    def test_expected_block_shape(self):
+        block = example_3_6_expected()
+        assert block.shape == (6, 2)
+        assert block[1, 0] == pytest.approx(1.49)
+
+    def test_graph_fresh_instances(self):
+        assert figure1_graph() == figure1_graph()
+        assert figure1_graph() is not figure1_graph()
+
+
+class TestSampleQueries:
+    def test_deterministic(self):
+        graph = ring(50)
+        np.testing.assert_array_equal(
+            sample_queries(graph, 10, seed=3), sample_queries(graph, 10, seed=3)
+        )
+
+    def test_distinct_and_in_range(self):
+        graph = ring(30)
+        queries = sample_queries(graph, 20, seed=1)
+        assert len(set(queries.tolist())) == 20
+        assert queries.min() >= 0
+        assert queries.max() < 30
+
+    def test_sorted(self):
+        queries = sample_queries(ring(40), 15, seed=2)
+        assert np.all(np.diff(queries) > 0)
+
+    def test_too_many(self):
+        with pytest.raises(InvalidParameterError):
+            sample_queries(ring(5), 6)
+
+    def test_zero_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            sample_queries(ring(5), 0)

@@ -1,0 +1,95 @@
+"""Unit tests for the analytic cost models."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments.complexity import (
+    cost_models,
+    csr_ni_cost,
+    csr_plus_cost,
+    feasible_under_budget,
+)
+
+
+class TestModelShapes:
+    def test_csr_plus_linear_in_n(self):
+        base = csr_plus_cost(10_000, 50_000, 5, 100)
+        doubled = csr_plus_cost(20_000, 100_000, 5, 100)
+        assert doubled / base == pytest.approx(2.0, rel=0.05)
+
+    def test_csr_ni_quadratic_in_n(self):
+        base = csr_ni_cost(1_000, 5_000, 5, 100)
+        doubled = csr_ni_cost(2_000, 10_000, 5, 100)
+        assert doubled / base == pytest.approx(4.0, rel=0.01)
+
+    def test_csr_ni_quartic_in_r(self):
+        base = csr_ni_cost(1_000, 5_000, 5, 100)
+        doubled = csr_ni_cost(1_000, 5_000, 10, 100)
+        assert doubled / base > 10
+
+    def test_orderings_at_paper_defaults(self):
+        """At any realistic size CSR+ predicts the cheapest run."""
+        models = cost_models()
+        for n in (10_000, 1_000_000):
+            m, r, q = 5 * n, 5, 100
+            mine = models["CSR+"].time(n, m, r, q)
+            for name in ("CSR-NI", "CSR-IT", "CSR-RLS"):
+                assert mine < models[name].time(n, m, r, q), name
+
+    def test_memory_orderings(self):
+        models = cost_models()
+        n, m, r, q = 100_000, 500_000, 5, 100
+        mine = models["CSR+"].memory(n, m, r, q)
+        assert mine < models["CSR-NI"].memory(n, m, r, q) / 1_000
+        assert mine < models["CSR-IT"].memory(n, m, r, q)
+
+
+class TestFeasibility:
+    def test_csr_ni_infeasible_at_paper_scale(self):
+        """CSR-NI cannot hold YT (n=1.13M) even in 256 GB."""
+        assert not feasible_under_budget(
+            "CSR-NI", 1_134_890, 5_975_248, 5, 100, 256 * 10**9
+        )
+
+    def test_csr_plus_feasible_at_billion_edges(self):
+        """CSR+ fits TW (1.47B edges) in the paper's 256 GB."""
+        assert feasible_under_budget(
+            "CSR+", 41_625_230, 1_468_365_182, 5, 100, 256 * 10**9
+        )
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(InvalidParameterError):
+            feasible_under_budget("CSR-XX", 10, 10, 2, 1, 1000)
+
+    def test_bad_budget(self):
+        with pytest.raises(InvalidParameterError):
+            feasible_under_budget("CSR+", 10, 10, 2, 1, 0)
+
+    def test_bad_sizes(self):
+        with pytest.raises(InvalidParameterError):
+            cost_models()["CSR+"].time(0, 0, 1, 1)
+
+
+class TestAgainstMeasurements:
+    def test_model_ranks_engines_like_reality(self):
+        """The predicted time ordering matches a real measurement."""
+        from repro.datasets.queries import sample_queries
+        from repro.experiments.harness import measure
+        from repro.graphs.generators import erdos_renyi
+
+        n, per_node, r, q = 800, 4, 5, 50
+        graph = erdos_renyi(n, per_node * n, seed=95)
+        queries = sample_queries(graph, q, seed=7)
+        models = cost_models()
+        measured = {}
+        predicted = {}
+        for name in ("CSR+", "CSR-NI"):
+            record = measure(
+                name, graph, queries, rank=r,
+                memory_budget_bytes=None, time_budget_seconds=None,
+            )
+            measured[name] = record.total_seconds
+            predicted[name] = models[name].time(n, per_node * n, r, q)
+        assert (predicted["CSR+"] < predicted["CSR-NI"]) == (
+            measured["CSR+"] < measured["CSR-NI"]
+        )

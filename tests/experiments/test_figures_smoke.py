@@ -1,0 +1,141 @@
+"""Smoke tests for the figure runners at tiny scale.
+
+These verify the structure and the paper's qualitative *shapes* —
+orderings and growth trends — not absolute times, so they stay robust
+on slow CI machines.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+
+@pytest.fixture(scope="module")
+def fig2_result():
+    return figures.fig2(tier="tiny", q_size=100, time_budget=60.0)
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return figures.fig3(tier="tiny", q_sizes=(10, 30, 60))
+
+
+@pytest.fixture(scope="module")
+def rank_sweep_results():
+    datasets = (("FB", "tiny"),)
+    ranks = (3, 6, 12)
+    return (
+        figures.fig4(datasets=datasets, ranks=ranks, q_size=20, time_budget=60.0),
+        figures.fig8(datasets=datasets, ranks=ranks, q_size=20, time_budget=60.0),
+    )
+
+
+@pytest.fixture(scope="module")
+def qsize_sweep_results():
+    datasets = (("FB", "tiny"),)
+    q_sizes = (10, 40, 80)
+    return (
+        figures.fig5(datasets=datasets, q_sizes=q_sizes, time_budget=60.0),
+        figures.fig9(datasets=datasets, q_sizes=q_sizes, time_budget=60.0),
+    )
+
+
+class TestFig2:
+    def test_all_datasets_present(self, fig2_result):
+        assert fig2_result.column("dataset") == ["FB", "P2P", "YT", "WT", "TW", "WB"]
+
+    def test_csr_plus_always_completes(self, fig2_result):
+        assert all(s is not None for s in fig2_result.column("CSR+_seconds"))
+
+    def test_csr_plus_fastest_on_medium_and_large(self, fig2_result):
+        """At tiny scale constant factors can favour rivals on FB/P2P;
+        the paper's ordering must hold from the medium graphs up."""
+        for row in fig2_result.rows:
+            if row["dataset"] in ("FB", "P2P"):
+                continue
+            mine = row["CSR+_seconds"]
+            for rival in ("CSR-RLS", "CSR-IT", "CSR-NI"):
+                other = row.get(f"{rival}_seconds")
+                if other is not None:
+                    assert mine <= other * 1.5, (row["dataset"], rival)
+
+    def test_render_smoke(self, fig2_result):
+        text = fig2_result.render()
+        assert "fig2" in text
+        assert "CSR-NI" in text
+
+
+class TestFig3:
+    def test_preprocess_independent_of_q(self, fig3_result):
+        by_dataset = {}
+        for row in fig3_result.rows:
+            by_dataset.setdefault(row["dataset"], []).append(
+                row["preprocess_seconds"]
+            )
+        for values in by_dataset.values():
+            assert len(set(values)) == 1  # prepared once, reused
+
+    def test_query_time_grows_with_q(self, fig3_result):
+        """On the largest dataset the query cost must track |Q|."""
+        rows = [r for r in fig3_result.rows if r["dataset"] == "WB"]
+        q_sizes = [r["|Q|"] for r in rows]
+        times = [r["query_seconds"] for r in rows]
+        assert q_sizes == sorted(q_sizes)
+        # allow wall-clock noise; just require an upward overall trend
+        assert times[-1] >= times[0] * 0.5
+
+
+class TestRankSweep:
+    def test_fig4_structure(self, rank_sweep_results):
+        fig4, _ = rank_sweep_results
+        assert [r["r"] for r in fig4.rows] == [3, 6, 12]
+
+    def test_ni_slowest_at_high_rank(self, rank_sweep_results):
+        fig4, _ = rank_sweep_results
+        last = fig4.rows[-1]
+        if last.get("CSR-NI_seconds") is not None:
+            assert last["CSR-NI_seconds"] > last["CSR+_seconds"]
+
+    def test_fig8_ni_memory_dominates(self, rank_sweep_results):
+        _, fig8 = rank_sweep_results
+        for row in fig8.rows:
+            ni = row.get("CSR-NI_bytes")
+            if ni is not None:
+                assert ni > 10 * row["CSR+_bytes"]
+
+    def test_fig8_ni_memory_grows_quartically(self, rank_sweep_results):
+        _, fig8 = rank_sweep_results
+        ni = [r.get("CSR-NI_bytes") for r in fig8.rows]
+        if ni[0] is not None and ni[-1] is not None:
+            # rank 3 -> 12 means r^2 factor 16 in the n^2 r^2 terms
+            assert ni[-1] > 8 * ni[0]
+
+
+class TestQSizeSweep:
+    def test_fig5_rls_grows_with_q(self, qsize_sweep_results):
+        fig5, _ = qsize_sweep_results
+        rls = [r.get("CSR-RLS_seconds") for r in fig5.rows]
+        if all(v is not None for v in rls):
+            assert rls[-1] > rls[0] * 0.8  # upward trend, noise-tolerant
+
+    def test_fig9_csr_plus_memory_linear_in_q(self, qsize_sweep_results):
+        _, fig9 = qsize_sweep_results
+        mine = [r["CSR+_bytes"] for r in fig9.rows]
+        q_sizes = [r["|Q|"] for r in fig9.rows]
+        # memory must grow with |Q| but stay well below quadratic
+        assert mine[-1] > mine[0]
+        assert mine[-1] < mine[0] * (q_sizes[-1] / q_sizes[0]) * 3
+
+
+class TestFig7:
+    def test_phase_memory_structure(self):
+        result = figures.fig7(tier="tiny", q_sizes=(5, 20))
+        assert {"preprocess_bytes", "query_bytes"} <= set(result.rows[0])
+        for row in result.rows:
+            assert row["preprocess_bytes"] > 0
+            assert row["query_bytes"] > 0
+
+    def test_query_memory_scales_linearly(self):
+        result = figures.fig7(tier="tiny", q_sizes=(5, 20))
+        fb_rows = [r for r in result.rows if r["dataset"] == "FB"]
+        assert fb_rows[1]["query_bytes"] == 4 * fb_rows[0]["query_bytes"]

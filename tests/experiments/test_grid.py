@@ -1,0 +1,67 @@
+"""Unit tests for the generic sweep utility."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments.grid import sweep
+from repro.graphs.generators import chung_lu, erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {
+        "er": erdos_renyi(80, 320, seed=73),
+        "cl": chung_lu(100, 500, seed=74),
+    }
+
+
+class TestSweep:
+    def test_full_grid_row_count(self, graphs):
+        result = sweep(
+            graphs,
+            engines=("CSR+", "CSR-RLS"),
+            ranks=(3, 6),
+            q_sizes=(10, 20),
+            memory_budget_bytes=None,
+            time_budget_seconds=None,
+        )
+        assert len(result.rows) == 2 * 2 * 2 * 2
+
+    def test_raw_and_formatted_columns(self, graphs):
+        result = sweep(graphs, q_sizes=(5,), memory_budget_bytes=None,
+                       time_budget_seconds=None)
+        row = result.rows[0]
+        assert row["status"] == "ok"
+        assert row["seconds"] is not None
+        assert row["bytes"] is not None
+        assert "s" in row["time"] or "ms" in row["time"] or "us" in row["time"]
+
+    def test_budget_failures_recorded(self, graphs):
+        result = sweep(
+            graphs,
+            engines=("CSR-NI",),
+            q_sizes=(5,),
+            memory_budget_bytes=100_000,
+        )
+        assert all(row["status"] == "memory" for row in result.rows)
+        assert all(row["seconds"] is None for row in result.rows)
+
+    def test_q_clipped_to_graph_size(self, graphs):
+        result = sweep(
+            {"er": graphs["er"]}, q_sizes=(10_000,),
+            memory_budget_bytes=None, time_budget_seconds=None,
+        )
+        assert result.rows[0]["|Q|"] == 80
+
+    def test_validation(self, graphs):
+        with pytest.raises(InvalidParameterError):
+            sweep({}, engines=("CSR+",))
+        with pytest.raises(InvalidParameterError):
+            sweep(graphs, engines=())
+
+    def test_render(self, graphs):
+        result = sweep(graphs, q_sizes=(5,), memory_budget_bytes=None,
+                       time_budget_seconds=None)
+        text = result.render()
+        assert "custom sweep" in text
+        assert "er" in text

@@ -1,0 +1,71 @@
+"""Unit tests for the measurement harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import Measurement, format_bytes, format_seconds, measure
+from repro.graphs.generators import chung_lu, erdos_renyi
+
+
+class TestMeasure:
+    def test_ok_run(self, small_er):
+        record = measure(
+            "CSR+", small_er, np.array([0, 1, 2]), memory_budget_bytes=None,
+            time_budget_seconds=None,
+        )
+        assert record.status == "ok"
+        assert record.completed
+        assert record.prepare_seconds >= 0
+        assert record.query_seconds >= 0
+        assert record.total_seconds == record.prepare_seconds + record.query_seconds
+        assert record.peak_bytes > 0
+        assert record.prepare_bytes > 0
+        assert record.query_bytes > 0
+
+    def test_memory_status(self):
+        graph = chung_lu(500, 2500, seed=20)
+        record = measure(
+            "CSR-NI", graph, np.array([0]), memory_budget_bytes=1_000_000,
+            time_budget_seconds=None,
+        )
+        assert record.status == "memory"
+        assert not record.completed
+        assert "budget" in record.error
+
+    def test_timeout_status(self):
+        graph = chung_lu(800, 4000, seed=21)
+        record = measure(
+            "CSR-RLS", graph, np.arange(20), memory_budget_bytes=None,
+            time_budget_seconds=1e-9,
+        )
+        assert record.status == "timeout"
+        assert "time budget" in record.error
+
+    def test_keep_result(self, small_er):
+        record = measure(
+            "CSR+", small_er, np.array([0, 1]), keep_result=True,
+            memory_budget_bytes=None, time_budget_seconds=None,
+        )
+        assert record.result is not None
+        assert record.result.shape == (small_er.num_nodes, 2)
+
+    def test_result_dropped_by_default(self, small_er):
+        record = measure(
+            "CSR+", small_er, np.array([0]), memory_budget_bytes=None,
+            time_budget_seconds=None,
+        )
+        assert record.result is None
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(1_500) == "1.5 KB"
+        assert format_bytes(2_000_000) == "2.0 MB"
+        assert format_bytes(3_400_000_000) == "3.4 GB"
+
+    def test_format_seconds(self):
+        assert format_seconds(5e-7) == "1 us" or "us" in format_seconds(5e-7)
+        assert format_seconds(0.0021) == "2.1 ms"
+        assert format_seconds(1.5) == "1.50 s"
+        assert format_seconds(300) == "5.0 min"

@@ -1,0 +1,53 @@
+"""Unit tests for the text report renderer."""
+
+from repro.experiments.report import ExperimentResult, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table(
+            ["name", "value"],
+            [{"name": "alpha", "value": 1}, {"name": "b", "value": 22}],
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-----" in lines[1]
+        assert "alpha" in lines[2]
+        # aligned: both value columns start at the same offset
+        assert lines[2].index("1") == lines[3].index("2")
+
+    def test_missing_cells_render_empty(self):
+        text = render_table(["a", "b"], [{"a": "x"}])
+        assert "x" in text
+
+    def test_none_renders_empty(self):
+        text = render_table(["a"], [{"a": None}])
+        assert text.splitlines()[2].strip() == ""
+
+    def test_empty_rows(self):
+        text = render_table(["only"], [])
+        assert text.splitlines()[0] == "only"
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            exp_id="figX",
+            title="A test figure",
+            columns=["k", "v"],
+            rows=[{"k": "a", "v": 1, "v_raw": 1.0}, {"k": "b", "v": 2}],
+            notes=["be careful"],
+            parameters={"r": 5},
+        )
+
+    def test_render_contains_everything(self):
+        text = self._result().render()
+        assert "figX" in text
+        assert "A test figure" in text
+        assert "r=5" in text
+        assert "note: be careful" in text
+
+    def test_column_access(self):
+        result = self._result()
+        assert result.column("v") == [1, 2]
+        assert result.column("v_raw") == [1.0, None]

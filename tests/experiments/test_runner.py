@@ -1,0 +1,24 @@
+"""Unit tests for experiment dispatch."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import EXPERIMENTS, list_experiments, run_experiment
+
+
+class TestDispatch:
+    def test_all_paper_artefacts_registered(self):
+        ids = set(list_experiments())
+        expected = {f"fig{i}" for i in range(2, 10)} | {"tab1", "tab3"}
+        assert expected <= ids
+
+    def test_unknown_id(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99")
+
+    def test_kwargs_forwarded(self):
+        result = run_experiment("ablation-stages", dataset="P2P", tier="tiny", q_size=5)
+        assert result.parameters["dataset"] == "P2P"
+
+    def test_registry_values_callable(self):
+        assert all(callable(fn) for fn in EXPERIMENTS.values())

@@ -1,0 +1,88 @@
+"""Smoke/shape tests for the table runners and the stage ablation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.queries import sample_queries
+from repro.datasets.registry import load_dataset
+from repro.experiments.stages import STAGE_COUNT, ablation_stages, run_stage, stage_names
+from repro.experiments.tables import tab1, tab3
+
+
+class TestTab3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return tab3(
+            datasets=(("FB", "tiny"), ("P2P", "tiny")),
+            ranks=(10, 25, 60),
+            q_size=25,
+        )
+
+    def test_row_grid(self, result):
+        datasets = {row["dataset"] for row in result.rows}
+        assert datasets == {"FB", "P2P"}
+        fb_ranks = [row["r"] for row in result.rows if row["dataset"] == "FB"]
+        assert fb_ranks == [10, 25, 60]
+
+    def test_avgdiff_decreases_with_rank(self, result):
+        for key in ("FB", "P2P"):
+            values = [
+                row["avg_diff_value"] for row in result.rows if row["dataset"] == key
+            ]
+            assert values[-1] <= values[0]
+
+    def test_losslessness_wherever_ni_fits(self, result):
+        checked = [row for row in result.rows if row["lossless"] != "n/a"]
+        assert checked, "expected CSR-NI to fit at least once at tiny scale"
+        assert all(row["lossless"] == "yes" for row in checked)
+
+
+class TestTab1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return tab1(n_grid=(200, 400, 800), r_grid=(4, 8, 16), q_size=20, repeats=2)
+
+    def test_all_algorithms_reported(self, result):
+        assert [row["algorithm"] for row in result.rows] == [
+            "CSR+",
+            "CSR-NI",
+            "CSR-IT",
+            "CSR-RLS",
+        ]
+
+    def test_ni_r_exponent_far_above_csr_plus(self, result):
+        by_name = {row["algorithm"]: row for row in result.rows}
+        assert (
+            by_name["CSR-NI"]["r_exponent_value"]
+            > by_name["CSR+"]["r_exponent_value"] + 1.0
+        )
+
+    def test_ni_n_exponent_superlinear(self, result):
+        by_name = {row["algorithm"]: row for row in result.rows}
+        assert by_name["CSR-NI"]["n_exponent_value"] > 1.3
+
+
+class TestStages:
+    def test_stage_names_count(self):
+        assert len(stage_names()) == STAGE_COUNT == 5
+
+    def test_all_stages_identical_output(self):
+        graph = load_dataset("P2P", "tiny")
+        queries = sample_queries(graph, 10, seed=7)
+        blocks = [
+            run_stage(stage, graph, queries, rank=5) for stage in range(STAGE_COUNT)
+        ]
+        for stage in range(1, STAGE_COUNT):
+            np.testing.assert_allclose(
+                blocks[stage], blocks[0], atol=1e-8, err_msg=f"stage {stage}"
+            )
+
+    def test_run_stage_validates(self):
+        graph = load_dataset("P2P", "tiny")
+        with pytest.raises(ValueError):
+            run_stage(9, graph, np.array([0]))
+
+    def test_ablation_result_drift_tiny(self):
+        result = ablation_stages(dataset="FB", tier="tiny", rank=4, q_size=8)
+        assert len(result.rows) == STAGE_COUNT
+        assert all(row["drift_value"] < 1e-8 for row in result.rows)

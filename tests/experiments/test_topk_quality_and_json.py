@@ -1,0 +1,84 @@
+"""Tests for the top-k-quality experiment and JSON serialisation."""
+
+import pytest
+
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import run_experiment
+from repro.experiments.topk_quality import topk_quality
+
+
+class TestTopKQuality:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return topk_quality(
+            datasets=(("FB", "tiny"), ("YT", "tiny")),
+            ranks=(5, 25, 100),
+            k=10,
+            num_queries=10,
+        )
+
+    def test_grid_shape(self, result):
+        assert len(result.rows) == 6
+        assert [r["r"] for r in result.rows if r["dataset"] == "FB"] == [5, 25, 100]
+
+    def test_precision_improves_with_rank(self, result):
+        for key in ("FB", "YT"):
+            values = [
+                row["precision_value"]
+                for row in result.rows
+                if row["dataset"] == key
+            ]
+            assert values[-1] > values[0]
+            assert values[-1] > 0.6
+
+    def test_registered_in_runner(self):
+        result = run_experiment(
+            "topk-quality",
+            datasets=(("P2P", "tiny"),),
+            ranks=(5, 50),
+            num_queries=5,
+        )
+        assert result.exp_id == "topk-quality"
+
+    def test_oversized_ranks_skipped(self):
+        result = topk_quality(
+            datasets=(("FB", "tiny"),), ranks=(5, 10**6), num_queries=5
+        )
+        assert [row["r"] for row in result.rows] == [5]
+
+
+class TestJsonRoundTrip:
+    def _result(self):
+        return ExperimentResult(
+            exp_id="x",
+            title="t",
+            columns=["a"],
+            rows=[{"a": 1, "b": None}, {"a": "text"}],
+            notes=["n1"],
+            parameters={"p": 3},
+        )
+
+    def test_round_trip_equality(self):
+        original = self._result()
+        restored = ExperimentResult.from_json(original.to_json())
+        assert restored.exp_id == original.exp_id
+        assert restored.rows == original.rows
+        assert restored.parameters == original.parameters
+        assert restored.notes == original.notes
+
+    def test_file_round_trip(self, tmp_path):
+        original = self._result()
+        path = tmp_path / "result.json"
+        original.save_json(path)
+        restored = ExperimentResult.load_json(path)
+        assert restored.rows == original.rows
+
+    def test_non_json_values_stringified(self):
+        import numpy as np
+
+        result = ExperimentResult(
+            exp_id="x", title="t", columns=["a"],
+            rows=[{"a": np.float64(1.5)}],
+        )
+        text = result.to_json()
+        assert "1.5" in text

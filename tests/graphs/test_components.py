@@ -1,0 +1,85 @@
+"""Unit tests for connectivity utilities."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.components import (
+    largest_component_fraction,
+    num_weakly_connected_components,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import chung_lu, complete, path_graph, ring
+
+
+class TestWeakComponents:
+    def test_single_component(self):
+        labels = weakly_connected_components(ring(5))
+        assert np.unique(labels).size == 1
+
+    def test_disjoint_parts(self):
+        graph = DiGraph(6, [(0, 1), (1, 2), (3, 4)])  # node 5 isolated
+        labels = weakly_connected_components(graph)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert len({labels[0], labels[3], labels[5]}) == 3
+        assert num_weakly_connected_components(graph) == 3
+
+    def test_direction_ignored(self):
+        graph = DiGraph(3, [(0, 1), (2, 1)])  # no directed path 0 -> 2
+        assert num_weakly_connected_components(graph) == 1
+
+    def test_empty_graph(self):
+        assert num_weakly_connected_components(DiGraph(0)) == 0
+
+    def test_largest_fraction(self):
+        graph = DiGraph(4, [(0, 1), (1, 2)])
+        assert largest_component_fraction(graph) == pytest.approx(0.75)
+        assert largest_component_fraction(DiGraph(0)) == 0.0
+
+    def test_consistency_with_doubling(self, small_er):
+        n = small_er.num_nodes
+        doubled = DiGraph(
+            2 * n,
+            list(small_er.edges()) + [(s + n, t + n) for s, t in small_er.edges()],
+        )
+        assert num_weakly_connected_components(doubled) == 2 * (
+            num_weakly_connected_components(small_er)
+        )
+
+
+class TestStrongComponents:
+    def test_ring_is_one_scc(self):
+        labels = strongly_connected_components(ring(6))
+        assert np.unique(labels).size == 1
+
+    def test_path_is_all_singletons(self):
+        labels = strongly_connected_components(path_graph(5))
+        assert np.unique(labels).size == 5
+
+    def test_two_cycles_with_bridge(self):
+        # cycle {0,1,2}, cycle {3,4}, one-way bridge 2 -> 3
+        graph = DiGraph(5, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (2, 3)])
+        labels = strongly_connected_components(graph)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+
+    def test_complete_graph_single_scc(self):
+        labels = strongly_connected_components(complete(5))
+        assert np.unique(labels).size == 1
+
+    def test_scc_refines_wcc(self):
+        graph = chung_lu(200, 800, seed=71)
+        weak = weakly_connected_components(graph)
+        strong = strongly_connected_components(graph)
+        # two nodes in the same SCC must share a weak component
+        for scc in np.unique(strong):
+            members = np.flatnonzero(strong == scc)
+            assert np.unique(weak[members]).size == 1
+
+    def test_self_loop_singleton(self):
+        graph = DiGraph(2, [(0, 0)])
+        labels = strongly_connected_components(graph)
+        assert labels[0] != labels[1]

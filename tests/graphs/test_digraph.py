@@ -1,0 +1,196 @@
+"""Unit tests for the DiGraph substrate."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.errors import GraphConstructionError, InvalidParameterError
+from repro.graphs.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = DiGraph(0)
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+        assert graph.density == 0.0
+
+    def test_nodes_without_edges(self):
+        graph = DiGraph(5)
+        assert graph.num_nodes == 5
+        assert graph.num_edges == 0
+        assert list(graph.edges()) == []
+
+    def test_basic_edges(self):
+        graph = DiGraph(3, [(0, 1), (1, 2)])
+        assert graph.num_edges == 2
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(1, 0)
+
+    def test_duplicate_edges_coalesced(self):
+        graph = DiGraph(3, [(0, 1), (0, 1), (0, 1), (1, 2)])
+        assert graph.num_edges == 2
+
+    def test_self_loops_allowed(self):
+        graph = DiGraph(2, [(0, 0), (0, 1)])
+        assert graph.num_edges == 2
+        assert graph.has_edge(0, 0)
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DiGraph(-1)
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            DiGraph(3, [(0, 3)])
+
+    def test_negative_endpoint_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            DiGraph(3, [(-1, 0)])
+
+    def test_malformed_edges_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            DiGraph(3, [(0, 1, 2)])
+
+    def test_from_arrays(self):
+        graph = DiGraph.from_arrays(
+            4, np.array([0, 1, 2]), np.array([1, 2, 3])
+        )
+        assert graph.num_edges == 3
+        assert graph.has_edge(2, 3)
+
+    def test_from_arrays_length_mismatch(self):
+        with pytest.raises(GraphConstructionError):
+            DiGraph.from_arrays(4, np.array([0, 1]), np.array([1]))
+
+    def test_from_adjacency_dense(self):
+        adj = np.array([[0, 1, 0], [0, 0, 1], [1, 0, 0]])
+        graph = DiGraph.from_adjacency(adj)
+        assert graph.num_edges == 3
+        assert graph.has_edge(2, 0)
+
+    def test_from_adjacency_sparse(self):
+        adj = sparse.csr_matrix(([1.0], ([0], [2])), shape=(3, 3))
+        graph = DiGraph.from_adjacency(adj)
+        assert list(graph.edges()) == [(0, 2)]
+
+    def test_from_adjacency_rejects_non_square(self):
+        with pytest.raises(GraphConstructionError):
+            DiGraph.from_adjacency(np.zeros((2, 3)))
+
+
+class TestDegreesAndNeighbors:
+    def test_degrees(self):
+        graph = DiGraph(4, [(0, 1), (0, 2), (1, 2), (3, 2)])
+        assert graph.out_degrees().tolist() == [2, 1, 0, 1]
+        assert graph.in_degrees().tolist() == [0, 1, 3, 0]
+
+    def test_neighbors_sorted(self):
+        graph = DiGraph(5, [(0, 4), (0, 1), (0, 3)])
+        assert graph.out_neighbors(0).tolist() == [1, 3, 4]
+        assert graph.in_neighbors(4).tolist() == [0]
+
+    def test_neighbors_empty(self):
+        graph = DiGraph(3, [(0, 1)])
+        assert graph.out_neighbors(2).size == 0
+        assert graph.in_neighbors(0).size == 0
+
+    def test_neighbor_out_of_range(self):
+        graph = DiGraph(3)
+        with pytest.raises(GraphConstructionError):
+            graph.out_neighbors(3)
+
+    def test_dangling_nodes(self):
+        graph = DiGraph(4, [(0, 1), (1, 2)])
+        assert graph.dangling_nodes().tolist() == [0, 3]
+
+    def test_neighbor_lists_match_paper_coo_grouping(self):
+        graph = DiGraph(4, [(0, 2), (0, 1), (2, 3)])
+        lists = graph.to_neighbor_lists()
+        assert lists == {0: [1, 2], 2: [3]}
+
+
+class TestMatrixViews:
+    def test_adjacency_values(self):
+        graph = DiGraph(3, [(0, 1), (2, 1)])
+        adj = graph.adjacency().toarray()
+        expected = np.zeros((3, 3))
+        expected[0, 1] = 1
+        expected[2, 1] = 1
+        np.testing.assert_array_equal(adj, expected)
+
+    def test_adjacency_cached(self):
+        graph = DiGraph(3, [(0, 1)])
+        assert graph.adjacency() is graph.adjacency()
+
+    def test_csc_matches_csr(self):
+        graph = DiGraph(4, [(0, 1), (1, 2), (3, 0)])
+        np.testing.assert_array_equal(
+            graph.adjacency().toarray(), graph.adjacency_csc().toarray()
+        )
+
+
+class TestDerivedGraphs:
+    def test_reverse(self):
+        graph = DiGraph(3, [(0, 1), (1, 2)])
+        rev = graph.reverse()
+        assert rev.has_edge(1, 0)
+        assert rev.has_edge(2, 1)
+        assert rev.num_edges == 2
+
+    def test_reverse_involution(self, small_er):
+        assert small_er.reverse().reverse() == small_er
+
+    def test_with_edges_added(self):
+        graph = DiGraph(3, [(0, 1)])
+        bigger = graph.with_edges_added([(1, 2), (0, 1)])
+        assert bigger.num_edges == 2
+        assert graph.num_edges == 1  # original untouched
+
+    def test_with_edges_removed(self):
+        graph = DiGraph(3, [(0, 1), (1, 2)])
+        smaller = graph.with_edges_removed([(0, 1), (2, 0)])
+        assert list(smaller.edges()) == [(1, 2)]
+
+    def test_add_empty_is_same_object(self):
+        graph = DiGraph(3, [(0, 1)])
+        assert graph.with_edges_added([]) is graph
+        assert graph.with_edges_removed([]) is graph
+
+    def test_subgraph(self):
+        graph = DiGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        sub = graph.subgraph([1, 2, 3])
+        assert sub.num_nodes == 3
+        assert list(sub.edges()) == [(0, 1), (1, 2)]
+
+    def test_subgraph_duplicate_nodes_rejected(self):
+        graph = DiGraph(3, [(0, 1)])
+        with pytest.raises(InvalidParameterError):
+            graph.subgraph([0, 0])
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = DiGraph(3, [(0, 1), (1, 2)])
+        b = DiGraph(3, [(1, 2), (0, 1)])  # order-independent
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_graphs(self):
+        a = DiGraph(3, [(0, 1)])
+        assert a != DiGraph(3, [(0, 2)])
+        assert a != DiGraph(4, [(0, 1)])
+
+    def test_eq_other_type(self):
+        assert DiGraph(1) != "graph"
+
+
+class TestCooView:
+    def test_edge_arrays_sorted_and_deduped(self):
+        graph = DiGraph(4, [(2, 3), (0, 1), (2, 3), (2, 0)])
+        assert graph.edge_sources.tolist() == [0, 2, 2]
+        assert graph.edge_targets.tolist() == [1, 0, 3]
+
+    def test_len_is_node_count(self):
+        assert len(DiGraph(7)) == 7

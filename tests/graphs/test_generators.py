@@ -1,0 +1,161 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphs.generators import (
+    chung_lu,
+    complete,
+    erdos_renyi,
+    path_graph,
+    preferential_attachment,
+    random_dag,
+    ring,
+    rmat,
+    star,
+)
+from repro.graphs.validation import powerlaw_tail_exponent
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        graph = erdos_renyi(100, 500, seed=1)
+        assert graph.num_nodes == 100
+        assert graph.num_edges == 500
+
+    def test_deterministic(self):
+        assert erdos_renyi(50, 200, seed=9) == erdos_renyi(50, 200, seed=9)
+
+    def test_different_seeds_differ(self):
+        assert erdos_renyi(50, 200, seed=1) != erdos_renyi(50, 200, seed=2)
+
+    def test_no_self_loops_by_default(self):
+        graph = erdos_renyi(30, 400, seed=3)
+        assert not np.any(graph.edge_sources == graph.edge_targets)
+
+    def test_self_loops_opt_in(self):
+        graph = erdos_renyi(10, 90, seed=3, allow_self_loops=True)
+        assert graph.num_edges == 90
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi(5, 21, seed=0)
+
+    def test_saturated(self):
+        graph = erdos_renyi(5, 20, seed=0)  # all ordered pairs
+        assert graph.num_edges == 20
+
+    def test_invalid_counts(self):
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi(0, 1)
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi(5, -1)
+
+
+class TestPreferentialAttachment:
+    def test_size_and_determinism(self):
+        a = preferential_attachment(80, 3, seed=4)
+        b = preferential_attachment(80, 3, seed=4)
+        assert a == b
+        assert a.num_nodes == 80
+        # out_degree edges per node (some mirrored), minus the early ramp
+        assert a.num_edges >= 3 * 77
+
+    def test_hub_formation(self):
+        graph = preferential_attachment(300, 2, seed=5)
+        indeg = graph.in_degrees()
+        # preferential attachment must concentrate in-degree on hubs
+        assert indeg.max() > 5 * max(1, int(np.median(indeg)))
+
+    def test_invalid_out_degree(self):
+        with pytest.raises(InvalidParameterError):
+            preferential_attachment(10, 0)
+
+
+class TestChungLu:
+    def test_edge_count_and_determinism(self):
+        a = chung_lu(200, 1000, seed=6)
+        assert a.num_nodes == 200
+        assert a.num_edges == 1000
+        assert a == chung_lu(200, 1000, seed=6)
+
+    def test_heavy_tail_vs_er(self):
+        heavy = chung_lu(2000, 10000, exponent=2.1, seed=7)
+        flat = erdos_renyi(2000, 10000, seed=7)
+        # ER's in-degree max is near the mean; Chung-Lu's is far above.
+        assert heavy.in_degrees().max() > 3 * flat.in_degrees().max()
+
+    def test_invalid_exponent(self):
+        with pytest.raises(InvalidParameterError):
+            chung_lu(10, 20, exponent=1.0)
+
+
+class TestRMAT:
+    def test_node_count_is_power_of_two(self):
+        graph = rmat(8, 2000, seed=8)
+        assert graph.num_nodes == 256
+        assert graph.num_edges <= 2000
+
+    def test_deterministic(self):
+        assert rmat(7, 500, seed=2) == rmat(7, 500, seed=2)
+
+    def test_skew(self):
+        graph = rmat(10, 8000, seed=9)
+        indeg = graph.in_degrees()
+        assert indeg.max() > 10 * max(1.0, indeg.mean())
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(InvalidParameterError):
+            rmat(5, 10, probabilities=(0.5, 0.5, 0.5, 0.5))
+
+    def test_invalid_scale(self):
+        with pytest.raises(InvalidParameterError):
+            rmat(0, 10)
+
+
+class TestDeterministicShapes:
+    def test_ring(self):
+        graph = ring(5)
+        assert graph.num_edges == 5
+        assert graph.has_edge(4, 0)
+        assert graph.in_degrees().tolist() == [1] * 5
+
+    def test_star_inward(self):
+        graph = star(4, inward=True)
+        assert graph.num_nodes == 5
+        assert graph.in_degrees()[0] == 4
+        assert graph.out_degrees()[0] == 0
+
+    def test_star_outward(self):
+        graph = star(3, inward=False)
+        assert graph.out_degrees()[0] == 3
+
+    def test_complete(self):
+        graph = complete(4)
+        assert graph.num_edges == 12
+        assert not graph.has_edge(1, 1)
+
+    def test_path(self):
+        graph = path_graph(4)
+        assert list(graph.edges()) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_path_single_node(self):
+        assert path_graph(1).num_edges == 0
+
+    def test_random_dag_is_acyclic(self):
+        graph = random_dag(40, 200, seed=10)
+        assert graph.num_edges == 200
+        # topological by construction: every edge goes up in id
+        assert np.all(graph.edge_sources < graph.edge_targets)
+
+    def test_random_dag_capacity_check(self):
+        with pytest.raises(InvalidParameterError):
+            random_dag(4, 7)  # max is 6
+
+
+class TestTailExponentHelper:
+    def test_powerlaw_graphs_have_finite_exponent(self):
+        graph = chung_lu(3000, 15000, exponent=2.3, seed=11)
+        exponent = powerlaw_tail_exponent(graph)
+        assert 1.0 < exponent < 5.0

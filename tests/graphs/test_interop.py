@@ -1,0 +1,81 @@
+"""Unit tests for networkx interoperability."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.interop import from_networkx, to_networkx
+from repro.graphs.weighted import WeightedDiGraph
+
+
+class TestFromNetworkX:
+    def test_directed_unweighted(self):
+        nx_graph = nx.DiGraph([("a", "b"), ("b", "c")])
+        graph, mapping = from_networkx(nx_graph)
+        assert isinstance(graph, DiGraph)
+        assert not isinstance(graph, WeightedDiGraph)
+        assert graph.has_edge(mapping["a"], mapping["b"])
+        assert not graph.has_edge(mapping["b"], mapping["a"])
+
+    def test_undirected_becomes_symmetric(self):
+        nx_graph = nx.Graph([(0, 1)])
+        graph, mapping = from_networkx(nx_graph)
+        assert graph.has_edge(mapping[0], mapping[1])
+        assert graph.has_edge(mapping[1], mapping[0])
+
+    def test_weighted_detected(self):
+        nx_graph = nx.DiGraph()
+        nx_graph.add_edge("x", "y", weight=2.5)
+        nx_graph.add_edge("y", "z")  # missing weight -> 1.0
+        graph, mapping = from_networkx(nx_graph)
+        assert isinstance(graph, WeightedDiGraph)
+        assert graph.edge_weight(mapping["x"], mapping["y"]) == 2.5
+        assert graph.edge_weight(mapping["y"], mapping["z"]) == 1.0
+
+    def test_isolated_nodes_kept(self):
+        nx_graph = nx.DiGraph()
+        nx_graph.add_nodes_from(["a", "b", "c"])
+        nx_graph.add_edge("a", "b")
+        graph, _ = from_networkx(nx_graph)
+        assert graph.num_nodes == 3
+
+    def test_custom_weight_attribute(self):
+        nx_graph = nx.DiGraph()
+        nx_graph.add_edge(0, 1, cost=3.0)
+        graph, mapping = from_networkx(nx_graph, weight="cost")
+        assert isinstance(graph, WeightedDiGraph)
+        assert graph.edge_weight(mapping[0], mapping[1]) == 3.0
+
+
+class TestToNetworkX:
+    def test_unweighted_round_trip(self, small_er):
+        nx_graph = to_networkx(small_er)
+        back, mapping = from_networkx(nx_graph)
+        assert back == small_er  # dense ids map to themselves
+
+    def test_weighted_round_trip(self):
+        graph = WeightedDiGraph(3, [(0, 1, 2.0), (1, 2, 0.5)])
+        nx_graph = to_networkx(graph)
+        assert nx_graph[0][1]["weight"] == 2.0
+        back, _ = from_networkx(nx_graph)
+        assert isinstance(back, WeightedDiGraph)
+        assert back.edge_weight(1, 2) == 0.5
+
+    def test_isolated_nodes_preserved(self):
+        graph = DiGraph(4, [(0, 1)])
+        nx_graph = to_networkx(graph)
+        assert nx_graph.number_of_nodes() == 4
+
+
+class TestEndToEnd:
+    def test_cosimrank_on_networkx_input(self):
+        """The advertised workflow: nx graph in, similarities out."""
+        from repro.core.index import CSRPlusIndex
+
+        nx_graph = nx.gnp_random_graph(60, 0.1, seed=5, directed=True)
+        graph, mapping = from_networkx(nx_graph)
+        index = CSRPlusIndex(graph, rank=10).prepare()
+        block = index.query([mapping[0], mapping[1]])
+        assert block.shape == (60, 2)
+        assert np.isfinite(block).all()

@@ -1,0 +1,101 @@
+"""Unit tests for the column-normalised transition matrix."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.toy import figure1_graph
+from repro.errors import InvalidParameterError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.transition import (
+    is_column_substochastic,
+    row_normalized,
+    transition_matrix,
+)
+
+
+class TestTransitionMatrix:
+    def test_matches_paper_example(self):
+        """The Q printed in Example 3.6, row by row."""
+        q_matrix = transition_matrix(figure1_graph()).toarray()
+        third = 1.0 / 3.0
+        expected = np.array(
+            [
+                [0, third, 0, third, 0, 0],
+                [0, 0, 0, 0, 0, 0],
+                [0, third, 0, 0, 0.5, 0],
+                [1, 0, 1, 0, 0, 1],
+                [0, third, 0, third, 0, 0],
+                [0, 0, 0, third, 0.5, 0],
+            ]
+        )
+        np.testing.assert_allclose(q_matrix, expected)
+
+    def test_column_sums_one_or_zero(self, small_powerlaw):
+        q_matrix = transition_matrix(small_powerlaw)
+        sums = np.asarray(q_matrix.sum(axis=0)).ravel()
+        indeg = small_powerlaw.in_degrees()
+        np.testing.assert_allclose(sums[indeg > 0], 1.0)
+        np.testing.assert_allclose(sums[indeg == 0], 0.0)
+
+    def test_entry_values(self):
+        graph = DiGraph(3, [(0, 2), (1, 2)])
+        q_matrix = transition_matrix(graph).toarray()
+        assert q_matrix[0, 2] == pytest.approx(0.5)
+        assert q_matrix[1, 2] == pytest.approx(0.5)
+
+    def test_dangling_zero_policy(self):
+        graph = DiGraph(3, [(0, 1)])  # nodes 0 and 2 have no in-edges
+        q_matrix = transition_matrix(graph, dangling="zero").toarray()
+        np.testing.assert_allclose(q_matrix[:, 0], 0.0)
+        np.testing.assert_allclose(q_matrix[:, 2], 0.0)
+
+    def test_dangling_uniform_policy(self):
+        graph = DiGraph(3, [(0, 1)])
+        q_matrix = transition_matrix(graph, dangling="uniform").toarray()
+        np.testing.assert_allclose(q_matrix[:, 0], 1.0 / 3.0)
+        np.testing.assert_allclose(q_matrix[:, 2], 1.0 / 3.0)
+        sums = q_matrix.sum(axis=0)
+        np.testing.assert_allclose(sums, 1.0)
+
+    def test_invalid_policy(self):
+        with pytest.raises(InvalidParameterError):
+            transition_matrix(DiGraph(2), dangling="teleport")
+
+    def test_empty_graph(self):
+        q_matrix = transition_matrix(DiGraph(0))
+        assert q_matrix.shape == (0, 0)
+
+    def test_dtype(self):
+        q_matrix = transition_matrix(DiGraph(2, [(0, 1)]), dtype=np.float32)
+        assert q_matrix.dtype == np.float32
+
+
+class TestRowNormalized:
+    def test_row_sums(self, small_er):
+        w_matrix = row_normalized(small_er)
+        sums = np.asarray(w_matrix.sum(axis=1)).ravel()
+        outdeg = small_er.out_degrees()
+        np.testing.assert_allclose(sums[outdeg > 0], 1.0)
+        np.testing.assert_allclose(sums[outdeg == 0], 0.0)
+
+    def test_row_normalized_is_transition_of_reverse(self, small_er):
+        direct = row_normalized(small_er).toarray()
+        via_reverse = transition_matrix(small_er.reverse()).toarray().T
+        np.testing.assert_allclose(direct, via_reverse)
+
+
+class TestSubstochasticCheck:
+    def test_transition_is_substochastic(self, small_powerlaw):
+        assert is_column_substochastic(transition_matrix(small_powerlaw))
+
+    def test_dense_input(self):
+        assert is_column_substochastic(np.array([[0.5, 0.0], [0.5, 0.0]]))
+
+    def test_rejects_super_stochastic(self):
+        assert not is_column_substochastic(np.array([[1.0, 0.0], [0.5, 0.0]]))
+
+    def test_rejects_negative(self):
+        assert not is_column_substochastic(np.array([[-0.1, 0.0], [0.0, 0.0]]))
+
+    def test_empty(self):
+        assert is_column_substochastic(np.zeros((0, 0)))

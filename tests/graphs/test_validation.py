@@ -1,0 +1,63 @@
+"""Unit tests for graph statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import erdos_renyi, ring, star
+from repro.graphs.validation import (
+    degree_histogram,
+    graph_stats,
+    powerlaw_tail_exponent,
+)
+
+
+class TestGraphStats:
+    def test_basic_fields(self):
+        graph = DiGraph(4, [(0, 1), (0, 2), (1, 2), (2, 2)])
+        stats = graph_stats(graph)
+        assert stats.num_nodes == 4
+        assert stats.num_edges == 4
+        assert stats.density == pytest.approx(1.0)
+        assert stats.max_in_degree == 3
+        assert stats.max_out_degree == 2
+        assert stats.num_dangling == 2  # nodes 0 and 3 have in-degree 0
+        assert stats.num_sources == 1  # only node 3 has out-degree 0
+        assert stats.has_self_loops
+
+    def test_no_self_loops(self, small_er):
+        assert not graph_stats(small_er).has_self_loops
+
+    def test_as_row_keys(self):
+        row = graph_stats(ring(4)).as_row()
+        assert row["n"] == 4
+        assert row["m"] == 4
+        assert row["m/n"] == 1.0
+
+
+class TestDegreeHistogram:
+    def test_ring_histogram(self):
+        hist = degree_histogram(ring(6), "in")
+        assert hist.tolist() == [0, 6]
+
+    def test_star_histogram(self):
+        hist = degree_histogram(star(5, inward=True), "in")
+        assert hist[0] == 5  # leaves have in-degree 0
+        assert hist[5] == 1  # hub has in-degree 5
+
+    def test_direction_validation(self):
+        with pytest.raises(ValueError):
+            degree_histogram(ring(3), "sideways")
+
+    def test_empty_graph(self):
+        assert degree_histogram(DiGraph(0)).tolist() == [0]
+
+
+class TestTailExponent:
+    def test_uniform_degrees_give_inf(self):
+        # ring: every in-degree is 1, no tail to fit
+        assert powerlaw_tail_exponent(ring(10)) == float("inf")
+
+    def test_er_fit_is_finite_on_big_graph(self):
+        graph = erdos_renyi(2000, 12000, seed=2)
+        assert np.isfinite(powerlaw_tail_exponent(graph))

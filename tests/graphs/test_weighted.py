@@ -1,0 +1,124 @@
+"""Unit tests for weighted graphs and weighted CoSimRank."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactCoSimRank
+from repro.core.index import CSRPlusIndex
+from repro.errors import GraphConstructionError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.transition import is_column_substochastic, transition_matrix
+from repro.graphs.weighted import WeightedDiGraph
+
+
+class TestConstruction:
+    def test_basic(self):
+        graph = WeightedDiGraph(3, [(0, 1, 2.0), (1, 2, 0.5)])
+        assert graph.num_edges == 2
+        assert graph.edge_weight(0, 1) == 2.0
+        assert graph.edge_weight(1, 0) == 0.0
+
+    def test_duplicates_sum_weights(self):
+        graph = WeightedDiGraph(2, [(0, 1, 1.0), (0, 1, 2.5)])
+        assert graph.num_edges == 1
+        assert graph.edge_weight(0, 1) == 3.5
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            WeightedDiGraph(2, [(0, 1, 0.0)])
+        with pytest.raises(GraphConstructionError):
+            WeightedDiGraph(2, [(0, 1, -1.0)])
+
+    def test_non_finite_weight_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            WeightedDiGraph(2, [(0, 1, float("inf"))])
+
+    def test_from_digraph_unit_weights(self, small_er):
+        lifted = WeightedDiGraph.from_digraph(small_er)
+        assert lifted.num_edges == small_er.num_edges
+        np.testing.assert_array_equal(lifted.edge_weights, 1.0)
+
+    def test_strengths(self):
+        graph = WeightedDiGraph(3, [(0, 2, 2.0), (1, 2, 3.0), (2, 0, 1.0)])
+        np.testing.assert_allclose(graph.in_strength(), [1.0, 0.0, 5.0])
+        np.testing.assert_allclose(graph.out_strength(), [2.0, 3.0, 1.0])
+
+    def test_structural_queries_ignore_weights(self):
+        graph = WeightedDiGraph(3, [(0, 2, 2.0), (1, 2, 3.0)])
+        assert graph.in_degrees().tolist() == [0, 0, 2]
+        assert graph.in_neighbors(2).tolist() == [0, 1]
+
+
+class TestDerived:
+    def test_reverse_preserves_weights(self):
+        graph = WeightedDiGraph(3, [(0, 1, 2.0), (1, 2, 3.0)])
+        rev = graph.reverse()
+        assert rev.edge_weight(1, 0) == 2.0
+        assert rev.edge_weight(2, 1) == 3.0
+
+    def test_add_accumulates(self):
+        graph = WeightedDiGraph(2, [(0, 1, 1.0)])
+        bigger = graph.with_edges_added([(0, 1, 0.5), (1, 0, 2.0)])
+        assert bigger.edge_weight(0, 1) == 1.5
+        assert bigger.edge_weight(1, 0) == 2.0
+
+    def test_remove(self):
+        graph = WeightedDiGraph(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        smaller = graph.with_edges_removed([(0, 1)])
+        assert smaller.num_edges == 1
+        assert smaller.edge_weight(1, 2) == 2.0
+
+    def test_subgraph_preserves_weights(self):
+        graph = WeightedDiGraph(4, [(0, 1, 5.0), (1, 2, 7.0), (2, 3, 9.0)])
+        sub = graph.subgraph([1, 2])
+        assert sub.edge_weight(0, 1) == 7.0
+
+    def test_equality_includes_weights(self):
+        a = WeightedDiGraph(2, [(0, 1, 1.0)])
+        b = WeightedDiGraph(2, [(0, 1, 2.0)])
+        assert a != b
+        assert a == WeightedDiGraph(2, [(0, 1, 1.0)])
+
+
+class TestWeightedTransition:
+    def test_weight_proportional_columns(self):
+        graph = WeightedDiGraph(3, [(0, 2, 3.0), (1, 2, 1.0)])
+        q = transition_matrix(graph).toarray()
+        assert q[0, 2] == pytest.approx(0.75)
+        assert q[1, 2] == pytest.approx(0.25)
+
+    def test_substochastic(self):
+        rng = np.random.default_rng(6)
+        base = erdos_renyi(40, 160, seed=6)
+        graph = WeightedDiGraph.from_digraph(base, rng.uniform(0.1, 5.0, 160))
+        assert is_column_substochastic(transition_matrix(graph))
+
+    def test_unit_weights_match_binary_graph(self, small_er):
+        lifted = WeightedDiGraph.from_digraph(small_er)
+        np.testing.assert_allclose(
+            transition_matrix(lifted).toarray(),
+            transition_matrix(small_er).toarray(),
+        )
+
+
+class TestWeightedCoSimRank:
+    def test_csr_plus_runs_on_weighted_graph(self):
+        rng = np.random.default_rng(7)
+        base = erdos_renyi(50, 200, seed=7)
+        graph = WeightedDiGraph.from_digraph(base, rng.uniform(0.5, 2.0, 200))
+        exact = ExactCoSimRank(graph).query([1, 2])
+        approx = CSRPlusIndex(graph, rank=50, epsilon=1e-12).query([1, 2])
+        np.testing.assert_allclose(approx, exact, atol=1e-8)
+
+    def test_weights_change_similarities(self):
+        base_edges = [(0, 2), (1, 2), (0, 3), (1, 3)]
+        binary = DiGraph(4, base_edges)
+        skewed = WeightedDiGraph(
+            4, [(0, 2, 10.0), (1, 2, 1.0), (0, 3, 1.0), (1, 3, 10.0)]
+        )
+        s_binary = ExactCoSimRank(binary).single_pair(2, 3)
+        s_skewed = ExactCoSimRank(skewed).single_pair(2, 3)
+        # with unit weights nodes 2 and 3 are identical; skewing the
+        # weights makes their in-distributions diverge
+        assert s_skewed < s_binary

@@ -1,0 +1,76 @@
+"""Unit tests for weighted edge-list IO."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.io import read_weighted_edge_list, write_weighted_edge_list
+from repro.graphs.weighted import WeightedDiGraph
+
+
+class TestReadWeighted:
+    def test_basic(self):
+        text = "a b 2.5\nb c 0.5\n"
+        graph, mapping = read_weighted_edge_list(io.StringIO(text))
+        assert graph.num_nodes == 3
+        assert graph.edge_weight(mapping["a"], mapping["b"]) == 2.5
+
+    def test_missing_weight_defaults(self):
+        graph, mapping = read_weighted_edge_list(
+            io.StringIO("x y\nx z 3.0\n"), default_weight=1.5
+        )
+        assert graph.edge_weight(mapping["x"], mapping["y"]) == 1.5
+        assert graph.edge_weight(mapping["x"], mapping["z"]) == 3.0
+
+    def test_duplicate_edges_sum(self):
+        graph, mapping = read_weighted_edge_list(io.StringIO("a b 1\na b 2\n"))
+        assert graph.edge_weight(mapping["a"], mapping["b"]) == 3.0
+
+    def test_comments_skipped(self):
+        graph, _ = read_weighted_edge_list(io.StringIO("# hi\n0 1 1.0\n"))
+        assert graph.num_edges == 1
+
+    def test_non_numeric_weight(self):
+        with pytest.raises(GraphFormatError):
+            read_weighted_edge_list(io.StringIO("a b heavy\n"))
+
+    def test_single_token_line(self):
+        with pytest.raises(GraphFormatError):
+            read_weighted_edge_list(io.StringIO("lonely\n"))
+
+    def test_file_path(self, tmp_path):
+        path = tmp_path / "weighted.txt"
+        path.write_text("0 1 4.0\n")
+        graph, mapping = read_weighted_edge_list(path)
+        assert graph.edge_weight(mapping["0"], mapping["1"]) == 4.0
+
+
+class TestRoundTrip:
+    def test_stream_round_trip(self):
+        graph = WeightedDiGraph(4, [(0, 1, 1.25), (2, 3, 0.75), (3, 0, 9.0)])
+        buffer = io.StringIO()
+        write_weighted_edge_list(graph, buffer)
+        buffer.seek(0)
+        loaded, mapping = read_weighted_edge_list(buffer)
+        # relabelled, but weights survive exactly (repr round-trip)
+        assert loaded.num_edges == 3
+        np.testing.assert_array_equal(
+            np.sort(loaded.edge_weights), [0.75, 1.25, 9.0]
+        )
+
+    def test_header(self):
+        graph = WeightedDiGraph(2, [(0, 1, 2.0)])
+        buffer = io.StringIO()
+        write_weighted_edge_list(graph, buffer, header=True)
+        assert buffer.getvalue().startswith("# nodes: 2 edges: 1 weighted\n")
+
+    def test_exact_float_round_trip(self):
+        weight = 0.1 + 0.2  # not representable prettily
+        graph = WeightedDiGraph(2, [(0, 1, weight)])
+        buffer = io.StringIO()
+        write_weighted_edge_list(graph, buffer)
+        buffer.seek(0)
+        loaded, _ = read_weighted_edge_list(buffer)
+        assert loaded.edge_weights[0] == weight  # repr() is lossless

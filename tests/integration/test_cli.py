@@ -1,0 +1,126 @@
+"""Integration tests for the csrplus CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestExperimentsCommand:
+    def test_list(self, capsys):
+        assert main(["experiments", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert "tab3" in out
+
+    def test_run_ablation(self, capsys):
+        assert main(["experiments", "run", "ablation-stages"]) == 0
+        out = capsys.readouterr().out
+        assert "stage4" in out
+
+    def test_run_with_output_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        code = main(
+            [
+                "experiments", "run", "ablation-stages",
+                "--tier", "tiny", "--output", str(target),
+            ]
+        )
+        assert code == 0
+        assert "stage4" in target.read_text()
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiments", "run", "fig42"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestDatasetsCommand:
+    def test_table(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "FB" in out
+        assert "Webbase" in out
+
+
+class TestQueryCommand:
+    def test_builtin_dataset(self, capsys):
+        code = main(
+            [
+                "query",
+                "--dataset", "P2P",
+                "--tier", "tiny",
+                "--queries", "1,2",
+                "--rank", "4",
+                "--top", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top-3 most similar to node 1" in out
+
+    def test_edge_list_file(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n2 0\n")
+        code = main(
+            ["query", "--edge-list", str(path), "--queries", "0", "--rank", "2"]
+        )
+        assert code == 0
+        assert "graph: n=3 m=3" in capsys.readouterr().out
+
+    def test_bad_query_node(self, capsys):
+        code = main(
+            ["query", "--dataset", "P2P", "--tier", "tiny", "--queries", "99999"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestStatsCommand:
+    def test_dataset_stats(self, capsys):
+        assert main(["stats", "--dataset", "FB", "--tier", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "m/n" in out
+        assert "weak components" in out
+
+    def test_edge_list_stats(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        assert main(["stats", "--edge-list", str(path)]) == 0
+        assert "n: 3" in capsys.readouterr().out
+
+
+class TestTuneCommand:
+    def test_tune_loose_target(self, capsys):
+        code = main(
+            [
+                "tune",
+                "--dataset", "P2P",
+                "--tier", "tiny",
+                "--target-error", "1.0",
+                "--candidates", "5,10",
+            ]
+        )
+        assert code == 0
+        assert "suggested rank: 5" in capsys.readouterr().out
+
+    def test_tune_bad_target(self, capsys):
+        code = main(
+            [
+                "tune",
+                "--dataset", "P2P",
+                "--tier", "tiny",
+                "--target-error", "-1",
+            ]
+        )
+        assert code == 1
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_source_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--dataset", "FB", "--edge-list", "x", "--queries", "0"]
+            )

@@ -1,0 +1,82 @@
+"""Integration: every engine family computes the same similarity.
+
+These tests tie the whole stack together — graph substrate, transition
+builder, SVD, Stein solvers, and each engine implementation — by
+checking cross-engine agreement on non-trivial graphs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CoSimMateEngine,
+    CSRITEngine,
+    CSRNIEngine,
+    CSRRLSEngine,
+    ExactCoSimRank,
+    FCoSimEngine,
+)
+from repro.core.index import CSRPlusIndex
+from repro.graphs.generators import chung_lu, erdos_renyi, preferential_attachment
+
+
+GRAPH_BUILDERS = [
+    lambda: erdos_renyi(50, 220, seed=41),
+    lambda: chung_lu(70, 350, seed=42),
+    lambda: preferential_attachment(60, 3, seed=43),
+]
+
+
+@pytest.mark.parametrize("builder", GRAPH_BUILDERS)
+def test_exact_family_agrees(builder):
+    """Exact, deep CSR-IT/RLS, CoSimMate and F-CoSim all converge to
+    the same matrix."""
+    graph = builder()
+    queries = [0, 7, graph.num_nodes - 1]
+    reference = ExactCoSimRank(graph, epsilon=1e-13).query(queries)
+    candidates = {
+        "CSR-IT": CSRITEngine(graph, iterations=80).query(queries),
+        "CSR-RLS": CSRRLSEngine(graph, iterations=80).query(queries),
+        "CoSimMate": CoSimMateEngine(graph, epsilon=1e-12).query(queries),
+        "F-CoSim": FCoSimEngine(graph, epsilon=1e-10).query(queries),
+    }
+    for name, block in candidates.items():
+        np.testing.assert_allclose(block, reference, atol=1e-8, err_msg=name)
+
+
+@pytest.mark.parametrize("builder", GRAPH_BUILDERS)
+@pytest.mark.parametrize("rank", [3, 8, 20])
+def test_low_rank_family_identical(builder, rank):
+    """CSR+ and CSR-NI must agree bit-near at every rank (losslessness)."""
+    graph = builder()
+    queries = [1, 5]
+    plus = CSRPlusIndex(graph, rank=rank, epsilon=1e-13).query(queries)
+    ni = CSRNIEngine(graph, rank=rank).query(queries)
+    np.testing.assert_allclose(plus, ni, atol=1e-9)
+
+
+def test_low_rank_converges_to_exact_family():
+    """As rank grows, the low-rank family approaches the exact family."""
+    graph = erdos_renyi(60, 260, seed=44)
+    queries = list(range(10))
+    exact = ExactCoSimRank(graph).query(queries)
+    prev_error = np.inf
+    for rank in (5, 15, 40, 60):
+        block = CSRPlusIndex(graph, rank=rank, epsilon=1e-12).query(queries)
+        error = np.abs(block - exact).max()
+        assert error < prev_error + 1e-9
+        prev_error = error
+    assert prev_error < 1e-6
+
+
+def test_iterative_truncation_matches_csr_plus_series():
+    """CSR-IT at K iterations == the K-truncated series; CSR+ at full
+    rank with tight epsilon == the infinite series; their gap obeys the
+    c^{K+1}/(1-c) tail bound."""
+    from repro.core.iterations import truncation_error_bound
+
+    graph = chung_lu(40, 180, seed=45)
+    truncated = CSRITEngine(graph, iterations=6).all_pairs()
+    full = CSRPlusIndex(graph, rank=40, epsilon=1e-14).all_pairs()
+    gap = np.abs(truncated - full).max()
+    assert gap <= truncation_error_bound(0.6, 6) + 1e-9

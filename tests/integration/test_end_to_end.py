@@ -1,0 +1,67 @@
+"""End-to-end pipeline tests: file -> graph -> index -> persist -> query."""
+
+import numpy as np
+
+from repro.core.index import CSRPlusIndex
+from repro.datasets.queries import sample_queries
+from repro.graphs.generators import chung_lu
+from repro.graphs.io import read_edge_list, write_edge_list
+from repro.metrics.accuracy import avg_diff
+from repro.metrics.ranking import kendall_tau
+
+
+class TestFullPipeline:
+    def test_disk_roundtrip_pipeline(self, tmp_path):
+        """Generate -> write -> read -> index -> save -> load -> query."""
+        graph = chung_lu(300, 1500, seed=51)
+        edge_path = tmp_path / "graph.txt"
+        write_edge_list(graph, edge_path)
+        loaded, _ = read_edge_list(edge_path, relabel=False)
+        assert loaded == graph
+
+        index = CSRPlusIndex(loaded, rank=10).prepare()
+        index_path = tmp_path / "index.npz"
+        index.save(index_path)
+        restored = CSRPlusIndex.load(index_path, loaded)
+
+        queries = sample_queries(loaded, 25, seed=7)
+        np.testing.assert_array_equal(index.query(queries), restored.query(queries))
+
+    def test_offline_cost_amortised_over_queries(self):
+        """One prepared index answers many query batches identically to
+        freshly-built indexes — the paper's preprocessing pitch."""
+        graph = chung_lu(400, 2000, seed=52)
+        shared = CSRPlusIndex(graph, rank=8).prepare()
+        for seed in range(3):
+            queries = sample_queries(graph, 30, seed=seed)
+            fresh = CSRPlusIndex(graph, rank=8).query(queries)
+            np.testing.assert_array_equal(shared.query(queries), fresh)
+
+    def test_low_rank_preserves_top_rankings(self):
+        """Low rank approximates values but keeps the head of the
+        ranking useful: the exact top-10 mostly appears in the
+        approximate top-20.  (A tau over *all* nodes would mostly
+        measure noise among the near-zero tail.)"""
+        from repro.baselines.exact import ExactCoSimRank
+        from repro.metrics.ranking import precision_at_k
+
+        graph = chung_lu(200, 1200, seed=53)
+        query = 11
+        exact_scores = ExactCoSimRank(graph).single_source(query)
+        exact_top = np.argsort(exact_scores)[::-1][:10]
+        approx_top = CSRPlusIndex(graph, rank=60).prepare().top_k(
+            query, 20, exclude_self=False
+        )
+        assert precision_at_k(exact_top.tolist(), approx_top.tolist(), 10) >= 0.6
+
+    def test_avgdiff_improves_with_rank_end_to_end(self):
+        from repro.baselines.exact import ExactCoSimRank
+
+        graph = chung_lu(250, 1300, seed=54)
+        queries = sample_queries(graph, 40, seed=9)
+        exact = ExactCoSimRank(graph).query(queries)
+        diffs = [
+            avg_diff(CSRPlusIndex(graph, rank=rank).query(queries), exact)
+            for rank in (5, 25, 100)
+        ]
+        assert diffs[2] < diffs[0]

@@ -1,0 +1,46 @@
+"""The fast example scripts run end to end (smoke tests).
+
+The heavyweight demos (scalability comparison, link prediction at full
+size) are exercised indirectly by the benchmark suite; here we execute
+the quick ones exactly as a user would.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "synonym_expansion.py",
+    "weighted_graphs.py",
+    "wikipedian_categorisation.py",
+    "dynamic_updates.py",
+    "recommendations.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example missing: {path}"
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_quickstart_output_content(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "prepared in" in out
+    assert "single pair" in out
+
+
+def test_dynamic_updates_keeps_cache_warm(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "dynamic_updates.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "stay warm" in out
+    assert "match a fresh engine" in out

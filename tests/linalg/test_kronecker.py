@@ -1,0 +1,129 @@
+"""Unit tests for the vec/Kronecker toolkit (Definitions 2.1-2.2)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.errors import InvalidParameterError
+from repro.linalg.kronecker import kron, mixed_product, unvec, vec, vec_identity
+
+
+class TestVec:
+    def test_column_stacking(self):
+        matrix = np.array([[1, 3], [2, 4]])
+        np.testing.assert_array_equal(vec(matrix), [1, 2, 3, 4])
+
+    def test_rectangular(self):
+        matrix = np.arange(6).reshape(2, 3)
+        assert vec(matrix).shape == (6,)
+        np.testing.assert_array_equal(vec(matrix), [0, 3, 1, 4, 2, 5])
+
+    def test_sparse_input(self):
+        matrix = sparse.csr_matrix(np.array([[0.0, 1.0], [2.0, 0.0]]))
+        np.testing.assert_array_equal(vec(matrix), [0, 2, 1, 0])
+
+    def test_unvec_roundtrip(self, rng):
+        matrix = rng.standard_normal((4, 7))
+        np.testing.assert_array_equal(unvec(vec(matrix), 4, 7), matrix)
+
+    def test_unvec_size_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            unvec(np.zeros(5), 2, 3)
+
+    def test_vec_rejects_1d(self):
+        with pytest.raises(InvalidParameterError):
+            vec(np.zeros(4))
+
+    def test_vec_copy_independent(self):
+        matrix = np.zeros((2, 2))
+        vector = vec(matrix)
+        vector[0] = 99.0
+        assert matrix[0, 0] == 0.0
+
+
+class TestKron:
+    def test_matches_definition(self):
+        a = np.array([[1, 2], [3, 4]])
+        b = np.array([[0, 1], [1, 0]])
+        expected = np.block([[0 * b + b, 2 * b], [3 * b, 4 * b]])
+        np.testing.assert_array_equal(kron(a, b), expected)
+
+    def test_sparse_operands(self):
+        a = sparse.identity(2)
+        b = np.array([[1.0, 2.0], [3.0, 4.0]])
+        result = kron(a, b)
+        np.testing.assert_array_equal(result[:2, :2], b)
+        np.testing.assert_array_equal(result[2:, :2], 0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(InvalidParameterError):
+            kron(np.zeros(3), np.eye(2))
+
+
+class TestVecIdentity:
+    def test_values(self):
+        v = vec_identity(3)
+        expected = vec(np.eye(3))
+        np.testing.assert_array_equal(v, expected)
+
+    def test_sparsity_structure(self):
+        v = vec_identity(4)
+        assert v.sum() == 4
+        assert np.flatnonzero(v).tolist() == [0, 5, 10, 15]
+
+    def test_zero(self):
+        assert vec_identity(0).size == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            vec_identity(-1)
+
+
+class TestIdentitiesUsedByTheTheorems:
+    """The algebra §3.2 relies on, checked numerically."""
+
+    def test_vec_of_product_identity(self, rng):
+        """vec(A X B) = (B^T kron A) vec(X)."""
+        a = rng.standard_normal((3, 4))
+        x = rng.standard_normal((4, 5))
+        b = rng.standard_normal((5, 2))
+        left = vec(a @ x @ b)
+        right = kron(b.T, a) @ vec(x)
+        np.testing.assert_allclose(left, right, atol=1e-12)
+
+    def test_transpose_distributes(self, rng):
+        v = rng.standard_normal((4, 3))
+        np.testing.assert_allclose(kron(v, v).T, kron(v.T, v.T), atol=1e-12)
+
+    def test_mixed_product_property(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((2, 5))
+        c = rng.standard_normal((4, 2))
+        d = rng.standard_normal((5, 3))
+        direct = kron(a, b) @ kron(c, d)
+        via_helper = mixed_product(a, b, c, d)
+        np.testing.assert_allclose(direct, via_helper, atol=1e-12)
+
+    def test_theorem_3_1(self, rng):
+        """(V kron V)^T (U kron U) = (V^T U) kron (V^T U)."""
+        u = rng.standard_normal((6, 3))
+        v = rng.standard_normal((6, 3))
+        theta = v.T @ u
+        np.testing.assert_allclose(
+            kron(v, v).T @ kron(u, u), kron(theta, theta), atol=1e-12
+        )
+
+    def test_theorem_3_2(self, rng):
+        """(V kron V)^T vec(I_n) = vec(I_r) for column-orthonormal V."""
+        matrix = rng.standard_normal((7, 3))
+        v, _ = np.linalg.qr(matrix)
+        left = kron(v, v).T @ vec_identity(7)
+        np.testing.assert_allclose(left, vec_identity(3), atol=1e-12)
+
+    def test_theorem_3_5_identity(self, rng):
+        """(U kron U) vec(M) = vec(U M U^T)."""
+        u = rng.standard_normal((5, 3))
+        m = rng.standard_normal((3, 3))
+        np.testing.assert_allclose(
+            kron(u, u) @ vec(m), vec(u @ m @ u.T), atol=1e-12
+        )

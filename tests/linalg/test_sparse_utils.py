@@ -1,0 +1,61 @@
+"""Unit tests for the sparse helpers backing the budget pre-flight checks."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.graphs.generators import chung_lu, erdos_renyi
+from repro.graphs.transition import transition_matrix
+from repro.linalg.sparse_utils import (
+    densify_small,
+    sparse_bytes_for_nnz,
+    spmm_nnz_upper_bound,
+)
+
+
+class TestNnzUpperBound:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_bound_dominates_actual(self, seed):
+        graph = erdos_renyi(80, 400, seed=seed)
+        q = transition_matrix(graph)
+        bound = spmm_nnz_upper_bound(q, q)
+        actual = (q @ q).nnz
+        assert bound >= actual
+
+    def test_bound_on_powerlaw_products(self):
+        graph = chung_lu(200, 1200, seed=4)
+        q = transition_matrix(graph)
+        s = sparse.identity(200, format="csr")
+        for _ in range(3):
+            bound = spmm_nnz_upper_bound(q.T.tocsr(), s)
+            product = q.T.tocsr() @ s
+            assert bound >= product.nnz
+            s = (product @ q).tocsr()
+
+    def test_exact_for_diagonal(self):
+        d = sparse.identity(10, format="csr")
+        assert spmm_nnz_upper_bound(d, d) == 10
+
+    def test_zero_matrices(self):
+        z = sparse.csr_matrix((5, 5))
+        assert spmm_nnz_upper_bound(z, z) == 0
+
+
+class TestBytesForNnz:
+    def test_default_layout(self):
+        assert sparse_bytes_for_nnz(100) == 1200  # 4B index + 8B value
+
+    def test_custom_layout(self):
+        assert sparse_bytes_for_nnz(10, index_bytes=8, value_bytes=8) == 160
+
+
+class TestDensifySmall:
+    def test_small_becomes_dense(self):
+        matrix = sparse.identity(5, format="csr")
+        out = densify_small(matrix)
+        assert isinstance(out, np.ndarray)
+
+    def test_large_stays_sparse(self):
+        matrix = sparse.identity(100, format="csr")
+        out = densify_small(matrix, max_elements=50)
+        assert sparse.issparse(out)

@@ -1,0 +1,118 @@
+"""Unit tests for the Stein-equation solvers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, InvalidParameterError
+from repro.linalg.stein import (
+    fixed_point_iteration_count,
+    solve_stein_direct,
+    solve_stein_fixed_point,
+    solve_stein_squaring,
+    squaring_iteration_count,
+)
+
+
+def _contraction(r, seed, norm=0.9):
+    """A random matrix scaled to spectral norm ``norm`` (< 1/sqrt(c))."""
+    rng = np.random.default_rng(seed)
+    h = rng.standard_normal((r, r))
+    return h * (norm / np.linalg.norm(h, ord=2))
+
+
+class TestIterationCounts:
+    def test_paper_example(self):
+        # c = 0.6, eps = 1e-5: log_c eps ~ 22.5, log2 ~ 4.49 -> 5
+        assert squaring_iteration_count(0.6, 1e-5) == 5
+
+    def test_squaring_much_smaller_than_fixed_point(self):
+        for c in (0.4, 0.6, 0.8):
+            for eps in (1e-3, 1e-6, 1e-9):
+                k_sq = squaring_iteration_count(c, eps)
+                k_fp = fixed_point_iteration_count(c, eps)
+                assert 2 ** (k_sq + 1) >= k_fp
+                assert k_sq < k_fp
+
+    def test_fixed_point_count_definition(self):
+        k = fixed_point_iteration_count(0.6, 1e-5)
+        assert 0.6**k < 1e-5 <= 0.6 ** (k - 1)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            squaring_iteration_count(1.0, 1e-5)
+        with pytest.raises(InvalidParameterError):
+            squaring_iteration_count(0.6, 0.0)
+        with pytest.raises(InvalidParameterError):
+            fixed_point_iteration_count(0.0, 1e-5)
+
+
+class TestSolverAgreement:
+    @pytest.mark.parametrize("c", [0.4, 0.6, 0.8])
+    def test_three_solvers_agree(self, c):
+        h = _contraction(8, seed=1)
+        direct = solve_stein_direct(h, c)
+        fixed, _ = solve_stein_fixed_point(h, c, epsilon=1e-12)
+        squared, _ = solve_stein_squaring(h, c, epsilon=1e-12)
+        np.testing.assert_allclose(fixed, direct, atol=1e-9)
+        np.testing.assert_allclose(squared, direct, atol=1e-9)
+
+    def test_solution_satisfies_equation(self):
+        h = _contraction(6, seed=2)
+        c = 0.6
+        p = solve_stein_direct(h, c)
+        np.testing.assert_allclose(p, c * h @ p @ h.T + np.eye(6), atol=1e-10)
+
+    def test_squaring_respects_paper_bound(self):
+        """After the paper's iteration count, ||P_k - P||_max < eps."""
+        h = _contraction(5, seed=3, norm=1.0)
+        for eps in (1e-3, 1e-5, 1e-8):
+            p_exact = solve_stein_direct(h, 0.6)
+            p_approx, _ = solve_stein_squaring(h, 0.6, epsilon=eps)
+            assert np.max(np.abs(p_approx - p_exact)) < eps
+
+    def test_symmetric_solution(self):
+        """P = sum c^j H^j (H^j)^T is symmetric positive definite."""
+        h = _contraction(7, seed=4)
+        p = solve_stein_direct(h, 0.6)
+        np.testing.assert_allclose(p, p.T, atol=1e-10)
+        assert np.all(np.linalg.eigvalsh(p) > 0)
+
+    def test_identity_h(self):
+        """H = I gives P = I / (1 - c)."""
+        p, _ = solve_stein_squaring(np.eye(4), 0.5, epsilon=1e-14)
+        np.testing.assert_allclose(p, np.eye(4) * 2.0, atol=1e-10)
+
+    def test_zero_h(self):
+        p, _ = solve_stein_squaring(np.zeros((3, 3)), 0.6)
+        np.testing.assert_allclose(p, np.eye(3))
+
+
+class TestValidation:
+    def test_non_square_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            solve_stein_direct(np.zeros((2, 3)), 0.6)
+
+    def test_bad_damping_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            solve_stein_squaring(np.eye(2), 1.5)
+
+    def test_divergent_fixed_point_raises(self):
+        h = np.eye(3) * 3.0  # sqrt(c) * ||H|| > 1
+        with pytest.raises(ConvergenceError):
+            solve_stein_fixed_point(h, 0.6, epsilon=1e-10, max_iterations=50)
+
+    def test_fixed_point_reports_iterations(self):
+        h = _contraction(4, seed=5)
+        _, iterations = solve_stein_fixed_point(h, 0.6, epsilon=1e-8)
+        assert iterations >= 1
+
+    def test_direct_refuses_large_rank(self):
+        """The r^2 x r^2 system would need 8 r^4 bytes; r = 65 is refused."""
+        h = _contraction(65, seed=6)
+        with pytest.raises(InvalidParameterError):
+            solve_stein_direct(h, 0.6)
+
+    def test_direct_boundary_rank_allowed(self):
+        h = _contraction(64, seed=7)
+        p = solve_stein_direct(h, 0.6)
+        assert p.shape == (64, 64)

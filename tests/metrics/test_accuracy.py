@@ -1,0 +1,55 @@
+"""Unit tests for the accuracy metrics (AvgDiff and friends)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.metrics.accuracy import avg_diff, max_diff, rmse
+
+
+class TestAvgDiff:
+    def test_definition(self):
+        """AvgDiff = mean |S_hat - S| over the n x |Q| block (§4.2.3)."""
+        estimate = np.array([[1.0, 2.0], [3.0, 4.0]])
+        reference = np.array([[1.5, 2.0], [3.0, 3.0]])
+        assert avg_diff(estimate, reference) == pytest.approx(
+            (0.5 + 0.0 + 0.0 + 1.0) / 4
+        )
+
+    def test_zero_for_identical(self, rng):
+        block = rng.standard_normal((10, 4))
+        assert avg_diff(block, block) == 0.0
+
+    def test_symmetry(self, rng):
+        a = rng.standard_normal((5, 3))
+        b = rng.standard_normal((5, 3))
+        assert avg_diff(a, b) == avg_diff(b, a)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            avg_diff(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            avg_diff(np.zeros((0, 2)), np.zeros((0, 2)))
+
+    def test_vector_inputs(self):
+        assert avg_diff(np.array([1.0, 2.0]), np.array([2.0, 2.0])) == 0.5
+
+
+class TestOtherMetrics:
+    def test_max_diff(self):
+        a = np.array([[0.0, 5.0]])
+        b = np.array([[1.0, 2.0]])
+        assert max_diff(a, b) == 3.0
+
+    def test_rmse(self):
+        a = np.array([0.0, 0.0])
+        b = np.array([3.0, 4.0])
+        assert rmse(a, b) == pytest.approx(np.sqrt(12.5))
+
+    def test_ordering(self, rng):
+        """max >= rmse >= avg for any block."""
+        a = rng.standard_normal((20, 5))
+        b = rng.standard_normal((20, 5))
+        assert max_diff(a, b) >= rmse(a, b) >= avg_diff(a, b)

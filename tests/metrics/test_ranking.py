@@ -1,0 +1,77 @@
+"""Unit tests for ranking metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.metrics.ranking import kendall_tau, ndcg_at_k, precision_at_k, rank_of
+
+
+class TestPrecisionAtK:
+    def test_perfect(self):
+        assert precision_at_k([1, 2, 3], [1, 2, 3], 3) == 1.0
+
+    def test_partial(self):
+        assert precision_at_k([1, 9, 2], [1, 2], 3) == pytest.approx(2 / 3)
+
+    def test_truncates_predictions(self):
+        assert precision_at_k([1, 9, 9, 9], [1], 1) == 1.0
+
+    def test_short_prediction_list(self):
+        assert precision_at_k([1], [1, 2], 5) == 1.0
+
+    def test_empty_predictions(self):
+        assert precision_at_k([], [1], 3) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            precision_at_k([1], [1], 0)
+
+
+class TestNDCG:
+    def test_perfect_is_one(self):
+        assert ndcg_at_k([1, 2, 3], [1, 2, 3], 3) == pytest.approx(1.0)
+
+    def test_hit_later_is_worse(self):
+        early = ndcg_at_k([1, 9, 8], [1], 3)
+        late = ndcg_at_k([9, 8, 1], [1], 3)
+        assert early > late > 0
+
+    def test_no_relevant(self):
+        assert ndcg_at_k([1, 2], [], 2) == 0.0
+
+    def test_no_hits(self):
+        assert ndcg_at_k([5, 6], [1], 2) == 0.0
+
+
+class TestKendallTau:
+    def test_identical_order(self):
+        assert kendall_tau(np.array([1.0, 2, 3]), np.array([10.0, 20, 30])) == 1.0
+
+    def test_reversed_order(self):
+        assert kendall_tau(np.array([1.0, 2, 3]), np.array([3.0, 2, 1])) == -1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            kendall_tau(np.zeros(3), np.zeros(4))
+
+    def test_too_short(self):
+        with pytest.raises(InvalidParameterError):
+            kendall_tau(np.zeros(1), np.zeros(1))
+
+
+class TestRankOf:
+    def test_basic(self):
+        scores = np.array([0.1, 0.9, 0.5])
+        assert rank_of(scores, 1) == 0
+        assert rank_of(scores, 2) == 1
+        assert rank_of(scores, 0) == 2
+
+    def test_tie_broken_by_id(self):
+        scores = np.array([0.5, 0.5])
+        assert rank_of(scores, 0) == 0
+        assert rank_of(scores, 1) == 1
+
+    def test_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            rank_of(np.zeros(3), 5)

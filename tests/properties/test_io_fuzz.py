@@ -1,0 +1,67 @@
+"""Property-based fuzzing of the edge-list reader/writer."""
+
+import io
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError, ReproError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.io import parse_edge_list, read_edge_list, write_edge_list
+
+SETTINGS = dict(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    count = draw(st.integers(min_value=0, max_value=60))
+    edges = [
+        (
+            draw(st.integers(min_value=0, max_value=n - 1)),
+            draw(st.integers(min_value=0, max_value=n - 1)),
+        )
+        for _ in range(count)
+    ]
+    return DiGraph(n, edges)
+
+
+class TestRoundTripProperty:
+    @given(graph=graphs())
+    @settings(**SETTINGS)
+    def test_write_read_preserves_edges(self, graph):
+        buffer = io.StringIO()
+        write_edge_list(graph, buffer)
+        buffer.seek(0)
+        loaded, _ = read_edge_list(buffer, relabel=False)
+        assert list(loaded.edges()) == list(graph.edges())
+
+
+class TestParserNeverCrashesUnsafely:
+    @given(text=st.text(max_size=400))
+    @settings(**SETTINGS)
+    def test_arbitrary_text(self, text):
+        """The parser either succeeds or raises a library error —
+        never an unrelated exception type."""
+        try:
+            graph, mapping = parse_edge_list(text)
+        except ReproError:
+            return
+        assert graph.num_nodes == len(mapping)
+
+    @given(
+        text=st.text(
+            alphabet=st.sampled_from("0123456789 \t\n#"), max_size=300
+        )
+    )
+    @settings(**SETTINGS)
+    def test_numeric_soup(self, text):
+        try:
+            graph, _ = parse_edge_list(text, relabel=False)
+        except GraphFormatError:
+            return
+        assert graph.num_edges >= 0

@@ -1,0 +1,64 @@
+"""Property-based fuzzing of the memory meter's bookkeeping invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.memory import MemoryMeter
+from repro.errors import MemoryBudgetExceeded
+
+SETTINGS = dict(max_examples=80, deadline=None)
+
+actions = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("charge"),
+            st.sampled_from("abcde"),
+            st.integers(min_value=0, max_value=1000),
+        ),
+        st.tuples(st.just("release"), st.sampled_from("abcde"), st.just(0)),
+    ),
+    max_size=40,
+)
+
+
+class TestMeterInvariants:
+    @given(sequence=actions)
+    @settings(**SETTINGS)
+    def test_unbudgeted_bookkeeping(self, sequence):
+        """current == sum of live labels; peak is a running max;
+        per-label high-water dominates the live value."""
+        meter = MemoryMeter()
+        shadow = {}
+        running_peak = 0
+        for op, label, size in sequence:
+            if op == "charge":
+                meter.charge(label, size)
+                shadow[label] = size
+            else:
+                meter.release(label)
+                shadow.pop(label, None)
+            running_peak = max(running_peak, sum(shadow.values()))
+            assert meter.current_bytes == sum(shadow.values())
+        assert meter.peak_bytes == running_peak
+        for label, size in meter.live_breakdown().items():
+            assert meter.high_water_breakdown()[label] >= size
+
+    @given(sequence=actions, budget=st.integers(min_value=1, max_value=1500))
+    @settings(**SETTINGS)
+    def test_budget_never_exceeded(self, sequence, budget):
+        """Whatever happens, the live total never passes the budget,
+        and a rejected charge leaves the state untouched."""
+        meter = MemoryMeter(budget_bytes=budget)
+        for op, label, size in sequence:
+            before_live = meter.live_breakdown()
+            before_peak = meter.peak_bytes
+            try:
+                if op == "charge":
+                    meter.charge(label, size)
+                else:
+                    meter.release(label)
+            except MemoryBudgetExceeded:
+                assert meter.live_breakdown() == before_live
+                assert meter.peak_bytes == before_peak
+            assert meter.current_bytes <= budget
+            assert meter.peak_bytes <= budget

@@ -1,0 +1,134 @@
+"""Property-based tests of the substrates (graphs, vec/kron, Stein)."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.transition import is_column_substochastic, transition_matrix
+from repro.linalg.kronecker import kron, unvec, vec
+from repro.linalg.stein import solve_stein_direct, solve_stein_squaring
+
+SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+small_floats = st.floats(
+    min_value=-2.0, max_value=2.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    count = draw(st.integers(min_value=0, max_value=40))
+    edges = [
+        (
+            draw(st.integers(min_value=0, max_value=n - 1)),
+            draw(st.integers(min_value=0, max_value=n - 1)),
+        )
+        for _ in range(count)
+    ]
+    return n, edges
+
+
+class TestGraphProperties:
+    @given(data=edge_lists())
+    @settings(**SETTINGS)
+    def test_degree_sums_equal_edge_count(self, data):
+        n, edges = data
+        graph = DiGraph(n, edges)
+        assert graph.in_degrees().sum() == graph.num_edges
+        assert graph.out_degrees().sum() == graph.num_edges
+
+    @given(data=edge_lists())
+    @settings(**SETTINGS)
+    def test_reverse_swaps_degrees(self, data):
+        n, edges = data
+        graph = DiGraph(n, edges)
+        rev = graph.reverse()
+        np.testing.assert_array_equal(graph.in_degrees(), rev.out_degrees())
+        np.testing.assert_array_equal(graph.out_degrees(), rev.in_degrees())
+
+    @given(data=edge_lists())
+    @settings(**SETTINGS)
+    def test_transition_always_substochastic(self, data):
+        n, edges = data
+        graph = DiGraph(n, edges)
+        assert is_column_substochastic(transition_matrix(graph))
+
+    @given(data=edge_lists())
+    @settings(**SETTINGS)
+    def test_add_then_remove_roundtrip(self, data):
+        n, edges = data
+        graph = DiGraph(n, edges)
+        if n < 2:
+            return
+        candidate = (0, n - 1)
+        if graph.has_edge(*candidate):
+            return
+        modified = graph.with_edges_added([candidate]).with_edges_removed(
+            [candidate]
+        )
+        assert modified == graph
+
+
+class TestVecKronProperties:
+    @given(
+        matrix=arrays(np.float64, (4, 3), elements=small_floats),
+    )
+    @settings(**SETTINGS)
+    def test_vec_unvec_roundtrip(self, matrix):
+        np.testing.assert_array_equal(unvec(vec(matrix), 4, 3), matrix)
+
+    @given(
+        a=arrays(np.float64, (3, 3), elements=small_floats),
+        b=arrays(np.float64, (2, 2), elements=small_floats),
+    )
+    @settings(**SETTINGS)
+    def test_kron_bilinearity(self, a, b):
+        np.testing.assert_allclose(
+            kron(2.0 * a, b), 2.0 * kron(a, b), atol=1e-9
+        )
+
+    @given(
+        a=arrays(np.float64, (3, 2), elements=small_floats),
+        x=arrays(np.float64, (2, 2), elements=small_floats),
+        b=arrays(np.float64, (2, 3), elements=small_floats),
+    )
+    @settings(**SETTINGS)
+    def test_vec_product_identity(self, a, x, b):
+        np.testing.assert_allclose(
+            vec(a @ x @ b), kron(b.T, a) @ vec(x), atol=1e-8
+        )
+
+
+class TestSteinProperties:
+    @given(
+        h_raw=arrays(np.float64, (5, 5), elements=small_floats),
+        c=st.sampled_from([0.3, 0.6, 0.8]),
+    )
+    @settings(**SETTINGS)
+    def test_squaring_equals_direct_for_contractions(self, h_raw, c):
+        norm = np.linalg.norm(h_raw, ord=2)
+        if norm < 1e-12:
+            h = h_raw
+        else:
+            h = h_raw * (0.95 / norm)  # ensure sqrt(c)||H|| < 1
+        p_direct = solve_stein_direct(h, c)
+        p_squared, _ = solve_stein_squaring(h, c, epsilon=1e-12)
+        np.testing.assert_allclose(p_squared, p_direct, atol=1e-8)
+
+    @given(
+        h_raw=arrays(np.float64, (4, 4), elements=small_floats),
+        c=st.sampled_from([0.4, 0.7]),
+    )
+    @settings(**SETTINGS)
+    def test_solution_psd(self, h_raw, c):
+        norm = np.linalg.norm(h_raw, ord=2)
+        h = h_raw if norm < 1e-12 else h_raw * (0.9 / norm)
+        p = solve_stein_direct(h, c)
+        assert np.all(np.linalg.eigvalsh((p + p.T) / 2) > -1e-9)

@@ -1,0 +1,67 @@
+"""Property test for WeightedDiGraph's duplicate-edge coalescing.
+
+The group-sum uses ``np.add.reduceat`` over a lexsorted edge list —
+easy to get subtly wrong at group boundaries, so it gets its own
+shadow-model fuzz.
+"""
+
+from collections import defaultdict
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.weighted import WeightedDiGraph
+
+SETTINGS = dict(max_examples=80, deadline=None)
+
+
+@st.composite
+def weighted_triples(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    count = draw(st.integers(min_value=0, max_value=40))
+    triples = [
+        (
+            draw(st.integers(min_value=0, max_value=n - 1)),
+            draw(st.integers(min_value=0, max_value=n - 1)),
+            draw(st.floats(min_value=0.01, max_value=10.0, allow_nan=False)),
+        )
+        for _ in range(count)
+    ]
+    return n, triples
+
+
+class TestCoalescing:
+    @given(data=weighted_triples())
+    @settings(**SETTINGS)
+    def test_matches_dict_shadow_model(self, data):
+        n, triples = data
+        graph = WeightedDiGraph(n, triples)
+        shadow = defaultdict(float)
+        for s, t, w in triples:
+            shadow[(s, t)] += w
+        assert graph.num_edges == len(shadow)
+        for (s, t), total in shadow.items():
+            np.testing.assert_allclose(graph.edge_weight(s, t), total, rtol=1e-9)
+
+    @given(data=weighted_triples())
+    @settings(**SETTINGS)
+    def test_total_weight_preserved(self, data):
+        n, triples = data
+        graph = WeightedDiGraph(n, triples)
+        expected = sum(w for _, _, w in triples)
+        np.testing.assert_allclose(
+            graph.edge_weights.sum(), expected, rtol=1e-9, atol=1e-12
+        )
+
+    @given(data=weighted_triples())
+    @settings(**SETTINGS)
+    def test_strengths_consistent_with_weights(self, data):
+        n, triples = data
+        graph = WeightedDiGraph(n, triples)
+        np.testing.assert_allclose(
+            graph.in_strength().sum(), graph.edge_weights.sum(), rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            graph.out_strength().sum(), graph.edge_weights.sum(), rtol=1e-12
+        )

@@ -1,0 +1,22 @@
+"""Run the doctest examples embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.applications.synonyms
+import repro.core.csr_plus
+import repro.core.index
+
+MODULES = [
+    repro.core.index,
+    repro.core.csr_plus,
+    repro.applications.synonyms,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_docstring_examples(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0

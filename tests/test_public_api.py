@@ -1,0 +1,61 @@
+"""The advertised public API resolves and stays stable."""
+
+import importlib
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.graphs",
+    "repro.linalg",
+    "repro.core",
+    "repro.baselines",
+    "repro.metrics",
+    "repro.datasets",
+    "repro.experiments",
+    "repro.applications",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__"), f"{module_name} has no __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_top_level_surface():
+    import repro
+
+    # the names the README quickstart relies on
+    for name in (
+        "CSRPlusIndex",
+        "CSRPlusConfig",
+        "DynamicCSRPlus",
+        "DiGraph",
+        "WeightedDiGraph",
+        "suggest_rank",
+        "cosimrank_multi_source",
+        "MemoryBudgetExceeded",
+    ):
+        assert hasattr(repro, name)
+    assert repro.__version__ == "1.0.0"
+
+
+def test_every_module_has_docstring():
+    for module_name in PUBLIC_MODULES:
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+def test_engine_classes_have_docstrings():
+    from repro.baselines.registry import engine_names, make_engine
+    from repro.graphs.generators import ring
+
+    graph = ring(4)
+    for name in engine_names():
+        engine = make_engine(name, graph, rank=2)
+        assert type(engine).__doc__, name
+        assert engine.name == name
