@@ -39,6 +39,7 @@ from repro.errors import (
     ReproError,
 )
 from repro.graphs import DiGraph, WeightedDiGraph
+from repro.serving import CoSimRankService, IndexRegistry, ServingStats
 
 __version__ = "1.0.0"
 
@@ -55,6 +56,9 @@ __all__ = [
     "cosimrank_single_pair",
     "cosimrank_all_pairs",
     "cosimrank_top_k",
+    "CoSimRankService",
+    "IndexRegistry",
+    "ServingStats",
     "ReproError",
     "GraphFormatError",
     "GraphConstructionError",

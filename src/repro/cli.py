@@ -7,6 +7,7 @@
     csrplus datasets
     csrplus query --dataset FB --tier small --queries 3,14,15 --rank 5 --top 10
     csrplus query --edge-list graph.txt --queries 0,1 --rank 8
+    csrplus serve-batch --dataset FB --tier small --queries-file q.txt --json
 
 (Also reachable as ``python -m repro``.)
 """
@@ -14,7 +15,9 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import List, Optional
 
 from repro.core.config import CSRPlusConfig
@@ -67,6 +70,56 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--rank", type=int, default=5)
     query.add_argument("--damping", type=float, default=0.6)
     query.add_argument("--top", type=int, default=10, help="rows to print per query")
+
+    serve = sub.add_parser(
+        "serve-batch",
+        help="serve a file of multi-source requests through CoSimRankService",
+    )
+    serve_source = serve.add_mutually_exclusive_group(required=True)
+    serve_source.add_argument(
+        "--dataset", choices=dataset_keys(), help="built-in stand-in"
+    )
+    serve_source.add_argument("--edge-list", help="path to a SNAP-style edge list")
+    serve.add_argument(
+        "--tier", choices=("tiny", "small", "bench"), default="small"
+    )
+    serve.add_argument(
+        "--queries-file",
+        required=True,
+        help="one request per line: comma/space-separated node ids "
+        "('#' starts a comment)",
+    )
+    serve.add_argument("--rank", type=int, default=5)
+    serve.add_argument("--damping", type=float, default=0.6)
+    serve.add_argument(
+        "--cache-columns", type=int, default=1024,
+        help="LRU capacity in result columns (0 disables the cache)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=0,
+        help="threads for miss computation (0 = one per CPU, 1 = serial)",
+    )
+    serve.add_argument(
+        "--chunk-size", type=int, default=64,
+        help="cache misses handed to one worker task at a time",
+    )
+    serve.add_argument(
+        "--repeat", type=int, default=2,
+        help="serve the batch this many times (pass 1 is cold, later "
+        "passes measure the warm cache)",
+    )
+    serve.add_argument(
+        "--index-dir", default=None,
+        help="registry directory: load the prepared index from here if "
+        "present, else build once and save",
+    )
+    serve.add_argument(
+        "--index-name", default=None,
+        help="registry key (default: derived from the source and rank)",
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
 
     stats = sub.add_parser("stats", help="structural statistics of a graph")
     stats_source = stats.add_mutually_exclusive_group(required=True)
@@ -142,6 +195,109 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_requests_file(path: str) -> List[List[int]]:
+    """Parse a serve-batch query file: one request per non-empty line."""
+    from repro.errors import GraphFormatError, QueryError
+
+    requests: List[List[int]] = []
+    try:
+        handle = open(path, encoding="utf-8")
+    except OSError as exc:
+        raise QueryError(f"cannot read queries file {path!r}: {exc}") from exc
+    with handle:
+        for lineno, line in enumerate(handle, start=1):
+            body = line.split("#", 1)[0].strip()
+            if not body:
+                continue
+            try:
+                ids = [int(tok) for tok in body.replace(",", " ").split()]
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected integer node ids, got {body!r}"
+                ) from exc
+            requests.append(ids)
+    if not requests:
+        raise QueryError(f"no requests found in {path!r}")
+    return requests
+
+
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    from repro.serving import CoSimRankService, IndexRegistry
+
+    requests = _read_requests_file(args.queries_file)
+    graph = _load_graph(args)
+    config = CSRPlusConfig(
+        damping=args.damping, rank=min(args.rank, graph.num_nodes)
+    )
+    if args.index_dir:
+        source = args.dataset or "edgelist"
+        name = args.index_name or (
+            f"{source}-{args.tier}-r{config.rank}-c{config.damping}"
+        )
+        index = IndexRegistry(args.index_dir).get(name, graph, config)
+    else:
+        index = CSRPlusIndex(graph, config).prepare()
+
+    passes = []
+    with CoSimRankService(
+        index,
+        cache_columns=args.cache_columns,
+        max_workers=args.workers or None,
+        chunk_size=args.chunk_size,
+    ) as service:
+        for pass_num in range(1, max(1, args.repeat) + 1):
+            started = time.perf_counter()
+            results = service.serve_batch(requests)
+            elapsed = time.perf_counter() - started
+            columns = sum(block.shape[1] for block in results)
+            passes.append(
+                {
+                    "pass": pass_num,
+                    "seconds": elapsed,
+                    "columns": columns,
+                    "columns_per_second": columns / max(elapsed, 1e-12),
+                }
+            )
+        stats = service.stats()
+
+    payload = {
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "rank": config.rank,
+        "damping": config.damping,
+        "requests": len(requests),
+        "cache_columns": args.cache_columns,
+        "workers": service.max_workers,
+        "passes": passes,
+        "stats": stats.as_dict(),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"graph: n={graph.num_nodes} m={graph.num_edges}  "
+        f"rank={config.rank} c={config.damping}  "
+        f"requests={len(requests)} workers={service.max_workers}"
+    )
+    for entry in passes:
+        print(
+            f"pass {entry['pass']}: {entry['seconds']:.4f}s  "
+            f"{entry['columns']} columns  "
+            f"{entry['columns_per_second']:,.0f} columns/s"
+        )
+    print(
+        f"cache: {stats.hits} hits / {stats.misses} misses "
+        f"(rate {stats.hit_rate:.1%}), {stats.evictions} evictions, "
+        f"{stats.bytes_cached / 1e6:.2f} MB resident"
+    )
+    print(
+        f"phases: lookup {stats.lookup_seconds:.4f}s  "
+        f"compute {stats.compute_seconds:.4f}s  "
+        f"assemble {stats.assemble_seconds:.4f}s"
+    )
+    return 0
+
+
 def _load_graph(args: argparse.Namespace):
     if args.dataset:
         return load_dataset(args.dataset, args.tier)
@@ -192,6 +348,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_datasets()
         if args.command == "query":
             return _cmd_query(args)
+        if args.command == "serve-batch":
+            return _cmd_serve_batch(args)
         if args.command == "stats":
             return _cmd_stats(args)
         if args.command == "tune":

@@ -29,7 +29,7 @@ import numpy as np
 from repro.core.base import QueryLike, SimilarityEngine
 from repro.core.config import CSRPlusConfig
 from repro.core.memory import sparse_nbytes
-from repro.errors import InvalidParameterError, NotPreparedError
+from repro.errors import InvalidParameterError, NotPreparedError, QueryError
 from repro.graphs.digraph import DiGraph
 from repro.linalg.stein import (
     solve_stein_direct,
@@ -148,6 +148,54 @@ class CSRPlusIndex(SimilarityEngine):
     # ------------------------------------------------------------------
     # online phase (Algorithm 1, line 7)
     # ------------------------------------------------------------------
+    def query_columns(self, seeds) -> np.ndarray:
+        """Per-seed similarity columns, each evaluated independently.
+
+        Column ``j`` is ``c * Z @ U[seeds[j], :]`` with ``1`` added at
+        row ``seeds[j]`` — exactly ``[S]_{*, seeds[j]}`` by Theorem 3.5,
+        which shows every output column depends only on its own seed.
+
+        This is the *canonical* evaluation of a column: each one is a
+        separate matrix-vector product, never part of a batched GEMM.
+        BLAS GEMM results for one column vary bitwise with the batch
+        width (a 1-column product dispatches to GEMV, and blocking
+        differs with shape), so a batched product would make a column's
+        bits depend on which other seeds happened to share the batch.
+        Evaluating per column makes the result a pure function of the
+        seed alone, which is what lets the serving layer
+        (:mod:`repro.serving`) cache and reuse columns with bit-exact
+        results for every cache state.  :meth:`query` routes through
+        this same primitive, so cached and direct answers are
+        ``np.array_equal``.
+
+        Parameters
+        ----------
+        seeds:
+            Integer node ids; may be empty.  Duplicates are honoured
+            (one column per entry, in order).
+
+        Returns
+        -------
+        ``n x len(seeds)`` array (Fortran order, one contiguous block
+        per column) in the index dtype.
+        """
+        self._require_prepared()
+        if self._z is None or self._u is None:
+            raise NotPreparedError("CSR+ factors missing; prepare() did not run")
+        seed_ids = np.asarray(seeds, dtype=np.int64).ravel()
+        n = self.num_nodes
+        if seed_ids.size and (seed_ids.min() < 0 or seed_ids.max() >= n):
+            raise QueryError(
+                f"seed ids must be in [0, {n}), got range "
+                f"[{seed_ids.min()}, {seed_ids.max()}]"
+            )
+        out = np.empty((n, seed_ids.size), dtype=self._z.dtype, order="F")
+        for j, seed in enumerate(seed_ids):
+            column = self.damping * (self._z @ self._u[int(seed), :])
+            column[seed] += 1.0
+            out[:, j] = column
+        return out
+
     def _query_impl(self, query_ids: np.ndarray) -> np.ndarray:
         if self._z is None or self._u is None:
             raise NotPreparedError("CSR+ factors missing; prepare() did not run")
@@ -155,9 +203,15 @@ class CSRPlusIndex(SimilarityEngine):
         num_queries = query_ids.size
         self.memory.require("query/S", n * num_queries * 8)
 
-        # [S]_{*,Q} = [I_n]_{*,Q} + c * Z * (U[Q, :])^T
-        result = self.damping * (self._z @ self._u[query_ids, :].T)
-        result[query_ids, np.arange(num_queries)] += 1.0
+        # [S]_{*,Q} = [I_n]_{*,Q} + c * Z * (U[Q, :])^T, evaluated one
+        # column per distinct seed (see query_columns) and scattered to
+        # duplicate positions.
+        unique_ids, inverse = np.unique(query_ids, return_inverse=True)
+        result = self.query_columns(unique_ids)
+        if unique_ids.size != num_queries or not np.array_equal(
+            unique_ids, query_ids
+        ):
+            result = result[:, inverse]
         self.memory.charge("query/S", result.nbytes)
         return result
 

@@ -1,0 +1,34 @@
+"""Concurrent query serving for CSR+ (docs/serving.md).
+
+This package turns a prepared :class:`~repro.core.index.CSRPlusIndex`
+into a traffic-serving component:
+
+* :class:`~repro.serving.service.CoSimRankService` — the front-end:
+  request coalescing, per-seed column caching, parallel miss
+  computation, bit-exact results;
+* :class:`~repro.serving.cache.ColumnCache` — thread-safe LRU of
+  ``[S]_{*,s}`` columns;
+* :class:`~repro.serving.scheduler.BatchPlan` /
+  :func:`~repro.serving.scheduler.plan_batch` /
+  :func:`~repro.serving.scheduler.chunk_seeds` — pure batch planning;
+* :class:`~repro.serving.stats.ServingStats` — traffic/cache/timing
+  snapshot;
+* :class:`~repro.serving.registry.IndexRegistry` — named, lazily
+  loaded on-disk indexes.
+"""
+
+from repro.serving.cache import ColumnCache
+from repro.serving.registry import IndexRegistry
+from repro.serving.scheduler import BatchPlan, chunk_seeds, plan_batch
+from repro.serving.service import CoSimRankService
+from repro.serving.stats import ServingStats
+
+__all__ = [
+    "CoSimRankService",
+    "ColumnCache",
+    "ServingStats",
+    "IndexRegistry",
+    "BatchPlan",
+    "plan_batch",
+    "chunk_seeds",
+]

@@ -1,0 +1,164 @@
+"""Thread-safe LRU cache of per-seed similarity columns.
+
+The unit of caching is one *column* of the CoSimRank block: the
+length-``n`` vector ``[S]_{*,s}`` for a single seed ``s``.  Theorem 3.5
+makes every column a pure function of its own seed, and
+:meth:`repro.core.index.CSRPlusIndex.query_columns` evaluates columns
+with a batch-independent (per-column GEMV) computation — together these
+make caching *exact*: a column assembled from cache is bit-identical to
+one computed fresh, whatever else is or was in the cache.
+
+All mutation happens under one reentrant lock; the hit/miss/eviction
+counters are incremented under the same lock, so ``hits + misses``
+always equals the number of seed lookups ever performed (no lost
+updates under concurrency).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["ColumnCache"]
+
+
+class ColumnCache:
+    """LRU map ``seed id -> [S]_{*,seed}`` with byte accounting.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of resident columns.  ``0`` disables caching
+        entirely: every lookup misses and :meth:`insert` is a no-op,
+        turning the serving layer into an exact pass-through.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> cache = ColumnCache(capacity=2)
+    >>> cache.insert({0: np.zeros(3), 1: np.ones(3)})
+    >>> hits, misses = cache.lookup([0, 2])
+    >>> sorted(hits), misses
+    ([0], [2])
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise InvalidParameterError(
+                f"cache capacity must be >= 0, got {capacity}"
+            )
+        self._capacity = int(capacity)
+        self._lock = threading.RLock()
+        self._columns: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def bytes_cached(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._columns)
+
+    def __contains__(self, seed: int) -> bool:
+        with self._lock:
+            return int(seed) in self._columns
+
+    def keys_in_lru_order(self) -> List[int]:
+        """Resident seeds, least-recently-used first (for tests)."""
+        with self._lock:
+            return list(self._columns.keys())
+
+    def counters(self) -> Dict[str, int]:
+        """A consistent snapshot of all counters and occupancy."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "cached_columns": len(self._columns),
+                "bytes_cached": self._bytes,
+            }
+
+    # ------------------------------------------------------------------
+    # the two operations the service uses
+    # ------------------------------------------------------------------
+    def lookup(
+        self, seeds: Iterable[int]
+    ) -> Tuple[Dict[int, np.ndarray], List[int]]:
+        """Probe the cache for each seed in one atomic critical section.
+
+        Returns ``(hits, misses)`` where ``hits`` maps seed -> cached
+        column (read-only array) and ``misses`` lists the seeds the
+        caller must compute, in input order.  Every probed seed
+        increments exactly one of the hit/miss counters.
+        """
+        hit_columns: Dict[int, np.ndarray] = {}
+        missing: List[int] = []
+        with self._lock:
+            for seed in seeds:
+                seed = int(seed)
+                column = self._columns.get(seed)
+                if column is None:
+                    self.misses += 1
+                    missing.append(seed)
+                else:
+                    self.hits += 1
+                    self._columns.move_to_end(seed)
+                    hit_columns[seed] = column
+        return hit_columns, missing
+
+    def insert(self, columns: Dict[int, np.ndarray]) -> None:
+        """Store freshly computed columns, evicting LRU entries as needed.
+
+        Stored arrays are marked read-only so no caller can corrupt a
+        shared column in place.  Re-inserting a resident seed replaces
+        its column without double-charging the byte count (two threads
+        may race to compute the same miss; both insertions are valid
+        because the column is a deterministic function of the seed).
+        """
+        if self._capacity == 0 or not columns:
+            return
+        with self._lock:
+            for seed, column in columns.items():
+                seed = int(seed)
+                column = np.asarray(column)
+                column.flags.writeable = False
+                previous = self._columns.pop(seed, None)
+                if previous is not None:
+                    self._bytes -= previous.nbytes
+                self._columns[seed] = column
+                self._bytes += column.nbytes
+            while len(self._columns) > self._capacity:
+                _, evicted = self._columns.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every resident column (counters are preserved)."""
+        with self._lock:
+            self._columns.clear()
+            self._bytes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            return (
+                f"ColumnCache(capacity={self._capacity}, "
+                f"columns={len(self._columns)}, bytes={self._bytes})"
+            )

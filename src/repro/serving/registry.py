@@ -1,0 +1,133 @@
+"""On-disk registry of prepared CSR+ indexes.
+
+A serving deployment rarely wants to pay the offline SVD on every
+process start.  :class:`IndexRegistry` maps a *name* to a prepared
+:class:`~repro.core.index.CSRPlusIndex`, lazily resolving it in three
+tiers: an in-process table, a saved ``<root>/<name>.npz`` file
+(via the index's own :meth:`~repro.core.index.CSRPlusIndex.save` /
+:meth:`~repro.core.index.CSRPlusIndex.load`), and finally a fresh
+build — which is then saved so the next process hits the disk tier.
+
+Persistence is lossless (``savez`` round-trips the float factors
+bit-for-bit), so a registry-loaded index answers queries identically
+to the in-memory one it was saved from.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from typing import Dict, List, Optional, Union
+
+from repro.core.config import CSRPlusConfig
+from repro.core.index import CSRPlusIndex
+from repro.errors import InvalidParameterError
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["IndexRegistry"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class IndexRegistry:
+    """Lazily build, save, and reload prepared indexes by name.
+
+    Parameters
+    ----------
+    root:
+        Directory holding one ``<name>.npz`` file per registered index
+        (created if missing).
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.graphs import ring
+    >>> registry = IndexRegistry(tempfile.mkdtemp())
+    >>> index = registry.get("ring8-r4", ring(8), rank=4)   # built + saved
+    >>> registry.names()
+    ['ring8-r4']
+    """
+
+    def __init__(self, root: Union[str, "os.PathLike[str]"]):
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self._lock = threading.RLock()
+        self._indexes: Dict[str, CSRPlusIndex] = {}
+
+    # ------------------------------------------------------------------
+    # naming
+    # ------------------------------------------------------------------
+    def path_for(self, name: str) -> str:
+        """The ``.npz`` path backing ``name`` (validates the name)."""
+        if not _NAME_RE.match(name):
+            raise InvalidParameterError(
+                "index names must match [A-Za-z0-9][A-Za-z0-9._-]* "
+                f"(got {name!r})"
+            )
+        return os.path.join(self.root, f"{name}.npz")
+
+    def names(self) -> List[str]:
+        """Registered names: in-memory plus on-disk, sorted."""
+        with self._lock:
+            known = set(self._indexes)
+        for entry in os.listdir(self.root):
+            if entry.endswith(".npz"):
+                known.add(entry[: -len(".npz")])
+        return sorted(known)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            if name in self._indexes:
+                return True
+        return os.path.exists(self.path_for(name))
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        name: str,
+        graph: DiGraph,
+        config: Optional[CSRPlusConfig] = None,
+        **overrides,
+    ) -> CSRPlusIndex:
+        """A prepared index for ``name``, resolved memory -> disk -> build.
+
+        On a disk hit the saved factors are loaded against ``graph``
+        (node-count mismatches raise
+        :class:`~repro.errors.InvalidParameterError`).  On a full miss
+        the index is built from ``graph`` with ``config``/``overrides``
+        and saved for future processes.  Thread-safe; concurrent
+        callers of the same name build at most once.
+        """
+        path = self.path_for(name)
+        with self._lock:
+            index = self._indexes.get(name)
+            if index is not None:
+                return index
+            if os.path.exists(path):
+                index = CSRPlusIndex.load(path, graph)
+            else:
+                index = CSRPlusIndex(graph, config, **overrides).prepare()
+                index.save(path)
+            self._indexes[name] = index
+            return index
+
+    def put(self, name: str, index: CSRPlusIndex) -> None:
+        """Register an already-prepared index and persist it."""
+        path = self.path_for(name)
+        index.save(path)  # save() enforces prepared-ness
+        with self._lock:
+            self._indexes[name] = index
+
+    def evict(self, name: str, *, delete_file: bool = False) -> None:
+        """Drop ``name`` from memory (and optionally from disk)."""
+        path = self.path_for(name)
+        with self._lock:
+            self._indexes.pop(name, None)
+        if delete_file and os.path.exists(path):
+            os.remove(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IndexRegistry(root={self.root!r}, names={self.names()})"

@@ -1,0 +1,73 @@
+"""Serving-layer statistics.
+
+:class:`ServingStats` is an immutable-by-convention snapshot of what a
+:class:`~repro.serving.service.CoSimRankService` has done so far:
+traffic volume, cache effectiveness, and where the wall time went.
+Counters are maintained under the service/cache locks; this dataclass
+is only the *exported* view, so reading one is always race-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["ServingStats"]
+
+
+@dataclass
+class ServingStats:
+    """A consistent snapshot of a service's counters.
+
+    Attributes
+    ----------
+    requests:
+        Individual query requests answered (a batch of ``k`` requests
+        counts ``k``).
+    batches:
+        ``serve_batch`` calls (a single :meth:`~repro.serving.service.
+        CoSimRankService.query` counts as a batch of one).
+    seeds_requested:
+        Total seed columns returned, duplicates included.
+    unique_seeds:
+        Total distinct seeds looked up in the cache, summed per batch
+        (the same seed in two different batches counts twice).  Always
+        equals ``hits + misses``.
+    hits / misses:
+        Cache lookup outcomes, counted per distinct seed per batch.
+    evictions:
+        Columns discarded by the LRU policy since construction.
+    cached_columns / bytes_cached:
+        Current cache occupancy.
+    cache_capacity:
+        Maximum number of resident columns (0 = caching disabled).
+    lookup_seconds / compute_seconds / assemble_seconds:
+        Cumulative wall time in the three serving phases: cache
+        probing, miss computation (``query_columns``), and scattering
+        columns into per-request result blocks.
+    """
+
+    requests: int = 0
+    batches: int = 0
+    seeds_requested: int = 0
+    unique_seeds: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    cached_columns: int = 0
+    bytes_cached: int = 0
+    cache_capacity: int = 0
+    lookup_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    assemble_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of distinct-seed lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (JSON-friendly), including ``hit_rate``."""
+        payload = asdict(self)
+        payload["hit_rate"] = self.hit_rate
+        return payload

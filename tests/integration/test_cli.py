@@ -74,6 +74,141 @@ class TestQueryCommand:
         assert "error" in capsys.readouterr().err
 
 
+class TestServeBatchCommand:
+    @staticmethod
+    def _write_queries(tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text("1,2,3\n4 5\n# a comment line\n1,2\n")
+        return str(path)
+
+    def test_human_output(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve-batch",
+                "--dataset", "P2P",
+                "--tier", "tiny",
+                "--queries-file", self._write_queries(tmp_path),
+                "--rank", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pass 1:" in out
+        assert "cache:" in out
+        assert "columns/s" in out
+
+    def test_json_output_shape(self, tmp_path, capsys):
+        import json
+
+        code = main(
+            [
+                "serve-batch",
+                "--dataset", "P2P",
+                "--tier", "tiny",
+                "--queries-file", self._write_queries(tmp_path),
+                "--rank", "4",
+                "--repeat", "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        for key in (
+            "num_nodes", "num_edges", "rank", "damping",
+            "requests", "passes", "stats",
+        ):
+            assert key in payload
+        assert payload["requests"] == 3
+        assert len(payload["passes"]) == 2
+        for entry in payload["passes"]:
+            assert entry["columns"] == 7
+            assert entry["columns_per_second"] > 0
+        stats = payload["stats"]
+        for key in (
+            "hits", "misses", "evictions", "bytes_cached",
+            "hit_rate", "lookup_seconds", "compute_seconds",
+            "assemble_seconds",
+        ):
+            assert key in stats
+        # pass 1 misses seeds {1..5}; pass 2 is fully warm
+        assert stats["misses"] == 5
+        assert stats["hits"] == 5
+
+    def test_registry_round_trip_answers_identically(self, tmp_path, capsys):
+        """A registry-loaded index serves the same answers as in-memory."""
+        import numpy as np
+
+        from repro.core.config import CSRPlusConfig
+        from repro.core.index import CSRPlusIndex
+        from repro.datasets.registry import load_dataset
+        from repro.serving import IndexRegistry
+
+        queries = self._write_queries(tmp_path)
+        index_dir = tmp_path / "registry"
+        argv = [
+            "serve-batch",
+            "--dataset", "P2P",
+            "--tier", "tiny",
+            "--queries-file", queries,
+            "--rank", "4",
+            "--index-dir", str(index_dir),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        saved = list(index_dir.glob("*.npz"))
+        assert len(saved) == 1
+        # second invocation resolves the saved index instead of rebuilding
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert list(index_dir.glob("*.npz")) == saved
+
+        graph = load_dataset("P2P", "tiny")
+        in_memory = CSRPlusIndex(graph, CSRPlusConfig(rank=4)).prepare()
+        loaded = IndexRegistry(index_dir).get(saved[0].stem, graph)
+        request = [1, 2, 3, 4, 5]
+        assert np.array_equal(loaded.query(request), in_memory.query(request))
+
+    def test_missing_queries_file(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve-batch",
+                "--dataset", "P2P",
+                "--tier", "tiny",
+                "--queries-file", str(tmp_path / "absent.txt"),
+            ]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_queries_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("1,two,3\n")
+        code = main(
+            [
+                "serve-batch",
+                "--dataset", "P2P",
+                "--tier", "tiny",
+                "--queries-file", str(path),
+            ]
+        )
+        assert code == 1
+        assert "integer node ids" in capsys.readouterr().err
+
+    def test_out_of_range_seed(self, tmp_path, capsys):
+        path = tmp_path / "oor.txt"
+        path.write_text("999999\n")
+        code = main(
+            [
+                "serve-batch",
+                "--dataset", "P2P",
+                "--tier", "tiny",
+                "--queries-file", str(path),
+            ]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestStatsCommand:
     def test_dataset_stats(self, capsys):
         assert main(["stats", "--dataset", "FB", "--tier", "tiny"]) == 0

@@ -1,0 +1,89 @@
+"""Property: the serving layer is bit-exact in every cache state.
+
+Theorem 3.5 makes each output column a function of its seed alone, and
+``CSRPlusIndex.query_columns`` evaluates columns batch-independently,
+so the serving cache is *exact*: for any graph, any sequence of
+overlapping batches, and any cache capacity (cold, warm, or constantly
+evicting), ``CoSimRankService`` must return blocks ``np.array_equal``
+to direct ``CSRPlusIndex.query()`` calls.  Hypothesis searches for a
+counterexample.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import CSRPlusIndex
+from repro.graphs.digraph import DiGraph
+from repro.serving import CoSimRankService
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graph_and_batches(draw):
+    n = draw(st.integers(min_value=2, max_value=14))
+    possible = [(s, t) for s in range(n) for t in range(n) if s != t]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=1, max_size=3 * n, unique=True)
+    )
+    seed = st.integers(min_value=0, max_value=n - 1)
+    request = st.lists(seed, min_size=1, max_size=4)  # duplicates allowed
+    batch = st.lists(request, min_size=1, max_size=3)
+    batches = draw(st.lists(batch, min_size=1, max_size=4))
+    rank = draw(st.integers(min_value=1, max_value=min(4, n)))
+    return DiGraph(n, edges), batches, rank
+
+
+def _assert_batches_exact(service, index, batches):
+    for batch in batches:
+        blocks = service.serve_batch(batch)
+        for request, block in zip(batch, blocks):
+            direct = index.query(request)
+            assert block.shape == direct.shape
+            assert np.array_equal(block, direct)
+
+
+class TestServingEquivalence:
+    @given(data=graph_and_batches())
+    @settings(**SETTINGS)
+    def test_cold_then_warm_cache(self, data):
+        graph, batches, rank = data
+        index = CSRPlusIndex(graph, rank=rank).prepare()
+        with CoSimRankService(index, cache_columns=64, max_workers=1) as service:
+            _assert_batches_exact(service, index, batches)  # cold misses
+            _assert_batches_exact(service, index, batches)  # warm hits
+            stats = service.stats()
+            assert stats.hits + stats.misses == stats.unique_seeds
+
+    @given(data=graph_and_batches())
+    @settings(**SETTINGS)
+    def test_tiny_capacity_mid_eviction(self, data):
+        graph, batches, rank = data
+        index = CSRPlusIndex(graph, rank=rank).prepare()
+        with CoSimRankService(index, cache_columns=1, max_workers=1) as service:
+            _assert_batches_exact(service, index, batches)
+            _assert_batches_exact(service, index, batches)
+
+    @given(data=graph_and_batches())
+    @settings(**SETTINGS)
+    def test_cache_disabled(self, data):
+        graph, batches, rank = data
+        index = CSRPlusIndex(graph, rank=rank).prepare()
+        with CoSimRankService(index, cache_columns=0, max_workers=1) as service:
+            _assert_batches_exact(service, index, batches)
+            assert service.stats().hits == 0
+
+    @given(data=graph_and_batches(), chunk_size=st.integers(1, 5))
+    @settings(**SETTINGS)
+    def test_chunking_and_threads_preserve_bits(self, data, chunk_size):
+        graph, batches, rank = data
+        index = CSRPlusIndex(graph, rank=rank).prepare()
+        with CoSimRankService(
+            index, cache_columns=2, max_workers=2, chunk_size=chunk_size
+        ) as service:
+            _assert_batches_exact(service, index, batches)

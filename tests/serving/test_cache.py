@@ -1,0 +1,104 @@
+"""Unit tests for the per-seed column LRU cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.serving.cache import ColumnCache
+
+
+def _col(value: float, n: int = 4) -> np.ndarray:
+    return np.full(n, value, dtype=np.float64)
+
+
+class TestLRUOrder:
+    def test_evicts_least_recently_used_first(self):
+        cache = ColumnCache(capacity=2)
+        cache.insert({1: _col(1.0)})
+        cache.insert({2: _col(2.0)})
+        cache.insert({3: _col(3.0)})  # 1 is LRU -> evicted
+        assert cache.keys_in_lru_order() == [2, 3]
+        assert 1 not in cache
+        assert cache.evictions == 1
+
+    def test_lookup_refreshes_recency(self):
+        cache = ColumnCache(capacity=2)
+        cache.insert({1: _col(1.0), 2: _col(2.0)})
+        cache.lookup([1])  # 1 becomes MRU; 2 is now LRU
+        cache.insert({3: _col(3.0)})
+        assert cache.keys_in_lru_order() == [1, 3]
+        assert 2 not in cache
+
+    def test_reinsert_refreshes_recency(self):
+        cache = ColumnCache(capacity=2)
+        cache.insert({1: _col(1.0), 2: _col(2.0)})
+        cache.insert({1: _col(1.5)})  # replace -> MRU
+        cache.insert({3: _col(3.0)})
+        assert cache.keys_in_lru_order() == [1, 3]
+
+    def test_oversized_insert_keeps_only_newest(self):
+        cache = ColumnCache(capacity=2)
+        cache.insert({k: _col(float(k)) for k in range(5)})
+        assert cache.keys_in_lru_order() == [3, 4]
+        assert cache.evictions == 3
+
+
+class TestCapacityZero:
+    def test_everything_misses_and_nothing_is_stored(self):
+        cache = ColumnCache(capacity=0)
+        cache.insert({1: _col(1.0)})
+        hits, misses = cache.lookup([1, 2])
+        assert hits == {}
+        assert misses == [1, 2]
+        assert len(cache) == 0
+        assert cache.bytes_cached == 0
+        # passthrough still counts its misses, so hit+miss accounting
+        # stays consistent with the number of lookups performed
+        assert cache.misses == 2
+        assert cache.hits == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ColumnCache(capacity=-1)
+
+
+class TestStatsAccounting:
+    def test_hit_and_miss_counters(self):
+        cache = ColumnCache(capacity=4)
+        hits, misses = cache.lookup([1, 2])
+        assert (cache.hits, cache.misses) == (0, 2)
+        cache.insert({1: _col(1.0), 2: _col(2.0)})
+        hits, misses = cache.lookup([1, 2, 3])
+        assert sorted(hits) == [1, 2]
+        assert misses == [3]
+        assert (cache.hits, cache.misses) == (2, 3)
+        counters = cache.counters()
+        assert counters["hits"] + counters["misses"] == 5
+
+    def test_byte_accounting_through_replace_evict_clear(self):
+        cache = ColumnCache(capacity=2)
+        small = _col(1.0, n=4)       # 32 bytes
+        big = _col(2.0, n=8)         # 64 bytes
+        cache.insert({1: small})
+        assert cache.bytes_cached == small.nbytes
+        cache.insert({1: big})       # replace: no double charge
+        assert cache.bytes_cached == big.nbytes
+        cache.insert({2: small, 3: small})  # evicts 1 (the big one)
+        assert cache.bytes_cached == 2 * small.nbytes
+        assert cache.counters()["cached_columns"] == 2
+        cache.clear()
+        assert cache.bytes_cached == 0
+        assert len(cache) == 0
+
+    def test_stored_columns_are_read_only(self):
+        cache = ColumnCache(capacity=2)
+        cache.insert({1: _col(1.0)})
+        hits, _ = cache.lookup([1])
+        with pytest.raises(ValueError):
+            hits[1][0] = 99.0
+
+    def test_lookup_returns_misses_in_input_order(self):
+        cache = ColumnCache(capacity=4)
+        cache.insert({5: _col(5.0)})
+        _, misses = cache.lookup([9, 5, 3, 7])
+        assert misses == [9, 3, 7]

@@ -1,0 +1,170 @@
+"""Behavioural tests for CoSimRankService (single-threaded paths)."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import CSRPlusIndex
+from repro.errors import InvalidParameterError, QueryError
+from repro.serving import CoSimRankService
+from repro.serving.scheduler import BatchPlan, chunk_seeds, plan_batch
+
+
+@pytest.fixture
+def index(small_er) -> CSRPlusIndex:
+    return CSRPlusIndex(small_er, rank=6).prepare()
+
+
+class TestExactness:
+    def test_query_matches_index_bitwise(self, index):
+        with CoSimRankService(index, max_workers=1) as service:
+            for request in ([0], [3, 7, 3], list(range(10))):
+                assert np.array_equal(service.query(request), index.query(request))
+
+    def test_cache_disabled_passthrough(self, index):
+        with CoSimRankService(index, cache_columns=0, max_workers=1) as service:
+            request = [1, 5, 9]
+            first = service.query(request)
+            second = service.query(request)
+            assert np.array_equal(first, index.query(request))
+            assert np.array_equal(first, second)
+            stats = service.stats()
+            assert stats.hits == 0
+            assert stats.misses == 6  # 3 distinct seeds, both passes
+            assert stats.cached_columns == 0
+
+    def test_chunk_size_never_changes_values(self, index):
+        request = list(range(20))
+        expected = index.query(request)
+        for chunk_size in (1, 3, 7, 64):
+            with CoSimRankService(
+                index, chunk_size=chunk_size, max_workers=1, cache_columns=0
+            ) as service:
+                assert np.array_equal(service.query(request), expected)
+
+    def test_float32_index_served_exactly(self, small_er):
+        index32 = CSRPlusIndex(small_er, rank=6, dtype="float32").prepare()
+        with CoSimRankService(index32, max_workers=1) as service:
+            block = service.query([2, 4])
+            assert block.dtype == np.float32
+            assert np.array_equal(block, index32.query([2, 4]))
+
+
+class TestBatching:
+    def test_batch_output_order_and_shapes(self, index):
+        requests = [[5], [1, 2, 3], [2, 5, 2]]
+        with CoSimRankService(index, max_workers=1) as service:
+            results = service.serve_batch(requests)
+        assert [block.shape for block in results] == [(60, 1), (60, 3), (60, 3)]
+        for request, block in zip(requests, results):
+            assert np.array_equal(block, index.query(request))
+
+    def test_batch_deduplicates_across_requests(self, index):
+        requests = [[1, 2], [2, 3], [3, 1]]
+        with CoSimRankService(index, max_workers=1) as service:
+            service.serve_batch(requests)
+            stats = service.stats()
+        assert stats.misses == 3      # seeds {1, 2, 3} computed once
+        assert stats.hits == 0
+        assert stats.seeds_requested == 6
+        assert stats.unique_seeds == 3
+
+    def test_warm_batch_is_all_hits(self, index):
+        requests = [[1, 2], [3]]
+        with CoSimRankService(index, max_workers=1) as service:
+            service.serve_batch(requests)
+            service.serve_batch(requests)
+            stats = service.stats()
+        assert (stats.hits, stats.misses) == (3, 3)
+        assert stats.batches == 2
+        assert stats.requests == 4
+        assert stats.hits + stats.misses == stats.unique_seeds
+
+    def test_empty_batch_returns_empty_list(self, index):
+        with CoSimRankService(index, max_workers=1) as service:
+            assert service.serve_batch([]) == []
+            assert service.stats().batches == 1
+
+
+class TestStatsAndLifecycle:
+    def test_bytes_cached_matches_occupancy(self, index):
+        with CoSimRankService(index, cache_columns=8, max_workers=1) as service:
+            service.query(list(range(12)))  # 12 misses -> 4 evictions
+            stats = service.stats()
+        assert stats.evictions == 4
+        assert stats.cached_columns == 8
+        assert stats.bytes_cached == 8 * index.num_nodes * 8
+        assert stats.cache_capacity == 8
+
+    def test_phase_timings_accumulate(self, index):
+        with CoSimRankService(index, max_workers=1) as service:
+            service.query([0, 1])
+            stats = service.stats()
+        assert stats.compute_seconds > 0.0
+        assert stats.lookup_seconds >= 0.0
+        assert stats.assemble_seconds >= 0.0
+        payload = stats.as_dict()
+        assert payload["hit_rate"] == stats.hit_rate
+
+    def test_clear_cache_forces_recompute(self, index):
+        with CoSimRankService(index, max_workers=1) as service:
+            first = service.query([4])
+            service.clear_cache()
+            second = service.query([4])
+            stats = service.stats()
+        assert np.array_equal(first, second)
+        assert stats.misses == 2
+        assert stats.hits == 0
+
+    def test_close_is_idempotent(self, index):
+        service = CoSimRankService(index, max_workers=2)
+        service.query([0])
+        service.close()
+        service.close()
+
+
+class TestValidation:
+    def test_out_of_range_seed_rejected(self, index):
+        with CoSimRankService(index, max_workers=1) as service:
+            with pytest.raises(QueryError):
+                service.query([0, index.num_nodes])
+
+    def test_empty_request_rejected(self, index):
+        with CoSimRankService(index, max_workers=1) as service:
+            with pytest.raises(QueryError):
+                service.serve_batch([[0], []])
+
+    def test_bad_construction_parameters(self, index):
+        with pytest.raises(InvalidParameterError):
+            CoSimRankService(index, chunk_size=0)
+        with pytest.raises(InvalidParameterError):
+            CoSimRankService(index, max_workers=0)
+        with pytest.raises(InvalidParameterError):
+            CoSimRankService(index, cache_columns=-1)
+
+    def test_unprepared_index_is_prepared_on_construction(self, small_er):
+        index = CSRPlusIndex(small_er, rank=4)
+        assert not index.is_prepared
+        with CoSimRankService(index, max_workers=1) as service:
+            assert index.is_prepared
+            assert np.array_equal(service.query([0]), index.query([0]))
+
+
+class TestScheduler:
+    def test_plan_batch_coalesces_and_sorts(self):
+        plan = plan_batch([[3, 1], [1, 5]], num_nodes=10)
+        assert isinstance(plan, BatchPlan)
+        assert [ids.tolist() for ids in plan.request_ids] == [[3, 1], [1, 5]]
+        assert plan.unique_seeds.tolist() == [1, 3, 5]
+        assert plan.seeds_requested == 4
+        assert plan.num_requests == 2
+
+    def test_plan_batch_validates_each_request(self):
+        with pytest.raises(QueryError):
+            plan_batch([[0], [99]], num_nodes=10)
+
+    def test_chunk_seeds_partitions_exactly(self):
+        chunks = chunk_seeds(list(range(10)), 4)
+        assert [c.tolist() for c in chunks] == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+        assert chunk_seeds([], 4) == []
+        with pytest.raises(InvalidParameterError):
+            chunk_seeds([1], 0)

@@ -1,0 +1,126 @@
+"""Concurrency stress tests: many threads, one service, exact answers.
+
+The service's contract under concurrency is strong because columns are
+pure functions of their seeds: whatever interleaving of lookups,
+computes, inserts, and evictions occurs, every returned block must be
+bit-identical to a serial run, and the hit/miss counters must add up
+exactly (no lost updates).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.index import CSRPlusIndex
+from repro.graphs.generators import chung_lu
+from repro.serving import CoSimRankService
+
+NUM_THREADS = 8
+REQUESTS_PER_THREAD = 50
+
+
+@pytest.fixture(scope="module")
+def index() -> CSRPlusIndex:
+    return CSRPlusIndex(chung_lu(300, 1500, seed=41), rank=8).prepare()
+
+
+def _make_requests(num_nodes: int):
+    """A deterministic mixed workload: hot seeds, cold seeds, duplicates."""
+    rng = np.random.default_rng(97)
+    hot = rng.integers(0, num_nodes, size=12)
+    requests = []
+    for _ in range(NUM_THREADS * REQUESTS_PER_THREAD):
+        size = int(rng.integers(1, 8))
+        if rng.random() < 0.5:  # hot request: seeds repeat across threads
+            ids = rng.choice(hot, size=size)
+        else:
+            ids = rng.integers(0, num_nodes, size=size)
+        requests.append(ids.tolist())
+    return requests
+
+
+def _run_threads(service, requests):
+    results = [None] * len(requests)
+    errors = []
+    barrier = threading.Barrier(NUM_THREADS)
+
+    def worker(thread_id: int):
+        try:
+            barrier.wait()  # maximise interleaving
+            start = thread_id * REQUESTS_PER_THREAD
+            for offset in range(REQUESTS_PER_THREAD):
+                slot = start + offset
+                results[slot] = service.query(requests[slot])
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(NUM_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+    return results
+
+
+@pytest.mark.slow
+class TestConcurrentServing:
+    def test_results_identical_to_serial_and_counters_consistent(self, index):
+        requests = _make_requests(index.num_nodes)
+        expected = [index.query(request) for request in requests]
+
+        # a small capacity keeps evictions happening throughout the run,
+        # exercising the hardest cache state under contention
+        with CoSimRankService(
+            index, cache_columns=32, max_workers=4, chunk_size=2
+        ) as service:
+            results = _run_threads(service, requests)
+            stats = service.stats()
+
+        for slot, (got, want) in enumerate(zip(results, expected)):
+            assert np.array_equal(got, want), f"request {slot} diverged"
+
+        assert stats.requests == NUM_THREADS * REQUESTS_PER_THREAD
+        assert stats.batches == NUM_THREADS * REQUESTS_PER_THREAD
+        assert stats.seeds_requested == sum(len(r) for r in requests)
+        # every distinct-seed lookup resolved to exactly one of hit/miss
+        assert stats.hits + stats.misses == stats.unique_seeds
+        assert stats.unique_seeds == sum(len(set(r)) for r in requests)
+        assert stats.cached_columns <= 32
+
+    def test_shared_hot_seed_never_corrupts(self, index):
+        """All threads hammer the same seeds; cached column stays exact."""
+        request = [5, 17, 5]
+        expected = index.query(request)
+        outputs = []
+        output_lock = threading.Lock()
+        barrier = threading.Barrier(NUM_THREADS)
+
+        def worker():
+            barrier.wait()
+            for _ in range(REQUESTS_PER_THREAD):
+                block = service.query(request)
+                with output_lock:
+                    outputs.append(block)
+
+        with CoSimRankService(index, cache_columns=4, max_workers=4) as service:
+            threads = [
+                threading.Thread(target=worker) for _ in range(NUM_THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = service.stats()
+
+        assert len(outputs) == NUM_THREADS * REQUESTS_PER_THREAD
+        for block in outputs:
+            assert np.array_equal(block, expected)
+        total_lookups = NUM_THREADS * REQUESTS_PER_THREAD * 2  # 2 distinct seeds
+        assert stats.hits + stats.misses == total_lookups
+        # at least one real miss (cold start), overwhelmingly hits after
+        assert 1 <= stats.misses <= 2 * NUM_THREADS
+        assert stats.hits == total_lookups - stats.misses

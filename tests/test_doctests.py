@@ -7,11 +7,17 @@ import pytest
 import repro.applications.synonyms
 import repro.core.csr_plus
 import repro.core.index
+import repro.serving.cache
+import repro.serving.registry
+import repro.serving.service
 
 MODULES = [
     repro.core.index,
     repro.core.csr_plus,
     repro.applications.synonyms,
+    repro.serving.cache,
+    repro.serving.registry,
+    repro.serving.service,
 ]
 
 

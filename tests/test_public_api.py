@@ -14,6 +14,7 @@ PUBLIC_MODULES = [
     "repro.datasets",
     "repro.experiments",
     "repro.applications",
+    "repro.serving",
     "repro.cli",
 ]
 
@@ -39,6 +40,9 @@ def test_top_level_surface():
         "suggest_rank",
         "cosimrank_multi_source",
         "MemoryBudgetExceeded",
+        "CoSimRankService",
+        "IndexRegistry",
+        "ServingStats",
     ):
         assert hasattr(repro, name)
     assert repro.__version__ == "1.0.0"
