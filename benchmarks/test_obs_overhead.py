@@ -1,0 +1,90 @@
+"""Observability overhead: instrumentation must be (near) free.
+
+Not a paper artefact — this guards the cross-cutting observability
+layer (docs/observability.md).  The same serving workload is run with
+instrumentation enabled (spans, histograms, slow-query checks armed)
+and disabled (:func:`repro.obs.disable` — no-op spans, counters only),
+interleaved to cancel thermal/allocator drift, and the best-of-trials
+throughput with metrics enabled must stay within 10% of the disabled
+path.  The cache is off so every pass performs identical compute work.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.core.index import CSRPlusIndex
+from repro.graphs.generators import chung_lu
+from repro.serving import CoSimRankService
+
+N_NODES = 12_000
+N_EDGES = 60_000
+RANK = 48
+NUM_REQUESTS = 16
+SEEDS_PER_REQUEST = 16
+TRIALS = 7
+MAX_OVERHEAD = 0.10
+
+
+@pytest.fixture(scope="module")
+def index() -> CSRPlusIndex:
+    graph = chung_lu(N_NODES, N_EDGES, seed=11)
+    return CSRPlusIndex(graph, rank=RANK).prepare()
+
+
+@pytest.fixture(scope="module")
+def requests():
+    rng = np.random.default_rng(13)
+    return [
+        rng.integers(0, N_NODES, size=SEEDS_PER_REQUEST).tolist()
+        for _ in range(NUM_REQUESTS)
+    ]
+
+
+def _run_pass(service, requests) -> float:
+    started = time.perf_counter()
+    service.serve_batch(requests)
+    return time.perf_counter() - started
+
+
+def test_enabled_within_10pct_of_disabled(index, requests):
+    previous = obs.enabled()
+    enabled_seconds, disabled_seconds = [], []
+    try:
+        with CoSimRankService(
+            index,
+            cache_columns=0,  # every pass does the full compute work
+            max_workers=1,
+            slow_query_seconds=3600.0,  # armed but never firing
+        ) as service:
+            # warm-up (BLAS thread pools, allocator)
+            obs.enable()
+            _run_pass(service, requests)
+            obs.disable()
+            _run_pass(service, requests)
+            # interleaved A/B trials; best-of cancels one-off jitter
+            for _ in range(TRIALS):
+                obs.enable()
+                enabled_seconds.append(_run_pass(service, requests))
+                obs.disable()
+                disabled_seconds.append(_run_pass(service, requests))
+    finally:
+        obs.set_enabled(previous)
+
+    best_enabled = min(enabled_seconds)
+    best_disabled = min(disabled_seconds)
+    overhead = best_enabled / best_disabled - 1.0
+    columns = NUM_REQUESTS * SEEDS_PER_REQUEST
+    print(
+        f"\nobs overhead (n={N_NODES}, r={RANK}, {columns} columns/pass): "
+        f"enabled {columns / best_enabled:,.0f} cols/s, "
+        f"disabled {columns / best_disabled:,.0f} cols/s, "
+        f"overhead {overhead:+.2%}"
+    )
+    assert best_enabled <= best_disabled * (1.0 + MAX_OVERHEAD), (
+        f"instrumentation overhead {overhead:+.2%} exceeds "
+        f"{MAX_OVERHEAD:.0%} (enabled {best_enabled:.4f}s vs disabled "
+        f"{best_disabled:.4f}s)"
+    )

@@ -13,6 +13,15 @@ Quickstart
 >>> similarities = index.query([3, 14, 159])    # n x 3 block of [S]_{*,Q}
 """
 
+import logging as _logging
+
+# Library-logging hygiene: every logger in this package ("repro.engines",
+# "repro.experiments", "repro.serving", ...) is a child of "repro", so a
+# single NullHandler here guarantees importing the library never emits
+# handler warnings or stray stderr output.  Applications opt in with
+# logging.basicConfig() or a handler on "repro".
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
 from repro.core import (
     CSRPlusConfig,
     CSRPlusIndex,

@@ -76,7 +76,8 @@ class CSRNIEngine(SimilarityEngine):
         r = self.rank
         q_matrix = self.transition()
 
-        svd = truncated_svd(q_matrix, r, seed=self.svd_seed)
+        with self._stage("svd", rank=r):
+            svd = truncated_svd(q_matrix, r, seed=self.svd_seed)
         # Paper convention: Q^T = U Sigma V^T, hence U := V_q, V := U_q.
         u_factor, v_factor, sigma = svd.v, svd.u, svd.sigma
         if np.any(sigma <= 0):
@@ -88,25 +89,29 @@ class CSRNIEngine(SimilarityEngine):
         self.memory.charge("precompute/V", v_factor.nbytes)
 
         # The cost-inhibitive tensor products (checked before allocation).
-        kron_bytes = (n * n) * (r * r) * 8
-        self.memory.require("precompute/U_kron_U", kron_bytes)
-        kron_u = np.kron(u_factor, u_factor)
-        self.memory.charge("precompute/U_kron_U", kron_u.nbytes)
+        with self._stage("kronecker"):
+            kron_bytes = (n * n) * (r * r) * 8
+            self.memory.require("precompute/U_kron_U", kron_bytes)
+            kron_u = np.kron(u_factor, u_factor)
+            self.memory.charge("precompute/U_kron_U", kron_u.nbytes)
 
-        self.memory.require("precompute/V_kron_V", kron_bytes)
-        kron_v = np.kron(v_factor, v_factor)
-        self.memory.charge("precompute/V_kron_V", kron_v.nbytes)
+            self.memory.require("precompute/V_kron_V", kron_bytes)
+            kron_v = np.kron(v_factor, v_factor)
+            self.memory.charge("precompute/V_kron_V", kron_v.nbytes)
 
-        # (V kron V)^T (U kron U): the O(r^4 n^2) product of Eq. (6b).
-        m_matrix = kron_v.T @ kron_u
-        self.memory.charge("precompute/M", m_matrix.nbytes)
+        with self._stage("assemble"):
+            # (V kron V)^T (U kron U): the O(r^4 n^2) product of Eq. (6b).
+            m_matrix = kron_v.T @ kron_u
+            self.memory.charge("precompute/M", m_matrix.nbytes)
 
-        sigma_kron_inv = np.diag(1.0 / np.kron(sigma, sigma))
-        try:
-            lambda_matrix = np.linalg.inv(sigma_kron_inv - self.damping * m_matrix)
-        except np.linalg.LinAlgError as exc:
-            raise DecompositionError(f"Lambda inverse failed: {exc}") from exc
-        self.memory.charge("precompute/Lambda", lambda_matrix.nbytes)
+            sigma_kron_inv = np.diag(1.0 / np.kron(sigma, sigma))
+            try:
+                lambda_matrix = np.linalg.inv(
+                    sigma_kron_inv - self.damping * m_matrix
+                )
+            except np.linalg.LinAlgError as exc:
+                raise DecompositionError(f"Lambda inverse failed: {exc}") from exc
+            self.memory.charge("precompute/Lambda", lambda_matrix.nbytes)
 
         self._kron_u = kron_u
         self._kron_v = kron_v

@@ -8,6 +8,9 @@
     csrplus query --dataset FB --tier small --queries 3,14,15 --rank 5 --top 10
     csrplus query --edge-list graph.txt --queries 0,1 --rank 8
     csrplus serve-batch --dataset FB --tier small --queries-file q.txt --json
+    csrplus serve-batch --dataset FB --queries-file q.txt \
+        --metrics-out metrics.prom --trace-out trace.json
+    csrplus stats --metrics-file metrics.prom --trace-file trace.json
 
 (Also reachable as ``python -m repro``.)
 """
@@ -120,12 +123,41 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
+    serve.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write metrics here after serving (Prometheus text format, "
+        "or JSON when PATH ends with .json)",
+    )
+    serve.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the span trace here as JSON (covers prepare and "
+        "every serving phase)",
+    )
+    serve.add_argument(
+        "--slow-query-ms", type=float, default=None, metavar="MS",
+        help="log batches slower than this many milliseconds and count "
+        "them in csrplus_serve_slow_batches_total",
+    )
 
-    stats = sub.add_parser("stats", help="structural statistics of a graph")
-    stats_source = stats.add_mutually_exclusive_group(required=True)
+    stats = sub.add_parser(
+        "stats",
+        help="structural statistics of a graph, or pretty-print a "
+        "metrics/trace dump",
+    )
+    stats_source = stats.add_mutually_exclusive_group(required=False)
     stats_source.add_argument("--dataset", choices=dataset_keys())
     stats_source.add_argument("--edge-list")
     stats.add_argument("--tier", choices=("tiny", "small", "bench"), default="small")
+    stats.add_argument(
+        "--metrics-file", default=None, metavar="PATH",
+        help="pretty-print a metrics dump written by serve-batch "
+        "--metrics-out (.prom text or .json)",
+    )
+    stats.add_argument(
+        "--trace-file", default=None, metavar="PATH",
+        help="render a span tree from a trace written by serve-batch "
+        "--trace-out",
+    )
 
     tune = sub.add_parser("tune", help="suggest an SVD rank for an error target")
     tune_source = tune.add_mutually_exclusive_group(required=True)
@@ -222,7 +254,19 @@ def _read_requests_file(path: str) -> List[List[int]]:
 
 
 def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    import repro.obs as obs
     from repro.serving import CoSimRankService, IndexRegistry
+
+    if args.metrics_out or args.trace_out:
+        # The dumps are the point of these flags; make sure the
+        # instrumented paths actually record.
+        obs.enable()
+    if args.slow_query_ms is not None:
+        # The library ships a NullHandler; the CLI is an application, so
+        # wire WARNING output up when the user asked for slow-query logs.
+        import logging
+
+        logging.basicConfig(level=logging.WARNING)
 
     requests = _read_requests_file(args.queries_file)
     graph = _load_graph(args)
@@ -239,11 +283,15 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         index = CSRPlusIndex(graph, config).prepare()
 
     passes = []
+    slow_query_seconds = (
+        args.slow_query_ms / 1000.0 if args.slow_query_ms is not None else None
+    )
     with CoSimRankService(
         index,
         cache_columns=args.cache_columns,
         max_workers=args.workers or None,
         chunk_size=args.chunk_size,
+        slow_query_seconds=slow_query_seconds,
     ) as service:
         for pass_num in range(1, max(1, args.repeat) + 1):
             started = time.perf_counter()
@@ -260,6 +308,11 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
             )
         stats = service.stats()
 
+    if args.metrics_out:
+        _write_metrics_dump(args.metrics_out, service)
+    if args.trace_out:
+        obs.get_tracer().write_json(args.trace_out)
+
     payload = {
         "num_nodes": graph.num_nodes,
         "num_edges": graph.num_edges,
@@ -271,6 +324,8 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         "passes": passes,
         "stats": stats.as_dict(),
     }
+    if slow_query_seconds is not None:
+        payload["slow_batches"] = len(service.slow_queries())
     if args.json:
         print(json.dumps(payload, indent=2))
         return 0
@@ -295,7 +350,36 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         f"compute {stats.compute_seconds:.4f}s  "
         f"assemble {stats.assemble_seconds:.4f}s"
     )
+    if slow_query_seconds is not None:
+        print(
+            f"slow batches: {len(service.slow_queries())} "
+            f"(threshold {args.slow_query_ms:g} ms)"
+        )
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
     return 0
+
+
+def _write_metrics_dump(path: str, service) -> None:
+    """Write the global (prepare) + service (serve) metrics to ``path``.
+
+    Prometheus text format by default; a structured JSON dump when the
+    path ends with ``.json``.  The two registries have disjoint metric
+    names, so merging their expositions is always valid.
+    """
+    import json as _json
+
+    import repro.obs as obs
+
+    registries = (obs.get_registry(), service.registry)
+    with open(path, "w", encoding="utf-8") as handle:
+        if path.endswith(".json"):
+            _json.dump(obs.registries_as_dict(*registries), handle, indent=2)
+            handle.write("\n")
+        else:
+            handle.write(obs.render_prometheus(*registries))
 
 
 def _load_graph(args: argparse.Namespace):
@@ -306,6 +390,20 @@ def _load_graph(args: argparse.Namespace):
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.errors import InvalidParameterError
+
+    if not (args.dataset or args.edge_list or args.metrics_file or args.trace_file):
+        raise InvalidParameterError(
+            "stats needs a graph source (--dataset/--edge-list) or a dump "
+            "to pretty-print (--metrics-file/--trace-file)"
+        )
+    if args.metrics_file:
+        _print_metrics_dump(args.metrics_file)
+    if args.trace_file:
+        _print_trace_dump(args.trace_file)
+    if not (args.dataset or args.edge_list):
+        return 0
+
     from repro.graphs.components import (
         largest_component_fraction,
         num_weakly_connected_components,
@@ -319,6 +417,71 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     for key, value in row.items():
         print(f"{key:>18}: {value}")
     return 0
+
+
+def _print_metrics_dump(path: str) -> None:
+    """Pretty-print a serve-batch metrics dump (.prom text or .json)."""
+    from repro.errors import GraphFormatError
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise GraphFormatError(f"cannot read metrics file {path!r}: {exc}") from exc
+
+    samples = []
+    if path.endswith(".json"):
+        try:
+            dump = json.loads(text)
+            for family in dump["metrics"]:
+                for sample in family["samples"]:
+                    labels = sample.get("labels", {})
+                    label_text = (
+                        "{" + ",".join(
+                            f'{k}="{v}"' for k, v in sorted(labels.items())
+                        ) + "}" if labels else ""
+                    )
+                    name = f"{family['name']}{label_text}"
+                    if family["type"] == "histogram":
+                        samples.append((f"{name} count", sample["count"]))
+                        samples.append((f"{name} sum", sample["sum"]))
+                    else:
+                        samples.append((name, sample["value"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise GraphFormatError(
+                f"{path!r} is not a metrics JSON dump: {exc}"
+            ) from exc
+    else:
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            samples.append((name, value))
+    if not samples:
+        print(f"(no metrics in {path})")
+        return
+    width = max(len(name) for name, _ in samples)
+    print(f"metrics from {path}:")
+    for name, value in samples:
+        print(f"  {name:<{width}}  {value}")
+
+
+def _print_trace_dump(path: str) -> None:
+    """Render a serve-batch --trace-out JSON file as a span tree."""
+    from repro.errors import GraphFormatError
+    from repro.obs import render_tree_from_dict
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except OSError as exc:
+        raise GraphFormatError(f"cannot read trace file {path!r}: {exc}") from exc
+    except ValueError as exc:
+        raise GraphFormatError(f"{path!r} is not JSON: {exc}") from exc
+    print(f"trace from {path}:")
+    rendered = render_tree_from_dict(trace)
+    print(rendered if rendered else "(no spans recorded)")
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:

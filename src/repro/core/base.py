@@ -12,6 +12,12 @@ Both phases are timed by the engine itself (``prepare_seconds``,
 ``last_query_seconds``) and charge their materialised arrays to a
 shared :class:`~repro.core.memory.MemoryMeter`, so the experiment
 harness treats every engine uniformly.
+
+Every engine is also observable for free: :meth:`prepare` and
+:meth:`query` emit ``prepare`` / ``query`` spans and per-engine latency
+histograms through :mod:`repro.obs`, and subclasses mark their interior
+stages with :meth:`SimilarityEngine._stage` to appear in the same span
+tree (``prepare.svd``, ``prepare.stein``, ...).
 """
 
 from __future__ import annotations
@@ -19,11 +25,13 @@ from __future__ import annotations
 import logging
 import time
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from typing import Optional, Sequence, Union
 
 import numpy as np
 from scipy import sparse
 
+import repro.obs as obs
 from repro.core.memory import MemoryMeter, sparse_nbytes
 from repro.errors import (
     InvalidParameterError,
@@ -127,8 +135,18 @@ class SimilarityEngine(ABC):
         start = time.perf_counter()
         self._phase_started_at = start
         self._phase_name = "prepare"
-        self._prepare_impl()
+        with obs.span(
+            "prepare", engine=self.name, n=self.num_nodes,
+            m=self.graph.num_edges,
+        ):
+            self._prepare_impl()
         self.prepare_seconds = time.perf_counter() - start
+        if obs.enabled():
+            obs.get_registry().histogram(
+                "csrplus_prepare_seconds",
+                "Offline (prepare) phase wall time per engine",
+                labels={"engine": self.name},
+            ).observe(self.prepare_seconds)
         self._prepared = True
         logger.debug(
             "%s prepared: n=%d m=%d in %.4fs (peak %.1f MB accounted)",
@@ -155,6 +173,27 @@ class SimilarityEngine(ABC):
                 elapsed, self.time_budget_seconds, what=self._phase_name
             )
 
+    @contextmanager
+    def _stage(self, stage: str, **attributes):
+        """Span + cumulative metric for one named stage of the current phase.
+
+        Subclasses wrap their expensive blocks (``with
+        self._stage("svd"): ...``) and inherit a uniform span taxonomy
+        (``prepare.svd``, ``query.gather``, ...) plus a per-stage
+        ``csrplus_stage_seconds_total`` counter labelled by engine,
+        phase, and stage.  No-op cost only when instrumentation is
+        disabled (see :mod:`repro.obs.config`).
+        """
+        phase = self._phase_name or "prepare"
+        with obs.span(f"{phase}.{stage}", engine=self.name, **attributes) as sp:
+            yield sp
+        if obs.enabled():
+            obs.get_registry().counter(
+                "csrplus_stage_seconds_total",
+                "Cumulative wall time per engine phase stage",
+                labels={"engine": self.name, "phase": phase, "stage": stage},
+            ).inc(sp.wall_seconds)
+
     def query(self, queries: QueryLike) -> np.ndarray:
         """Multi-source CoSimRank block ``[S]_{*,Q}`` as an ``n x |Q|`` array.
 
@@ -166,8 +205,15 @@ class SimilarityEngine(ABC):
         start = time.perf_counter()
         self._phase_started_at = start
         self._phase_name = "query"
-        result = self._query_impl(query_ids)
+        with obs.span("query", engine=self.name, num_queries=int(query_ids.size)):
+            result = self._query_impl(query_ids)
         self.last_query_seconds = time.perf_counter() - start
+        if obs.enabled():
+            obs.get_registry().histogram(
+                "csrplus_query_seconds",
+                "Online (query) phase wall time per engine",
+                labels={"engine": self.name},
+            ).observe(self.last_query_seconds)
         logger.debug(
             "%s query: |Q|=%d in %.4fs", self.name, query_ids.size,
             self.last_query_seconds,

@@ -101,7 +101,8 @@ class CSRPlusIndex(SimilarityEngine):
         # worked Example 3.6, where row b of the printed U is non-zero even
         # though row b of Q vanishes).  We decompose Q = U_q Sigma V_q^T and
         # take U := V_q, V := U_q.
-        svd = truncated_svd(q_matrix, cfg.rank, seed=cfg.svd_seed)
+        with self._stage("svd", rank=cfg.rank):
+            svd = truncated_svd(q_matrix, cfg.rank, seed=cfg.svd_seed)
         u_factor, v_factor = svd.v, svd.u
         self.memory.charge("precompute/U", u_factor.nbytes)
         self.memory.charge("precompute/V", v_factor.nbytes)
@@ -112,29 +113,32 @@ class CSRPlusIndex(SimilarityEngine):
         self.memory.charge("precompute/H", h_matrix.nbytes)
 
         # lines 4-5: P via the configured Stein solver
-        if cfg.solver == "squaring":
-            p_matrix, iterations = solve_stein_squaring(
-                h_matrix, cfg.damping, cfg.epsilon
-            )
-        elif cfg.solver == "fixed_point":
-            p_matrix, iterations = solve_stein_fixed_point(
-                h_matrix, cfg.damping, cfg.epsilon
-            )
-        else:  # "direct"
-            p_matrix, iterations = solve_stein_direct(h_matrix, cfg.damping), 0
+        with self._stage("stein", solver=cfg.solver) as stein_span:
+            if cfg.solver == "squaring":
+                p_matrix, iterations = solve_stein_squaring(
+                    h_matrix, cfg.damping, cfg.epsilon
+                )
+            elif cfg.solver == "fixed_point":
+                p_matrix, iterations = solve_stein_fixed_point(
+                    h_matrix, cfg.damping, cfg.epsilon
+                )
+            else:  # "direct"
+                p_matrix, iterations = solve_stein_direct(h_matrix, cfg.damping), 0
+            stein_span.set_attribute("iterations", iterations)
         self.stein_iterations = iterations
         self.memory.charge("precompute/P", p_matrix.nbytes)
 
         # line 6: Z = U (Sigma P Sigma)  — n x r, the only large factor kept
-        sps = (svd.sigma[:, np.newaxis] * p_matrix) * svd.sigma[np.newaxis, :]
-        z_matrix = u_factor @ sps
+        with self._stage("assemble"):
+            sps = (svd.sigma[:, np.newaxis] * p_matrix) * svd.sigma[np.newaxis, :]
+            z_matrix = u_factor @ sps
 
-        if cfg.dtype == "float32":
-            # halve the retained factors; all computation above stayed
-            # in float64 for accuracy
-            u_factor = u_factor.astype(np.float32)
-            z_matrix = z_matrix.astype(np.float32)
-            self.memory.charge("precompute/U", u_factor.nbytes)
+            if cfg.dtype == "float32":
+                # halve the retained factors; all computation above stayed
+                # in float64 for accuracy
+                u_factor = u_factor.astype(np.float32)
+                z_matrix = z_matrix.astype(np.float32)
+                self.memory.charge("precompute/U", u_factor.nbytes)
         self.memory.charge("precompute/Z", z_matrix.nbytes)
 
         self._u = u_factor

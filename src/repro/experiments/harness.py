@@ -21,6 +21,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+import repro.obs as obs
 from repro.baselines.registry import make_engine
 from repro.errors import MemoryBudgetExceeded, TimeBudgetExceeded
 from repro.graphs.digraph import DiGraph
@@ -84,23 +85,31 @@ def measure(
     )
     engine.time_budget_seconds = time_budget_seconds
     record = Measurement(engine=engine_name)
-    try:
-        engine.prepare()
-        record.prepare_seconds = engine.prepare_seconds
-        result = engine.query(queries)
-        record.query_seconds = engine.last_query_seconds
-        if keep_result:
-            record.result = result
-    except MemoryBudgetExceeded as exc:
-        record.status = "memory"
-        record.error = str(exc)
-        logger.info("%s on n=%d: memory budget hit (%s)",
-                    engine_name, graph.num_nodes, exc)
-    except TimeBudgetExceeded as exc:
-        record.status = "timeout"
-        record.error = str(exc)
-        logger.info("%s on n=%d: time budget hit (%s)",
-                    engine_name, graph.num_nodes, exc)
+    with obs.span(
+        "experiment.measure",
+        engine=engine_name,
+        n=graph.num_nodes,
+        m=graph.num_edges,
+        num_queries=int(np.asarray(queries).size),
+    ) as measure_span:
+        try:
+            engine.prepare()
+            record.prepare_seconds = engine.prepare_seconds
+            result = engine.query(queries)
+            record.query_seconds = engine.last_query_seconds
+            if keep_result:
+                record.result = result
+        except MemoryBudgetExceeded as exc:
+            record.status = "memory"
+            record.error = str(exc)
+            logger.info("%s on n=%d: memory budget hit (%s)",
+                        engine_name, graph.num_nodes, exc)
+        except TimeBudgetExceeded as exc:
+            record.status = "timeout"
+            record.error = str(exc)
+            logger.info("%s on n=%d: time budget hit (%s)",
+                        engine_name, graph.num_nodes, exc)
+        measure_span.set_attribute("status", record.status)
     record.peak_bytes = engine.memory.peak_bytes
     record.prepare_bytes = engine.memory.phase_peak_bytes("precompute")
     record.query_bytes = engine.memory.phase_peak_bytes("query")

@@ -24,6 +24,7 @@ from typing import Tuple
 
 import numpy as np
 
+import repro.obs as obs
 from repro.errors import ConvergenceError, InvalidParameterError
 
 __all__ = [
@@ -88,8 +89,10 @@ def solve_stein_fixed_point(
     identity = np.eye(r)
     p = identity.copy()
     for iteration in range(1, max_iterations + 1):
-        nxt = c * (h @ p @ h.T) + identity
-        delta = np.max(np.abs(nxt - p)) if r else 0.0
+        with obs.span("stein.iteration", solver="fixed_point", k=iteration) as sp:
+            nxt = c * (h @ p @ h.T) + identity
+            delta = np.max(np.abs(nxt - p)) if r else 0.0
+            sp.set_attribute("delta", float(delta))
         p = nxt
         if delta < epsilon:
             return p, iteration
@@ -120,11 +123,12 @@ def solve_stein_squaring(
     p = np.eye(r)
     h_k = h.copy()
     c_pow = c  # c^(2^k) for the current k
-    for _ in range(steps + 1):
+    for k in range(steps + 1):
         # The loop in Algorithm 1 runs while k <= bound, i.e. bound+1 times.
-        p = p + c_pow * (h_k @ p @ h_k.T)
-        h_k = h_k @ h_k
-        c_pow = c_pow * c_pow
+        with obs.span("stein.iteration", solver="squaring", k=k):
+            p = p + c_pow * (h_k @ p @ h_k.T)
+            h_k = h_k @ h_k
+            c_pow = c_pow * c_pow
     return p, steps + 1
 
 

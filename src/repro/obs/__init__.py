@@ -1,0 +1,91 @@
+"""Observability for the CSR+ reproduction (docs/observability.md).
+
+Three pieces, all dependency-free and thread-safe:
+
+* :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket
+  histograms in a :class:`MetricsRegistry`, exposable as Prometheus
+  text format or JSON;
+* :mod:`repro.obs.tracing` — nested, thread-aware :class:`Span` timing
+  (wall + CPU) collected by a :class:`Tracer`, exportable as JSON or a
+  rendered tree;
+* :mod:`repro.obs.config` — the module-level enable flag that makes
+  every instrumented path near-zero-cost when off.
+
+The package keeps one process-global registry and tracer
+(:func:`get_registry` / :func:`get_tracer`) that the engines'
+prepare/query instrumentation reports to; the serving layer defaults to
+a private registry per service (so two services never mix counters) but
+shares the global tracer.
+
+Quick use::
+
+    import repro.obs as obs
+
+    with obs.span("my.stage", items=42):
+        ...
+    print(obs.get_tracer().render_tree())
+    print(obs.get_registry().render_prometheus())
+"""
+
+from repro.obs.config import (
+    disable,
+    enable,
+    enabled,
+    instrumentation,
+    set_enabled,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registries_as_dict,
+    render_prometheus,
+)
+from repro.obs.tracing import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    render_tree_from_dict,
+)
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "set_enabled",
+    "instrumentation",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "render_prometheus",
+    "registries_as_dict",
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "render_tree_from_dict",
+    "get_registry",
+    "get_tracer",
+    "span",
+]
+
+_default_registry = MetricsRegistry()
+_default_tracer = Tracer()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global metrics registry (engine-level metrics)."""
+    return _default_registry
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (all library spans land here)."""
+    return _default_tracer
+
+
+def span(name: str, parent=None, **attributes):
+    """A span on the global tracer (no-op while instrumentation is off)."""
+    return _default_tracer.span(name, parent=parent, **attributes)

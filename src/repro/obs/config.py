@@ -1,0 +1,67 @@
+"""The observability on/off switch.
+
+One module-level flag gates *all* instrumentation cost: when disabled,
+:func:`repro.obs.span` returns a shared no-op span (no clock reads, no
+allocation) and the hooks wired through the engines and the serving
+layer skip their histogram observations.  Plain traffic counters keep
+counting either way — they are a handful of locked integer adds and
+:class:`~repro.serving.stats.ServingStats` depends on them.
+
+The flag defaults to *enabled*: the instrumented paths are cheap
+relative to the linear algebra they wrap (bounded by
+``benchmarks/test_obs_overhead.py``), and stage timings are useful by
+default.  Disable it to squeeze out the last few percent::
+
+    import repro.obs as obs
+
+    obs.disable()                  # process-wide
+    with obs.instrumentation(True):
+        ...                        # temporarily back on (tests)
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["enabled", "enable", "disable", "set_enabled", "instrumentation"]
+
+# A bare module global read on the hot path; writes are rare (start-up
+# or tests) and guarded so concurrent toggles cannot interleave oddly.
+_enabled = True
+_flag_lock = threading.Lock()
+
+
+def enabled() -> bool:
+    """Whether instrumentation (spans, histograms) is currently on."""
+    return _enabled
+
+
+def set_enabled(value: bool) -> bool:
+    """Set the flag; returns the previous value."""
+    global _enabled
+    with _flag_lock:
+        previous = _enabled
+        _enabled = bool(value)
+    return previous
+
+
+def enable() -> None:
+    """Turn instrumentation on (the default)."""
+    set_enabled(True)
+
+
+def disable() -> None:
+    """Turn instrumentation off (near-zero-cost no-op spans)."""
+    set_enabled(False)
+
+
+@contextmanager
+def instrumentation(value: bool) -> Iterator[None]:
+    """Temporarily force the flag to ``value`` (restores on exit)."""
+    previous = set_enabled(value)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

@@ -1,0 +1,396 @@
+"""A small, thread-safe metrics registry with Prometheus/JSON exposition.
+
+The model follows the Prometheus client-library conventions without the
+dependency:
+
+* :class:`Counter` — monotone float (``inc``);
+* :class:`Gauge` — settable float (``set``/``inc``/``dec``);
+* :class:`Histogram` — fixed cumulative buckets plus ``sum``/``count``;
+* :class:`MetricsRegistry` — get-or-create factory keyed by
+  ``(name, labels)``, exposable as Prometheus text format
+  (:meth:`~MetricsRegistry.render_prometheus`) or a JSON-friendly dict
+  (:meth:`~MetricsRegistry.as_dict`).
+
+All mutation is per-instrument locked, so instruments can be shared
+across threads freely; the registry lock only guards instrument
+creation and snapshotting.
+
+Examples
+--------
+>>> registry = MetricsRegistry()
+>>> registry.counter("demo_requests_total", "Requests answered").inc()
+>>> registry.counter("demo_requests_total").value
+1.0
+>>> "demo_requests_total 1" in registry.render_prometheus()
+True
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import os
+import re
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "render_prometheus",
+    "registries_as_dict",
+]
+
+#: Default latency buckets (seconds): half a millisecond to ten seconds
+#: in a 1-2.5-5 progression, the usual Prometheus shape for request
+#: latencies.  ``+Inf`` is implicit.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _freeze_labels(labels: Optional[Mapping[str, str]]) -> LabelSet:
+    if not labels:
+        return ()
+    frozen = []
+    for key in sorted(labels):
+        if not _LABEL_RE.match(key):
+            raise InvalidParameterError(f"invalid label name {key!r}")
+        frozen.append((key, str(labels[key])))
+    return tuple(frozen)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: LabelSet, extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = list(labels) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    # Prometheus accepts Go-style floats; emit integers without the
+    # trailing ".0" for readability.
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_le(bound: float) -> str:
+    return "+Inf" if bound == float("inf") else _format_value(bound)
+
+
+class Counter:
+    """Monotonically increasing float value."""
+
+    metric_type = "counter"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise InvalidParameterError(
+                f"counters only go up; cannot inc by {amount}"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def _samples(self, name: str, labels: LabelSet) -> List[str]:
+        return [f"{name}{_format_labels(labels)} {_format_value(self.value)}"]
+
+    def _as_dict(self) -> Dict[str, object]:
+        return {"value": self.value}
+
+
+class Gauge(Counter):
+    """A value that can go up and down."""
+
+    metric_type = "gauge"
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``buckets`` are the finite upper bounds, strictly increasing; an
+    implicit ``+Inf`` bucket catches the tail.  ``observe`` is a binary
+    search plus three locked adds.
+    """
+
+    metric_type = "histogram"
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        bounds = [float(b) for b in buckets]
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise InvalidParameterError(
+                f"histogram buckets must be non-empty and strictly "
+                f"increasing, got {buckets!r}"
+            )
+        if bounds[-1] == float("inf"):
+            bounds = bounds[:-1]
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # final slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self._bounds, float(value))
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += float(value)
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ``+Inf`` last."""
+        with self._lock:
+            counts = list(self._counts)
+        bounds = self._bounds + [float("inf")]
+        cumulative, total = [], 0
+        for bound, count in zip(bounds, counts):
+            total += count
+            cumulative.append((bound, total))
+        return cumulative
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * len(self._counts)
+            self._sum = 0.0
+            self._count = 0
+
+    def _samples(self, name: str, labels: LabelSet) -> List[str]:
+        lines = [
+            f"{name}_bucket"
+            f"{_format_labels(labels, [('le', _format_le(bound))])} {count}"
+            for bound, count in self.buckets()
+        ]
+        lines.append(f"{name}_sum{_format_labels(labels)} {_format_value(self.sum)}")
+        lines.append(f"{name}_count{_format_labels(labels)} {self.count}")
+        return lines
+
+    def _as_dict(self) -> Dict[str, object]:
+        return {
+            "buckets": {
+                _format_le(bound): count for bound, count in self.buckets()
+            },
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class _Family:
+    """All instruments sharing one metric name (one per label set)."""
+
+    def __init__(self, name: str, metric_type: str, help_text: str):
+        self.name = name
+        self.metric_type = metric_type
+        self.help = help_text
+        self.children: "Dict[LabelSet, Union[Counter, Gauge, Histogram]]" = {}
+
+
+class MetricsRegistry:
+    """Get-or-create factory and exposition point for instruments.
+
+    Instrument accessors (:meth:`counter`, :meth:`gauge`,
+    :meth:`histogram`) return the existing instrument for
+    ``(name, labels)`` if one was registered before, so call sites can
+    re-request an instrument cheaply instead of holding references.
+    Registering the same name with a different type raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    # instrument factories
+    # ------------------------------------------------------------------
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Counter:
+        return self._get_or_create(name, help, labels, Counter, lambda: Counter())
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Gauge:
+        return self._get_or_create(name, help, labels, Gauge, lambda: Gauge())
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            name, help, labels, Histogram, lambda: Histogram(buckets)
+        )
+
+    def _get_or_create(self, name, help_text, labels, cls, factory):
+        if not _NAME_RE.match(name):
+            raise InvalidParameterError(f"invalid metric name {name!r}")
+        label_set = _freeze_labels(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, cls.metric_type, help_text)
+                self._families[name] = family
+            elif family.metric_type != cls.metric_type:
+                raise InvalidParameterError(
+                    f"metric {name!r} already registered as a "
+                    f"{family.metric_type}, not a {cls.metric_type}"
+                )
+            if help_text and not family.help:
+                family.help = help_text
+            instrument = family.children.get(label_set)
+            if instrument is None:
+                instrument = factory()
+                family.children[label_set] = instrument
+            return instrument
+
+    # ------------------------------------------------------------------
+    # introspection / exposition
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._families)
+
+    def reset(self) -> None:
+        """Zero every instrument in place (references stay valid)."""
+        for family in self._snapshot():
+            for instrument in family.children.values():
+                instrument._reset()
+
+    def _snapshot(self) -> List[_Family]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format (v0.0.4)."""
+        return render_prometheus(self)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly structured dump of every metric family."""
+        return registries_as_dict(self)
+
+    def write_prometheus(self, path: Union[str, "os.PathLike[str]"]) -> None:
+        with open(os.fspath(path), "w", encoding="utf-8") as handle:
+            handle.write(self.render_prometheus())
+
+    def write_json(self, path: Union[str, "os.PathLike[str]"]) -> None:
+        with open(os.fspath(path), "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2)
+            handle.write("\n")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MetricsRegistry(families={len(self._families)})"
+
+
+def render_prometheus(*registries: MetricsRegistry) -> str:
+    """Prometheus text format for one or more registries, concatenated.
+
+    Passing several registries (e.g. the process-global one plus a
+    service-private one) is valid as long as their metric names are
+    disjoint; duplicate names raise to avoid emitting an exposition a
+    scraper would reject.
+    """
+    lines: List[str] = []
+    seen: Dict[str, bool] = {}
+    for registry in registries:
+        for family in registry._snapshot():
+            if family.name in seen:
+                raise InvalidParameterError(
+                    f"metric {family.name!r} appears in more than one "
+                    f"registry; cannot merge expositions"
+                )
+            seen[family.name] = True
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.metric_type}")
+            for label_set, instrument in sorted(family.children.items()):
+                lines.extend(instrument._samples(family.name, label_set))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registries_as_dict(*registries: MetricsRegistry) -> Dict[str, object]:
+    """JSON-friendly dump of one or more registries (names must be disjoint)."""
+    families: List[Dict[str, object]] = []
+    seen: Dict[str, bool] = {}
+    for registry in registries:
+        for family in registry._snapshot():
+            if family.name in seen:
+                raise InvalidParameterError(
+                    f"metric {family.name!r} appears in more than one "
+                    f"registry; cannot merge dumps"
+                )
+            seen[family.name] = True
+            samples = []
+            for label_set, instrument in sorted(family.children.items()):
+                entry: Dict[str, object] = {"labels": dict(label_set)}
+                entry.update(instrument._as_dict())
+                samples.append(entry)
+            families.append(
+                {
+                    "name": family.name,
+                    "type": family.metric_type,
+                    "help": family.help,
+                    "samples": samples,
+                }
+            )
+    return {"metrics": families}

@@ -1,0 +1,290 @@
+"""Lightweight structured tracing: nested, thread-aware spans.
+
+A :class:`Span` measures one named region of work — wall time
+(``time.perf_counter``), CPU time of the owning thread
+(``time.thread_time``), and arbitrary attributes — and nests:
+
+* **implicitly** under whatever span is open on the *same* thread
+  (a thread-local stack), or
+* **explicitly** under a ``parent=`` span from another thread, which is
+  how the serving layer attaches per-worker compute spans to the batch
+  that spawned them.
+
+Completed root spans are retained by the :class:`Tracer` in a bounded
+buffer (oldest dropped first, with a drop counter) and can be exported
+as a JSON-friendly dict (:meth:`Tracer.as_dict`) or a rendered tree
+(:meth:`Tracer.render_tree`).
+
+When the module flag is off (:func:`repro.obs.disable`),
+:meth:`Tracer.span` returns the shared :data:`NULL_SPAN` — no clock
+reads, no allocation — so instrumented code needs no conditionals::
+
+    with tracer.span("prepare.svd", rank=r) as sp:
+        ...heavy work...
+    seconds = sp.wall_seconds        # 0.0 when disabled
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs import config
+
+__all__ = ["Span", "Tracer", "NULL_SPAN", "render_tree_from_dict"]
+
+
+class Span:
+    """One timed region; also its own context manager.
+
+    Attributes are ``kwargs`` at creation plus anything added with
+    :meth:`set_attribute` while open.  Timing fields are populated on
+    ``__exit__`` (zero while the span is still open).
+    """
+
+    __slots__ = (
+        "name", "attributes", "thread_name", "start_seconds",
+        "wall_seconds", "cpu_seconds", "children",
+        "_tracer", "_parent", "_explicit_parent", "_wall0", "_cpu0",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        parent: Optional["Span"] = None,
+        attributes: Optional[Dict[str, Any]] = None,
+    ):
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.thread_name = ""
+        self.start_seconds = 0.0
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+        self.children: List["Span"] = []
+        self._tracer = tracer
+        self._parent = parent
+        self._explicit_parent = parent is not None
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def __enter__(self) -> "Span":
+        stack = self._tracer._stack()
+        if not self._explicit_parent and stack:
+            self._parent = stack[-1]
+        stack.append(self)
+        self.thread_name = threading.current_thread().name
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.thread_time()
+        self.start_seconds = self._wall0 - self._tracer._epoch
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.wall_seconds = time.perf_counter() - self._wall0
+        self.cpu_seconds = time.thread_time() - self._cpu0
+        if exc_type is not None:
+            self.attributes["error"] = f"{exc_type.__name__}: {exc_value}"
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # unbalanced exits; recover instead of corrupting
+            stack.remove(self)
+        self._tracer._record(self)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "thread": self.thread_name,
+            "start_seconds": self.start_seconds,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "attributes": dict(self.attributes),
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Span({self.name!r}, wall={self.wall_seconds:.6f}s)"
+
+
+class _NullSpan:
+    """Shared no-op span returned while instrumentation is disabled."""
+
+    name = ""
+    thread_name = ""
+    start_seconds = 0.0
+    wall_seconds = 0.0
+    cpu_seconds = 0.0
+    attributes: Dict[str, Any] = {}
+    children: List[Span] = []
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        return None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        return None
+
+    def as_dict(self) -> Dict[str, Any]:  # pragma: no cover - degenerate
+        return {"name": "", "children": []}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NULL_SPAN"
+
+
+#: The singleton no-op span (``tracer.span(...) is NULL_SPAN`` while
+#: instrumentation is disabled).
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects completed spans; hands out new ones.
+
+    Parameters
+    ----------
+    max_roots:
+        Bound on retained completed *root* spans (children ride along
+        with their root).  The oldest roots are dropped first;
+        :attr:`dropped` counts them.
+    """
+
+    def __init__(self, max_roots: int = 512):
+        if max_roots < 1:
+            raise ValueError(f"max_roots must be >= 1, got {max_roots}")
+        self._max_roots = int(max_roots)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._roots: List[Span] = []
+        self._dropped = 0
+        self._epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # producing spans
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        **attributes: Any,
+    ) -> Union[Span, _NullSpan]:
+        """A new span, or :data:`NULL_SPAN` when instrumentation is off.
+
+        ``parent`` pins the span under an explicit parent (cross-thread
+        nesting); otherwise the innermost open span on the current
+        thread is the parent.
+        """
+        if not config.enabled():
+            return NULL_SPAN
+        if parent is NULL_SPAN:
+            parent = None
+        return Span(self, name, parent=parent, attributes=attributes)
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost span open on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, span: Span) -> None:
+        parent = span._parent
+        with self._lock:
+            if parent is not None:
+                parent.children.append(span)
+                return
+            self._roots.append(span)
+            overflow = len(self._roots) - self._max_roots
+            if overflow > 0:
+                del self._roots[:overflow]
+                self._dropped += overflow
+
+    # ------------------------------------------------------------------
+    # consuming spans
+    # ------------------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+    def roots(self) -> List[Span]:
+        """Snapshot of the retained completed root spans, oldest first."""
+        with self._lock:
+            return list(self._roots)
+
+    def reset(self) -> None:
+        """Drop all retained spans and the drop counter."""
+        with self._lock:
+            self._roots.clear()
+            self._dropped = 0
+            self._epoch = time.perf_counter()
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly dump: ``{"dropped": n, "spans": [...]}``."""
+        with self._lock:
+            roots, dropped = list(self._roots), self._dropped
+        return {"dropped": dropped, "spans": [s.as_dict() for s in roots]}
+
+    def write_json(self, path: Union[str, "os.PathLike[str]"]) -> None:
+        with open(os.fspath(path), "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2)
+            handle.write("\n")
+
+    def render_tree(self) -> str:
+        """Human-readable indented tree of all retained spans."""
+        return render_tree_from_dict(self.as_dict())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            return f"Tracer(roots={len(self._roots)}, dropped={self._dropped})"
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def _fmt_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def _render_span(span: Dict[str, Any], depth: int, lines: List[str]) -> None:
+    attrs = span.get("attributes") or {}
+    attr_text = (
+        "  [" + ", ".join(f"{k}={v}" for k, v in sorted(attrs.items())) + "]"
+        if attrs
+        else ""
+    )
+    head = "  " * depth + span.get("name", "?")
+    timing = (
+        f"wall {_fmt_seconds(float(span.get('wall_seconds', 0.0)))}  "
+        f"cpu {_fmt_seconds(float(span.get('cpu_seconds', 0.0)))}"
+    )
+    thread = span.get("thread", "")
+    thread_text = f"  ({thread})" if thread else ""
+    lines.append(f"{head:<44} {timing}{thread_text}{attr_text}")
+    for child in span.get("children", ()):
+        _render_span(child, depth + 1, lines)
+
+
+def render_tree_from_dict(trace: Dict[str, Any]) -> str:
+    """Render a :meth:`Tracer.as_dict`-shaped dump as an indented tree."""
+    lines: List[str] = []
+    for root in trace.get("spans", ()):
+        _render_span(root, 0, lines)
+    dropped = int(trace.get("dropped", 0))
+    if dropped:
+        lines.append(f"... ({dropped} older root span(s) dropped)")
+    return "\n".join(lines)

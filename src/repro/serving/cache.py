@@ -41,7 +41,8 @@ class ColumnCache:
     --------
     >>> import numpy as np
     >>> cache = ColumnCache(capacity=2)
-    >>> cache.insert({0: np.zeros(3), 1: np.ones(3)})
+    >>> cache.insert({0: np.zeros(3), 1: np.ones(3)})   # evictions caused
+    0
     >>> hits, misses = cache.lookup([0, 2])
     >>> sorted(hits), misses
     ([0], [2])
@@ -124,7 +125,7 @@ class ColumnCache:
                     hit_columns[seed] = column
         return hit_columns, missing
 
-    def insert(self, columns: Dict[int, np.ndarray]) -> None:
+    def insert(self, columns: Dict[int, np.ndarray]) -> int:
         """Store freshly computed columns, evicting LRU entries as needed.
 
         Stored arrays are marked read-only so no caller can corrupt a
@@ -132,9 +133,13 @@ class ColumnCache:
         its column without double-charging the byte count (two threads
         may race to compute the same miss; both insertions are valid
         because the column is a deterministic function of the seed).
+
+        Returns the number of columns evicted by this insertion, so the
+        caller can feed eviction metrics without re-reading counters.
         """
         if self._capacity == 0 or not columns:
-            return
+            return 0
+        evicted_count = 0
         with self._lock:
             for seed, column in columns.items():
                 seed = int(seed)
@@ -149,6 +154,8 @@ class ColumnCache:
                 _, evicted = self._columns.popitem(last=False)
                 self._bytes -= evicted.nbytes
                 self.evictions += 1
+                evicted_count += 1
+        return evicted_count
 
     def clear(self) -> None:
         """Drop every resident column (counters are preserved)."""

@@ -19,26 +19,47 @@ its seed (Theorem 3.5 + per-column evaluation in ``query_columns``),
 the service's output is ``np.array_equal`` to calling
 ``index.query(request)`` directly — for a cold cache, a warm cache, a
 tiny cache mid-eviction, or no cache at all.
+
+Observability (docs/observability.md): every batch emits a
+``serve.batch`` span with nested ``serve.coalesce`` / ``serve.lookup``
+/ ``serve.compute`` (plus one ``serve.compute.chunk`` per worker task)
+/ ``serve.assemble`` children, and the service maintains counters,
+gauges, and a per-batch latency histogram in a
+:class:`~repro.obs.metrics.MetricsRegistry`.
+:class:`~repro.serving.stats.ServingStats` snapshots are read straight
+from those instruments.  Batches slower than ``slow_query_seconds`` are
+logged on the ``repro.serving`` logger and kept in a bounded in-memory
+ring (:meth:`CoSimRankService.slow_queries`).
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
-import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.base import QueryLike
 from repro.core.index import CSRPlusIndex
 from repro.errors import InvalidParameterError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span, Tracer
 from repro.serving.cache import ColumnCache
 from repro.serving.scheduler import chunk_seeds, plan_batch
 from repro.serving.stats import ServingStats
 
 __all__ = ["CoSimRankService"]
+
+logger = logging.getLogger("repro.serving")
+
+#: Serving phases tracked by the ``csrplus_serve_phase_seconds_total``
+#: counter and the per-phase spans.
+PHASES = ("coalesce", "lookup", "compute", "assemble")
 
 
 class CoSimRankService:
@@ -61,6 +82,21 @@ class CoSimRankService:
     chunk_size:
         Misses handed to one worker task at a time.  Scheduling
         granularity only — results never depend on it.
+    registry:
+        Metrics registry backing this service's counters.  Defaults to
+        a *private* :class:`~repro.obs.metrics.MetricsRegistry` so two
+        services never mix traffic; pass a shared registry (or
+        :func:`repro.obs.get_registry`) to aggregate.
+    tracer:
+        Span collector; defaults to the process-global tracer so serve
+        spans land next to the engines' prepare/query spans.
+    slow_query_seconds:
+        If set, any ``serve_batch`` call slower than this is counted,
+        logged at ``WARNING`` on ``repro.serving``, and retained in a
+        bounded ring readable via :meth:`slow_queries`.  Requires
+        instrumentation to be enabled (spans provide the batch timing).
+    slow_query_log_size:
+        Capacity of the slow-query ring (oldest entries dropped).
 
     Examples
     --------
@@ -83,6 +119,10 @@ class CoSimRankService:
         cache_columns: int = 1024,
         max_workers: Optional[int] = None,
         chunk_size: int = 64,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        slow_query_seconds: Optional[float] = None,
+        slow_query_log_size: int = 64,
     ):
         if max_workers is not None and max_workers < 1:
             raise InvalidParameterError(
@@ -92,22 +132,78 @@ class CoSimRankService:
             raise InvalidParameterError(
                 f"chunk_size must be >= 1, got {chunk_size}"
             )
+        if slow_query_seconds is not None and slow_query_seconds <= 0:
+            raise InvalidParameterError(
+                f"slow_query_seconds must be > 0 (or None to disable), "
+                f"got {slow_query_seconds}"
+            )
+        if slow_query_log_size < 1:
+            raise InvalidParameterError(
+                f"slow_query_log_size must be >= 1, got {slow_query_log_size}"
+            )
         index.prepare()
         self.index = index
         self.chunk_size = int(chunk_size)
         self.max_workers = int(max_workers or (os.cpu_count() or 1))
+        self.slow_query_seconds = slow_query_seconds
         self._cache = ColumnCache(cache_columns)
         self._stats_lock = threading.Lock()
-        self._requests = 0
-        self._batches = 0
-        self._seeds_requested = 0
-        self._unique_seeds = 0
-        self._lookup_seconds = 0.0
-        self._compute_seconds = 0.0
-        self._assemble_seconds = 0.0
+        self._slow_log: "deque[dict]" = deque(maxlen=int(slow_query_log_size))
         self._executor: Optional[ThreadPoolExecutor] = None
         self._executor_lock = threading.Lock()
         self._closed = False
+
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._tracer = tracer if tracer is not None else obs.get_tracer()
+        reg = self.registry
+        self._m_requests = reg.counter(
+            "csrplus_serve_requests_total", "Individual requests answered"
+        )
+        self._m_batches = reg.counter(
+            "csrplus_serve_batches_total", "serve_batch calls"
+        )
+        self._m_seeds = reg.counter(
+            "csrplus_serve_seeds_requested_total",
+            "Seed columns returned, duplicates included",
+        )
+        self._m_unique = reg.counter(
+            "csrplus_serve_unique_seeds_total",
+            "Distinct seeds looked up in the cache, summed per batch",
+        )
+        self._m_hits = reg.counter(
+            "csrplus_serve_cache_hits_total", "Cache lookup hits"
+        )
+        self._m_misses = reg.counter(
+            "csrplus_serve_cache_misses_total", "Cache lookup misses"
+        )
+        self._m_evictions = reg.counter(
+            "csrplus_serve_cache_evictions_total", "Columns evicted by LRU"
+        )
+        self._m_cached_columns = reg.gauge(
+            "csrplus_serve_cache_columns", "Resident cached columns"
+        )
+        self._m_cache_bytes = reg.gauge(
+            "csrplus_serve_cache_bytes", "Bytes held by the column cache"
+        )
+        self._m_cache_capacity = reg.gauge(
+            "csrplus_serve_cache_capacity", "Column cache capacity"
+        )
+        self._m_cache_capacity.set(self._cache.capacity)
+        self._m_phase = {
+            phase: reg.counter(
+                "csrplus_serve_phase_seconds_total",
+                "Cumulative wall time per serving phase",
+                labels={"phase": phase},
+            )
+            for phase in PHASES
+        }
+        self._m_batch_seconds = reg.histogram(
+            "csrplus_serve_batch_seconds", "serve_batch wall time"
+        )
+        self._m_slow = reg.counter(
+            "csrplus_serve_slow_batches_total",
+            "Batches slower than the slow-query threshold",
+        )
 
     # ------------------------------------------------------------------
     # serving entry points
@@ -123,47 +219,69 @@ class CoSimRankService:
         cache) are computed once.  Safe to call from many threads
         concurrently.
         """
-        plan = plan_batch(requests, self.index.num_nodes)
+        tracer = self._tracer
+        with tracer.span("serve.batch") as batch_span:
+            with tracer.span("serve.coalesce") as coalesce_span:
+                plan = plan_batch(requests, self.index.num_nodes)
+            batch_span.set_attribute("requests", plan.num_requests)
+            batch_span.set_attribute("unique_seeds", int(plan.unique_seeds.size))
 
-        started = time.perf_counter()
-        hit_columns, missing = self._cache.lookup(plan.unique_seeds)
-        lookup_seconds = time.perf_counter() - started
+            with tracer.span("serve.lookup") as lookup_span:
+                hit_columns, missing = self._cache.lookup(plan.unique_seeds)
+            # captured now: assembly below merges fresh columns into the
+            # same dict, which would inflate the hit count
+            num_hits = len(hit_columns)
 
-        started = time.perf_counter()
-        fresh_columns = self._compute_missing(missing)
-        self._cache.insert(fresh_columns)
-        compute_seconds = time.perf_counter() - started
+            with tracer.span("serve.compute", misses=len(missing)) as compute_span:
+                fresh_columns = self._compute_missing(missing, compute_span)
+                evicted = self._cache.insert(fresh_columns)
 
-        started = time.perf_counter()
-        column_map = hit_columns
-        column_map.update(fresh_columns)
-        results = [self._assemble(ids, column_map) for ids in plan.request_ids]
-        assemble_seconds = time.perf_counter() - started
+            with tracer.span("serve.assemble") as assemble_span:
+                column_map = hit_columns
+                column_map.update(fresh_columns)
+                results = [
+                    self._assemble(ids, column_map) for ids in plan.request_ids
+                ]
 
-        with self._stats_lock:
-            self._batches += 1
-            self._requests += plan.num_requests
-            self._seeds_requested += plan.seeds_requested
-            self._unique_seeds += int(plan.unique_seeds.size)
-            self._lookup_seconds += lookup_seconds
-            self._compute_seconds += compute_seconds
-            self._assemble_seconds += assemble_seconds
+        self._record_batch(
+            plan,
+            hits=num_hits,
+            misses=len(missing),
+            evicted=evicted,
+            batch_span=batch_span,
+            phase_spans={
+                "coalesce": coalesce_span,
+                "lookup": lookup_span,
+                "compute": compute_span,
+                "assemble": assemble_span,
+            },
+        )
         return results
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _compute_missing(self, missing: List[int]) -> Dict[int, np.ndarray]:
+    def _compute_missing(
+        self, missing: List[int], parent_span: Optional[Span] = None
+    ) -> Dict[int, np.ndarray]:
         """Evaluate missing columns, in parallel chunks when it pays."""
         if not missing:
             return {}
         chunks = chunk_seeds(missing, self.chunk_size)
+
+        def run_chunk(chunk):
+            # Explicit parent: worker threads have no open span of their
+            # own, so the chunk spans nest under this batch's compute
+            # span instead of becoming disconnected roots.
+            with self._tracer.span(
+                "serve.compute.chunk", parent=parent_span, seeds=len(chunk)
+            ):
+                return self.index.query_columns(chunk)
+
         if self.max_workers == 1 or len(chunks) == 1:
-            blocks = [self.index.query_columns(chunk) for chunk in chunks]
+            blocks = [run_chunk(chunk) for chunk in chunks]
         else:
-            blocks = list(
-                self._get_executor().map(self.index.query_columns, chunks)
-            )
+            blocks = list(self._get_executor().map(run_chunk, chunks))
         columns: Dict[int, np.ndarray] = {}
         for chunk, block in zip(chunks, blocks):
             for j, seed in enumerate(chunk):
@@ -184,6 +302,57 @@ class CoSimRankService:
             out[:, j] = column_map[int(seed)]
         return out
 
+    def _record_batch(
+        self,
+        plan,
+        *,
+        hits: int,
+        misses: int,
+        evicted: int,
+        batch_span,
+        phase_spans,
+    ) -> None:
+        """Fold one batch's outcome into the registry (consistent snapshot)."""
+        cache = self._cache.counters()
+        with self._stats_lock:
+            self._m_batches.inc()
+            self._m_requests.inc(plan.num_requests)
+            self._m_seeds.inc(plan.seeds_requested)
+            self._m_unique.inc(int(plan.unique_seeds.size))
+            self._m_hits.inc(hits)
+            self._m_misses.inc(misses)
+            self._m_evictions.inc(evicted)
+            self._m_cached_columns.set(cache["cached_columns"])
+            self._m_cache_bytes.set(cache["bytes_cached"])
+            for phase, span in phase_spans.items():
+                self._m_phase[phase].inc(span.wall_seconds)
+            if batch_span is not obs.NULL_SPAN:
+                self._m_batch_seconds.observe(batch_span.wall_seconds)
+        if (
+            self.slow_query_seconds is not None
+            and batch_span.wall_seconds >= self.slow_query_seconds
+        ):
+            entry = {
+                "seconds": batch_span.wall_seconds,
+                "requests": plan.num_requests,
+                "unique_seeds": int(plan.unique_seeds.size),
+                "hits": hits,
+                "misses": misses,
+                "phases": {
+                    phase: span.wall_seconds
+                    for phase, span in phase_spans.items()
+                },
+            }
+            with self._stats_lock:
+                self._m_slow.inc()
+                self._slow_log.append(entry)
+            logger.warning(
+                "slow batch: %.4fs (threshold %.4fs) requests=%d "
+                "unique_seeds=%d hits=%d misses=%d",
+                entry["seconds"], self.slow_query_seconds,
+                entry["requests"], entry["unique_seeds"], hits, misses,
+            )
+
     def _get_executor(self) -> ThreadPoolExecutor:
         with self._executor_lock:
             if self._closed:
@@ -199,24 +368,36 @@ class CoSimRankService:
     # stats and lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> ServingStats:
-        """A consistent snapshot of traffic, cache, and phase timings."""
+        """A consistent snapshot of traffic, cache, and phase timings.
+
+        Values are read from the backing metrics registry (the
+        ``csrplus_serve_*`` instruments), so this dataclass and a
+        Prometheus scrape of :attr:`registry` always agree.
+        """
         cache = self._cache.counters()
         with self._stats_lock:
+            self._m_cached_columns.set(cache["cached_columns"])
+            self._m_cache_bytes.set(cache["bytes_cached"])
             return ServingStats(
-                requests=self._requests,
-                batches=self._batches,
-                seeds_requested=self._seeds_requested,
-                unique_seeds=self._unique_seeds,
-                hits=cache["hits"],
-                misses=cache["misses"],
-                evictions=cache["evictions"],
+                requests=int(self._m_requests.value),
+                batches=int(self._m_batches.value),
+                seeds_requested=int(self._m_seeds.value),
+                unique_seeds=int(self._m_unique.value),
+                hits=int(self._m_hits.value),
+                misses=int(self._m_misses.value),
+                evictions=int(self._m_evictions.value),
                 cached_columns=cache["cached_columns"],
                 bytes_cached=cache["bytes_cached"],
                 cache_capacity=self._cache.capacity,
-                lookup_seconds=self._lookup_seconds,
-                compute_seconds=self._compute_seconds,
-                assemble_seconds=self._assemble_seconds,
+                lookup_seconds=self._m_phase["lookup"].value,
+                compute_seconds=self._m_phase["compute"].value,
+                assemble_seconds=self._m_phase["assemble"].value,
             )
+
+    def slow_queries(self) -> List[dict]:
+        """Recent slow-batch records, oldest first (bounded ring)."""
+        with self._stats_lock:
+            return list(self._slow_log)
 
     def clear_cache(self) -> None:
         """Drop all cached columns (useful for cold-start measurements)."""

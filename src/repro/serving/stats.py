@@ -3,8 +3,11 @@
 :class:`ServingStats` is an immutable-by-convention snapshot of what a
 :class:`~repro.serving.service.CoSimRankService` has done so far:
 traffic volume, cache effectiveness, and where the wall time went.
-Counters are maintained under the service/cache locks; this dataclass
-is only the *exported* view, so reading one is always race-free.
+The live counters are the ``csrplus_serve_*`` instruments in the
+service's :class:`~repro.obs.metrics.MetricsRegistry` (updated under
+the service's stats lock); this dataclass is only the *exported* view,
+so reading one is always race-free, and its fields agree with a
+Prometheus scrape of the same registry.
 """
 
 from __future__ import annotations
@@ -43,7 +46,9 @@ class ServingStats:
     lookup_seconds / compute_seconds / assemble_seconds:
         Cumulative wall time in the three serving phases: cache
         probing, miss computation (``query_columns``), and scattering
-        columns into per-request result blocks.
+        columns into per-request result blocks.  Measured by the
+        ``serve.*`` spans, so they are zero while instrumentation is
+        disabled (:func:`repro.obs.disable`).
     """
 
     requests: int = 0

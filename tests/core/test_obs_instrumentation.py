@@ -1,0 +1,150 @@
+"""Engine-level instrumentation: prepare/query spans, stages, metrics."""
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.baselines.iterative import CSRITEngine
+from repro.baselines.ni import CSRNIEngine
+from repro.core.index import CSRPlusIndex
+from repro.graphs.generators import ring
+
+
+def _collect_names(roots):
+    names = []
+
+    def visit(span):
+        names.append(span.name)
+        for child in span.children:
+            visit(child)
+
+    for root in roots:
+        visit(root)
+    return names
+
+
+@pytest.fixture
+def global_tracer():
+    """The global tracer, reset around the test so spans are isolated."""
+    tracer = obs.get_tracer()
+    tracer.reset()
+    yield tracer
+    tracer.reset()
+
+
+class TestPrepareSpans:
+    def test_csr_plus_stage_taxonomy(self, global_tracer):
+        CSRPlusIndex(ring(12), rank=4).prepare()
+        (root,) = [r for r in global_tracer.roots() if r.name == "prepare"]
+        assert root.attributes["engine"] == "CSR+"
+        stages = [child.name for child in root.children]
+        assert stages == ["prepare.svd", "prepare.stein", "prepare.assemble"]
+
+    def test_stein_iteration_spans_nested_with_solver_attrs(self, global_tracer):
+        index = CSRPlusIndex(ring(12), rank=4, solver="squaring").prepare()
+        (root,) = [r for r in global_tracer.roots() if r.name == "prepare"]
+        (stein,) = [c for c in root.children if c.name == "prepare.stein"]
+        iterations = [
+            c for c in stein.children if c.name == "stein.iteration"
+        ]
+        assert len(iterations) == index.stein_iterations
+        assert all(c.attributes["solver"] == "squaring" for c in iterations)
+        assert stein.attributes["iterations"] == index.stein_iterations
+
+    def test_fixed_point_solver_also_traced(self, global_tracer):
+        index = CSRPlusIndex(ring(12), rank=4, solver="fixed_point").prepare()
+        names = _collect_names(global_tracer.roots())
+        assert names.count("stein.iteration") == index.stein_iterations
+
+    def test_query_span_emitted(self, global_tracer):
+        index = CSRPlusIndex(ring(12), rank=4).prepare()
+        index.query([0, 3, 5])
+        (query_span,) = [
+            r for r in global_tracer.roots() if r.name == "query"
+        ]
+        assert query_span.attributes["num_queries"] == 3
+
+    def test_baselines_inherit_prepare_span(self, global_tracer):
+        CSRITEngine(ring(10)).prepare()
+        (root,) = [r for r in global_tracer.roots() if r.name == "prepare"]
+        assert root.attributes["engine"] == "CSR-IT"
+
+    def test_csr_ni_stage_spans(self, global_tracer):
+        CSRNIEngine(ring(10), rank=3).prepare()
+        names = _collect_names(global_tracer.roots())
+        assert "prepare.svd" in names
+        assert "prepare.kronecker" in names
+        assert "prepare.assemble" in names
+
+
+class TestEngineMetrics:
+    def test_prepare_and_query_histograms_populated(self):
+        registry = obs.get_registry()
+        before_prepare = registry.histogram(
+            "csrplus_prepare_seconds", labels={"engine": "CSR+"}
+        ).count
+        before_query = registry.histogram(
+            "csrplus_query_seconds", labels={"engine": "CSR+"}
+        ).count
+        index = CSRPlusIndex(ring(12), rank=4).prepare()
+        index.query([0])
+        assert registry.histogram(
+            "csrplus_prepare_seconds", labels={"engine": "CSR+"}
+        ).count == before_prepare + 1
+        assert registry.histogram(
+            "csrplus_query_seconds", labels={"engine": "CSR+"}
+        ).count == before_query + 1
+
+    def test_stage_seconds_counter_accumulates(self):
+        registry = obs.get_registry()
+        svd_counter = registry.counter(
+            "csrplus_stage_seconds_total",
+            labels={"engine": "CSR+", "phase": "prepare", "stage": "svd"},
+        )
+        before = svd_counter.value
+        CSRPlusIndex(ring(12), rank=4).prepare()
+        assert svd_counter.value > before
+
+
+class TestDisabledInstrumentation:
+    def test_no_spans_or_observations_when_disabled(self, global_tracer):
+        registry = obs.get_registry()
+        hist = registry.histogram(
+            "csrplus_prepare_seconds", labels={"engine": "CSR+"}
+        )
+        before = hist.count
+        with obs.instrumentation(False):
+            index = CSRPlusIndex(ring(12), rank=4).prepare()
+            result = index.query([0, 1])
+        assert global_tracer.roots() == []
+        assert hist.count == before
+        # results and the engine's own timers are unaffected
+        assert result.shape == (12, 2)
+        assert index.prepare_seconds > 0
+
+    def test_results_bit_identical_enabled_vs_disabled(self):
+        with obs.instrumentation(True):
+            enabled = CSRPlusIndex(ring(16), rank=4).prepare().query([0, 5])
+        with obs.instrumentation(False):
+            disabled = CSRPlusIndex(ring(16), rank=4).prepare().query([0, 5])
+        assert np.array_equal(enabled, disabled)
+
+
+class TestHarnessSpan:
+    def test_measure_emits_experiment_span(self, global_tracer):
+        from repro.experiments.harness import measure
+
+        record = measure(
+            "CSR+", ring(12), np.array([0, 1]), rank=4,
+            memory_budget_bytes=None, time_budget_seconds=None,
+        )
+        assert record.status == "ok"
+        (span,) = [
+            r for r in global_tracer.roots() if r.name == "experiment.measure"
+        ]
+        assert span.attributes["engine"] == "CSR+"
+        assert span.attributes["status"] == "ok"
+        # prepare/query nest under the measurement span
+        child_names = [child.name for child in span.children]
+        assert "prepare" in child_names
+        assert "query" in child_names

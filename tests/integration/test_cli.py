@@ -259,3 +259,114 @@ class TestParser:
             build_parser().parse_args(
                 ["query", "--dataset", "FB", "--edge-list", "x", "--queries", "0"]
             )
+
+
+class TestObservabilityCLI:
+    """Acceptance criterion: serve-batch dumps a valid Prometheus file and
+    a JSON trace whose spans cover the serve phases and prepare stages."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_obs_state(self):
+        import repro.obs as obs
+
+        previous = obs.set_enabled(True)
+        obs.get_tracer().reset()
+        yield
+        obs.set_enabled(previous)
+        obs.get_tracer().reset()
+
+    @staticmethod
+    def _serve(tmp_path, capsys, *extra):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("0,1,2\n3 4\n")
+        code = main(
+            [
+                "serve-batch",
+                "--dataset", "P2P",
+                "--tier", "tiny",
+                "--queries-file", str(queries),
+                "--rank", "4",
+                *extra,
+            ]
+        )
+        assert code == 0
+        return capsys.readouterr().out
+
+    @staticmethod
+    def _span_names(trace):
+        names = set()
+
+        def visit(span):
+            names.add(span["name"])
+            for child in span["children"]:
+                visit(child)
+
+        for root in trace["spans"]:
+            visit(root)
+        return names
+
+    def test_metrics_and_trace_dumps(self, tmp_path, capsys):
+        import json
+
+        from tests.obs.test_metrics import assert_valid_prometheus
+
+        metrics_path = tmp_path / "metrics.prom"
+        trace_path = tmp_path / "trace.json"
+        out = self._serve(
+            tmp_path, capsys,
+            "--metrics-out", str(metrics_path),
+            "--trace-out", str(trace_path),
+        )
+        assert "metrics written to" in out
+        assert "trace written to" in out
+
+        text = metrics_path.read_text()
+        assert assert_valid_prometheus(text) > 0
+        assert "csrplus_serve_requests_total" in text
+        assert "csrplus_serve_batch_seconds_bucket" in text
+        assert "csrplus_prepare_seconds" in text
+
+        names = self._span_names(json.loads(trace_path.read_text()))
+        assert {
+            "serve.batch", "serve.coalesce", "serve.lookup",
+            "serve.compute", "serve.assemble",
+        } <= names
+        assert {
+            "prepare", "prepare.svd", "prepare.stein", "prepare.assemble",
+        } <= names
+
+    def test_metrics_out_json_variant(self, tmp_path, capsys):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        self._serve(tmp_path, capsys, "--metrics-out", str(metrics_path))
+        dump = json.loads(metrics_path.read_text())
+        names = {family["name"] for family in dump["metrics"]}
+        assert "csrplus_serve_requests_total" in names
+        assert "csrplus_serve_batch_seconds" in names
+
+    def test_stats_pretty_prints_dumps(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.prom"
+        trace_path = tmp_path / "trace.json"
+        self._serve(
+            tmp_path, capsys,
+            "--metrics-out", str(metrics_path),
+            "--trace-out", str(trace_path),
+        )
+        assert main(["stats", "--metrics-file", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "csrplus_serve_requests_total" in out
+
+        assert main(["stats", "--trace-file", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.batch" in out
+        assert "wall" in out
+
+    def test_slow_query_ms_populates_log(self, tmp_path, capsys):
+        out = self._serve(tmp_path, capsys, "--slow-query-ms", "0.000001")
+        assert "slow batches:" in out
+
+    def test_stats_without_any_source_fails(self, capsys):
+        assert main(["stats"]) != 0
+        err = capsys.readouterr().err
+        assert "stats" in err or "source" in err.lower()

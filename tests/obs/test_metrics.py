@@ -1,0 +1,245 @@
+"""Unit tests for the metrics registry and its expositions."""
+
+import json
+import re
+import threading
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registries_as_dict,
+    render_prometheus,
+)
+
+# One Prometheus text-format sample line: name, optional labels, value.
+PROM_SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+    r' (-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN)$'
+)
+PROM_COMMENT_RE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ?.*$")
+
+
+def assert_valid_prometheus(text: str) -> int:
+    """Line-format check; returns the number of sample lines."""
+    samples = 0
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            assert PROM_COMMENT_RE.match(line), f"bad comment line: {line!r}"
+        else:
+            assert PROM_SAMPLE_RE.match(line), f"bad sample line: {line!r}"
+            samples += 1
+    return samples
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Counter().inc(-1)
+
+    def test_thread_safety(self):
+        counter = Counter()
+
+        def hammer():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 40_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+
+    def test_can_go_negative(self):
+        gauge = Gauge()
+        gauge.dec(3)
+        assert gauge.value == -3.0
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_inclusive(self):
+        hist = Histogram(buckets=(1.0, 2.0))
+        hist.observe(1.0)   # le="1" bucket (le is <=)
+        hist.observe(1.5)   # le="2"
+        hist.observe(99.0)  # +Inf
+        buckets = dict(hist.buckets())
+        assert buckets[1.0] == 1
+        assert buckets[2.0] == 2
+        assert buckets[float("inf")] == 3
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(101.5)
+
+    def test_buckets_are_cumulative(self):
+        hist = Histogram(buckets=DEFAULT_LATENCY_BUCKETS)
+        for value in (0.0001, 0.0001, 0.3, 100.0):
+            hist.observe(value)
+        counts = [count for _, count in hist.buckets()]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Histogram(buckets=())
+        with pytest.raises(InvalidParameterError):
+            Histogram(buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", "help text")
+        b = registry.counter("x_total")
+        assert a is b
+        a.inc()
+        assert b.value == 1.0
+
+    def test_label_sets_are_distinct_children(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", labels={"k": "a"})
+        b = registry.counter("x_total", labels={"k": "b"})
+        assert a is not b
+        a.inc()
+        assert b.value == 0.0
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("g", labels={"a": "1", "b": "2"})
+        b = registry.gauge("g", labels={"b": "2", "a": "1"})
+        assert a is b
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(InvalidParameterError):
+            registry.gauge("x_total")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(InvalidParameterError):
+            registry.counter("0bad")
+        with pytest.raises(InvalidParameterError):
+            registry.counter("has space")
+        with pytest.raises(InvalidParameterError):
+            registry.counter("ok_total", labels={"0bad": "v"})
+
+    def test_reset_zeroes_in_place(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x_total")
+        hist = registry.histogram("h_seconds")
+        counter.inc(7)
+        hist.observe(0.5)
+        registry.reset()
+        assert counter.value == 0.0
+        assert hist.count == 0
+        # the reference handed out earlier is still the live instrument
+        counter.inc()
+        assert registry.counter("x_total").value == 1.0
+
+
+class TestPrometheusExposition:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("req_total", "Requests", labels={"kind": "a"}).inc(3)
+        registry.counter("req_total", labels={"kind": "b"}).inc()
+        registry.gauge("occupancy", "Resident items").set(12)
+        registry.histogram("lat_seconds", "Latency").observe(0.02)
+        return registry
+
+    def test_every_line_is_valid(self):
+        text = self._populated().render_prometheus()
+        assert assert_valid_prometheus(text) > 0
+
+    def test_help_type_and_samples_present(self):
+        text = self._populated().render_prometheus()
+        assert "# HELP req_total Requests" in text
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{kind="a"} 3' in text
+        assert 'req_total{kind="b"} 1' in text
+        assert "# TYPE occupancy gauge" in text
+        assert "occupancy 12" in text
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_count 1" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels={"path": 'a"b\\c'}).inc()
+        text = registry.render_prometheus()
+        assert 'path="a\\"b\\\\c"' in text
+
+    def test_merge_disjoint_registries(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("a_total").inc()
+        second.counter("b_total").inc()
+        text = render_prometheus(first, second)
+        assert "a_total 1" in text and "b_total 1" in text
+
+    def test_merge_conflicting_names_raises(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("a_total")
+        second.counter("a_total")
+        with pytest.raises(InvalidParameterError):
+            render_prometheus(first, second)
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_write_prometheus(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        self._populated().write_prometheus(path)
+        assert_valid_prometheus(path.read_text())
+
+
+class TestJsonExposition:
+    def test_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "X", labels={"k": "v"}).inc(2)
+        registry.histogram("h_seconds").observe(0.003)
+        dump = json.loads(json.dumps(registry.as_dict()))
+        by_name = {family["name"]: family for family in dump["metrics"]}
+        assert by_name["x_total"]["type"] == "counter"
+        assert by_name["x_total"]["samples"][0] == {
+            "labels": {"k": "v"}, "value": 2.0,
+        }
+        hist = by_name["h_seconds"]["samples"][0]
+        assert hist["count"] == 1
+        assert hist["buckets"]["+Inf"] == 1
+
+    def test_merged_dump(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("a_total").inc()
+        second.gauge("b").set(2)
+        dump = registries_as_dict(first, second)
+        assert {f["name"] for f in dump["metrics"]} == {"a_total", "b"}
+
+    def test_write_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("x_total").inc()
+        path = tmp_path / "metrics.json"
+        registry.write_json(path)
+        assert json.loads(path.read_text())["metrics"][0]["name"] == "x_total"

@@ -1,0 +1,169 @@
+"""Unit tests for the span/tracer API."""
+
+import json
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.tracing import NULL_SPAN, Tracer, render_tree_from_dict
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    return Tracer()
+
+
+class TestNesting:
+    def test_same_thread_spans_nest_implicitly(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        roots = tracer.roots()
+        assert [root.name for root in roots] == ["outer"]
+        assert [child.name for child in roots[0].children] == ["inner"]
+
+    def test_sequential_spans_are_siblings(self, tracer):
+        with tracer.span("parent"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        (parent,) = tracer.roots()
+        assert [child.name for child in parent.children] == ["a", "b"]
+
+    def test_current_span(self, tracer):
+        assert tracer.current_span() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+
+    def test_explicit_cross_thread_parent(self, tracer):
+        with tracer.span("batch") as batch:
+            def worker():
+                with tracer.span("chunk", parent=batch):
+                    pass
+
+            thread = threading.Thread(target=worker, name="worker-0")
+            thread.start()
+            thread.join()
+        (root,) = tracer.roots()
+        assert [child.name for child in root.children] == ["chunk"]
+        assert root.children[0].thread_name == "worker-0"
+
+    def test_unparented_thread_span_becomes_root(self, tracer):
+        def worker():
+            with tracer.span("solo"):
+                pass
+
+        with tracer.span("main-root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert {root.name for root in tracer.roots()} == {"solo", "main-root"}
+
+
+class TestTiming:
+    def test_wall_and_cpu_populated(self, tracer):
+        with tracer.span("work") as span:
+            sum(range(50_000))
+        assert span.wall_seconds > 0
+        assert span.cpu_seconds > 0
+        assert span.start_seconds >= 0
+
+    def test_children_wall_bounded_by_parent(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                sum(range(10_000))
+        (outer,) = tracer.roots()
+        assert outer.children[0].wall_seconds <= outer.wall_seconds
+
+
+class TestAttributes:
+    def test_kwargs_and_set_attribute(self, tracer):
+        with tracer.span("s", k=1) as span:
+            span.set_attribute("extra", "yes")
+        assert span.attributes == {"k": 1, "extra": "yes"}
+
+    def test_exception_recorded_and_propagated(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        (root,) = tracer.roots()
+        assert root.attributes["error"] == "ValueError: nope"
+
+
+class TestDisabledFlag:
+    def test_disabled_returns_shared_null_span(self, tracer):
+        with obs.instrumentation(False):
+            span = tracer.span("x", attr=1)
+        assert span is NULL_SPAN
+        with span as entered:
+            assert entered is NULL_SPAN
+        assert span.wall_seconds == 0.0
+        assert tracer.roots() == []
+
+    def test_module_level_span_respects_flag(self):
+        with obs.instrumentation(False):
+            assert obs.span("x") is NULL_SPAN
+
+    def test_null_span_as_explicit_parent_is_ignored(self, tracer):
+        # flag flipped between batch start and worker: must not crash
+        with tracer.span("child", parent=NULL_SPAN):
+            pass
+        assert [root.name for root in tracer.roots()] == ["child"]
+
+
+class TestRetention:
+    def test_max_roots_drops_oldest(self):
+        tracer = Tracer(max_roots=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [root.name for root in tracer.roots()] == ["s2", "s3", "s4"]
+        assert tracer.dropped == 2
+
+    def test_reset(self, tracer):
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.roots() == []
+        assert tracer.dropped == 0
+
+
+class TestExport:
+    def _one_trace(self, tracer):
+        with tracer.span("root", k="v"):
+            with tracer.span("leaf"):
+                pass
+
+    def test_as_dict_shape(self, tracer):
+        self._one_trace(tracer)
+        dump = tracer.as_dict()
+        assert dump["dropped"] == 0
+        (root,) = dump["spans"]
+        assert root["name"] == "root"
+        assert root["attributes"] == {"k": "v"}
+        assert root["children"][0]["name"] == "leaf"
+        for key in ("thread", "start_seconds", "wall_seconds", "cpu_seconds"):
+            assert key in root
+
+    def test_json_round_trip_and_write(self, tracer, tmp_path):
+        self._one_trace(tracer)
+        path = tmp_path / "trace.json"
+        tracer.write_json(path)
+        dump = json.loads(path.read_text())
+        assert dump["spans"][0]["children"][0]["name"] == "leaf"
+
+    def test_render_tree(self, tracer):
+        self._one_trace(tracer)
+        rendered = tracer.render_tree()
+        lines = rendered.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  leaf")
+        assert "wall" in lines[0] and "cpu" in lines[0]
+        assert "k=v" in lines[0]
+
+    def test_render_tree_from_dict_reports_drops(self):
+        rendered = render_tree_from_dict({"dropped": 2, "spans": []})
+        assert "2 older root span(s) dropped" in rendered

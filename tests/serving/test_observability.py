@@ -1,0 +1,201 @@
+"""Observability behaviour of the serving layer.
+
+Covers the span-based phase timing that replaced the ad-hoc
+``time.perf_counter()`` arithmetic, the registry-backed
+:class:`ServingStats`, the per-batch latency histogram, per-worker
+compute spans, and the slow-query log.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.core.index import CSRPlusIndex
+from repro.graphs.generators import chung_lu, ring
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.serving import CoSimRankService
+
+
+def _collect_spans(roots):
+    """Flatten a span forest into a name -> [span, ...] map."""
+    by_name = {}
+
+    def visit(span):
+        by_name.setdefault(span.name, []).append(span)
+        for child in span.children:
+            visit(child)
+
+    for root in roots:
+        visit(root)
+    return by_name
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    return Tracer()
+
+
+@pytest.fixture
+def service_factory(tracer):
+    def build(**kwargs):
+        kwargs.setdefault("max_workers", 1)
+        kwargs.setdefault("tracer", tracer)
+        index = CSRPlusIndex(ring(24), rank=4)
+        return CoSimRankService(index, **kwargs)
+
+    return build
+
+
+class TestPhaseSpans:
+    def test_batch_span_covers_all_phases(self, service_factory, tracer):
+        with service_factory() as service:
+            service.serve_batch([[0, 1], [1, 2]])
+        batches = [r for r in tracer.roots() if r.name == "serve.batch"]
+        assert len(batches) == 1
+        batch = batches[0]
+        child_names = [child.name for child in batch.children]
+        assert child_names == [
+            "serve.coalesce", "serve.lookup", "serve.compute", "serve.assemble",
+        ]
+        assert batch.attributes["requests"] == 2
+        assert batch.attributes["unique_seeds"] == 3
+
+    def test_phase_totals_sum_to_at_most_batch_wall_time(self, service_factory):
+        """Regression for the stale timing plumbing: the three exported
+        phase totals are measured by nested spans, so they can never
+        exceed the total batch wall time."""
+        total_batch_wall = 0.0
+        with service_factory(tracer=obs.get_tracer()) as service:
+            for _ in range(5):
+                with obs.get_tracer().span("test.wrapper") as wrapper:
+                    service.serve_batch([[0, 1, 2, 3], [4, 5]])
+                total_batch_wall += wrapper.wall_seconds
+            stats = service.stats()
+        phase_sum = (
+            stats.lookup_seconds + stats.compute_seconds + stats.assemble_seconds
+        )
+        assert phase_sum > 0.0
+        assert phase_sum <= total_batch_wall
+
+    def test_worker_chunk_spans_nest_under_compute(self, tracer):
+        index = CSRPlusIndex(chung_lu(200, 800, seed=3), rank=4)
+        with CoSimRankService(
+            index, max_workers=4, chunk_size=8, tracer=tracer,
+            cache_columns=0,
+        ) as service:
+            service.serve_batch([list(range(40))])
+        by_name = _collect_spans(tracer.roots())
+        compute = by_name["serve.compute"][0]
+        chunks = [c for c in compute.children if c.name == "serve.compute.chunk"]
+        assert len(chunks) == 5          # 40 misses / chunk_size 8
+        assert sum(c.attributes["seeds"] for c in chunks) == 40
+        # parallel chunks really ran on worker threads
+        assert any(
+            c.thread_name.startswith("cosimrank-serve") for c in chunks
+        )
+
+
+class TestRegistryBackedStats:
+    def test_stats_agree_with_prometheus_scrape(self, service_factory):
+        registry = MetricsRegistry()
+        with service_factory(registry=registry, cache_columns=2) as service:
+            service.serve_batch([[0, 1, 2], [2, 3]])
+            service.serve_batch([[3, 4]])
+            stats = service.stats()
+        text = registry.render_prometheus()
+        assert f"csrplus_serve_requests_total {stats.requests}" in text
+        assert f"csrplus_serve_batches_total {stats.batches}" in text
+        assert f"csrplus_serve_cache_hits_total {stats.hits}" in text
+        assert f"csrplus_serve_cache_misses_total {stats.misses}" in text
+        assert f"csrplus_serve_cache_evictions_total {stats.evictions}" in text
+        assert f"csrplus_serve_cache_columns {stats.cached_columns}" in text
+        assert f"csrplus_serve_cache_capacity {stats.cache_capacity}" in text
+        assert "csrplus_serve_batch_seconds_count 2" in text
+
+    def test_private_registries_do_not_mix(self, tracer):
+        index = CSRPlusIndex(ring(12), rank=4)
+        with CoSimRankService(index, max_workers=1, tracer=tracer) as a, \
+                CoSimRankService(index, max_workers=1, tracer=tracer) as b:
+            a.serve_batch([[0, 1]])
+            assert a.stats().requests == 1
+            assert b.stats().requests == 0
+
+    def test_batch_histogram_counts_batches(self, service_factory):
+        registry = MetricsRegistry()
+        with service_factory(registry=registry) as service:
+            for _ in range(3):
+                service.query(0)
+        hist = registry.histogram("csrplus_serve_batch_seconds")
+        assert hist.count == 3
+        assert hist.sum > 0.0
+
+    def test_counters_still_count_when_disabled(self, service_factory):
+        with obs.instrumentation(False):
+            with service_factory() as service:
+                service.serve_batch([[0, 1], [1]])
+                stats = service.stats()
+        assert stats.requests == 2
+        assert stats.unique_seeds == stats.hits + stats.misses == 2
+        # span-measured timings are zero with instrumentation off
+        assert stats.compute_seconds == 0.0
+
+    def test_results_identical_with_instrumentation_on_and_off(self):
+        index = CSRPlusIndex(chung_lu(150, 600, seed=9), rank=5)
+        requests = [[0, 5, 9], [5, 17]]
+        direct = [index.query(request) for request in requests]
+        for flag in (True, False):
+            with obs.instrumentation(flag):
+                with CoSimRankService(index, max_workers=1) as service:
+                    cold = service.serve_batch(requests)
+                    warm = service.serve_batch(requests)
+            for got, expected in zip(cold + warm, direct + direct):
+                assert np.array_equal(got, expected)
+
+
+class TestSlowQueryLog:
+    def test_threshold_zero_point_logs_every_batch(self, service_factory, caplog):
+        with service_factory(slow_query_seconds=1e-9) as service:
+            with caplog.at_level(logging.WARNING, logger="repro.serving"):
+                service.serve_batch([[0, 1, 2]])
+            slow = service.slow_queries()
+        assert len(slow) == 1
+        entry = slow[0]
+        assert entry["requests"] == 1
+        assert entry["unique_seeds"] == 3
+        assert entry["seconds"] > 0
+        assert set(entry["phases"]) == {
+            "coalesce", "lookup", "compute", "assemble",
+        }
+        assert any("slow batch" in r.message for r in caplog.records)
+        assert service.registry.counter(
+            "csrplus_serve_slow_batches_total"
+        ).value == 1
+
+    def test_high_threshold_never_fires(self, service_factory, caplog):
+        with service_factory(slow_query_seconds=3600.0) as service:
+            with caplog.at_level(logging.WARNING, logger="repro.serving"):
+                service.serve_batch([[0, 1]])
+            assert service.slow_queries() == []
+        assert not caplog.records
+
+    def test_ring_is_bounded(self, service_factory):
+        with service_factory(
+            slow_query_seconds=1e-9, slow_query_log_size=2
+        ) as service:
+            for _ in range(5):
+                service.query(0)
+            assert len(service.slow_queries()) == 2
+            assert service.registry.counter(
+                "csrplus_serve_slow_batches_total"
+            ).value == 5
+
+    def test_invalid_parameters_rejected(self, service_factory):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            service_factory(slow_query_seconds=0.0)
+        with pytest.raises(InvalidParameterError):
+            service_factory(slow_query_log_size=0)

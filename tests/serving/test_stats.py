@@ -1,0 +1,74 @@
+"""Edge cases for :class:`~repro.serving.stats.ServingStats`."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.index import CSRPlusIndex
+from repro.graphs.generators import ring
+from repro.serving import CoSimRankService, ServingStats
+
+
+class TestHitRate:
+    def test_zero_lookups_is_zero_not_nan(self):
+        stats = ServingStats()
+        assert stats.hit_rate == 0.0
+
+    def test_all_hits(self):
+        assert ServingStats(hits=4, misses=0).hit_rate == 1.0
+
+    def test_mixed(self):
+        assert ServingStats(hits=1, misses=3).hit_rate == pytest.approx(0.25)
+
+
+class TestAsDict:
+    def test_round_trips_through_json_dumps(self):
+        stats = ServingStats(
+            requests=3, batches=2, seeds_requested=7, unique_seeds=5,
+            hits=2, misses=3, evictions=1, cached_columns=4,
+            bytes_cached=4096, cache_capacity=8,
+            lookup_seconds=0.25, compute_seconds=1.5, assemble_seconds=0.125,
+        )
+        restored = json.loads(json.dumps(stats.as_dict()))
+        assert restored["requests"] == 3
+        assert restored["hits"] == 2
+        assert restored["hit_rate"] == pytest.approx(0.4)
+        assert restored["compute_seconds"] == pytest.approx(1.5)
+        # every dataclass field appears, plus the derived hit_rate
+        assert set(restored) == set(stats.as_dict())
+        assert len(restored) == 14
+
+    def test_fresh_stats_are_json_safe(self):
+        # all-zero snapshot must not divide by zero anywhere
+        payload = json.dumps(ServingStats().as_dict())
+        assert json.loads(payload)["hit_rate"] == 0.0
+
+
+class TestUniqueSeedsInvariant:
+    def test_mixed_hit_miss_workload(self):
+        """Documented invariant: ``unique_seeds == hits + misses``."""
+        index = CSRPlusIndex(ring(16), rank=4)
+        with CoSimRankService(index, cache_columns=4, max_workers=1) as service:
+            service.serve_batch([[0, 1, 2]])             # 3 misses
+            service.serve_batch([[1, 2, 3], [3, 4]])     # hits + misses, dedup
+            service.serve_batch([[5, 6, 7, 8]])          # forces evictions
+            service.query(0)                             # may have been evicted
+            stats = service.stats()
+        assert stats.hits > 0 and stats.misses > 0       # genuinely mixed
+        assert stats.unique_seeds == stats.hits + stats.misses
+        # and the snapshot agrees with itself after JSON round-trip
+        restored = json.loads(json.dumps(stats.as_dict()))
+        assert restored["unique_seeds"] == restored["hits"] + restored["misses"]
+
+    def test_invariant_with_duplicate_seeds_in_one_request(self):
+        index = CSRPlusIndex(ring(8), rank=4)
+        with CoSimRankService(index, cache_columns=8, max_workers=1) as service:
+            service.serve_batch([[0, 0, 1], [1, 0]])
+            stats = service.stats()
+            assert np.array_equal(
+                service.query([0, 0])[:, 0], service.query(0)[:, 0]
+            )
+        assert stats.seeds_requested == 5
+        assert stats.unique_seeds == 2   # deduplicated across the batch
+        assert stats.unique_seeds == stats.hits + stats.misses
