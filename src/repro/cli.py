@@ -112,6 +112,27 @@ def build_parser() -> argparse.ArgumentParser:
         "passes measure the warm cache)",
     )
     serve.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-batch deadline; chunks not started in time are "
+        "cancelled (typed DeadlineExceeded, or None holes with "
+        "--partial)",
+    )
+    serve.add_argument(
+        "--max-inflight-seeds", type=int, default=None, metavar="N",
+        help="admission-control budget: shed batches once this many "
+        "distinct seed columns are in flight (ServiceOverloaded)",
+    )
+    serve.add_argument(
+        "--partial", action="store_true",
+        help="graceful degradation: report failed requests instead of "
+        "aborting the pass (successful blocks stay bit-exact)",
+    )
+    serve.add_argument(
+        "--cache-validate", action="store_true",
+        help="checksum cached columns on every hit; poisoned entries "
+        "are evicted and recomputed instead of served",
+    )
+    serve.add_argument(
         "--index-dir", default=None,
         help="registry directory: load the prepared index from here if "
         "present, else build once and save",
@@ -286,26 +307,35 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     slow_query_seconds = (
         args.slow_query_ms / 1000.0 if args.slow_query_ms is not None else None
     )
+    deadline_s = (
+        args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+    )
     with CoSimRankService(
         index,
         cache_columns=args.cache_columns,
         max_workers=args.workers or None,
         chunk_size=args.chunk_size,
+        max_inflight_seeds=args.max_inflight_seeds,
+        cache_validate=args.cache_validate,
         slow_query_seconds=slow_query_seconds,
     ) as service:
         for pass_num in range(1, max(1, args.repeat) + 1):
             started = time.perf_counter()
-            results = service.serve_batch(requests)
-            elapsed = time.perf_counter() - started
-            columns = sum(block.shape[1] for block in results)
-            passes.append(
-                {
-                    "pass": pass_num,
-                    "seconds": elapsed,
-                    "columns": columns,
-                    "columns_per_second": columns / max(elapsed, 1e-12),
-                }
+            results = service.serve_batch(
+                requests, deadline_s=deadline_s, partial=args.partial
             )
+            elapsed = time.perf_counter() - started
+            served = [block for block in results if block is not None]
+            columns = sum(block.shape[1] for block in served)
+            entry = {
+                "pass": pass_num,
+                "seconds": elapsed,
+                "columns": columns,
+                "columns_per_second": columns / max(elapsed, 1e-12),
+            }
+            if args.partial:
+                entry["failed_requests"] = len(results) - len(served)
+            passes.append(entry)
         stats = service.stats()
 
     if args.metrics_out:
@@ -349,6 +379,12 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         f"phases: lookup {stats.lookup_seconds:.4f}s  "
         f"compute {stats.compute_seconds:.4f}s  "
         f"assemble {stats.assemble_seconds:.4f}s"
+    )
+    print(
+        f"robustness: retries={stats.retries} shed={stats.shed} "
+        f"deadline_exceeded={stats.deadline_exceeded} "
+        f"degraded={stats.degraded_requests} "
+        f"cache_integrity_failures={stats.cache_integrity_failures}"
     )
     if slow_query_seconds is not None:
         print(

@@ -85,6 +85,105 @@ class TimeBudgetExceeded(ReproError):
         )
 
 
+class RetryableError(ReproError):
+    """A transient failure that is safe to retry.
+
+    Classification base for errors where the same call may well succeed
+    a moment later (flaky disk reads, brief overload).  The serving
+    layer's :class:`~repro.serving.retry.RetryPolicy` retries these (and
+    ``OSError``) by default; anything else propagates immediately.
+    """
+
+
+class DeadlineExceeded(ReproError):
+    """A serving deadline passed before the work completed.
+
+    Raised by :meth:`~repro.serving.service.CoSimRankService.serve_batch`
+    when ``deadline_s`` elapses mid-batch.  Cancellation is cooperative
+    and chunk-grained: columns already computed are kept (and returned
+    under the partial-result policy); ``cancelled_seeds`` counts the
+    columns that were never started.  The sibling of the experiment
+    harness's :class:`TimeBudgetExceeded`, but for online traffic.
+    """
+
+    def __init__(
+        self,
+        deadline_seconds: float,
+        elapsed_seconds: float,
+        *,
+        completed_seeds: int = 0,
+        cancelled_seeds: int = 0,
+    ):
+        self.deadline_seconds = float(deadline_seconds)
+        self.elapsed_seconds = float(elapsed_seconds)
+        self.completed_seeds = int(completed_seeds)
+        self.cancelled_seeds = int(cancelled_seeds)
+        super().__init__(
+            f"deadline of {self.deadline_seconds:.3f}s exceeded "
+            f"({self.elapsed_seconds:.3f}s elapsed, "
+            f"{self.completed_seeds} seed columns computed, "
+            f"{self.cancelled_seeds} cancelled)"
+        )
+
+
+class ServiceOverloaded(RetryableError):
+    """Admission control shed a batch: the in-flight seed budget is full.
+
+    Inherits :class:`RetryableError` because shedding is transient from
+    the caller's point of view — the same batch may be admitted once
+    in-flight work drains.  A batch whose own seed count exceeds the
+    whole budget can never be admitted; split it instead of retrying
+    (``requested > budget`` tells the two cases apart).
+    """
+
+    def __init__(self, requested: int, in_flight: int, budget: int):
+        self.requested = int(requested)
+        self.in_flight = int(in_flight)
+        self.budget = int(budget)
+        hint = (
+            "; the batch alone exceeds the budget — split it"
+            if self.requested > self.budget
+            else "; retry after in-flight work drains"
+        )
+        super().__init__(
+            f"batch of {self.requested} unique seeds rejected: "
+            f"{self.in_flight}/{self.budget} seeds already in flight{hint}"
+        )
+
+
+class IndexCorrupted(ReproError):
+    """A persisted index failed checksum or structural validation.
+
+    Raised by :class:`~repro.serving.registry.IndexRegistry` instead of
+    letting a cold ``numpy``/``zipfile`` error escape when a saved
+    ``.npz`` is truncated, bit-flipped, or not an index at all.  The
+    registry reacts by quarantining the file and re-preparing from the
+    graph, so corruption degrades to a slow start, not an outage.
+    """
+
+    def __init__(self, path: str, reason: str):
+        self.path = str(path)
+        self.reason = str(reason)
+        super().__init__(f"index file {self.path!r} is corrupt: {self.reason}")
+
+
+class ColumnComputeFailed(ReproError):
+    """A seed column could not be computed even after per-seed isolation.
+
+    When a worker chunk throws, the service retries each of its seeds
+    individually; seeds that still fail get this error attached to the
+    affected requests (``__cause__`` holds the underlying exception)
+    while every other request in the batch is served normally.
+    """
+
+    def __init__(self, seed: int, reason: str = ""):
+        self.seed = int(seed)
+        detail = f": {reason}" if reason else ""
+        super().__init__(
+            f"failed to compute similarity column for seed {self.seed}{detail}"
+        )
+
+
 class DatasetError(ReproError):
     """A dataset key is unknown or a dataset failed to materialise."""
 

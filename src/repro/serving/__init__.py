@@ -1,24 +1,39 @@
-"""Concurrent query serving for CSR+ (docs/serving.md).
+"""Concurrent query serving for CSR+ (docs/serving.md, docs/robustness.md).
 
 This package turns a prepared :class:`~repro.core.index.CSRPlusIndex`
 into a traffic-serving component:
 
 * :class:`~repro.serving.service.CoSimRankService` — the front-end:
   request coalescing, per-seed column caching, parallel miss
-  computation, bit-exact results;
+  computation, bit-exact results; plus the robustness layer — per-batch
+  deadlines, admission control with load shedding, and per-seed failure
+  isolation (graceful degradation);
 * :class:`~repro.serving.cache.ColumnCache` — thread-safe LRU of
-  ``[S]_{*,s}`` columns;
+  ``[S]_{*,s}`` columns with shape/dtype validation and optional
+  checksum integrity;
 * :class:`~repro.serving.scheduler.BatchPlan` /
   :func:`~repro.serving.scheduler.plan_batch` /
   :func:`~repro.serving.scheduler.chunk_seeds` — pure batch planning;
-* :class:`~repro.serving.stats.ServingStats` — traffic/cache/timing
-  snapshot;
+* :class:`~repro.serving.admission.SeedBudget` — bounded in-flight
+  seed budget backing the load shedder;
+* :class:`~repro.serving.retry.RetryPolicy` /
+  :class:`~repro.serving.retry.Retrier` — capped, jittered exponential
+  backoff with injectable clock/sleep;
+* :class:`~repro.serving.results.BatchResult` /
+  :class:`~repro.serving.results.RequestOutcome` — per-request
+  outcomes for degraded batches;
+* :class:`~repro.serving.stats.ServingStats` — traffic/cache/timing/
+  failure snapshot;
 * :class:`~repro.serving.registry.IndexRegistry` — named, lazily
-  loaded on-disk indexes.
+  loaded on-disk indexes with retry, checksum validation, and
+  automatic re-prepare on corruption.
 """
 
+from repro.serving.admission import SeedBudget
 from repro.serving.cache import ColumnCache
 from repro.serving.registry import IndexRegistry
+from repro.serving.results import BatchResult, RequestOutcome
+from repro.serving.retry import Retrier, RetryPolicy
 from repro.serving.scheduler import BatchPlan, chunk_seeds, plan_batch
 from repro.serving.service import CoSimRankService
 from repro.serving.stats import ServingStats
@@ -31,4 +46,9 @@ __all__ = [
     "BatchPlan",
     "plan_batch",
     "chunk_seeds",
+    "SeedBudget",
+    "RetryPolicy",
+    "Retrier",
+    "BatchResult",
+    "RequestOutcome",
 ]

@@ -1,0 +1,83 @@
+"""Admission control: a bounded in-flight seed budget.
+
+Seeds (distinct columns to produce) are the serving layer's real unit
+of work — compute is per seed and peak memory is one column per seed —
+so the overload guard bounds *seeds in flight*, not batches: ten small
+batches and one huge one are charged what they actually cost.
+
+:class:`SeedBudget` is deliberately non-blocking: an over-budget batch
+is *shed* immediately (the caller raises
+:class:`~repro.errors.ServiceOverloaded`) rather than queued.  Queueing
+under overload only converts an explicit, retryable error into
+unbounded latency — shedding keeps the latency of admitted work flat,
+which is the behaviour the ROADMAP's "heavy traffic" target needs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["SeedBudget"]
+
+
+class SeedBudget:
+    """Thread-safe counter of in-flight seeds with a hard ceiling.
+
+    Parameters
+    ----------
+    max_inflight:
+        Ceiling on concurrently admitted seeds; ``None`` disables
+        admission control (every batch is admitted).
+
+    Examples
+    --------
+    >>> budget = SeedBudget(4)
+    >>> budget.try_acquire(3)
+    True
+    >>> budget.try_acquire(2)          # 3 + 2 > 4: shed
+    False
+    >>> budget.release(3)
+    >>> budget.in_flight
+    0
+    """
+
+    def __init__(self, max_inflight: Optional[int]):
+        if max_inflight is not None and max_inflight < 1:
+            raise InvalidParameterError(
+                f"max_inflight must be >= 1 (or None to disable), "
+                f"got {max_inflight}"
+            )
+        self.max_inflight = max_inflight
+        self._lock = threading.Lock()
+        self._in_flight = 0
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def try_acquire(self, seeds: int) -> bool:
+        """Reserve ``seeds`` units; ``False`` (no side effect) if full."""
+        if seeds < 0:
+            raise InvalidParameterError(f"seeds must be >= 0, got {seeds}")
+        with self._lock:
+            if (
+                self.max_inflight is not None
+                and self._in_flight + seeds > self.max_inflight
+            ):
+                return False
+            self._in_flight += seeds
+            return True
+
+    def release(self, seeds: int) -> None:
+        """Return ``seeds`` units to the budget (paired with acquire)."""
+        with self._lock:
+            self._in_flight -= seeds
+            if self._in_flight < 0:  # pragma: no cover - programming error
+                self._in_flight = 0
+                raise InvalidParameterError(
+                    "SeedBudget.release without a matching try_acquire"
+                )

@@ -12,19 +12,34 @@ All mutation happens under one reentrant lock; the hit/miss/eviction
 counters are incremented under the same lock, so ``hits + misses``
 always equals the number of seed lookups ever performed (no lost
 updates under concurrency).
+
+Robustness (docs/robustness.md): :meth:`insert` validates every
+column's shape and dtype against the cache's declared geometry, so a
+buggy producer raises :class:`~repro.errors.InvalidParameterError`
+instead of poisoning later reads.  With ``validate_checksums=True`` the
+cache also fingerprints each column at insert and re-verifies on every
+hit — a poisoned entry is evicted and reported as a miss (the service
+then recomputes it), never returned.
 """
 
 from __future__ import annotations
 
 import threading
+import zlib
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
+from repro.testing import faults
 
 __all__ = ["ColumnCache"]
+
+
+def _fingerprint(column: np.ndarray) -> int:
+    """A cheap integrity fingerprint of a column's exact bytes."""
+    return zlib.crc32(np.ascontiguousarray(column).view(np.uint8).data)
 
 
 class ColumnCache:
@@ -36,6 +51,17 @@ class ColumnCache:
         Maximum number of resident columns.  ``0`` disables caching
         entirely: every lookup misses and :meth:`insert` is a no-op,
         turning the serving layer into an exact pass-through.
+    num_rows:
+        Expected column length (the graph's node count).  When set,
+        :meth:`insert` rejects wrong-shaped columns.
+    dtype:
+        Expected column dtype.  When set, :meth:`insert` rejects
+        mismatches (an implicit cast would silently change bits).
+    validate_checksums:
+        Re-verify each column's fingerprint on every hit; corrupted
+        entries are dropped and surfaced as misses (counted in
+        ``integrity_failures``).  Off by default — it costs a CRC pass
+        over ``n * itemsize`` bytes per hit.
 
     Examples
     --------
@@ -48,18 +74,34 @@ class ColumnCache:
     ([0], [2])
     """
 
-    def __init__(self, capacity: int):
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        num_rows: Optional[int] = None,
+        dtype: Optional[np.dtype] = None,
+        validate_checksums: bool = False,
+    ):
         if capacity < 0:
             raise InvalidParameterError(
                 f"cache capacity must be >= 0, got {capacity}"
             )
+        if num_rows is not None and num_rows < 1:
+            raise InvalidParameterError(
+                f"num_rows must be >= 1 (or None), got {num_rows}"
+            )
         self._capacity = int(capacity)
+        self._num_rows = None if num_rows is None else int(num_rows)
+        self._dtype = None if dtype is None else np.dtype(dtype)
+        self._validate = bool(validate_checksums)
         self._lock = threading.RLock()
         self._columns: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._checksums: Dict[int, int] = {}
         self._bytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.integrity_failures = 0
 
     # ------------------------------------------------------------------
     # introspection
@@ -93,6 +135,7 @@ class ColumnCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "integrity_failures": self.integrity_failures,
                 "cached_columns": len(self._columns),
                 "bytes_cached": self._bytes,
             }
@@ -108,7 +151,9 @@ class ColumnCache:
         Returns ``(hits, misses)`` where ``hits`` maps seed -> cached
         column (read-only array) and ``misses`` lists the seeds the
         caller must compute, in input order.  Every probed seed
-        increments exactly one of the hit/miss counters.
+        increments exactly one of the hit/miss counters; a hit whose
+        checksum no longer matches (``validate_checksums=True``) is
+        evicted and counted as a miss plus an integrity failure.
         """
         hit_columns: Dict[int, np.ndarray] = {}
         missing: List[int] = []
@@ -116,6 +161,15 @@ class ColumnCache:
             for seed in seeds:
                 seed = int(seed)
                 column = self._columns.get(seed)
+                if column is not None:
+                    # chaos seam: a FaultPlan may hand back a corrupted
+                    # view of the stored column here
+                    column = faults.transform("cache.read", column, seed=seed)
+                    if self._validate and _fingerprint(column) != \
+                            self._checksums.get(seed):
+                        self._drop(seed)
+                        self.integrity_failures += 1
+                        column = None
                 if column is None:
                     self.misses += 1
                     missing.append(seed)
@@ -128,6 +182,13 @@ class ColumnCache:
     def insert(self, columns: Dict[int, np.ndarray]) -> int:
         """Store freshly computed columns, evicting LRU entries as needed.
 
+        Every column is validated first — 1-D, the declared length, the
+        declared dtype — and the whole insertion is rejected with
+        :class:`~repro.errors.InvalidParameterError` on any mismatch
+        (never partially applied), so a buggy producer cannot poison
+        the cache with a block that would later crash or silently
+        mis-assemble a response.
+
         Stored arrays are marked read-only so no caller can corrupt a
         shared column in place.  Re-inserting a resident seed replaces
         its column without double-charging the byte count (two threads
@@ -139,19 +200,23 @@ class ColumnCache:
         """
         if self._capacity == 0 or not columns:
             return 0
+        validated: Dict[int, np.ndarray] = {}
+        for seed, column in columns.items():
+            validated[int(seed)] = self._check_column(int(seed), column)
         evicted_count = 0
         with self._lock:
-            for seed, column in columns.items():
-                seed = int(seed)
-                column = np.asarray(column)
+            for seed, column in validated.items():
                 column.flags.writeable = False
                 previous = self._columns.pop(seed, None)
                 if previous is not None:
                     self._bytes -= previous.nbytes
                 self._columns[seed] = column
                 self._bytes += column.nbytes
+                if self._validate:
+                    self._checksums[seed] = _fingerprint(column)
             while len(self._columns) > self._capacity:
-                _, evicted = self._columns.popitem(last=False)
+                evicted_seed, evicted = self._columns.popitem(last=False)
+                self._checksums.pop(evicted_seed, None)
                 self._bytes -= evicted.nbytes
                 self.evictions += 1
                 evicted_count += 1
@@ -161,7 +226,37 @@ class ColumnCache:
         """Drop every resident column (counters are preserved)."""
         with self._lock:
             self._columns.clear()
+            self._checksums.clear()
             self._bytes = 0
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _check_column(self, seed: int, column: np.ndarray) -> np.ndarray:
+        column = np.asarray(column)
+        if column.ndim != 1:
+            raise InvalidParameterError(
+                f"cached column for seed {seed} must be 1-D, "
+                f"got shape {column.shape}"
+            )
+        if self._num_rows is not None and column.shape[0] != self._num_rows:
+            raise InvalidParameterError(
+                f"cached column for seed {seed} has {column.shape[0]} rows, "
+                f"expected {self._num_rows}"
+            )
+        if self._dtype is not None and column.dtype != self._dtype:
+            raise InvalidParameterError(
+                f"cached column for seed {seed} has dtype {column.dtype}, "
+                f"expected {self._dtype}"
+            )
+        return column
+
+    def _drop(self, seed: int) -> None:
+        """Remove one entry (lock held by caller)."""
+        column = self._columns.pop(seed, None)
+        self._checksums.pop(seed, None)
+        if column is not None:
+            self._bytes -= column.nbytes
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         with self._lock:

@@ -1,4 +1,4 @@
-"""On-disk registry of prepared CSR+ indexes.
+"""On-disk registry of prepared CSR+ indexes, hardened for serving.
 
 A serving deployment rarely wants to pay the offline SVD on every
 process start.  :class:`IndexRegistry` maps a *name* to a prepared
@@ -11,23 +11,56 @@ build — which is then saved so the next process hits the disk tier.
 Persistence is lossless (``savez`` round-trips the float factors
 bit-for-bit), so a registry-loaded index answers queries identically
 to the in-memory one it was saved from.
+
+Robustness (docs/robustness.md):
+
+* every disk read/write runs under a jittered exponential-backoff
+  :class:`~repro.serving.retry.Retrier`, so a flaky filesystem costs
+  retries, not an outage;
+* saved files carry a ``.sha256`` sidecar that is verified before
+  loading — a truncated or bit-flipped index raises the typed
+  :class:`~repro.errors.IndexCorrupted` instead of a cold ``numpy``
+  error;
+* :meth:`get` falls back automatically: a file that stays unreadable
+  after retries (or fails validation) is quarantined to
+  ``<name>.npz.corrupt`` and the index is re-prepared from the graph,
+  degrading corruption to a slow start;
+* every failure path counts in ``csrplus_registry_*`` metrics on the
+  process-global :func:`repro.obs.get_registry` (or an injected one).
 """
 
 from __future__ import annotations
 
+import hashlib
+import logging
 import os
+import random
 import re
 import threading
-from typing import Dict, List, Optional, Union
+import time
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.core.config import CSRPlusConfig
 from repro.core.index import CSRPlusIndex
-from repro.errors import InvalidParameterError
+from repro.errors import IndexCorrupted, InvalidParameterError, RetryableError
 from repro.graphs.digraph import DiGraph
+from repro.obs.metrics import MetricsRegistry
+from repro.serving.retry import Retrier, RetryPolicy
+from repro.testing import faults
 
 __all__ = ["IndexRegistry"]
 
+logger = logging.getLogger("repro.serving")
+
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def _sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
 
 
 class IndexRegistry:
@@ -38,6 +71,15 @@ class IndexRegistry:
     root:
         Directory holding one ``<name>.npz`` file per registered index
         (created if missing).
+    retry_policy:
+        Backoff schedule for disk I/O; defaults to
+        :class:`~repro.serving.retry.RetryPolicy` (3 attempts,
+        50 ms base, x2, 10 % jitter).
+    sleep / rng:
+        Injectable side effects for the retrier (tests pass fakes).
+    metrics:
+        Registry for the ``csrplus_registry_*`` counters; defaults to
+        the process-global :func:`repro.obs.get_registry`.
 
     Examples
     --------
@@ -49,11 +91,50 @@ class IndexRegistry:
     ['ring8-r4']
     """
 
-    def __init__(self, root: Union[str, "os.PathLike[str]"]):
+    def __init__(
+        self,
+        root: Union[str, "os.PathLike[str]"],
+        *,
+        retry_policy: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
         self._lock = threading.RLock()
         self._indexes: Dict[str, CSRPlusIndex] = {}
+        if metrics is None:
+            import repro.obs as obs
+
+            metrics = obs.get_registry()
+        self._m_retries = metrics.counter(
+            "csrplus_registry_retries_total",
+            "Disk I/O retries performed by the index registry",
+        )
+        self._m_corrupt = metrics.counter(
+            "csrplus_registry_corrupt_total",
+            "Saved indexes that failed checksum or structural validation",
+        )
+        self._m_rebuilds = metrics.counter(
+            "csrplus_registry_rebuilds_total",
+            "Indexes re-prepared because their saved file was unusable",
+        )
+        self.retrier = Retrier(
+            retry_policy if retry_policy is not None else RetryPolicy(),
+            sleep=sleep,
+            rng=rng,
+            on_retry=self._count_retry,
+        )
+
+    def _count_retry(
+        self, attempt: int, delay: float, exc: BaseException
+    ) -> None:
+        self._m_retries.inc()
+        logger.warning(
+            "registry I/O failed (attempt %d, retrying in %.3fs): %s",
+            attempt, delay, exc,
+        )
 
     # ------------------------------------------------------------------
     # naming
@@ -94,12 +175,16 @@ class IndexRegistry:
     ) -> CSRPlusIndex:
         """A prepared index for ``name``, resolved memory -> disk -> build.
 
-        On a disk hit the saved factors are loaded against ``graph``
-        (node-count mismatches raise
-        :class:`~repro.errors.InvalidParameterError`).  On a full miss
-        the index is built from ``graph`` with ``config``/``overrides``
-        and saved for future processes.  Thread-safe; concurrent
-        callers of the same name build at most once.
+        On a disk hit the saved factors are checksum-verified and loaded
+        against ``graph`` (node-count mismatches raise
+        :class:`~repro.errors.InvalidParameterError`).  Transient read
+        failures are retried with backoff; a file that is corrupt — or
+        still unreadable after the retry budget — is quarantined and the
+        index is rebuilt from ``graph`` as if it had never been saved.
+        On a full miss the index is built with ``config``/``overrides``
+        and saved for future processes (a failed save is logged, not
+        raised: the in-memory index still serves).  Thread-safe;
+        concurrent callers of the same name build at most once.
         """
         path = self.path_for(name)
         with self._lock:
@@ -107,17 +192,53 @@ class IndexRegistry:
             if index is not None:
                 return index
             if os.path.exists(path):
-                index = CSRPlusIndex.load(path, graph)
-            else:
+                try:
+                    index = self.retrier.call(self._load_checked, path, graph)
+                except IndexCorrupted as exc:
+                    self._m_corrupt.inc()
+                    self._m_rebuilds.inc()
+                    logger.warning(
+                        "quarantining corrupt index %r and rebuilding: %s",
+                        path, exc,
+                    )
+                    self._quarantine(path)
+                    index = None
+                except OSError as exc:
+                    # retry budget exhausted on a read error: fall back
+                    # to a rebuild rather than taking the service down
+                    self._m_rebuilds.inc()
+                    logger.warning(
+                        "index %r unreadable after retries, rebuilding: %s",
+                        path, exc,
+                    )
+                    index = None
+            if index is None:
                 index = CSRPlusIndex(graph, config, **overrides).prepare()
-                index.save(path)
+                try:
+                    self._save_checked(path, index)
+                except (OSError, RetryableError) as exc:
+                    logger.warning(
+                        "could not persist index %r (serving from memory "
+                        "only): %s", path, exc,
+                    )
             self._indexes[name] = index
             return index
 
     def put(self, name: str, index: CSRPlusIndex) -> None:
-        """Register an already-prepared index and persist it."""
+        """Register an already-prepared index and persist it.
+
+        Persistence failures are retried with backoff and, if the
+        budget is exhausted, re-raised as
+        :class:`~repro.errors.RetryableError` (the caller explicitly
+        asked for durability, so a silent in-memory fallback would lie).
+        """
         path = self.path_for(name)
-        index.save(path)  # save() enforces prepared-ness
+        try:
+            self._save_checked(path, index)  # save() enforces prepared-ness
+        except OSError as exc:
+            raise RetryableError(
+                f"failed to persist index {name!r} to {path!r}: {exc}"
+            ) from exc
         with self._lock:
             self._indexes[name] = index
 
@@ -126,8 +247,67 @@ class IndexRegistry:
         path = self.path_for(name)
         with self._lock:
             self._indexes.pop(name, None)
-        if delete_file and os.path.exists(path):
-            os.remove(path)
+        if delete_file:
+            for target in (path, path + ".sha256"):
+                if os.path.exists(target):
+                    os.remove(target)
+
+    # ------------------------------------------------------------------
+    # hardened disk I/O
+    # ------------------------------------------------------------------
+    def _load_checked(self, path: str, graph: DiGraph) -> CSRPlusIndex:
+        """One load attempt: fault seam, checksum, typed structural errors.
+
+        Raises ``OSError`` for (retryable) I/O failures,
+        :class:`~repro.errors.IndexCorrupted` for validation failures,
+        and :class:`~repro.errors.InvalidParameterError` when the file
+        is a healthy index for a *different* graph.
+        """
+        faults.fire("registry.load", path=path)
+        digest_path = path + ".sha256"
+        if os.path.exists(digest_path):
+            with open(digest_path, encoding="utf-8") as handle:
+                expected = handle.read().strip()
+            actual = _sha256_file(path)
+            if actual != expected:
+                raise IndexCorrupted(
+                    path,
+                    f"sha256 mismatch (expected {expected[:12]}..., "
+                    f"got {actual[:12]}...)",
+                )
+        try:
+            return CSRPlusIndex.load(path, graph)
+        except (InvalidParameterError, OSError):
+            raise
+        except Exception as exc:
+            # numpy/zipfile raise a zoo of exception types for damaged
+            # archives; collapse them all into the typed taxonomy
+            raise IndexCorrupted(path, f"{type(exc).__name__}: {exc}") from exc
+
+    def _save_checked(self, path: str, index: CSRPlusIndex) -> None:
+        """Persist ``index`` plus its checksum sidecar, with retries."""
+
+        def attempt() -> None:
+            faults.fire("registry.save", path=path)
+            index.save(path)
+            with open(path + ".sha256", "w", encoding="utf-8") as handle:
+                handle.write(_sha256_file(path) + "\n")
+
+        self.retrier.call(attempt)
+
+    def _quarantine(self, path: str) -> None:
+        """Move a bad file aside (best effort) so the rebuild can save."""
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:  # pragma: no cover - quarantine is best-effort
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        try:
+            os.remove(path + ".sha256")
+        except OSError:
+            pass
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"IndexRegistry(root={self.root!r}, names={self.names()})"

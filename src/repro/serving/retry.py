@@ -1,0 +1,161 @@
+"""Retry with capped, jittered exponential backoff.
+
+:class:`RetryPolicy` is pure data plus the delay formula; all the
+side-effectful parts of :class:`Retrier` — the clock, the sleeper, the
+jitter source — are injectable, so tests assert the *exact* sleep
+sequence a policy produces without waiting a single real millisecond.
+
+Retry classification follows :mod:`repro.errors`: ``OSError`` (flaky
+disk/network) and :class:`~repro.errors.RetryableError` subclasses are
+transient; everything else — and in particular
+:class:`~repro.errors.IndexCorrupted`, where retrying re-reads the same
+bad bytes — propagates on the first attempt.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple, Type
+
+from repro.errors import InvalidParameterError, RetryableError
+
+__all__ = ["RetryPolicy", "Retrier", "DEFAULT_RETRY_ON"]
+
+#: Exception types retried by default: genuinely transient failures.
+DEFAULT_RETRY_ON: Tuple[Type[BaseException], ...] = (OSError, RetryableError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule: ``base * multiplier**k``, capped, then jittered.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries including the first (``1`` disables retrying).
+    base_delay_s / multiplier / max_delay_s:
+        Delay before retry ``k`` (1-based) is
+        ``min(base_delay_s * multiplier**(k-1), max_delay_s)``.
+    jitter:
+        Fractional symmetric jitter: the capped delay is scaled by a
+        uniform factor in ``[1 - jitter, 1 + jitter]`` so synchronized
+        clients fan out instead of retry-stampeding.  ``0`` makes the
+        schedule fully deterministic.
+    retry_on:
+        Exception classes considered transient.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.1
+    retry_on: Tuple[Type[BaseException], ...] = DEFAULT_RETRY_ON
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise InvalidParameterError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0:
+            raise InvalidParameterError(
+                f"base_delay_s must be >= 0, got {self.base_delay_s}"
+            )
+        if self.multiplier < 1.0:
+            raise InvalidParameterError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_delay_s < self.base_delay_s:
+            raise InvalidParameterError(
+                f"max_delay_s ({self.max_delay_s}) must be >= "
+                f"base_delay_s ({self.base_delay_s})"
+            )
+        if not (0.0 <= self.jitter < 1.0):
+            raise InvalidParameterError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+
+    def delay_for(
+        self, attempt: int, rng: Optional[random.Random] = None
+    ) -> float:
+        """The sleep before retry number ``attempt`` (1-based).
+
+        With ``rng=None`` (or ``jitter=0``) the capped exponential value
+        is returned exactly — the deterministic skeleton the jittered
+        schedule always stays within ``±jitter`` of.
+        """
+        if attempt < 1:
+            raise InvalidParameterError(
+                f"attempt must be >= 1, got {attempt}"
+            )
+        delay = min(
+            self.base_delay_s * self.multiplier ** (attempt - 1),
+            self.max_delay_s,
+        )
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.retry_on)
+
+
+class Retrier:
+    """Executes callables under a :class:`RetryPolicy`.
+
+    Parameters
+    ----------
+    policy:
+        The backoff schedule; defaults to :class:`RetryPolicy()`.
+    sleep / rng:
+        Injectable side effects.  Tests pass a recording fake for
+        ``sleep`` and a seeded ``random.Random`` for ``rng``.
+    on_retry:
+        Callback ``(attempt, delay_s, exc)`` invoked before each sleep —
+        the hook the registry uses to bump its retry counters.
+
+    The ``sleeps`` list records every delay actually requested, oldest
+    first, so a test can assert the exact schedule.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[RetryPolicy] = None,
+        *,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+        on_retry: Optional[Callable[[int, float, BaseException], None]] = None,
+    ):
+        self.policy = policy if policy is not None else RetryPolicy()
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+        self._on_retry = on_retry
+        self.sleeps: List[float] = []
+
+    def call(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """``fn(*args, **kwargs)``, retried per the policy.
+
+        The final failure is re-raised unchanged (never wrapped), so
+        callers still see the original exception type after the budget
+        is exhausted.
+        """
+        attempt = 1
+        while True:
+            try:
+                return fn(*args, **kwargs)
+            except BaseException as exc:
+                if (
+                    not self.policy.is_retryable(exc)
+                    or attempt >= self.policy.max_attempts
+                ):
+                    raise
+                delay = self.policy.delay_for(
+                    attempt, self._rng if self.policy.jitter else None
+                )
+                self.sleeps.append(delay)
+                if self._on_retry is not None:
+                    self._on_retry(attempt, delay, exc)
+                self._sleep(delay)
+                attempt += 1

@@ -5,13 +5,17 @@ behalf of many callers:
 
 1. **coalesce** — a batch of requests is validated and its seed set
    deduplicated (:func:`~repro.serving.scheduler.plan_batch`);
-2. **lookup** — distinct seeds are probed in the per-seed
+2. **admit** — the batch's distinct-seed cost is charged against the
+   bounded in-flight budget (:class:`~repro.serving.admission.
+   SeedBudget`); over budget, the batch is shed with
+   :class:`~repro.errors.ServiceOverloaded` instead of queued;
+3. **lookup** — distinct seeds are probed in the per-seed
    :class:`~repro.serving.cache.ColumnCache`;
-3. **compute** — cache misses are split into chunks and evaluated with
+4. **compute** — cache misses are split into chunks and evaluated with
    :meth:`~repro.core.index.CSRPlusIndex.query_columns`, optionally in
    parallel on a ``ThreadPoolExecutor`` (NumPy's BLAS releases the GIL
    during the matrix-vector products, so threads give real speedup);
-4. **assemble** — each request's ``n x |Q|`` block is scattered
+5. **assemble** — each request's ``n x |Q|`` block is scattered
    together from the column map.
 
 Exactness: because a column is a pure, batch-independent function of
@@ -20,10 +24,22 @@ the service's output is ``np.array_equal`` to calling
 ``index.query(request)`` directly — for a cold cache, a warm cache, a
 tiny cache mid-eviction, or no cache at all.
 
+Robustness (docs/robustness.md): the same per-seed independence means
+a batch has no shared fate.  A worker chunk that throws is degraded to
+per-seed isolation retries; seeds that still fail poison only the
+requests that need them (typed :class:`~repro.errors.
+ColumnComputeFailed`), and every other request is answered bit-exactly.
+Per-batch deadlines (``deadline_s``) cancel not-yet-started chunks
+cooperatively and either raise :class:`~repro.errors.DeadlineExceeded`
+or, under the partial-result policy, return the completed blocks.
+Every failure path counts in the service's metrics registry
+(``csrplus_serve_{retries,shed,deadline_exceeded,degraded_requests}_*``).
+
 Observability (docs/observability.md): every batch emits a
 ``serve.batch`` span with nested ``serve.coalesce`` / ``serve.lookup``
-/ ``serve.compute`` (plus one ``serve.compute.chunk`` per worker task)
-/ ``serve.assemble`` children, and the service maintains counters,
+/ ``serve.compute`` (plus one ``serve.compute.chunk`` per worker task
+and one ``serve.compute.retry`` per isolation retry) /
+``serve.assemble`` children, and the service maintains counters,
 gauges, and a per-batch latency histogram in a
 :class:`~repro.obs.metrics.MetricsRegistry`.
 :class:`~repro.serving.stats.ServingStats` snapshots are read straight
@@ -37,21 +53,31 @@ from __future__ import annotations
 import logging
 import os
 import threading
+import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 import repro.obs as obs
 from repro.core.base import QueryLike
 from repro.core.index import CSRPlusIndex
-from repro.errors import InvalidParameterError
+from repro.errors import (
+    ColumnComputeFailed,
+    DeadlineExceeded,
+    InvalidParameterError,
+    ReproError,
+    ServiceOverloaded,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Span, Tracer
+from repro.serving.admission import SeedBudget
 from repro.serving.cache import ColumnCache
+from repro.serving.results import BatchResult, RequestOutcome
 from repro.serving.scheduler import chunk_seeds, plan_batch
 from repro.serving.stats import ServingStats
+from repro.testing import faults
 
 __all__ = ["CoSimRankService"]
 
@@ -81,7 +107,19 @@ class CoSimRankService:
         calling thread (no executor is ever created).
     chunk_size:
         Misses handed to one worker task at a time.  Scheduling
-        granularity only — results never depend on it.
+        granularity only — results never depend on it.  It is also the
+        cancellation granularity for deadlines and the blast radius of
+        a worker failure before per-seed isolation kicks in.
+    max_inflight_seeds:
+        Admission-control budget: the maximum number of distinct seed
+        columns allowed in flight across all concurrent batches.
+        Batches that would exceed it raise
+        :class:`~repro.errors.ServiceOverloaded` (load shedding).
+        ``None`` (default) disables admission control.
+    cache_validate:
+        Fingerprint cached columns and re-verify on every hit; a
+        corrupted entry is evicted and recomputed instead of served
+        (see :class:`~repro.serving.cache.ColumnCache`).
     registry:
         Metrics registry backing this service's counters.  Defaults to
         a *private* :class:`~repro.obs.metrics.MetricsRegistry` so two
@@ -90,6 +128,9 @@ class CoSimRankService:
     tracer:
         Span collector; defaults to the process-global tracer so serve
         spans land next to the engines' prepare/query spans.
+    clock:
+        Monotonic-seconds source for deadline checks (injectable so
+        deadline behaviour is unit-testable without real waiting).
     slow_query_seconds:
         If set, any ``serve_batch`` call slower than this is counted,
         logged at ``WARNING`` on ``repro.serving``, and retained in a
@@ -119,8 +160,11 @@ class CoSimRankService:
         cache_columns: int = 1024,
         max_workers: Optional[int] = None,
         chunk_size: int = 64,
+        max_inflight_seeds: Optional[int] = None,
+        cache_validate: bool = False,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        clock: Callable[[], float] = time.monotonic,
         slow_query_seconds: Optional[float] = None,
         slow_query_log_size: int = 64,
     ):
@@ -146,7 +190,14 @@ class CoSimRankService:
         self.chunk_size = int(chunk_size)
         self.max_workers = int(max_workers or (os.cpu_count() or 1))
         self.slow_query_seconds = slow_query_seconds
-        self._cache = ColumnCache(cache_columns)
+        self._clock = clock
+        self._budget = SeedBudget(max_inflight_seeds)
+        self._cache = ColumnCache(
+            cache_columns,
+            num_rows=index.num_nodes,
+            dtype=index.factors[3].dtype,
+            validate_checksums=cache_validate,
+        )
         self._stats_lock = threading.Lock()
         self._slow_log: "deque[dict]" = deque(maxlen=int(slow_query_log_size))
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -189,6 +240,26 @@ class CoSimRankService:
             "csrplus_serve_cache_capacity", "Column cache capacity"
         )
         self._m_cache_capacity.set(self._cache.capacity)
+        self._m_integrity = reg.gauge(
+            "csrplus_serve_cache_integrity_failures",
+            "Cached columns dropped because their checksum no longer matched",
+        )
+        self._m_shed = reg.counter(
+            "csrplus_serve_shed_total",
+            "Batches rejected by admission control (load shedding)",
+        )
+        self._m_deadline = reg.counter(
+            "csrplus_serve_deadline_exceeded_total",
+            "Batches whose deadline cancelled at least one seed column",
+        )
+        self._m_retries = reg.counter(
+            "csrplus_serve_retries_total",
+            "Per-seed isolation retries after worker chunk failures",
+        )
+        self._m_degraded = reg.counter(
+            "csrplus_serve_degraded_requests_total",
+            "Requests that failed while the rest of their batch was served",
+        )
         self._m_phase = {
             phase: reg.counter(
                 "csrplus_serve_phase_seconds_total",
@@ -212,13 +283,66 @@ class CoSimRankService:
         """Answer one request; identical to ``index.query(seeds)``."""
         return self.serve_batch([seeds])[0]
 
-    def serve_batch(self, requests: Sequence[QueryLike]) -> List[np.ndarray]:
+    def serve_batch(
+        self,
+        requests: Sequence[QueryLike],
+        *,
+        deadline_s: Optional[float] = None,
+        partial: bool = False,
+    ) -> List[np.ndarray]:
         """Answer a batch of requests, one ``n x |Q_i|`` block each.
 
         Seeds shared between requests (or with earlier traffic, via the
         cache) are computed once.  Safe to call from many threads
         concurrently.
+
+        Parameters
+        ----------
+        deadline_s:
+            Per-batch deadline in seconds.  Cancellation is cooperative
+            and chunk-grained: chunks not yet started when the deadline
+            passes are never computed.
+        partial:
+            Failure policy.  ``False`` (default): any failed request
+            raises its typed error (:class:`~repro.errors.
+            DeadlineExceeded`, :class:`~repro.errors.
+            ColumnComputeFailed`, ...) — all-or-nothing, the original
+            contract.  ``True``: graceful degradation — the returned
+            list has ``None`` holes for failed requests while every
+            successful block is still bit-exact.  Use
+            :meth:`serve_batch_detailed` to see the per-request errors.
+
+        Raises
+        ------
+        ServiceOverloaded
+            When admission control sheds the batch (both policies — an
+            over-budget batch produces no results at all).
         """
+        detailed = self.serve_batch_detailed(requests, deadline_s=deadline_s)
+        if partial:
+            return detailed.partial_results()
+        return detailed.results()
+
+    def serve_batch_detailed(
+        self,
+        requests: Sequence[QueryLike],
+        *,
+        deadline_s: Optional[float] = None,
+    ) -> BatchResult:
+        """Like :meth:`serve_batch` but with per-request outcomes.
+
+        Never raises for individual request failures — each
+        :class:`~repro.serving.results.RequestOutcome` carries either a
+        bit-exact block or a typed :class:`~repro.errors.ReproError`.
+        Batch-level rejections (invalid requests, load shedding) still
+        raise, since no per-request answer exists.
+        """
+        if deadline_s is not None and deadline_s <= 0:
+            raise InvalidParameterError(
+                f"deadline_s must be > 0 (or None), got {deadline_s}"
+            )
+        started = self._clock()
+        deadline_at = started + deadline_s if deadline_s is not None else None
         tracer = self._tracer
         with tracer.span("serve.batch") as batch_span:
             with tracer.span("serve.coalesce") as coalesce_span:
@@ -226,28 +350,52 @@ class CoSimRankService:
             batch_span.set_attribute("requests", plan.num_requests)
             batch_span.set_attribute("unique_seeds", int(plan.unique_seeds.size))
 
-            with tracer.span("serve.lookup") as lookup_span:
-                hit_columns, missing = self._cache.lookup(plan.unique_seeds)
-            # captured now: assembly below merges fresh columns into the
-            # same dict, which would inflate the hit count
-            num_hits = len(hit_columns)
+            n_seeds = int(plan.unique_seeds.size)
+            if not self._budget.try_acquire(n_seeds):
+                with self._stats_lock:
+                    self._m_shed.inc()
+                assert self._budget.max_inflight is not None
+                raise ServiceOverloaded(
+                    n_seeds, self._budget.in_flight, self._budget.max_inflight
+                )
+            try:
+                with tracer.span("serve.lookup") as lookup_span:
+                    hit_columns, missing = self._cache.lookup(plan.unique_seeds)
+                # captured now: assembly below merges fresh columns into
+                # the same dict, which would inflate the hit count
+                num_hits = len(hit_columns)
 
-            with tracer.span("serve.compute", misses=len(missing)) as compute_span:
-                fresh_columns = self._compute_missing(missing, compute_span)
-                evicted = self._cache.insert(fresh_columns)
+                with tracer.span(
+                    "serve.compute", misses=len(missing)
+                ) as compute_span:
+                    fresh, failures, cancelled, retries = self._compute_missing(
+                        missing, compute_span, deadline_at
+                    )
+                    evicted = self._cache.insert(fresh)
 
-            with tracer.span("serve.assemble") as assemble_span:
-                column_map = hit_columns
-                column_map.update(fresh_columns)
-                results = [
-                    self._assemble(ids, column_map) for ids in plan.request_ids
-                ]
+                with tracer.span("serve.assemble") as assemble_span:
+                    column_map = hit_columns
+                    column_map.update(fresh)
+                    outcomes = self._assemble_outcomes(
+                        plan,
+                        column_map,
+                        failures,
+                        cancelled,
+                        deadline_s=deadline_s,
+                        started=started,
+                    )
+            finally:
+                self._budget.release(n_seeds)
 
+        num_failed = sum(1 for outcome in outcomes if not outcome.ok)
         self._record_batch(
             plan,
             hits=num_hits,
             misses=len(missing),
             evicted=evicted,
+            retries=retries,
+            num_failed=num_failed,
+            deadline_hit=bool(cancelled),
             batch_span=batch_span,
             phase_spans={
                 "coalesce": coalesce_span,
@@ -256,39 +404,133 @@ class CoSimRankService:
                 "assemble": assemble_span,
             },
         )
-        return results
+        return BatchResult(
+            outcomes=outcomes,
+            retries=retries,
+            failed_seeds=failures,
+            cancelled_seeds=tuple(cancelled),
+        )
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _compute_missing(
-        self, missing: List[int], parent_span: Optional[Span] = None
-    ) -> Dict[int, np.ndarray]:
-        """Evaluate missing columns, in parallel chunks when it pays."""
+        self,
+        missing: List[int],
+        parent_span: Optional[Span],
+        deadline_at: Optional[float],
+    ) -> Tuple[Dict[int, np.ndarray], Dict[int, ReproError], List[int], int]:
+        """Evaluate missing columns with isolation and cancellation.
+
+        Returns ``(columns, failures, cancelled, retries)``: computed
+        columns, per-seed typed errors for seeds that failed even in
+        isolation, seeds cancelled by the deadline, and the number of
+        isolation retries attempted.
+        """
+        columns: Dict[int, np.ndarray] = {}
+        failures: Dict[int, ReproError] = {}
+        cancelled: List[int] = []
+        retries = 0
         if not missing:
-            return {}
+            return columns, failures, cancelled, retries
         chunks = chunk_seeds(missing, self.chunk_size)
 
         def run_chunk(chunk):
+            # cooperative cancellation: a chunk that has not started by
+            # the deadline is abandoned, not computed late
+            if deadline_at is not None and self._clock() >= deadline_at:
+                return ("cancelled", None)
             # Explicit parent: worker threads have no open span of their
             # own, so the chunk spans nest under this batch's compute
             # span instead of becoming disconnected roots.
             with self._tracer.span(
                 "serve.compute.chunk", parent=parent_span, seeds=len(chunk)
             ):
-                return self.index.query_columns(chunk)
+                try:
+                    faults.fire(
+                        "compute.chunk", seeds=[int(s) for s in chunk]
+                    )
+                    return ("ok", self.index.query_columns(chunk))
+                except Exception as exc:  # isolated below, per seed
+                    return ("error", exc)
 
         if self.max_workers == 1 or len(chunks) == 1:
-            blocks = [run_chunk(chunk) for chunk in chunks]
+            outcomes = [run_chunk(chunk) for chunk in chunks]
         else:
-            blocks = list(self._get_executor().map(run_chunk, chunks))
-        columns: Dict[int, np.ndarray] = {}
-        for chunk, block in zip(chunks, blocks):
-            for j, seed in enumerate(chunk):
-                # copy: a column view would pin the whole chunk block in
-                # memory for as long as the cache retains any one column
-                columns[int(seed)] = block[:, j].copy()
-        return columns
+            outcomes = list(self._get_executor().map(run_chunk, chunks))
+
+        failed_chunks = []
+        for chunk, (status, payload) in zip(chunks, outcomes):
+            if status == "ok":
+                for j, seed in enumerate(chunk):
+                    # copy: a column view would pin the whole chunk block
+                    # in memory for as long as the cache retains any one
+                    # column
+                    columns[int(seed)] = payload[:, j].copy()
+            elif status == "cancelled":
+                cancelled.extend(int(seed) for seed in chunk)
+            else:
+                failed_chunks.append((chunk, payload))
+
+        # graceful degradation: a failed chunk is retried seed by seed,
+        # so one poisonous seed cannot take its chunk-mates down with it
+        for chunk, _chunk_exc in failed_chunks:
+            for seed in chunk:
+                seed = int(seed)
+                if deadline_at is not None and self._clock() >= deadline_at:
+                    cancelled.append(seed)
+                    continue
+                retries += 1
+                with self._tracer.span(
+                    "serve.compute.retry", parent=parent_span, seed=seed
+                ):
+                    try:
+                        faults.fire("compute.chunk", seeds=[seed])
+                        columns[seed] = (
+                            self.index.query_columns([seed])[:, 0].copy()
+                        )
+                    except Exception as exc:
+                        error = ColumnComputeFailed(
+                            seed, str(exc) or type(exc).__name__
+                        )
+                        error.__cause__ = exc
+                        failures[seed] = error
+        return columns, failures, cancelled, retries
+
+    def _assemble_outcomes(
+        self,
+        plan,
+        column_map: Dict[int, np.ndarray],
+        failures: Dict[int, ReproError],
+        cancelled: List[int],
+        *,
+        deadline_s: Optional[float],
+        started: float,
+    ) -> List[RequestOutcome]:
+        """One outcome per request: a block, or the typed reason why not."""
+        cancelled_set = set(cancelled)
+        outcomes: List[RequestOutcome] = []
+        for ids in plan.request_ids:
+            needed = [int(seed) for seed in ids]
+            unavailable = [seed for seed in needed if seed not in column_map]
+            if not unavailable:
+                outcomes.append(
+                    RequestOutcome(result=self._assemble(ids, column_map))
+                )
+            elif any(seed in cancelled_set for seed in unavailable):
+                outcomes.append(
+                    RequestOutcome(
+                        error=DeadlineExceeded(
+                            deadline_s if deadline_s is not None else 0.0,
+                            self._clock() - started,
+                            completed_seeds=len(column_map),
+                            cancelled_seeds=len(cancelled_set),
+                        )
+                    )
+                )
+            else:
+                outcomes.append(RequestOutcome(error=failures[unavailable[0]]))
+        return outcomes
 
     def _assemble(
         self, request_ids: np.ndarray, column_map: Dict[int, np.ndarray]
@@ -309,6 +551,9 @@ class CoSimRankService:
         hits: int,
         misses: int,
         evicted: int,
+        retries: int,
+        num_failed: int,
+        deadline_hit: bool,
         batch_span,
         phase_spans,
     ) -> None:
@@ -322,8 +567,13 @@ class CoSimRankService:
             self._m_hits.inc(hits)
             self._m_misses.inc(misses)
             self._m_evictions.inc(evicted)
+            self._m_retries.inc(retries)
+            self._m_degraded.inc(num_failed)
+            if deadline_hit:
+                self._m_deadline.inc()
             self._m_cached_columns.set(cache["cached_columns"])
             self._m_cache_bytes.set(cache["bytes_cached"])
+            self._m_integrity.set(cache["integrity_failures"])
             for phase, span in phase_spans.items():
                 self._m_phase[phase].inc(span.wall_seconds)
             if batch_span is not obs.NULL_SPAN:
@@ -378,6 +628,7 @@ class CoSimRankService:
         with self._stats_lock:
             self._m_cached_columns.set(cache["cached_columns"])
             self._m_cache_bytes.set(cache["bytes_cached"])
+            self._m_integrity.set(cache["integrity_failures"])
             return ServingStats(
                 requests=int(self._m_requests.value),
                 batches=int(self._m_batches.value),
@@ -389,6 +640,11 @@ class CoSimRankService:
                 cached_columns=cache["cached_columns"],
                 bytes_cached=cache["bytes_cached"],
                 cache_capacity=self._cache.capacity,
+                retries=int(self._m_retries.value),
+                shed=int(self._m_shed.value),
+                deadline_exceeded=int(self._m_deadline.value),
+                degraded_requests=int(self._m_degraded.value),
+                cache_integrity_failures=cache["integrity_failures"],
                 lookup_seconds=self._m_phase["lookup"].value,
                 compute_seconds=self._m_phase["compute"].value,
                 assemble_seconds=self._m_phase["assemble"].value,

@@ -43,6 +43,21 @@ class ServingStats:
         Current cache occupancy.
     cache_capacity:
         Maximum number of resident columns (0 = caching disabled).
+    retries:
+        Per-seed isolation retries after worker chunk failures
+        (``csrplus_serve_retries_total``).
+    shed:
+        Batches rejected by admission control
+        (``csrplus_serve_shed_total``).
+    deadline_exceeded:
+        Batches whose deadline cancelled at least one seed column
+        (``csrplus_serve_deadline_exceeded_total``).
+    degraded_requests:
+        Requests answered with a typed error while the rest of their
+        batch was served (``csrplus_serve_degraded_requests_total``).
+    cache_integrity_failures:
+        Cached columns dropped because their checksum no longer matched
+        (only with ``cache_validate=True``).
     lookup_seconds / compute_seconds / assemble_seconds:
         Cumulative wall time in the three serving phases: cache
         probing, miss computation (``query_columns``), and scattering
@@ -61,6 +76,11 @@ class ServingStats:
     cached_columns: int = 0
     bytes_cached: int = 0
     cache_capacity: int = 0
+    retries: int = 0
+    shed: int = 0
+    deadline_exceeded: int = 0
+    degraded_requests: int = 0
+    cache_integrity_failures: int = 0
     lookup_seconds: float = 0.0
     compute_seconds: float = 0.0
     assemble_seconds: float = 0.0

@@ -1,0 +1,11 @@
+"""Test-support tooling that ships with the library.
+
+:mod:`repro.testing.faults` is the fault-injection framework the chaos
+suite (``tests/serving/test_faults.py``) drives the serving stack with.
+It lives in the package, not under ``tests/``, so downstream users can
+chaos-test their own deployments against the same seams.
+"""
+
+from repro.testing.faults import FaultPlan
+
+__all__ = ["FaultPlan"]

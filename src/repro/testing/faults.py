@@ -1,0 +1,257 @@
+"""Deterministic fault injection for the serving stack.
+
+The production code exposes named *seams* — one-line hooks at the
+places where the real world fails: disk reads in the index registry,
+cached-column reads, and worker-chunk computation.  A test (or a
+staging deployment) arms a :class:`FaultPlan` describing which seams
+should misbehave and how often; inside the plan's ``with`` block the
+seams fire, outside it they are a single ``if not _active_plans``
+check (no locks, no allocation), so the hooks cost nothing in
+production.
+
+Seams currently wired in (grep for ``faults.fire`` / ``faults.transform``):
+
+==================  =====================================================
+site                where it fires
+==================  =====================================================
+``registry.load``   before each attempt to read a saved index
+                    (:meth:`~repro.serving.registry.IndexRegistry.get`)
+``registry.save``   before each attempt to persist an index
+                    (:meth:`~repro.serving.registry.IndexRegistry.put`)
+``cache.read``      on every cache hit, may corrupt the returned column
+                    (:meth:`~repro.serving.cache.ColumnCache.lookup`)
+``compute.chunk``   at the start of every worker chunk, including the
+                    per-seed isolation retries (context key ``seeds``)
+==================  =====================================================
+
+Example
+-------
+>>> from repro.testing.faults import FaultPlan
+>>> plan = FaultPlan().fail("registry.load", times=2, exc=OSError("flaky disk"))
+>>> with plan:
+...     pass  # registry.get() here fails twice, then succeeds
+>>> plan.injected("registry.load")
+0
+
+Three fault kinds compose freely on one site (delays apply before
+failures): :meth:`FaultPlan.fail` raises, :meth:`FaultPlan.delay`
+sleeps (latency injection), and :meth:`FaultPlan.corrupt` rewrites the
+value flowing through a ``transform`` seam.  ``times=None`` means
+"every time"; a ``when`` predicate on the seam's context dict scopes a
+rule to, say, chunks containing one particular seed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["FaultPlan", "fire", "transform", "active"]
+
+_registry_lock = threading.Lock()
+_active_plans: List["FaultPlan"] = []
+
+
+def active() -> bool:
+    """Whether any :class:`FaultPlan` is currently armed."""
+    return bool(_active_plans)
+
+
+def fire(site: str, **context: Any) -> None:
+    """Production seam: maybe delay and/or raise at ``site``.
+
+    A no-op unless a plan is armed.  Called *inside* the operation it
+    guards so a raised fault travels the same error path a real failure
+    would.
+    """
+    if not _active_plans:
+        return
+    for plan in list(_active_plans):
+        plan._fire(site, context)
+
+
+def transform(site: str, value: Any, **context: Any) -> Any:
+    """Production seam: maybe corrupt ``value`` flowing through ``site``."""
+    if not _active_plans:
+        return value
+    for plan in list(_active_plans):
+        value = plan._transform(site, value, context)
+    return value
+
+
+class _Rule:
+    """One armed fault: kind, budget, matcher, payload."""
+
+    __slots__ = ("kind", "times", "when", "exc_factory", "seconds", "corruptor", "used")
+
+    def __init__(
+        self,
+        kind: str,
+        times: Optional[int],
+        when: Optional[Callable[[Dict[str, Any]], bool]],
+        *,
+        exc_factory: Optional[Callable[[], BaseException]] = None,
+        seconds: float = 0.0,
+        corruptor: Optional[Callable[[Any], Any]] = None,
+    ):
+        self.kind = kind
+        self.times = times  # None = unlimited
+        self.when = when
+        self.exc_factory = exc_factory
+        self.seconds = seconds
+        self.corruptor = corruptor
+        self.used = 0
+
+    def matches(self, context: Dict[str, Any]) -> bool:
+        if self.times is not None and self.used >= self.times:
+            return False
+        if self.when is not None and not self.when(context):
+            return False
+        return True
+
+
+class FaultPlan:
+    """A composable, countable schedule of injected faults.
+
+    Arm it with a ``with`` block; rules are consumed in the order they
+    were added.  All bookkeeping is lock-protected, so concurrent
+    worker threads hitting the same seam consume shared budgets exactly
+    (``times=2`` fires twice total, never per-thread).
+
+    Parameters
+    ----------
+    sleep:
+        Clock used by :meth:`delay` rules — injectable so latency tests
+        can run without real waiting.
+    """
+
+    def __init__(self, *, sleep: Callable[[float], None] = time.sleep):
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._rules: Dict[str, List[_Rule]] = {}
+        self._hits: Dict[str, int] = {}
+        self._injected: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+    def fail(
+        self,
+        site: str,
+        *,
+        times: Optional[int] = 1,
+        exc: Any = None,
+        when: Optional[Callable[[Dict[str, Any]], bool]] = None,
+    ) -> "FaultPlan":
+        """Raise at ``site`` the next ``times`` matching passes.
+
+        ``exc`` may be an exception instance (raised as-is), an
+        exception class, or a zero-argument factory; the default is an
+        ``OSError`` naming the site.
+        """
+        if exc is None:
+            factory = lambda s=site: OSError(f"injected fault at {s}")  # noqa: E731
+        elif isinstance(exc, BaseException):
+            factory = lambda e=exc: e  # noqa: E731
+        else:
+            factory = exc
+        self._add(site, _Rule("fail", times, when, exc_factory=factory))
+        return self
+
+    def delay(
+        self,
+        site: str,
+        *,
+        seconds: float,
+        times: Optional[int] = 1,
+        when: Optional[Callable[[Dict[str, Any]], bool]] = None,
+    ) -> "FaultPlan":
+        """Sleep ``seconds`` at ``site`` (latency injection)."""
+        self._add(site, _Rule("delay", times, when, seconds=float(seconds)))
+        return self
+
+    def corrupt(
+        self,
+        site: str,
+        corruptor: Callable[[Any], Any],
+        *,
+        times: Optional[int] = 1,
+        when: Optional[Callable[[Dict[str, Any]], bool]] = None,
+    ) -> "FaultPlan":
+        """Rewrite the value flowing through a ``transform`` seam."""
+        self._add(site, _Rule("corrupt", times, when, corruptor=corruptor))
+        return self
+
+    def _add(self, site: str, rule: _Rule) -> None:
+        with self._lock:
+            self._rules.setdefault(site, []).append(rule)
+
+    # ------------------------------------------------------------------
+    # observation (for test assertions)
+    # ------------------------------------------------------------------
+    def seen(self, site: str) -> int:
+        """How many times the seam at ``site`` was passed (fault or not)."""
+        with self._lock:
+            return self._hits.get(site, 0)
+
+    def injected(self, site: str) -> int:
+        """How many faults actually fired at ``site``."""
+        with self._lock:
+            return self._injected.get(site, 0)
+
+    # ------------------------------------------------------------------
+    # seam back-ends
+    # ------------------------------------------------------------------
+    def _fire(self, site: str, context: Dict[str, Any]) -> None:
+        # decide under the lock, act outside it (a sleeping or raising
+        # rule must not serialise unrelated seams)
+        with self._lock:
+            self._hits[site] = self._hits.get(site, 0) + 1
+            actions: List[_Rule] = []
+            for rule in self._rules.get(site, ()):
+                if rule.kind == "corrupt" or not rule.matches(context):
+                    continue
+                rule.used += 1
+                self._injected[site] = self._injected.get(site, 0) + 1
+                actions.append(rule)
+        for rule in actions:
+            if rule.kind == "delay":
+                self._sleep(rule.seconds)
+        for rule in actions:
+            if rule.kind == "fail":
+                raise rule.exc_factory()
+
+    def _transform(self, site: str, value: Any, context: Dict[str, Any]) -> Any:
+        with self._lock:
+            self._hits[site] = self._hits.get(site, 0) + 1
+            actions = []
+            for rule in self._rules.get(site, ()):
+                if rule.kind != "corrupt" or not rule.matches(context):
+                    continue
+                rule.used += 1
+                self._injected[site] = self._injected.get(site, 0) + 1
+                actions.append(rule)
+        for rule in actions:
+            value = rule.corruptor(value)
+        return value
+
+    # ------------------------------------------------------------------
+    # arming lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FaultPlan":
+        with _registry_lock:
+            _active_plans.append(self)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        with _registry_lock:
+            try:
+                _active_plans.remove(self)
+            except ValueError:  # pragma: no cover - double exit
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            sites = {site: len(rules) for site, rules in self._rules.items()}
+        return f"FaultPlan(rules={sites})"

@@ -87,3 +87,83 @@ class TestServingEquivalence:
             index, cache_columns=2, max_workers=2, chunk_size=chunk_size
         ) as service:
             _assert_batches_exact(service, index, batches)
+
+
+@st.composite
+def fault_plans(draw):
+    """A random :class:`FaultPlan` armed against the compute/cache seams.
+
+    Deadlines are deliberately excluded — they depend on wall-clock and
+    would make the property flaky.  Everything drawn here must either
+    heal (transient faults retried per-seed) or surface a typed error,
+    never a wrong column.
+    """
+    from repro.testing.faults import FaultPlan
+
+    plan = FaultPlan(sleep=lambda s: None)  # delays are free under test
+    n_rules = draw(st.integers(min_value=0, max_value=3))
+    for _ in range(n_rules):
+        kind = draw(st.sampled_from(["fail", "delay", "corrupt"]))
+        times = draw(st.integers(min_value=1, max_value=3))
+        if kind == "fail":
+            exc = draw(st.sampled_from([
+                OSError("injected"), RuntimeError("injected"),
+                KeyError("injected"),
+            ]))
+            plan.fail("compute.chunk", times=times, exc=exc)
+        elif kind == "delay":
+            plan.delay("compute.chunk", seconds=0.001, times=times)
+        else:
+            plan.corrupt(
+                "cache.read",
+                lambda col: np.where(col == 0.0, 1.0, -col),
+                times=times,
+            )
+    return plan
+
+
+class TestServingUnderFaults:
+    """Under any random fault plan the service never returns a wrong
+    column and never leaks an untyped error: each outcome is either a
+    bit-exact match for ``index.query`` or a :class:`ReproError`.
+    """
+
+    @given(data=graph_and_batches(), plan=fault_plans())
+    @settings(**SETTINGS)
+    def test_outcomes_are_exact_or_typed(self, data, plan):
+        from repro.errors import ReproError
+
+        graph, batches, rank = data
+        index = CSRPlusIndex(graph, rank=rank).prepare()
+        with CoSimRankService(
+            index, cache_columns=8, max_workers=2, chunk_size=2,
+            cache_validate=True,
+        ) as service:
+            with plan:
+                for batch in batches:
+                    result = service.serve_batch_detailed(batch)
+                    for request, outcome in zip(batch, result.outcomes):
+                        if outcome.ok:
+                            assert np.array_equal(
+                                outcome.result, index.query(request)
+                            )
+                        else:
+                            assert isinstance(outcome.error, ReproError)
+            # once the plan is exhausted/disarmed the service has fully
+            # healed: nothing poisonous was cached along the way
+            _assert_batches_exact(service, index, batches)
+
+    @given(data=graph_and_batches(), plan=fault_plans())
+    @settings(**SETTINGS)
+    def test_partial_mode_never_raises(self, data, plan):
+        graph, batches, rank = data
+        index = CSRPlusIndex(graph, rank=rank).prepare()
+        with CoSimRankService(
+            index, cache_columns=8, max_workers=1, cache_validate=True
+        ) as service:
+            with plan:
+                for batch in batches:
+                    blocks = service.serve_batch(batch, partial=True)
+                    for request, block in zip(batch, blocks):
+                        if block is not None:
+                            assert np.array_equal(block, index.query(request))

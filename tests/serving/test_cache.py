@@ -102,3 +102,83 @@ class TestStatsAccounting:
         cache.insert({5: _col(5.0)})
         _, misses = cache.lookup([9, 5, 3, 7])
         assert misses == [9, 3, 7]
+
+
+class TestInsertValidation:
+    """Regression: a poisoned worker result must never enter the cache.
+
+    ``insert`` validates every column up front and applies nothing on
+    failure, so a bad column can neither be served later nor corrupt
+    the byte accounting halfway through a multi-column insert.
+    """
+
+    def _cache(self) -> ColumnCache:
+        return ColumnCache(capacity=8, num_rows=4, dtype=np.float64)
+
+    def test_wrong_length_rejected(self):
+        cache = self._cache()
+        with pytest.raises(InvalidParameterError, match="expected 4"):
+            cache.insert({1: _col(1.0, n=5)})
+        assert len(cache) == 0
+
+    def test_wrong_dtype_rejected(self):
+        cache = self._cache()
+        with pytest.raises(InvalidParameterError, match="dtype"):
+            cache.insert({1: np.full(4, 1.0, dtype=np.float32)})
+        assert len(cache) == 0
+
+    def test_two_dimensional_array_rejected(self):
+        cache = self._cache()
+        with pytest.raises(InvalidParameterError, match="1-D"):
+            cache.insert({1: np.ones((4, 1))})
+        assert len(cache) == 0
+
+    def test_list_input_is_coerced_then_validated(self):
+        cache = self._cache()
+        cache.insert({1: [0.0, 0.0, 0.0, 0.0]})  # asarray -> valid float64
+        assert 1 in cache
+        with pytest.raises(InvalidParameterError):
+            cache.insert({2: [0.0, 0.0]})  # coerced, then length-checked
+        assert 2 not in cache
+
+    def test_bad_batch_applies_nothing(self):
+        # one bad column poisons the whole insert, atomically
+        cache = self._cache()
+        cache.insert({7: _col(7.0)})
+        before = cache.bytes_cached
+        with pytest.raises(InvalidParameterError):
+            cache.insert({1: _col(1.0), 2: _col(2.0, n=3), 3: _col(3.0)})
+        assert cache.keys_in_lru_order() == [7]
+        assert cache.bytes_cached == before
+        hits, misses = cache.lookup([1, 2, 3])
+        assert hits == {} and misses == [1, 2, 3]
+
+    def test_unconstrained_cache_still_accepts_any_1d_column(self):
+        # without num_rows/dtype the original permissive contract holds
+        cache = ColumnCache(capacity=4)
+        cache.insert({1: _col(1.0, n=3),
+                      2: np.full(9, 2.0, dtype=np.float32)})
+        assert len(cache) == 2
+
+
+class TestChecksumValidation:
+    def test_checksums_detect_in_place_corruption(self):
+        cache = ColumnCache(capacity=4, validate_checksums=True)
+        cache.insert({1: _col(1.0)})
+        # sneak past the read-only view to poison the stored bytes
+        stored = cache._columns[1]
+        stored.flags.writeable = True
+        stored[0] = 99.0
+        stored.flags.writeable = False
+        hits, misses = cache.lookup([1])
+        assert hits == {} and misses == [1]
+        assert cache.integrity_failures == 1
+        assert 1 not in cache  # poisoned entry dropped, will be recomputed
+
+    def test_clean_entries_pass_validation(self):
+        cache = ColumnCache(capacity=4, validate_checksums=True)
+        cache.insert({1: _col(1.0), 2: _col(2.0)})
+        hits, misses = cache.lookup([1, 2])
+        assert sorted(hits) == [1, 2] and misses == []
+        assert cache.integrity_failures == 0
+        assert cache.counters()["integrity_failures"] == 0

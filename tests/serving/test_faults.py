@@ -1,0 +1,407 @@
+"""Chaos suite: the serving stack under injected faults.
+
+Every test arms a :class:`repro.testing.faults.FaultPlan` against one
+of the production seams (registry reads/writes, cache reads, worker
+chunks) and asserts the contract of docs/robustness.md: the service
+either returns **bit-exact** results for unaffected requests or raises
+a **typed** :mod:`repro.errors` exception — never a bare ``Exception``,
+never a wrong column, never a hang.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.index import CSRPlusIndex
+from repro.errors import (
+    ColumnComputeFailed,
+    DeadlineExceeded,
+    IndexCorrupted,
+    ReproError,
+    RetryableError,
+    ServiceOverloaded,
+)
+from repro.graphs.generators import erdos_renyi
+from repro.serving import CoSimRankService, IndexRegistry, RetryPolicy
+from repro.testing.faults import FaultPlan, active
+
+pytestmark = pytest.mark.chaos
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0)
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi(40, 160, seed=11)
+
+
+@pytest.fixture
+def index(graph) -> CSRPlusIndex:
+    return CSRPlusIndex(graph, rank=4).prepare()
+
+
+class TestRegistryFaults:
+    def test_read_fails_twice_then_succeeds(self, tmp_path, graph, index):
+        """Transient disk errors cost retries, not correctness."""
+        registry = IndexRegistry(
+            tmp_path, retry_policy=FAST_RETRY, sleep=lambda s: None
+        )
+        registry.put("er40", index)
+
+        fresh = IndexRegistry(
+            tmp_path, retry_policy=FAST_RETRY, sleep=lambda s: None
+        )
+        with FaultPlan().fail(
+            "registry.load", times=2, exc=OSError("flaky disk")
+        ) as plan:
+            loaded = fresh.get("er40", graph)
+        assert plan.seen("registry.load") == 3
+        assert plan.injected("registry.load") == 2
+        assert len(fresh.retrier.sleeps) == 2
+        request = [0, 7, 13]
+        assert np.array_equal(loaded.query(request), index.query(request))
+
+    def test_read_fails_past_budget_falls_back_to_rebuild(
+        self, tmp_path, graph, index
+    ):
+        """A persistently unreadable file degrades to a re-prepare."""
+        registry = IndexRegistry(
+            tmp_path, retry_policy=FAST_RETRY, sleep=lambda s: None
+        )
+        registry.put("er40", index)
+        fresh = IndexRegistry(
+            tmp_path, retry_policy=FAST_RETRY, sleep=lambda s: None
+        )
+        with FaultPlan().fail("registry.load", times=None) as plan:
+            rebuilt = fresh.get("er40", graph, rank=4)
+        assert plan.injected("registry.load") == 3  # full retry budget
+        assert np.array_equal(rebuilt.query([1, 2]), index.query([1, 2]))
+
+    def test_corrupt_file_is_typed_quarantined_and_rebuilt(
+        self, tmp_path, graph, index
+    ):
+        registry = IndexRegistry(
+            tmp_path, retry_policy=FAST_RETRY, sleep=lambda s: None
+        )
+        registry.put("er40", index)
+        path = registry.path_for("er40")
+        with open(path, "r+b") as handle:
+            handle.seek(16)
+            handle.write(b"\xde\xad\xbe\xef" * 8)
+
+        # the load attempt itself raises the typed error, not a numpy one
+        fresh = IndexRegistry(
+            tmp_path, retry_policy=FAST_RETRY, sleep=lambda s: None
+        )
+        with pytest.raises(IndexCorrupted):
+            fresh._load_checked(path, graph)
+
+        # ... and get() degrades it to a slow start, not an outage
+        rebuilt = fresh.get("er40", graph, rank=4)
+        assert np.array_equal(rebuilt.query([3, 4]), index.query([3, 4]))
+        assert os.path.exists(path + ".corrupt")
+        assert os.path.exists(path)  # the rebuild re-saved a healthy file
+        again = IndexRegistry(
+            tmp_path, retry_policy=FAST_RETRY, sleep=lambda s: None
+        ).get("er40", graph, rank=4)
+        assert np.array_equal(again.query([3, 4]), index.query([3, 4]))
+
+    def test_corrupt_file_without_sidecar_still_typed(
+        self, tmp_path, graph
+    ):
+        """Foreign junk (no checksum sidecar) maps to IndexCorrupted."""
+        registry = IndexRegistry(tmp_path, retry_policy=FAST_RETRY)
+        path = registry.path_for("junk")
+        with open(path, "wb") as handle:
+            handle.write(b"this is not an npz archive")
+        with pytest.raises(IndexCorrupted):
+            registry._load_checked(path, graph)
+
+    def test_put_failure_is_typed_after_retries(self, tmp_path, index):
+        registry = IndexRegistry(
+            tmp_path, retry_policy=FAST_RETRY, sleep=lambda s: None
+        )
+        with FaultPlan().fail("registry.save", times=None):
+            with pytest.raises(RetryableError):
+                registry.put("er40", index)
+
+    def test_get_survives_save_failure(self, tmp_path, graph):
+        """A build whose save fails still serves from memory."""
+        registry = IndexRegistry(
+            tmp_path, retry_policy=FAST_RETRY, sleep=lambda s: None
+        )
+        with FaultPlan().fail("registry.save", times=None):
+            built = registry.get("er40", graph, rank=4)
+        assert built.is_prepared
+        assert not os.path.exists(registry.path_for("er40"))
+        # the in-memory tier still resolves it
+        assert registry.get("er40", graph, rank=4) is built
+
+
+class TestChunkWorkerFaults:
+    def test_transient_chunk_failure_heals_bit_exactly(self, index):
+        """One flaky chunk: per-seed isolation retries recover everything."""
+        with CoSimRankService(index, max_workers=1, chunk_size=2) as service:
+            with FaultPlan().fail(
+                "compute.chunk", times=1,
+                when=lambda ctx: len(ctx["seeds"]) > 1,
+            ):
+                results = service.serve_batch([[5, 6, 7]])
+            assert np.array_equal(results[0], index.query([5, 6, 7]))
+            stats = service.stats()
+            assert stats.retries > 0
+            assert stats.degraded_requests == 0
+
+    def test_poisonous_seed_is_isolated(self, index):
+        """A persistently failing seed poisons only its own requests."""
+        bad = lambda ctx: 9 in ctx["seeds"]  # noqa: E731
+        with CoSimRankService(index, max_workers=1, chunk_size=8) as service:
+            with FaultPlan().fail("compute.chunk", times=None, when=bad):
+                batch = service.serve_batch_detailed([[8], [9], [10, 8]])
+            assert np.array_equal(batch.outcomes[0].result, index.query([8]))
+            assert np.array_equal(
+                batch.outcomes[2].result, index.query([10, 8])
+            )
+            error = batch.outcomes[1].error
+            assert isinstance(error, ColumnComputeFailed)
+            assert error.seed == 9
+            assert error.__cause__ is not None
+            assert 9 in batch.failed_seeds
+            assert service.stats().degraded_requests == 1
+
+    def test_partial_policy_returns_none_holes(self, index):
+        bad = lambda ctx: 3 in ctx["seeds"]  # noqa: E731
+        with CoSimRankService(index, max_workers=1, chunk_size=4) as service:
+            with FaultPlan().fail("compute.chunk", times=None, when=bad):
+                results = service.serve_batch([[1, 2], [3]], partial=True)
+            assert np.array_equal(results[0], index.query([1, 2]))
+            assert results[1] is None
+
+    def test_raise_policy_raises_typed_error(self, index):
+        bad = lambda ctx: 3 in ctx["seeds"]  # noqa: E731
+        with CoSimRankService(index, max_workers=1, chunk_size=4) as service:
+            with FaultPlan().fail("compute.chunk", times=None, when=bad):
+                with pytest.raises(ColumnComputeFailed):
+                    service.serve_batch([[1, 2], [3]])
+
+    def test_parallel_workers_same_contract(self, index):
+        bad = lambda ctx: 0 in ctx["seeds"]  # noqa: E731
+        with CoSimRankService(index, max_workers=4, chunk_size=1) as service:
+            with FaultPlan().fail("compute.chunk", times=None, when=bad):
+                batch = service.serve_batch_detailed(
+                    [[seed] for seed in range(8)]
+                )
+            assert isinstance(batch.outcomes[0].error, ColumnComputeFailed)
+            for seed in range(1, 8):
+                assert np.array_equal(
+                    batch.outcomes[seed].result, index.query([seed])
+                )
+
+    def test_failed_seed_never_cached(self, index):
+        """A failure is not negative-cached: the next batch recomputes."""
+        bad = lambda ctx: 5 in ctx["seeds"]  # noqa: E731
+        with CoSimRankService(index, max_workers=1, chunk_size=1) as service:
+            with FaultPlan().fail("compute.chunk", times=None, when=bad):
+                assert service.serve_batch([[5]], partial=True) == [None]
+            # fault gone: the same request now succeeds
+            results = service.serve_batch([[5]])
+            assert np.array_equal(results[0], index.query([5]))
+
+
+class TestDeadlineFaults:
+    def test_slow_chunk_past_deadline_is_typed(self, index):
+        """Latency injection: chunks behind a blown deadline are cancelled."""
+        with CoSimRankService(index, max_workers=1, chunk_size=1) as service:
+            plan = FaultPlan().delay(
+                "compute.chunk", seconds=0.2, times=1
+            )
+            with plan:
+                with pytest.raises(DeadlineExceeded) as excinfo:
+                    service.serve_batch(
+                        [[0], [1], [2]], deadline_s=0.05
+                    )
+            assert excinfo.value.cancelled_seeds > 0
+            assert service.stats().deadline_exceeded == 1
+
+    def test_partial_policy_keeps_completed_work(self, index):
+        with CoSimRankService(index, max_workers=1, chunk_size=1) as service:
+            with FaultPlan().delay("compute.chunk", seconds=0.2, times=1):
+                batch = service.serve_batch_detailed(
+                    [[0], [1], [2]], deadline_s=0.05
+                )
+            # the slow chunk itself completed (cancellation is
+            # cooperative); later chunks were cancelled with typed errors
+            assert np.array_equal(batch.outcomes[0].result, index.query([0]))
+            failed = [o for o in batch.outcomes if not o.ok]
+            assert failed
+            assert all(
+                isinstance(o.error, DeadlineExceeded) for o in failed
+            )
+
+    def test_deterministic_deadline_with_injected_clock(self, index):
+        """No real waiting: a fake clock drives the cancellation logic."""
+        ticks = iter([0.0, 0.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0])
+        service = CoSimRankService(
+            index, max_workers=1, chunk_size=1, clock=lambda: next(ticks)
+        )
+        batch = service.serve_batch_detailed([[0], [1]], deadline_s=1.0)
+        statuses = [outcome.ok for outcome in batch.outcomes]
+        assert statuses == [True, False]
+        assert isinstance(batch.outcomes[1].error, DeadlineExceeded)
+        service.close()
+
+    def test_completed_seeds_are_cached_for_next_batch(self, index):
+        with CoSimRankService(index, max_workers=1, chunk_size=1) as service:
+            with FaultPlan().delay("compute.chunk", seconds=0.2, times=1):
+                service.serve_batch(
+                    [[0], [1], [2]], deadline_s=0.05, partial=True
+                )
+            stats = service.stats()
+            # at least the slow chunk's seed landed in the cache
+            assert stats.cached_columns >= 1
+            # and a relaxed re-issue is exact
+            results = service.serve_batch([[0], [1], [2]])
+            for seed, block in zip([0, 1, 2], results):
+                assert np.array_equal(block, index.query([seed]))
+
+
+class TestCachePoisoning:
+    def test_poisoned_entry_recomputed_bit_exactly(self, index):
+        """With validation on, a corrupted hit is evicted and recomputed."""
+        with CoSimRankService(
+            index, max_workers=1, cache_validate=True
+        ) as service:
+            clean = service.serve_batch([[4, 5]])
+            with FaultPlan().corrupt(
+                "cache.read", lambda col: col * 2.0, times=1
+            ) as plan:
+                poisoned_pass = service.serve_batch([[4, 5]])
+            assert plan.injected("cache.read") == 1
+            assert np.array_equal(poisoned_pass[0], clean[0])
+            assert np.array_equal(poisoned_pass[0], index.query([4, 5]))
+            stats = service.stats()
+            assert stats.cache_integrity_failures == 1
+
+    def test_wrong_shape_insert_rejected(self, index):
+        """Regression: the cache refuses wrong-shaped producer output."""
+        from repro.errors import InvalidParameterError
+
+        with CoSimRankService(index, max_workers=1) as service:
+            with pytest.raises(InvalidParameterError):
+                service._cache.insert({0: np.zeros(index.num_nodes + 1)})
+
+
+class TestLoadShedding:
+    def test_oversized_batch_is_shed(self, index):
+        with CoSimRankService(
+            index, max_workers=1, max_inflight_seeds=4
+        ) as service:
+            with pytest.raises(ServiceOverloaded) as excinfo:
+                service.serve_batch([list(range(8))])
+            assert excinfo.value.requested == 8
+            assert excinfo.value.budget == 4
+            assert service.stats().shed == 1
+            # a batch inside the budget still serves normally
+            results = service.serve_batch([[0, 1]])
+            assert np.array_equal(results[0], index.query([0, 1]))
+
+    def test_budget_releases_after_batches(self, index):
+        with CoSimRankService(
+            index, max_workers=1, max_inflight_seeds=4
+        ) as service:
+            for _ in range(5):  # sequential batches never accumulate
+                service.serve_batch([[0, 1, 2, 3]])
+            assert service.stats().shed == 0
+
+    def test_budget_releases_after_failures(self, index):
+        """Shedding accounting survives failing batches (finally path)."""
+        with CoSimRankService(
+            index, max_workers=1, max_inflight_seeds=4, chunk_size=1
+        ) as service:
+            with FaultPlan().fail("compute.chunk", times=None):
+                service.serve_batch([[0, 1]], partial=True)
+            results = service.serve_batch([[0, 1, 2, 3]])
+            assert np.array_equal(results[0], index.query([0, 1, 2, 3]))
+
+
+class TestObservabilityOfFailures:
+    def test_counters_visible_in_prometheus_scrape(self, index):
+        with CoSimRankService(
+            index, max_workers=1, chunk_size=1, max_inflight_seeds=4,
+        ) as service:
+            with pytest.raises(ServiceOverloaded):
+                service.serve_batch([list(range(8))])
+            with FaultPlan().fail(
+                "compute.chunk", times=None,
+                when=lambda ctx: 1 in ctx["seeds"],
+            ):
+                service.serve_batch([[0], [1]], partial=True)
+            with FaultPlan().delay("compute.chunk", seconds=0.2, times=1):
+                service.serve_batch(
+                    [[2], [3]], deadline_s=0.05, partial=True
+                )
+            text = service.registry.render_prometheus()
+        assert "csrplus_serve_shed_total 1" in text
+        assert "csrplus_serve_retries_total 1" in text
+        assert "csrplus_serve_degraded_requests_total" in text
+        assert "csrplus_serve_deadline_exceeded_total 1" in text
+
+    def test_registry_retry_counters(self, tmp_path, graph, index):
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        registry = IndexRegistry(
+            tmp_path, retry_policy=FAST_RETRY, sleep=lambda s: None,
+            metrics=metrics,
+        )
+        registry.put("er40", index)
+        fresh = IndexRegistry(
+            tmp_path, retry_policy=FAST_RETRY, sleep=lambda s: None,
+            metrics=metrics,
+        )
+        with FaultPlan().fail("registry.load", times=2):
+            fresh.get("er40", graph)
+        text = metrics.render_prometheus()
+        assert "csrplus_registry_retries_total 2" in text
+
+
+class TestFaultPlanFramework:
+    def test_inactive_plan_is_invisible(self, index):
+        plan = FaultPlan().fail("compute.chunk", times=None)
+        assert not active()
+        with CoSimRankService(index, max_workers=1) as service:
+            results = service.serve_batch([[0]])  # plan never armed
+        assert np.array_equal(results[0], index.query([0]))
+        assert plan.seen("compute.chunk") == 0
+
+    def test_times_budget_is_shared_across_threads(self, index):
+        """times=2 fires exactly twice in total, not twice per worker."""
+        with CoSimRankService(index, max_workers=4, chunk_size=1) as service:
+            with FaultPlan().fail("compute.chunk", times=2) as plan:
+                batch = service.serve_batch_detailed(
+                    [[seed] for seed in range(10)]
+                )
+            assert batch.ok  # both faults healed by isolation retries
+            assert plan.injected("compute.chunk") == 2
+
+    def test_delay_and_fail_compose(self, index):
+        events = []
+        plan = FaultPlan(sleep=lambda s: events.append(("sleep", s)))
+        plan.delay("compute.chunk", seconds=1.5, times=1)
+        plan.fail("compute.chunk", times=1)
+        with CoSimRankService(index, max_workers=1) as service:
+            with plan:
+                results = service.serve_batch([[0]])
+        assert ("sleep", 1.5) in events  # delay applied before the failure
+        assert np.array_equal(results[0], index.query([0]))
+
+    def test_only_typed_errors_escape_the_service(self, index):
+        """Whatever a fault raises, callers only ever see ReproError."""
+        for exc in (RuntimeError("boom"), KeyError("x"), OSError("disk")):
+            with CoSimRankService(index, max_workers=1) as service:
+                with FaultPlan().fail(
+                    "compute.chunk", times=None, exc=exc
+                ):
+                    with pytest.raises(ReproError):
+                        service.serve_batch([[0]])

@@ -1,0 +1,217 @@
+"""Deterministic unit tests for the backoff policy and retrier.
+
+Everything side-effectful in :mod:`repro.serving.retry` is injectable
+— the sleeper and the jitter source — so these tests assert the *exact*
+sleep schedule a policy produces, the jitter bounds, and the cap,
+without a single real wait.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    IndexCorrupted,
+    InvalidParameterError,
+    RetryableError,
+    ServiceOverloaded,
+)
+from repro.serving.retry import DEFAULT_RETRY_ON, Retrier, RetryPolicy
+
+
+class TestDelaySchedule:
+    def test_exact_unjittered_sequence_with_cap(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay_s=0.05, multiplier=2.0,
+            max_delay_s=0.3, jitter=0.0,
+        )
+        delays = [policy.delay_for(attempt) for attempt in range(1, 6)]
+        # 0.05, 0.1, 0.2 then capped at 0.3 forever
+        assert delays == [0.05, 0.1, 0.2, 0.3, 0.3]
+
+    def test_jitter_stays_within_bounds(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_delay_s=0.1, multiplier=3.0,
+            max_delay_s=10.0, jitter=0.25,
+        )
+        rng = random.Random(1234)
+        for attempt, raw in ((1, 0.1), (2, 0.3), (3, 0.9)):
+            for _ in range(200):
+                delay = policy.delay_for(attempt, rng)
+                assert raw * 0.75 <= delay <= raw * 1.25
+        # jitter actually varies (not stuck at the skeleton value)
+        samples = {policy.delay_for(1, rng) for _ in range(50)}
+        assert len(samples) > 1
+
+    def test_seeded_rng_makes_jitter_reproducible(self):
+        policy = RetryPolicy(jitter=0.5)
+        first = [
+            policy.delay_for(k, random.Random(7)) for k in range(1, 4)
+        ]
+        second = [
+            policy.delay_for(k, random.Random(7)) for k in range(1, 4)
+        ]
+        assert first == second
+
+    def test_no_rng_means_no_jitter(self):
+        policy = RetryPolicy(jitter=0.9)
+        assert policy.delay_for(1) == policy.base_delay_s
+
+    def test_policy_validation(self):
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(base_delay_s=-0.1)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(max_delay_s=0.01, base_delay_s=0.05)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy().delay_for(0)
+
+
+class TestRetrier:
+    def test_records_exact_sleep_sequence(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_delay_s=1.0, multiplier=2.0,
+            max_delay_s=3.0, jitter=0.0,
+        )
+        slept = []
+        retrier = Retrier(policy, sleep=slept.append)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 4:
+                raise OSError("transient")
+            return "done"
+
+        assert retrier.call(flaky) == "done"
+        assert slept == [1.0, 2.0, 3.0]  # capped on the third retry
+        assert retrier.sleeps == slept
+
+    def test_exhaustion_reraises_the_original_error(self):
+        retrier = Retrier(
+            RetryPolicy(max_attempts=3, jitter=0.0), sleep=lambda s: None
+        )
+        boom = OSError("persistent")
+
+        def always_fails():
+            raise boom
+
+        with pytest.raises(OSError) as excinfo:
+            retrier.call(always_fails)
+        assert excinfo.value is boom
+        assert len(retrier.sleeps) == 2  # attempts 1 and 2 backed off
+
+    def test_non_retryable_propagates_immediately(self):
+        retrier = Retrier(RetryPolicy(max_attempts=5), sleep=lambda s: None)
+        for exc in (ValueError("bad"), IndexCorrupted("p", "bits")):
+            calls = {"n": 0}
+
+            def fails(exc=exc):
+                calls["n"] += 1
+                raise exc
+
+            with pytest.raises(type(exc)):
+                retrier.call(fails)
+            assert calls["n"] == 1
+        assert retrier.sleeps == []
+
+    def test_retryable_error_hierarchy_is_retried(self):
+        # ServiceOverloaded classifies as transient via RetryableError
+        assert issubclass(ServiceOverloaded, RetryableError)
+        assert isinstance(RetryableError("x"), DEFAULT_RETRY_ON)
+        retrier = Retrier(
+            RetryPolicy(max_attempts=2, jitter=0.0), sleep=lambda s: None
+        )
+        calls = {"n": 0}
+
+        def once():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ServiceOverloaded(8, 0, 4)
+            return calls["n"]
+
+        assert retrier.call(once) == 2
+
+    def test_on_retry_callback_sees_attempt_delay_and_error(self):
+        seen = []
+        retrier = Retrier(
+            RetryPolicy(max_attempts=3, base_delay_s=0.5, jitter=0.0),
+            sleep=lambda s: None,
+            on_retry=lambda attempt, delay, exc: seen.append(
+                (attempt, delay, type(exc).__name__)
+            ),
+        )
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("x")
+            return True
+
+        assert retrier.call(flaky)
+        assert seen == [(1, 0.5, "OSError"), (2, 1.0, "OSError")]
+
+    def test_single_attempt_policy_never_sleeps(self):
+        retrier = Retrier(RetryPolicy(max_attempts=1), sleep=lambda s: None)
+        with pytest.raises(OSError):
+            retrier.call(lambda: (_ for _ in ()).throw(OSError("x")))
+        assert retrier.sleeps == []
+
+
+class TestFailureCountersEndToEnd:
+    """ServingStats fields agree with the Prometheus instruments."""
+
+    @pytest.fixture
+    def service(self):
+        from repro.core.index import CSRPlusIndex
+        from repro.graphs.generators import ring
+        from repro.serving import CoSimRankService
+
+        index = CSRPlusIndex(ring(16), rank=4).prepare()
+        with CoSimRankService(
+            index, max_workers=1, chunk_size=1, max_inflight_seeds=4
+        ) as service:
+            yield service
+
+    def test_retries_shed_deadline_counters(self, service):
+        from repro.errors import ServiceOverloaded
+        from repro.testing.faults import FaultPlan
+
+        with pytest.raises(ServiceOverloaded):
+            service.serve_batch([list(range(8))])       # shed
+        with FaultPlan().fail("compute.chunk", times=1):
+            service.serve_batch([[0]])                  # healed by a retry
+        with FaultPlan().delay("compute.chunk", seconds=0.2, times=1):
+            service.serve_batch(
+                [[1], [2]], deadline_s=0.05, partial=True
+            )                                           # deadline cancel
+
+        stats = service.stats()
+        assert stats.shed == 1
+        assert stats.retries == 1
+        assert stats.deadline_exceeded == 1
+        assert stats.degraded_requests >= 1
+
+        scrape = service.registry.render_prometheus()
+        assert f"csrplus_serve_shed_total {stats.shed}" in scrape
+        assert f"csrplus_serve_retries_total {stats.retries}" in scrape
+        assert (
+            f"csrplus_serve_deadline_exceeded_total "
+            f"{stats.deadline_exceeded}" in scrape
+        )
+        assert (
+            f"csrplus_serve_degraded_requests_total "
+            f"{stats.degraded_requests}" in scrape
+        )
+
+    def test_stats_dict_round_trips_counters(self, service):
+        payload = service.stats().as_dict()
+        for key in ("retries", "shed", "deadline_exceeded",
+                    "degraded_requests", "cache_integrity_failures"):
+            assert key in payload

@@ -37,7 +37,13 @@ class TestAsDict:
         assert restored["compute_seconds"] == pytest.approx(1.5)
         # every dataclass field appears, plus the derived hit_rate
         assert set(restored) == set(stats.as_dict())
-        assert len(restored) == 14
+        assert len(restored) == 19
+        # the robustness counters default to zero
+        for key in (
+            "retries", "shed", "deadline_exceeded",
+            "degraded_requests", "cache_integrity_failures",
+        ):
+            assert restored[key] == 0
 
     def test_fresh_stats_are_json_safe(self):
         # all-zero snapshot must not divide by zero anywhere
