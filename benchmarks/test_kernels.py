@@ -64,3 +64,47 @@ def test_kernel_online_query(benchmark, kernel_graph):
 def test_kernel_top_k(benchmark, kernel_graph):
     index = CSRPlusIndex(kernel_graph, rank=5).prepare()
     benchmark(index.top_k, 17, 10)
+
+
+def test_kernel_batched_query(benchmark, kernel_graph):
+    index = CSRPlusIndex(kernel_graph, rank=64).prepare()
+    seeds = np.asarray(sample_queries(kernel_graph, 256, seed=13))
+    benchmark(index.query_columns, seeds, mode="batched")
+
+
+def test_batched_mode_beats_per_seed_gemv(kernel_graph):
+    """The fast path's raison d'être: one ``Z @ (U[Q,:])^T`` GEMM must
+    deliver >= 2x the column throughput of the per-seed GEMV loop once
+    the batch is wide enough to amortise the kernel's blocking
+    (|Q| >= 64; see ``GEMM_MIN_CHUNK``) — while staying within the
+    documented tolerance of the exact path."""
+    import time
+
+    from repro.core.index import batched_query_atol
+
+    rank, num_seeds = 64, 256
+    index = CSRPlusIndex(kernel_graph, rank=rank).prepare()
+    seeds = np.asarray(sample_queries(kernel_graph, num_seeds, seed=13))
+    assert seeds.size >= 64
+
+    def best_of(fn, repeats=5):
+        elapsed = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            elapsed.append(time.perf_counter() - start)
+        return min(elapsed)
+
+    exact = index.query_columns(seeds, mode="exact")
+    batched = index.query_columns(seeds, mode="batched")
+    np.testing.assert_allclose(
+        batched, exact, rtol=0.0, atol=batched_query_atol(rank, exact.dtype)
+    )
+
+    t_exact = best_of(lambda: index.query_columns(seeds, mode="exact"))
+    t_batched = best_of(lambda: index.query_columns(seeds, mode="batched"))
+    speedup = t_exact / t_batched
+    assert speedup >= 2.0, (
+        f"batched GEMM {speedup:.2f}x vs per-seed GEMV at "
+        f"|Q|={num_seeds}, rank={rank} (expected >= 2x)"
+    )

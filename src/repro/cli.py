@@ -72,6 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--rank", type=int, default=5)
     query.add_argument("--damping", type=float, default=0.6)
+    query.add_argument(
+        "--query-mode", choices=("exact", "batched"), default="exact",
+        help="column evaluation: 'exact' = one GEMV per seed (bit-exact, "
+        "default), 'batched' = one GEMM per batch (faster at large |Q|, "
+        "tolerance-equal)",
+    )
     query.add_argument("--top", type=int, default=10, help="rows to print per query")
 
     serve = sub.add_parser(
@@ -105,6 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--chunk-size", type=int, default=64,
         help="cache misses handed to one worker task at a time",
+    )
+    serve.add_argument(
+        "--query-mode", choices=("exact", "batched"), default="exact",
+        help="'exact' = per-seed GEMV, bit-exact cached columns "
+        "(default); 'batched' = whole miss chunks as one GEMM, cached "
+        "columns tolerance-equal to exact (docs/serving.md)",
     )
     serve.add_argument(
         "--repeat", type=int, default=2,
@@ -232,7 +244,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
     else:
         graph, _ = read_edge_list(args.edge_list)
     queries = [int(tok) for tok in args.queries.split(",") if tok.strip()]
-    config = CSRPlusConfig(damping=args.damping, rank=min(args.rank, graph.num_nodes))
+    config = CSRPlusConfig(
+        damping=args.damping,
+        rank=min(args.rank, graph.num_nodes),
+        query_mode=args.query_mode,
+    )
     index = CSRPlusIndex(graph, config).prepare()
     block = index.query(queries)
     print(
@@ -315,6 +331,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         cache_columns=args.cache_columns,
         max_workers=args.workers or None,
         chunk_size=args.chunk_size,
+        query_mode=args.query_mode,
         max_inflight_seeds=args.max_inflight_seeds,
         cache_validate=args.cache_validate,
         slow_query_seconds=slow_query_seconds,
@@ -351,6 +368,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         "requests": len(requests),
         "cache_columns": args.cache_columns,
         "workers": service.max_workers,
+        "query_mode": service.query_mode,
         "passes": passes,
         "stats": stats.as_dict(),
     }
@@ -362,7 +380,8 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     print(
         f"graph: n={graph.num_nodes} m={graph.num_edges}  "
         f"rank={config.rank} c={config.damping}  "
-        f"requests={len(requests)} workers={service.max_workers}"
+        f"requests={len(requests)} workers={service.max_workers} "
+        f"mode={service.query_mode}"
     )
     for entry in passes:
         print(

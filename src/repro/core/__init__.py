@@ -5,6 +5,7 @@ from repro.core.config import (
     DEFAULT_DAMPING,
     DEFAULT_EPSILON,
     DEFAULT_RANK,
+    QUERY_MODES,
     CSRPlusConfig,
 )
 from repro.core.csr_plus import (
@@ -15,7 +16,7 @@ from repro.core.csr_plus import (
     cosimrank_top_k,
 )
 from repro.core.dynamic import DynamicCSRPlus
-from repro.core.index import CSRPlusIndex
+from repro.core.index import CSRPlusIndex, batched_query_atol
 from repro.core.iterations import (
     baseline_iterations_for_rank,
     fixed_point_iterations,
@@ -48,6 +49,8 @@ __all__ = [
     "DEFAULT_DAMPING",
     "DEFAULT_RANK",
     "DEFAULT_EPSILON",
+    "QUERY_MODES",
+    "batched_query_atol",
     "singular_value_profile",
     "estimate_rank_error",
     "suggest_rank",

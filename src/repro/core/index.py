@@ -13,6 +13,15 @@ Precomputation (offline, graph-only)
 Online multi-source query
     ``[S]_{*,Q} = [I_n]_{*,Q} + c * Z @ (U[Q, :])^T``     (Theorem 3.5)
 
+Two evaluation strategies implement that formula (``query_mode``):
+
+* ``"exact"`` (default) — one GEMV per seed, making every column a
+  bit-exact pure function of its seed alone (the contract the serving
+  cache's bit-exactness relies on);
+* ``"batched"`` — the whole batch as one GEMM with the identity
+  scattered in afterwards; much higher column throughput at large
+  ``|Q|``, with columns within :func:`batched_query_atol` of exact.
+
 Total: ``O(r(m + n(r + |Q|)))`` time and ``O(rn)`` memory (Theorem 3.7),
 with output identical to the CSR-NI baseline at equal rank
 (Theorems 3.1–3.5 are exact identities, not approximations).
@@ -27,7 +36,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.core.base import QueryLike, SimilarityEngine
-from repro.core.config import CSRPlusConfig
+from repro.core.config import QUERY_MODES, CSRPlusConfig
 from repro.core.memory import sparse_nbytes
 from repro.errors import InvalidParameterError, NotPreparedError, QueryError
 from repro.graphs.digraph import DiGraph
@@ -38,7 +47,23 @@ from repro.linalg.stein import (
 )
 from repro.linalg.svd import truncated_svd
 
-__all__ = ["CSRPlusIndex"]
+__all__ = ["CSRPlusIndex", "batched_query_atol"]
+
+
+def batched_query_atol(rank: int, dtype) -> float:
+    """Tolerance bound between batched-GEMM and per-seed-GEMV columns.
+
+    A batched ``Z @ (U[Q,:])^T`` product and the per-seed GEMV compute
+    the same length-``r`` inner products in different summation orders,
+    so each entry can differ by at most ~``r`` accumulated roundings of
+    values bounded by ``||Z_x|| * ||U_q|| <= 1/(1-c)``.  The bound used
+    throughout (tests, serving contract, docs) is
+
+        ``atol = 64 * r * eps(dtype)``
+
+    — a ~20x safety factor over the worst case observed in practice.
+    """
+    return 64.0 * max(1, int(rank)) * float(np.finfo(np.dtype(dtype)).eps)
 
 
 class CSRPlusIndex(SimilarityEngine):
@@ -152,17 +177,17 @@ class CSRPlusIndex(SimilarityEngine):
     # ------------------------------------------------------------------
     # online phase (Algorithm 1, line 7)
     # ------------------------------------------------------------------
-    def query_columns(self, seeds) -> np.ndarray:
-        """Per-seed similarity columns, each evaluated independently.
+    def query_columns(self, seeds, mode: Optional[str] = None) -> np.ndarray:
+        """Similarity columns ``[S]_{*, seeds[j]}``, per-seed or batched.
 
         Column ``j`` is ``c * Z @ U[seeds[j], :]`` with ``1`` added at
         row ``seeds[j]`` — exactly ``[S]_{*, seeds[j]}`` by Theorem 3.5,
         which shows every output column depends only on its own seed.
 
-        This is the *canonical* evaluation of a column: each one is a
-        separate matrix-vector product, never part of a batched GEMM.
-        BLAS GEMM results for one column vary bitwise with the batch
-        width (a 1-column product dispatches to GEMV, and blocking
+        ``mode="exact"`` is the *canonical* evaluation of a column: each
+        one is a separate matrix-vector product, never part of a batched
+        GEMM.  BLAS GEMM results for one column vary bitwise with the
+        batch width (a 1-column product dispatches to GEMV, and blocking
         differs with shape), so a batched product would make a column's
         bits depend on which other seeds happened to share the batch.
         Evaluating per column makes the result a pure function of the
@@ -172,11 +197,21 @@ class CSRPlusIndex(SimilarityEngine):
         this same primitive, so cached and direct answers are
         ``np.array_equal``.
 
+        ``mode="batched"`` evaluates the whole batch as one
+        ``c * Z @ (U[seeds,:])^T`` GEMM with the identity scattered in —
+        the literal Theorem 3.5 formula.  Far higher column throughput
+        at large ``len(seeds)``, but a column's bits now depend on its
+        batch-mates; every entry stays within
+        ``batched_query_atol(rank, dtype)`` of the exact evaluation.
+
         Parameters
         ----------
         seeds:
             Integer node ids; may be empty.  Duplicates are honoured
             (one column per entry, in order).
+        mode:
+            ``"exact"``, ``"batched"``, or ``None`` (default) to use
+            ``self.config.query_mode``.
 
         Returns
         -------
@@ -186,6 +221,12 @@ class CSRPlusIndex(SimilarityEngine):
         self._require_prepared()
         if self._z is None or self._u is None:
             raise NotPreparedError("CSR+ factors missing; prepare() did not run")
+        if mode is None:
+            mode = self.config.query_mode
+        if mode not in QUERY_MODES:
+            raise InvalidParameterError(
+                f"query mode must be one of {QUERY_MODES}, got {mode!r}"
+            )
         seed_ids = np.asarray(seeds, dtype=np.int64).ravel()
         n = self.num_nodes
         if seed_ids.size and (seed_ids.min() < 0 or seed_ids.max() >= n):
@@ -193,6 +234,8 @@ class CSRPlusIndex(SimilarityEngine):
                 f"seed ids must be in [0, {n}), got range "
                 f"[{seed_ids.min()}, {seed_ids.max()}]"
             )
+        if mode == "batched":
+            return self._query_columns_batched(seed_ids)
         out = np.empty((n, seed_ids.size), dtype=self._z.dtype, order="F")
         for j, seed in enumerate(seed_ids):
             column = self.damping * (self._z @ self._u[int(seed), :])
@@ -200,16 +243,30 @@ class CSRPlusIndex(SimilarityEngine):
             out[:, j] = column
         return out
 
+    def _query_columns_batched(self, seed_ids: np.ndarray) -> np.ndarray:
+        """One GEMM for the whole batch (validated ids, factors present)."""
+        n = self.num_nodes
+        out = np.empty((n, seed_ids.size), dtype=self._z.dtype, order="F")
+        if seed_ids.size:
+            # U[seeds,:] is a |Q| x r gather (small); the n x |Q| product
+            # lands straight in the Fortran-ordered output block.
+            np.matmul(self._z, self._u[seed_ids, :].T, out=out)
+            out *= self.damping
+            out[seed_ids, np.arange(seed_ids.size)] += 1.0
+        return out
+
     def _query_impl(self, query_ids: np.ndarray) -> np.ndarray:
         if self._z is None or self._u is None:
             raise NotPreparedError("CSR+ factors missing; prepare() did not run")
         n = self.num_nodes
         num_queries = query_ids.size
-        self.memory.require("query/S", n * num_queries * 8)
+        self.memory.require(
+            "query/S", n * num_queries * self._z.dtype.itemsize
+        )
 
-        # [S]_{*,Q} = [I_n]_{*,Q} + c * Z * (U[Q, :])^T, evaluated one
-        # column per distinct seed (see query_columns) and scattered to
-        # duplicate positions.
+        # [S]_{*,Q} = [I_n]_{*,Q} + c * Z * (U[Q, :])^T, evaluated once
+        # per distinct seed (per-seed GEMV or one GEMM, per the
+        # configured query_mode) and scattered to duplicate positions.
         unique_ids, inverse = np.unique(query_ids, return_inverse=True)
         result = self.query_columns(unique_ids)
         if unique_ids.size != num_queries or not np.array_equal(
@@ -289,11 +346,18 @@ class CSRPlusIndex(SimilarityEngine):
             p_matrix, iterations = solve_stein_direct(self._h, damping), 0
         sibling.stein_iterations = iterations
         sps = (self._sigma[:, np.newaxis] * p_matrix) * self._sigma[np.newaxis, :]
+        # prepare()'s dtype policy: compute Z in float64, cast only the
+        # retained factor.  Without the upcast a float32 index would
+        # promote U @ sps to float64 and keep it — a sibling whose query
+        # dtype (and ledger) diverges from a freshly prepared one.
+        z_matrix = self._u.astype(np.float64, copy=False) @ sps
+        if cfg.dtype == "float32":
+            z_matrix = z_matrix.astype(np.float32)
         sibling._u = self._u  # shared, read-only
         sibling._sigma = self._sigma
         sibling._h = self._h
         sibling._p = p_matrix
-        sibling._z = self._u @ sps
+        sibling._z = z_matrix
         sibling.memory.charge("precompute/U", self._u.nbytes)
         sibling.memory.charge("precompute/Sigma", self._sigma.nbytes)
         sibling.memory.charge("precompute/H", self._h.nbytes)
@@ -342,9 +406,9 @@ class CSRPlusIndex(SimilarityEngine):
             p_small, iterations = solve_stein_direct(h_small, cfg.damping), 0
         sibling.stein_iterations = iterations
         sps = (sigma_small[:, np.newaxis] * p_small) * sigma_small[np.newaxis, :]
-        z_small = (u_small.astype(np.float64) @ sps)
+        z_small = u_small.astype(np.float64, copy=False) @ sps
         if cfg.dtype == "float32":
-            u_small = u_small.astype(np.float32)
+            u_small = u_small.astype(np.float32, copy=False)
             z_small = z_small.astype(np.float32)
         sibling._u = u_small
         sibling._sigma = sigma_small
@@ -436,6 +500,7 @@ class CSRPlusIndex(SimilarityEngine):
             damping=np.float64(self.damping),
             rank=np.int64(self.config.rank),
             epsilon=np.float64(self.config.epsilon),
+            stein_iterations=np.int64(self.stein_iterations),
         )
 
     @classmethod
@@ -462,9 +527,13 @@ class CSRPlusIndex(SimilarityEngine):
             index._sigma = data["sigma"]
             index._h = data["h"] if "h" in data else None
             index._p = data["p"]
+            if "stein_iterations" in data:  # absent in pre-1.x files
+                index.stein_iterations = int(data["stein_iterations"])
         index.memory.charge("precompute/U", index._u.nbytes)
         index.memory.charge("precompute/Z", index._z.nbytes)
         index.memory.charge("precompute/Sigma", index._sigma.nbytes)
         index.memory.charge("precompute/P", index._p.nbytes)
+        if index._h is not None:
+            index.memory.charge("precompute/H", index._h.nbytes)
         index._prepared = True
         return index

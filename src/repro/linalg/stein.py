@@ -127,8 +127,11 @@ def solve_stein_squaring(
         # The loop in Algorithm 1 runs while k <= bound, i.e. bound+1 times.
         with obs.span("stein.iteration", solver="squaring", k=k):
             p = p + c_pow * (h_k @ p @ h_k.T)
-            h_k = h_k @ h_k
-            c_pow = c_pow * c_pow
+            if k < steps:
+                # the final H_k / c_pow are never read again; skip the
+                # trailing O(r^3) squaring GEMM
+                h_k = h_k @ h_k
+                c_pow = c_pow * c_pow
     return p, steps + 1
 
 

@@ -34,7 +34,13 @@ from repro.serving.cache import ColumnCache
 from repro.serving.registry import IndexRegistry
 from repro.serving.results import BatchResult, RequestOutcome
 from repro.serving.retry import Retrier, RetryPolicy
-from repro.serving.scheduler import BatchPlan, chunk_seeds, plan_batch
+from repro.serving.scheduler import (
+    GEMM_MIN_CHUNK,
+    BatchPlan,
+    chunk_seeds,
+    effective_chunk_size,
+    plan_batch,
+)
 from repro.serving.service import CoSimRankService
 from repro.serving.stats import ServingStats
 
@@ -46,6 +52,8 @@ __all__ = [
     "BatchPlan",
     "plan_batch",
     "chunk_seeds",
+    "effective_chunk_size",
+    "GEMM_MIN_CHUNK",
     "SeedBudget",
     "RetryPolicy",
     "Retrier",

@@ -19,7 +19,19 @@ import numpy as np
 from repro.core.base import QueryLike, normalize_queries
 from repro.errors import InvalidParameterError
 
-__all__ = ["BatchPlan", "plan_batch", "chunk_seeds"]
+__all__ = [
+    "BatchPlan",
+    "plan_batch",
+    "chunk_seeds",
+    "effective_chunk_size",
+    "GEMM_MIN_CHUNK",
+]
+
+#: Minimum worker-chunk width in batched query mode.  A batched
+#: ``Z @ (U[Q,:])^T`` product narrower than this wastes the GEMM's
+#: blocking (the kernel's advantage over per-seed GEMV only
+#: materialises at |Q| ≳ 64); exact mode is width-indifferent.
+GEMM_MIN_CHUNK = 64
 
 
 @dataclass(frozen=True)
@@ -70,13 +82,34 @@ def plan_batch(requests: Sequence[QueryLike], num_nodes: int) -> BatchPlan:
     return BatchPlan(request_ids=request_ids, unique_seeds=unique_seeds)
 
 
+def effective_chunk_size(chunk_size: int, query_mode: str = "exact") -> int:
+    """Worker-chunk width tuned for the query mode's kernel shape.
+
+    ``"exact"`` mode evaluates one GEMV per seed, so the configured
+    ``chunk_size`` is purely a scheduling granularity and passes
+    through unchanged.  ``"batched"`` mode evaluates each chunk as one
+    GEMM whose width *is* the chunk size; chunks are widened to at
+    least :data:`GEMM_MIN_CHUNK` columns so the kernel amortises its
+    blocking (narrower chunks would pay GEMM overheads at GEMV speed).
+    """
+    if chunk_size < 1:
+        raise InvalidParameterError(
+            f"chunk_size must be >= 1, got {chunk_size}"
+        )
+    if query_mode == "batched":
+        return max(int(chunk_size), GEMM_MIN_CHUNK)
+    return int(chunk_size)
+
+
 def chunk_seeds(seeds: Sequence[int], chunk_size: int) -> List[np.ndarray]:
     """Split a miss list into contiguous chunks of at most ``chunk_size``.
 
-    Chunking only affects *scheduling* granularity, never values:
-    columns are evaluated per seed (see
+    In exact query mode, chunking only affects *scheduling* granularity,
+    never values: columns are evaluated per seed (see
     :meth:`~repro.core.index.CSRPlusIndex.query_columns`), so any
-    chunking of the same miss set yields bit-identical columns.
+    chunking of the same miss set yields bit-identical columns.  In
+    batched mode a chunk is one GEMM, so the chunking *is* the batch
+    structure — size chunks with :func:`effective_chunk_size`.
     """
     if chunk_size < 1:
         raise InvalidParameterError(

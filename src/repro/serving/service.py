@@ -14,15 +14,26 @@ behalf of many callers:
 4. **compute** — cache misses are split into chunks and evaluated with
    :meth:`~repro.core.index.CSRPlusIndex.query_columns`, optionally in
    parallel on a ``ThreadPoolExecutor`` (NumPy's BLAS releases the GIL
-   during the matrix-vector products, so threads give real speedup);
+   during the matrix products, so threads give real speedup);
 5. **assemble** — each request's ``n x |Q|`` block is scattered
    together from the column map.
 
-Exactness: because a column is a pure, batch-independent function of
-its seed (Theorem 3.5 + per-column evaluation in ``query_columns``),
-the service's output is ``np.array_equal`` to calling
-``index.query(request)`` directly — for a cold cache, a warm cache, a
-tiny cache mid-eviction, or no cache at all.
+Exactness (``query_mode="exact"``, the default): because a column is a
+pure, batch-independent function of its seed (Theorem 3.5 + per-column
+evaluation in ``query_columns``), the service's output is
+``np.array_equal`` to calling ``index.query(request)`` directly — for
+a cold cache, a warm cache, a tiny cache mid-eviction, or no cache at
+all.
+
+Batched fast path (``query_mode="batched"``): each miss chunk is
+evaluated as one ``Z @ (U[Q,:])^T`` GEMM — far higher column
+throughput under heavy multi-source traffic — and the cache stores the
+batch-computed columns under a *tolerance-equivalence* contract
+instead of the bit-exact one: every served entry is within
+:func:`~repro.core.index.batched_query_atol` of the exact value, and a
+cache hit replays the exact bytes of the first computation (serving
+stays deterministic per cache state, but a column's bits depend on
+which seeds shared its first chunk).  See docs/serving.md.
 
 Robustness (docs/robustness.md): the same per-seed independence means
 a batch has no shared fate.  A worker chunk that throws is degraded to
@@ -75,7 +86,8 @@ from repro.obs.tracing import Span, Tracer
 from repro.serving.admission import SeedBudget
 from repro.serving.cache import ColumnCache
 from repro.serving.results import BatchResult, RequestOutcome
-from repro.serving.scheduler import chunk_seeds, plan_batch
+from repro.core.config import QUERY_MODES
+from repro.serving.scheduler import chunk_seeds, effective_chunk_size, plan_batch
 from repro.serving.stats import ServingStats
 from repro.testing import faults
 
@@ -106,10 +118,21 @@ class CoSimRankService:
         ``os.cpu_count()``; ``1`` computes misses serially on the
         calling thread (no executor is ever created).
     chunk_size:
-        Misses handed to one worker task at a time.  Scheduling
-        granularity only — results never depend on it.  It is also the
-        cancellation granularity for deadlines and the blast radius of
-        a worker failure before per-seed isolation kicks in.
+        Misses handed to one worker task at a time.  In exact mode this
+        is scheduling granularity only — results never depend on it.
+        It is also the cancellation granularity for deadlines and the
+        blast radius of a worker failure before per-seed isolation
+        kicks in.  In batched mode each chunk is one GEMM, so chunks
+        are widened to at least
+        :data:`~repro.serving.scheduler.GEMM_MIN_CHUNK` columns (see
+        :func:`~repro.serving.scheduler.effective_chunk_size`) and the
+        chunking determines which seeds share a product.
+    query_mode:
+        ``"exact"``, ``"batched"``, or ``None`` (default) to inherit
+        the index's ``config.query_mode``.  Exact serves bit-exact
+        columns; batched computes whole miss chunks as single GEMMs and
+        serves/caches them under the tolerance-equivalence contract
+        (module docstring above).
     max_inflight_seeds:
         Admission-control budget: the maximum number of distinct seed
         columns allowed in flight across all concurrent batches.
@@ -160,6 +183,7 @@ class CoSimRankService:
         cache_columns: int = 1024,
         max_workers: Optional[int] = None,
         chunk_size: int = 64,
+        query_mode: Optional[str] = None,
         max_inflight_seeds: Optional[int] = None,
         cache_validate: bool = False,
         registry: Optional[MetricsRegistry] = None,
@@ -176,6 +200,11 @@ class CoSimRankService:
             raise InvalidParameterError(
                 f"chunk_size must be >= 1, got {chunk_size}"
             )
+        if query_mode is not None and query_mode not in QUERY_MODES:
+            raise InvalidParameterError(
+                f"query_mode must be one of {QUERY_MODES} (or None to "
+                f"inherit the index's), got {query_mode!r}"
+            )
         if slow_query_seconds is not None and slow_query_seconds <= 0:
             raise InvalidParameterError(
                 f"slow_query_seconds must be > 0 (or None to disable), "
@@ -187,7 +216,8 @@ class CoSimRankService:
             )
         index.prepare()
         self.index = index
-        self.chunk_size = int(chunk_size)
+        self.query_mode = query_mode or index.config.query_mode
+        self.chunk_size = effective_chunk_size(chunk_size, self.query_mode)
         self.max_workers = int(max_workers or (os.cpu_count() or 1))
         self.slow_query_seconds = slow_query_seconds
         self._clock = clock
@@ -275,6 +305,14 @@ class CoSimRankService:
             "csrplus_serve_slow_batches_total",
             "Batches slower than the slow-query threshold",
         )
+        # info-style gauge: scrapes (and regressions) can attribute this
+        # service's numbers to the mode that produced them
+        self._m_query_mode = reg.gauge(
+            "csrplus_serve_query_mode",
+            "Active column evaluation strategy (1 for the mode in use)",
+            labels={"mode": self.query_mode},
+        )
+        self._m_query_mode.set(1)
 
     # ------------------------------------------------------------------
     # serving entry points
@@ -349,6 +387,7 @@ class CoSimRankService:
                 plan = plan_batch(requests, self.index.num_nodes)
             batch_span.set_attribute("requests", plan.num_requests)
             batch_span.set_attribute("unique_seeds", int(plan.unique_seeds.size))
+            batch_span.set_attribute("query_mode", self.query_mode)
 
             n_seeds = int(plan.unique_seeds.size)
             if not self._budget.try_acquire(n_seeds):
@@ -366,7 +405,9 @@ class CoSimRankService:
                 num_hits = len(hit_columns)
 
                 with tracer.span(
-                    "serve.compute", misses=len(missing)
+                    "serve.compute",
+                    misses=len(missing),
+                    query_mode=self.query_mode,
                 ) as compute_span:
                     fresh, failures, cancelled, retries = self._compute_missing(
                         missing, compute_span, deadline_at
@@ -450,7 +491,10 @@ class CoSimRankService:
                     faults.fire(
                         "compute.chunk", seeds=[int(s) for s in chunk]
                     )
-                    return ("ok", self.index.query_columns(chunk))
+                    return (
+                        "ok",
+                        self.index.query_columns(chunk, mode=self.query_mode),
+                    )
                 except Exception as exc:  # isolated below, per seed
                     return ("error", exc)
 
@@ -486,9 +530,12 @@ class CoSimRankService:
                 ):
                     try:
                         faults.fire("compute.chunk", seeds=[seed])
-                        columns[seed] = (
-                            self.index.query_columns([seed])[:, 0].copy()
-                        )
+                        # isolation retries are single-seed, where the
+                        # batched GEMM degenerates to the exact GEMV —
+                        # use exact so a retried column is canonical
+                        columns[seed] = self.index.query_columns(
+                            [seed], mode="exact"
+                        )[:, 0].copy()
                     except Exception as exc:
                         error = ColumnComputeFailed(
                             seed, str(exc) or type(exc).__name__
@@ -677,5 +724,6 @@ class CoSimRankService:
         return (
             f"CoSimRankService(n={self.index.num_nodes}, "
             f"cache_columns={self._cache.capacity}, "
-            f"max_workers={self.max_workers}, chunk_size={self.chunk_size})"
+            f"max_workers={self.max_workers}, chunk_size={self.chunk_size}, "
+            f"query_mode={self.query_mode!r})"
         )

@@ -49,6 +49,24 @@ class TestFactorSizes:
         live = index.memory.live_breakdown()
         assert live["query/S"] == 8 * graph.num_nodes * 13
 
+    def test_float32_query_preflight_uses_itemsize(self):
+        """Regression: the query/S pre-flight check must use the index
+        dtype's itemsize, not a hardcoded 8 bytes — a float32 index
+        under a budget sized for its real 4-byte blocks was spuriously
+        shed with MemoryBudgetExceeded."""
+        graph = erdos_renyi(300, 1500, seed=83)
+        index = CSRPlusIndex(graph, rank=5, dtype="float32").prepare()
+        num_queries = 13
+        block_bytes = 4 * graph.num_nodes * num_queries
+        # budget admits the float32 block but not a float64-sized one
+        index.memory.budget_bytes = (
+            index.memory.current_bytes + block_bytes + 100
+        )
+        block = index.query(list(range(num_queries)))
+        assert block.dtype == np.float32
+        live = index.memory.live_breakdown()
+        assert live["query/S"] == block_bytes
+
 
 class TestScalingLaws:
     def test_peak_memory_linear_in_rank(self):

@@ -58,6 +58,25 @@ class TestRebuildForDamping:
             chained.query([1]), fresh.query([1]), atol=1e-10
         )
 
+    def test_float32_rebuild_matches_fresh(self):
+        """Regression: a float32 sibling must apply prepare()'s dtype
+        policy — Z computed in float64 from the stored U, then cast —
+        not inherit a float64 Z built from the degraded float32 U."""
+        graph = chung_lu(120, 600, seed=93)
+        base = CSRPlusIndex(graph, rank=8, damping=0.6, dtype="float32").prepare()
+        rebuilt = base.rebuild_for_damping(0.8)
+        fresh = CSRPlusIndex(
+            graph, rank=8, damping=0.8, dtype="float32"
+        ).prepare()
+        assert rebuilt.factors[3].dtype == np.float32
+        assert rebuilt.query([0]).dtype == np.float32
+        np.testing.assert_allclose(
+            rebuilt.query([0, 5, 9]), fresh.query([0, 5, 9]), atol=1e-5
+        )
+        live_rebuilt = rebuilt.memory.live_breakdown()
+        live_fresh = fresh.memory.live_breakdown()
+        assert live_rebuilt["precompute/Z"] == live_fresh["precompute/Z"]
+
     def test_save_load_preserves_redamping_ability(self, base_index, tmp_path):
         path = tmp_path / "index.npz"
         base_index.save(path)

@@ -73,6 +73,21 @@ class TestQueryCommand:
         assert code == 1
         assert "error" in capsys.readouterr().err
 
+    def test_batched_query_mode(self, capsys):
+        code = main(
+            [
+                "query",
+                "--dataset", "P2P",
+                "--tier", "tiny",
+                "--queries", "1,2",
+                "--rank", "4",
+                "--top", "3",
+                "--query-mode", "batched",
+            ]
+        )
+        assert code == 0
+        assert "top-3 most similar to node 1" in capsys.readouterr().out
+
 
 class TestServeBatchCommand:
     @staticmethod
@@ -133,6 +148,40 @@ class TestServeBatchCommand:
         # pass 1 misses seeds {1..5}; pass 2 is fully warm
         assert stats["misses"] == 5
         assert stats["hits"] == 5
+        assert payload["query_mode"] == "exact"
+
+    def test_batched_mode_reported_and_serves(self, tmp_path, capsys):
+        import json
+
+        code = main(
+            [
+                "serve-batch",
+                "--dataset", "P2P",
+                "--tier", "tiny",
+                "--queries-file", self._write_queries(tmp_path),
+                "--rank", "4",
+                "--query-mode", "batched",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["query_mode"] == "batched"
+        assert payload["passes"][0]["columns"] == 7
+
+    def test_human_output_prints_mode(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve-batch",
+                "--dataset", "P2P",
+                "--tier", "tiny",
+                "--queries-file", self._write_queries(tmp_path),
+                "--rank", "4",
+                "--query-mode", "batched",
+            ]
+        )
+        assert code == 0
+        assert "mode=batched" in capsys.readouterr().out
 
     def test_registry_round_trip_answers_identically(self, tmp_path, capsys):
         """A registry-loaded index serves the same answers as in-memory."""

@@ -87,6 +87,65 @@ class TestSolverAgreement:
         np.testing.assert_allclose(p, np.eye(3))
 
 
+class _MatmulCounter(np.ndarray):
+    """ndarray that counts every ``@`` it participates in."""
+
+    count = [0]  # shared mutable cell; survives views/copies
+
+    def __matmul__(self, other):
+        type(self).count[0] += 1
+        return super().__matmul__(other)
+
+    def __rmatmul__(self, other):
+        type(self).count[0] += 1
+        return super().__rmatmul__(other)
+
+
+class TestSquaringGemmCount:
+    def test_trailing_squaring_gemm_skipped(self, monkeypatch):
+        """Regression: the final loop iteration must not square H_k and
+        c_pow one extra time — neither is read again, so the solver does
+        exactly 2 GEMMs per iteration for the P update plus one squaring
+        GEMM per non-final iteration: ``3 * (steps + 1) - 1`` total."""
+        import repro.linalg.stein as stein
+
+        h = _contraction(6, seed=8)
+        c, eps = 0.6, 1e-5
+        reference, _ = solve_stein_squaring(h, c, eps)
+
+        _MatmulCounter.count[0] = 0
+        monkeypatch.setattr(
+            stein,
+            "_check_inputs",
+            lambda h_in, c_in: np.asarray(h_in, dtype=np.float64).view(
+                _MatmulCounter
+            ),
+        )
+        counted, steps_plus_one = solve_stein_squaring(h, c, eps)
+        assert steps_plus_one == squaring_iteration_count(c, eps) + 1
+        assert _MatmulCounter.count[0] == 3 * steps_plus_one - 1
+        # the returned (P, steps) pair is untouched by the optimisation
+        np.testing.assert_array_equal(np.asarray(counted), reference)
+
+    def test_zero_steps_does_no_squaring(self, monkeypatch):
+        """steps == 0 (coarse epsilon): one P update, zero squarings."""
+        import repro.linalg.stein as stein
+
+        c, eps = 0.2, 0.5
+        assert squaring_iteration_count(c, eps) == 0
+        _MatmulCounter.count[0] = 0
+        monkeypatch.setattr(
+            stein,
+            "_check_inputs",
+            lambda h_in, c_in: np.asarray(h_in, dtype=np.float64).view(
+                _MatmulCounter
+            ),
+        )
+        _, steps_plus_one = solve_stein_squaring(_contraction(4, seed=9), c, eps)
+        assert steps_plus_one == 1
+        assert _MatmulCounter.count[0] == 2
+
+
 class TestValidation:
     def test_non_square_rejected(self):
         with pytest.raises(InvalidParameterError):

@@ -1,0 +1,130 @@
+"""Property: every index lifecycle path preserves ``prepare()``'s contract.
+
+``save→load``, ``rebuild_for_damping``, and ``truncate_to_rank`` all
+produce a "prepared" :class:`~repro.core.index.CSRPlusIndex` without
+running ``prepare()`` — historically the paths where dtype policy and
+memory-ledger discipline drifted.  For both ``float64`` and ``float32``
+configs, each derived index must agree with a freshly prepared one on:
+
+* **dtype** — retained factors (and query output) in the config dtype;
+* **layout** — ``query_columns`` output stays Fortran-contiguous;
+* **values** — queries match the fresh index within a dtype-scaled
+  tolerance (float64 paths reuse the identical SVD, so they agree to
+  ~1e-12; float32 paths recompute Z from the degraded stored U, so they
+  agree to ~float32 resolution);
+* **ledger** — the memory meter charges the same labels as
+  ``prepare()`` does for the retained factors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.index import CSRPlusIndex
+from repro.graphs.generators import chung_lu
+
+DTYPES = ("float64", "float32")
+
+#: Value-agreement tolerance per storage dtype (see module docstring).
+ATOL = {"float64": 1e-10, "float32": 1e-5}
+
+#: Ledger labels prepare() leaves live for the retained factors.
+FACTOR_LABELS = (
+    "precompute/U",
+    "precompute/Z",
+    "precompute/Sigma",
+    "precompute/P",
+    "precompute/H",
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu(180, 900, seed=41)
+
+
+def _fresh(graph, **overrides):
+    return CSRPlusIndex(graph, **overrides).prepare()
+
+
+def _assert_same_contract(derived, fresh, dtype, atol=None):
+    """dtype + layout + values + ledger agreement (module docstring)."""
+    expected = np.dtype(dtype)
+    for name, factor in zip("UZ", (derived.factors[0], derived.factors[3])):
+        assert factor.dtype == expected, f"{name} is {factor.dtype}"
+    seeds = [0, 7, derived.num_nodes - 1]
+    derived_block = derived.query_columns(seeds)
+    fresh_block = fresh.query_columns(seeds)
+    assert derived_block.dtype == expected
+    assert derived_block.flags.f_contiguous
+    np.testing.assert_allclose(
+        derived_block.astype(np.float64),
+        fresh_block.astype(np.float64),
+        rtol=0.0,
+        atol=ATOL[dtype] if atol is None else atol,
+    )
+    derived_live = derived.memory.live_breakdown()
+    fresh_live = fresh.memory.live_breakdown()
+    for label in FACTOR_LABELS:
+        assert derived_live.get(label) == fresh_live.get(label), label
+
+
+class TestSaveLoad:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_loaded_matches_fresh(self, graph, tmp_path, dtype):
+        fresh = _fresh(graph, rank=10, dtype=dtype)
+        path = tmp_path / "index.npz"
+        fresh.save(path)
+        loaded = CSRPlusIndex.load(path, graph)
+        _assert_same_contract(loaded, fresh, dtype)
+        # loaded factors are the saved bytes, not a recomputation
+        assert np.array_equal(loaded.factors[3], fresh.factors[3])
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_load_charges_h_and_restores_iterations(
+        self, graph, tmp_path, dtype
+    ):
+        fresh = _fresh(graph, rank=10, dtype=dtype)
+        path = tmp_path / "index.npz"
+        fresh.save(path)
+        loaded = CSRPlusIndex.load(path, graph)
+        live = loaded.memory.live_breakdown()
+        assert live["precompute/H"] == fresh.factors[2].shape[0] ** 2 * 8
+        assert loaded.stein_iterations == fresh.stein_iterations > 0
+
+
+class TestRebuildForDamping:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_rebuilt_matches_fresh(self, graph, dtype):
+        base = _fresh(graph, rank=10, damping=0.6, dtype=dtype)
+        rebuilt = base.rebuild_for_damping(0.8)
+        fresh = _fresh(graph, rank=10, damping=0.8, dtype=dtype)
+        _assert_same_contract(rebuilt, fresh, dtype)
+        assert rebuilt.stein_iterations == fresh.stein_iterations
+
+
+class TestTruncateToRank:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_truncated_matches_fresh(self, graph, dtype):
+        base = _fresh(graph, rank=20, dtype=dtype)
+        truncated = base.truncate_to_rank(6)
+        fresh = _fresh(graph, rank=6, dtype=dtype)
+        # the fresh rank-6 ARPACK run and the sliced rank-20 one agree
+        # only to SVD tolerance, not bitwise
+        _assert_same_contract(truncated, fresh, dtype, atol=1e-5)
+        assert truncated.stein_iterations == fresh.stein_iterations
+
+
+class TestChainedLifecycles:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_save_load_then_rebuild_then_truncate(self, graph, tmp_path, dtype):
+        """The paths compose: each hop preserves the full contract."""
+        base = _fresh(graph, rank=12, damping=0.6, dtype=dtype)
+        path = tmp_path / "chain.npz"
+        base.save(path)
+        chained = (
+            CSRPlusIndex.load(path, graph)
+            .rebuild_for_damping(0.5)
+            .truncate_to_rank(5)
+        )
+        fresh = _fresh(graph, rank=5, damping=0.5, dtype=dtype)
+        _assert_same_contract(chained, fresh, dtype, atol=1e-5)

@@ -3,10 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.core.index import CSRPlusIndex
+from repro.core.index import CSRPlusIndex, batched_query_atol
 from repro.errors import InvalidParameterError, QueryError
 from repro.serving import CoSimRankService
-from repro.serving.scheduler import BatchPlan, chunk_seeds, plan_batch
+from repro.serving.scheduler import (
+    GEMM_MIN_CHUNK,
+    BatchPlan,
+    chunk_seeds,
+    effective_chunk_size,
+    plan_batch,
+)
 
 
 @pytest.fixture
@@ -149,6 +155,61 @@ class TestValidation:
             assert np.array_equal(service.query([0]), index.query([0]))
 
 
+class TestQueryMode:
+    def test_default_mode_is_exact(self, index):
+        with CoSimRankService(index, max_workers=1) as service:
+            assert service.query_mode == "exact"
+            assert "query_mode='exact'" in repr(service)
+
+    def test_mode_inherited_from_index_config(self, small_er):
+        batched_index = CSRPlusIndex(
+            small_er, rank=6, query_mode="batched"
+        ).prepare()
+        with CoSimRankService(batched_index, max_workers=1) as service:
+            assert service.query_mode == "batched"
+
+    def test_explicit_mode_overrides_config(self, small_er):
+        batched_index = CSRPlusIndex(
+            small_er, rank=6, query_mode="batched"
+        ).prepare()
+        with CoSimRankService(
+            batched_index, max_workers=1, query_mode="exact"
+        ) as service:
+            assert service.query_mode == "exact"
+            assert np.array_equal(
+                service.query([0, 1]), batched_index.query_columns([0, 1], mode="exact")
+            )
+
+    def test_invalid_mode_rejected(self, index):
+        with pytest.raises(InvalidParameterError):
+            CoSimRankService(index, query_mode="turbo")
+
+    def test_batched_mode_widens_chunks(self, index):
+        with CoSimRankService(
+            index, max_workers=1, chunk_size=4, query_mode="batched"
+        ) as service:
+            assert service.chunk_size == GEMM_MIN_CHUNK
+        with CoSimRankService(
+            index, max_workers=1, chunk_size=4, query_mode="exact"
+        ) as service:
+            assert service.chunk_size == 4
+        with CoSimRankService(
+            index, max_workers=1, chunk_size=256, query_mode="batched"
+        ) as service:
+            assert service.chunk_size == 256
+
+    def test_batched_mode_serves_within_atol(self, index):
+        request = list(range(20))
+        exact = index.query_columns(request, mode="exact")
+        atol = batched_query_atol(index.config.rank, exact.dtype)
+        with CoSimRankService(
+            index, max_workers=1, cache_columns=0, query_mode="batched"
+        ) as service:
+            np.testing.assert_allclose(
+                service.query(request), exact, rtol=0.0, atol=atol
+            )
+
+
 class TestScheduler:
     def test_plan_batch_coalesces_and_sorts(self):
         plan = plan_batch([[3, 1], [1, 5]], num_nodes=10)
@@ -168,3 +229,12 @@ class TestScheduler:
         assert chunk_seeds([], 4) == []
         with pytest.raises(InvalidParameterError):
             chunk_seeds([1], 0)
+
+    def test_effective_chunk_size_per_mode(self):
+        assert effective_chunk_size(4) == 4
+        assert effective_chunk_size(4, "exact") == 4
+        assert effective_chunk_size(4, "batched") == GEMM_MIN_CHUNK
+        assert effective_chunk_size(GEMM_MIN_CHUNK, "batched") == GEMM_MIN_CHUNK
+        assert effective_chunk_size(200, "batched") == 200
+        with pytest.raises(InvalidParameterError):
+            effective_chunk_size(0, "batched")
