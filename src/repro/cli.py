@@ -7,7 +7,11 @@
     csrplus datasets
     csrplus query --dataset FB --tier small --queries 3,14,15 --rank 5 --top 10
     csrplus query --edge-list graph.txt --queries 0,1 --rank 8
+    csrplus shard-build --dataset FB --tier small --rank 5 --out fb.shards \
+        --num-shards 4
+    csrplus query --shards fb.shards --queries 3,14,15 --top 10
     csrplus serve-batch --dataset FB --tier small --queries-file q.txt --json
+    csrplus serve-batch --shards fb.shards --queries-file q.txt --json
     csrplus serve-batch --dataset FB --queries-file q.txt \
         --metrics-out metrics.prom --trace-out trace.json
     csrplus stats --metrics-file metrics.prom --trace-file trace.json
@@ -19,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional
@@ -66,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
     source = query.add_mutually_exclusive_group(required=True)
     source.add_argument("--dataset", choices=dataset_keys(), help="built-in stand-in")
     source.add_argument("--edge-list", help="path to a SNAP-style edge list")
+    source.add_argument(
+        "--shards", metavar="DIR",
+        help="serve from a sharded store built by 'csrplus shard-build' "
+        "(rank/damping come from its manifest; --rank/--damping are "
+        "ignored)",
+    )
     query.add_argument("--tier", choices=("tiny", "small", "bench"), default="small")
     query.add_argument(
         "--queries", required=True, help="comma-separated node ids, e.g. 3,14,15"
@@ -80,6 +91,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--top", type=int, default=10, help="rows to print per query")
 
+    shard = sub.add_parser(
+        "shard-build",
+        help="build a sharded on-disk index (out-of-core by default)",
+    )
+    shard_source = shard.add_mutually_exclusive_group(required=True)
+    shard_source.add_argument(
+        "--dataset", choices=dataset_keys(), help="built-in stand-in"
+    )
+    shard_source.add_argument("--edge-list", help="path to a SNAP-style edge list")
+    shard.add_argument("--tier", choices=("tiny", "small", "bench"), default="small")
+    shard.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="shard-store directory to create (manifest + .npy shards)",
+    )
+    shard.add_argument("--rank", type=int, default=5)
+    shard.add_argument("--damping", type=float, default=0.6)
+    shard.add_argument(
+        "--num-shards", type=int, default=4, metavar="K",
+        help="node-range shards to cut the factors into (clamped to n)",
+    )
+    shard.add_argument(
+        "--dtype", choices=("float64", "float32"), default="float64",
+        help="stored factor precision (compute is always float64)",
+    )
+    shard.add_argument(
+        "--block-rows", type=int, default=None, metavar="ROWS",
+        help="streaming block height for the out-of-core builder "
+        "(default: adaptive, <= 1/8 of n capped at 4096)",
+    )
+    shard.add_argument(
+        "--from-index", action="store_true",
+        help="prepare a monolithic index in RAM and slice it "
+        "(byte-identical shards) instead of the out-of-core build",
+    )
+    shard.add_argument(
+        "--overwrite", action="store_true",
+        help="replace an existing store at --out",
+    )
+    shard.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
     serve = sub.add_parser(
         "serve-batch",
         help="serve a file of multi-source requests through CoSimRankService",
@@ -89,6 +142,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--dataset", choices=dataset_keys(), help="built-in stand-in"
     )
     serve_source.add_argument("--edge-list", help="path to a SNAP-style edge list")
+    serve_source.add_argument(
+        "--shards", metavar="DIR",
+        help="serve from a sharded store built by 'csrplus shard-build' "
+        "(rank/damping come from its manifest; --rank/--damping and "
+        "--index-dir do not apply)",
+    )
     serve.add_argument(
         "--tier", choices=("tiny", "small", "bench"), default="small"
     )
@@ -239,28 +298,110 @@ def _cmd_datasets() -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    if args.dataset:
-        graph = load_dataset(args.dataset, args.tier)
-    else:
-        graph, _ = read_edge_list(args.edge_list)
     queries = [int(tok) for tok in args.queries.split(",") if tok.strip()]
-    config = CSRPlusConfig(
-        damping=args.damping,
-        rank=min(args.rank, graph.num_nodes),
-        query_mode=args.query_mode,
-    )
-    index = CSRPlusIndex(graph, config).prepare()
-    block = index.query(queries)
-    print(
-        f"graph: n={graph.num_nodes} m={graph.num_edges}  "
-        f"rank={config.rank} c={config.damping}  "
-        f"prepare={index.prepare_seconds:.3f}s query={index.last_query_seconds:.4f}s"
-    )
+    if args.shards:
+        from repro.sharding import ShardedIndex
+
+        with ShardedIndex(args.shards, query_mode=args.query_mode) as index:
+            started = time.perf_counter()
+            block = index.query(queries)
+            elapsed = time.perf_counter() - started
+            print(
+                f"store: n={index.num_nodes} shards={index.num_shards}  "
+                f"rank={index.rank} c={index.damping} "
+                f"dtype={index.dtype.name}  query={elapsed:.4f}s"
+            )
+    else:
+        if args.dataset:
+            graph = load_dataset(args.dataset, args.tier)
+        else:
+            graph, _ = read_edge_list(args.edge_list)
+        config = CSRPlusConfig(
+            damping=args.damping,
+            rank=min(args.rank, graph.num_nodes),
+            query_mode=args.query_mode,
+        )
+        index = CSRPlusIndex(graph, config).prepare()
+        block = index.query(queries)
+        print(
+            f"graph: n={graph.num_nodes} m={graph.num_edges}  "
+            f"rank={config.rank} c={config.damping}  "
+            f"prepare={index.prepare_seconds:.3f}s "
+            f"query={index.last_query_seconds:.4f}s"
+        )
     for col, q in enumerate(queries):
         order = block[:, col].argsort()[::-1][: args.top]
         print(f"\ntop-{args.top} most similar to node {q}:")
         for node in order:
             print(f"  {int(node):>10d}  {block[int(node), col]:.6f}")
+    return 0
+
+
+def _cmd_shard_build(args: argparse.Namespace) -> int:
+    from repro.core.memory import MemoryMeter
+    from repro.sharding import build_sharded_store, shard_index
+
+    graph = _load_graph(args)
+    config = CSRPlusConfig(
+        damping=args.damping,
+        rank=min(args.rank, graph.num_nodes),
+        dtype=args.dtype,
+    )
+    started = time.perf_counter()
+    if args.from_index:
+        index = CSRPlusIndex(graph, config).prepare()
+        store = shard_index(
+            index, args.out, num_shards=args.num_shards, overwrite=args.overwrite
+        )
+        peak_bytes = None
+    else:
+        meter = MemoryMeter()
+        store = build_sharded_store(
+            graph,
+            args.out,
+            num_shards=args.num_shards,
+            config=config,
+            block_rows=args.block_rows,
+            overwrite=args.overwrite,
+            memory=meter,
+        )
+        peak_bytes = meter.peak_bytes
+    elapsed = time.perf_counter() - started
+
+    manifest = store.manifest
+    shard_bytes = sum(
+        os.path.getsize(os.path.join(store.path, name))
+        for meta in manifest.shards
+        for name in (meta.z_file, meta.u_file)
+    )
+    payload = {
+        "path": store.path,
+        "builder": manifest.builder,
+        "num_nodes": manifest.num_nodes,
+        "num_edges": graph.num_edges,
+        "rank": manifest.rank,
+        "damping": manifest.damping,
+        "dtype": manifest.dtype,
+        "num_shards": manifest.num_shards,
+        "shard_rows": [meta.num_rows for meta in manifest.shards],
+        "store_bytes": shard_bytes,
+        "build_seconds": elapsed,
+        "peak_resident_bytes": peak_bytes,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"sharded store written to {store.path} ({manifest.builder}): "
+        f"n={manifest.num_nodes} rank={manifest.rank} c={manifest.damping} "
+        f"dtype={manifest.dtype}"
+    )
+    print(
+        f"shards: {manifest.num_shards} x ~{manifest.shards[0].num_rows} rows, "
+        f"{shard_bytes / 1e6:.2f} MB on disk, built in {elapsed:.3f}s"
+    )
+    if peak_bytes is not None:
+        print(f"peak resident (ledger): {peak_bytes / 1e6:.2f} MB")
     return 0
 
 
@@ -306,18 +447,32 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         logging.basicConfig(level=logging.WARNING)
 
     requests = _read_requests_file(args.queries_file)
-    graph = _load_graph(args)
-    config = CSRPlusConfig(
-        damping=args.damping, rank=min(args.rank, graph.num_nodes)
-    )
-    if args.index_dir:
-        source = args.dataset or "edgelist"
-        name = args.index_name or (
-            f"{source}-{args.tier}-r{config.rank}-c{config.damping}"
-        )
-        index = IndexRegistry(args.index_dir).get(name, graph, config)
+    if args.shards:
+        from repro.errors import InvalidParameterError
+        from repro.sharding import ShardedIndex
+
+        if args.index_dir:
+            raise InvalidParameterError(
+                "--index-dir does not apply with --shards (the store "
+                "directory already is the on-disk index)"
+            )
+        index = ShardedIndex(args.shards)
+        num_nodes, num_edges = index.num_nodes, None
+        config = index.config
     else:
-        index = CSRPlusIndex(graph, config).prepare()
+        graph = _load_graph(args)
+        num_nodes, num_edges = graph.num_nodes, graph.num_edges
+        config = CSRPlusConfig(
+            damping=args.damping, rank=min(args.rank, graph.num_nodes)
+        )
+        if args.index_dir:
+            source = args.dataset or "edgelist"
+            name = args.index_name or (
+                f"{source}-{args.tier}-r{config.rank}-c{config.damping}"
+            )
+            index = IndexRegistry(args.index_dir).get(name, graph, config)
+        else:
+            index = CSRPlusIndex(graph, config).prepare()
 
     passes = []
     slow_query_seconds = (
@@ -354,15 +509,23 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
                 entry["failed_requests"] = len(results) - len(served)
             passes.append(entry)
         stats = service.stats()
+    if args.shards:
+        index.close()
 
     if args.metrics_out:
         _write_metrics_dump(args.metrics_out, service)
     if args.trace_out:
         obs.get_tracer().write_json(args.trace_out)
 
+    # --partial trades typed errors for None holes; a non-zero exit is
+    # the only signal scripted callers have that the batch came back
+    # incomplete (deadline hit, shed, poisoned shard, ...).
+    failed_requests = sum(entry.get("failed_requests", 0) for entry in passes)
+    exit_code = 3 if args.partial and failed_requests else 0
+
     payload = {
-        "num_nodes": graph.num_nodes,
-        "num_edges": graph.num_edges,
+        "num_nodes": num_nodes,
+        "num_edges": num_edges,
         "rank": config.rank,
         "damping": config.damping,
         "requests": len(requests),
@@ -376,9 +539,10 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         payload["slow_batches"] = len(service.slow_queries())
     if args.json:
         print(json.dumps(payload, indent=2))
-        return 0
+        return exit_code
+    edges = "?" if num_edges is None else num_edges
     print(
-        f"graph: n={graph.num_nodes} m={graph.num_edges}  "
+        f"graph: n={num_nodes} m={edges}  "
         f"rank={config.rank} c={config.damping}  "
         f"requests={len(requests)} workers={service.max_workers} "
         f"mode={service.query_mode}"
@@ -414,7 +578,13 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         print(f"metrics written to {args.metrics_out}")
     if args.trace_out:
         print(f"trace written to {args.trace_out}")
-    return 0
+    if exit_code:
+        print(
+            f"warning: {failed_requests} request(s) failed across "
+            f"{len(passes)} pass(es); exiting {exit_code}",
+            file=sys.stderr,
+        )
+    return exit_code
 
 
 def _write_metrics_dump(path: str, service) -> None:
@@ -566,6 +736,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_datasets()
         if args.command == "query":
             return _cmd_query(args)
+        if args.command == "shard-build":
+            return _cmd_shard_build(args)
         if args.command == "serve-batch":
             return _cmd_serve_batch(args)
         if args.command == "stats":

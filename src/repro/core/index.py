@@ -15,9 +15,12 @@ Online multi-source query
 
 Two evaluation strategies implement that formula (``query_mode``):
 
-* ``"exact"`` (default) — one GEMV per seed, making every column a
-  bit-exact pure function of its seed alone (the contract the serving
-  cache's bit-exactness relies on);
+* ``"exact"`` (default) — one GEMV-shaped product per seed via the
+  partition-stable :func:`exact_column_product` kernel, making every
+  column a bit-exact pure function of its seed alone — and every
+  *entry* a pure function of its own ``Z`` row — the contracts the
+  serving cache's bit-exactness and the sharded backend's row-block
+  concatenation (:mod:`repro.sharding`) rely on;
 * ``"batched"`` — the whole batch as one GEMM with the identity
   scattered in afterwards; much higher column throughput at large
   ``|Q|``, with columns within :func:`batched_query_atol` of exact.
@@ -47,7 +50,24 @@ from repro.linalg.stein import (
 )
 from repro.linalg.svd import truncated_svd
 
-__all__ = ["CSRPlusIndex", "batched_query_atol"]
+__all__ = ["CSRPlusIndex", "batched_query_atol", "exact_column_product"]
+
+
+def exact_column_product(z_rows: np.ndarray, u_row: np.ndarray) -> np.ndarray:
+    """The canonical exact kernel: ``z_rows @ u_row`` with fixed-order sums.
+
+    ``np.einsum`` with ``optimize=False`` reduces each output row with
+    one sequential left-to-right accumulation, so the result for row
+    ``x`` depends only on ``z_rows[x]`` and ``u_row`` — never on which
+    other rows share the call.  BLAS GEMV does not have this property:
+    its blocked kernels produce different bits for 1–3-row slices than
+    for the full product, so a row-partitioned evaluation could not
+    reproduce the monolithic bytes.  Partition stability is what lets
+    :class:`~repro.sharding.ShardedIndex` concatenate per-shard results
+    into an answer ``np.array_equal`` to the monolithic one, for *any*
+    shard layout (docs/sharding.md).
+    """
+    return np.einsum("ij,j->i", z_rows, u_row)
 
 
 def batched_query_atol(rank: int, dtype) -> float:
@@ -185,16 +205,20 @@ class CSRPlusIndex(SimilarityEngine):
         which shows every output column depends only on its own seed.
 
         ``mode="exact"`` is the *canonical* evaluation of a column: each
-        one is a separate matrix-vector product, never part of a batched
-        GEMM.  BLAS GEMM results for one column vary bitwise with the
-        batch width (a 1-column product dispatches to GEMV, and blocking
-        differs with shape), so a batched product would make a column's
-        bits depend on which other seeds happened to share the batch.
-        Evaluating per column makes the result a pure function of the
-        seed alone, which is what lets the serving layer
-        (:mod:`repro.serving`) cache and reuse columns with bit-exact
-        results for every cache state.  :meth:`query` routes through
-        this same primitive, so cached and direct answers are
+        one is a separate :func:`exact_column_product` call, never part
+        of a batched GEMM.  BLAS GEMM results for one column vary
+        bitwise with the batch width (a 1-column product dispatches to
+        GEMV, and blocking differs with shape), so a batched product
+        would make a column's bits depend on which other seeds happened
+        to share the batch.  Evaluating per column makes the result a
+        pure function of the seed alone, which is what lets the serving
+        layer (:mod:`repro.serving`) cache and reuse columns with
+        bit-exact results for every cache state; the kernel's
+        *partition stability* additionally makes each entry a pure
+        function of its own ``Z`` row, which is what lets a sharded
+        backend (:mod:`repro.sharding`) concatenate per-shard row
+        blocks into the same bytes.  :meth:`query` routes through this
+        same primitive, so cached and direct answers are
         ``np.array_equal``.
 
         ``mode="batched"`` evaluates the whole batch as one
@@ -238,7 +262,9 @@ class CSRPlusIndex(SimilarityEngine):
             return self._query_columns_batched(seed_ids)
         out = np.empty((n, seed_ids.size), dtype=self._z.dtype, order="F")
         for j, seed in enumerate(seed_ids):
-            column = self.damping * (self._z @ self._u[int(seed), :])
+            column = self.damping * exact_column_product(
+                self._z, self._u[int(seed), :]
+            )
             column[seed] += 1.0
             out[:, j] = column
         return out
@@ -478,6 +504,21 @@ class CSRPlusIndex(SimilarityEngine):
     @property
     def rank(self) -> int:
         return self.config.rank
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Dtype of the retained query factors (after prepare).
+
+        Part of the backend surface the serving layer relies on
+        (alongside :meth:`query_columns`, ``num_nodes`` and ``config``)
+        so that backends without a monolithic ``Z`` — e.g.
+        :class:`~repro.sharding.ShardedIndex` — can stand in for this
+        class.
+        """
+        self._require_prepared()
+        if self._z is None:
+            raise NotPreparedError("CSR+ factors missing; prepare() did not run")
+        return self._z.dtype
 
     # ------------------------------------------------------------------
     # persistence

@@ -20,7 +20,8 @@ fall out of the same bookkeeping.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Union
 
 import numpy as np
 from scipy import sparse
@@ -123,6 +124,22 @@ class MemoryMeter:
     def release(self, label: str) -> None:
         """Drop a live label (freeing its bytes from the current total)."""
         self._live.pop(label, None)
+
+    @contextmanager
+    def charged(self, label: str, nbytes: int) -> Iterator[None]:
+        """Charge ``label`` for the block's duration, then release it.
+
+        The scoped form of :meth:`charge`/:meth:`release` for transient
+        arrays whose lifetime matches a code block — the out-of-core
+        shard builder (:mod:`repro.sharding.builder`) uses it so each
+        shard-sized buffer is on the ledger exactly while it is live,
+        making the builder's peak a faithful ~one-shard figure.
+        """
+        self.charge(label, nbytes)
+        try:
+            yield
+        finally:
+            self.release(label)
 
     def reset(self) -> None:
         """Forget everything, including the peak."""

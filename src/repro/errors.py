@@ -167,6 +167,30 @@ class IndexCorrupted(ReproError):
         super().__init__(f"index file {self.path!r} is corrupt: {self.reason}")
 
 
+class ShardCorrupted(ReproError):
+    """A persisted shard failed its manifest checksum or shape validation.
+
+    The shard-store analogue of :class:`IndexCorrupted`, but scoped to
+    a *single* node-range shard: the manifest records one sha256 per
+    shard over the raw array bytes, so corruption is localised and
+    :class:`~repro.serving.registry.IndexRegistry` can quarantine and
+    rebuild just the damaged shard instead of the whole store
+    (docs/sharding.md).  Also raised by
+    :class:`~repro.sharding.ShardedIndex` when a shard read stays bad
+    after its retry budget — a poisoned shard degrades to this typed
+    error, never to silently wrong rows.
+    """
+
+    def __init__(self, path: str, shard: int, reason: str):
+        self.path = str(path)
+        self.shard = int(shard)
+        self.reason = str(reason)
+        super().__init__(
+            f"shard {self.shard} of store {self.path!r} is corrupt: "
+            f"{self.reason}"
+        )
+
+
 class ColumnComputeFailed(ReproError):
     """A seed column could not be computed even after per-seed isolation.
 

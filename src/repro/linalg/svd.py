@@ -26,7 +26,7 @@ from scipy.sparse.linalg import svds
 
 from repro.errors import DecompositionError, InvalidParameterError
 
-__all__ = ["TruncatedSVD", "truncated_svd"]
+__all__ = ["TruncatedSVD", "truncated_svd", "uses_dense_fallback"]
 
 Matrix = Union[np.ndarray, sparse.spmatrix]
 
@@ -60,6 +60,18 @@ def _canonicalize_signs(u: np.ndarray, v: np.ndarray) -> Tuple[np.ndarray, np.nd
     signs = np.sign(u[pivot, np.arange(u.shape[1])])
     signs[signs == 0] = 1.0
     return u * signs, v * signs
+
+
+def uses_dense_fallback(shape: Tuple[int, int], rank: int) -> bool:
+    """Whether :func:`truncated_svd` would take the dense-LAPACK path.
+
+    Exposed so callers that must *mirror* this function's branch — the
+    out-of-core shard builder re-derives the same factors with
+    ``return_singular_vectors="vh"`` to avoid materialising ``U`` — can
+    stay in lockstep with it instead of duplicating the condition.
+    """
+    min_dim = min(shape)
+    return (rank >= min_dim - 1) or (min_dim <= 64)
 
 
 def truncated_svd(matrix: Matrix, rank: int, seed: int = 0) -> TruncatedSVD:
@@ -96,7 +108,7 @@ def truncated_svd(matrix: Matrix, rank: int, seed: int = 0) -> TruncatedSVD:
             f"rank must be in [1, {min_dim}] for shape {shape}, got {rank}"
         )
 
-    use_dense = (rank >= min_dim - 1) or (min_dim <= 64)
+    use_dense = uses_dense_fallback(shape, rank)
     if use_dense:
         dense = matrix.toarray() if sparse.issparse(matrix) else matrix
         try:

@@ -27,6 +27,18 @@ Robustness (docs/robustness.md):
   degrading corruption to a slow start;
 * every failure path counts in ``csrplus_registry_*`` metrics on the
   process-global :func:`repro.obs.get_registry` (or an injected one).
+
+Sharded stores (docs/sharding.md): :meth:`get_sharded` resolves a
+``<root>/<name>.shards/`` directory the same three-tier way, but with
+*shard-grained* integrity: the manifest's own sha256 sidecar condemns
+only the manifest, and each shard is verified against the per-shard
+digests recorded inside it — a single corrupt shard is quarantined and
+deterministically regenerated in place
+(:func:`~repro.sharding.builder.rebuild_shards`, counted in
+``csrplus_registry_shard_repairs_total``) while the other shards'
+files are never rewritten.  Only an unusable manifest (or a rebuild
+that fails to reproduce the recorded digests) condemns the whole
+store.
 """
 
 from __future__ import annotations
@@ -42,7 +54,12 @@ from typing import Callable, Dict, List, Optional, Union
 
 from repro.core.config import CSRPlusConfig
 from repro.core.index import CSRPlusIndex
-from repro.errors import IndexCorrupted, InvalidParameterError, RetryableError
+from repro.errors import (
+    IndexCorrupted,
+    InvalidParameterError,
+    RetryableError,
+    ShardCorrupted,
+)
 from repro.graphs.digraph import DiGraph
 from repro.obs.metrics import MetricsRegistry
 from repro.serving.retry import Retrier, RetryPolicy
@@ -104,6 +121,7 @@ class IndexRegistry:
         os.makedirs(self.root, exist_ok=True)
         self._lock = threading.RLock()
         self._indexes: Dict[str, CSRPlusIndex] = {}
+        self._sharded: Dict[str, object] = {}  # name -> ShardedIndex
         if metrics is None:
             import repro.obs as obs
 
@@ -119,6 +137,10 @@ class IndexRegistry:
         self._m_rebuilds = metrics.counter(
             "csrplus_registry_rebuilds_total",
             "Indexes re-prepared because their saved file was unusable",
+        )
+        self._m_shard_repairs = metrics.counter(
+            "csrplus_registry_shard_repairs_total",
+            "Single shards quarantined and regenerated inside a store",
         )
         self.retrier = Retrier(
             retry_policy if retry_policy is not None else RetryPolicy(),
@@ -224,6 +246,146 @@ class IndexRegistry:
             self._indexes[name] = index
             return index
 
+    # ------------------------------------------------------------------
+    # sharded stores (shard-grained integrity + repair)
+    # ------------------------------------------------------------------
+    def shard_store_path_for(self, name: str) -> str:
+        """The ``.shards`` directory backing ``name`` (validates the name)."""
+        if not _NAME_RE.match(name):
+            raise InvalidParameterError(
+                "index names must match [A-Za-z0-9][A-Za-z0-9._-]* "
+                f"(got {name!r})"
+            )
+        return os.path.join(self.root, f"{name}.shards")
+
+    def get_sharded(
+        self,
+        name: str,
+        graph: DiGraph,
+        config: Optional[CSRPlusConfig] = None,
+        *,
+        num_shards: int = 4,
+        max_workers: Optional[int] = None,
+        query_mode: Optional[str] = None,
+        validate_reads: bool = False,
+        **overrides,
+    ):
+        """A ready :class:`~repro.sharding.ShardedIndex` for ``name``.
+
+        Resolution mirrors :meth:`get` — memory, then the on-disk
+        ``<root>/<name>.shards/`` store, then an out-of-core build
+        (:func:`~repro.sharding.builder.build_sharded_store`) — but the
+        disk tier verifies *per shard*: every shard file is re-hashed
+        against the manifest digests, and corrupt or missing shards are
+        quarantined and deterministically regenerated **individually**
+        (``csrplus_registry_shard_repairs_total``), leaving healthy
+        shards' files untouched.  Only an unusable manifest, or a
+        repair whose bytes no longer reproduce the manifest digests
+        (the graph or config changed under the store), quarantines the
+        whole directory and triggers a full rebuild
+        (``csrplus_registry_rebuilds_total``).
+        """
+        from repro.sharding import ShardedIndex, ShardStore
+        from repro.sharding.builder import build_sharded_store, rebuild_shards
+
+        path = self.shard_store_path_for(name)
+        with self._lock:
+            sharded = self._sharded.get(name)
+            if sharded is not None:
+                return sharded
+            store: Optional[ShardStore] = None
+            if os.path.exists(os.path.join(path, "manifest.json")):
+                faults.fire("registry.load", path=path)
+                try:
+                    store = ShardStore(path)
+                except ShardCorrupted as exc:
+                    self._m_corrupt.inc()
+                    self._m_rebuilds.inc()
+                    logger.warning(
+                        "quarantining shard store %r (bad manifest) and "
+                        "rebuilding: %s", path, exc,
+                    )
+                    self._quarantine_store(path)
+                    store = None
+                if store is not None:
+                    store = self._repair_shards(store, graph, rebuild_shards)
+            if store is None:
+                store = build_sharded_store(
+                    graph,
+                    path,
+                    num_shards=num_shards,
+                    config=config,
+                    overwrite=True,
+                    **overrides,
+                )
+            sharded = ShardedIndex(
+                store,
+                query_mode=query_mode,
+                max_workers=max_workers,
+                validate_reads=validate_reads,
+            )
+            self._sharded[name] = sharded
+            return sharded
+
+    def _repair_shards(self, store, graph: DiGraph, rebuild_shards):
+        """Verify every shard; regenerate the bad ones in place.
+
+        Returns the (possibly repaired) store, or ``None`` when repair
+        is impossible and the whole store was quarantined.
+        """
+        bad = []
+        for i in range(store.num_shards):
+            try:
+                store.verify_shard(i)
+            except (ShardCorrupted, OSError) as exc:
+                self._m_corrupt.inc()
+                logger.warning(
+                    "shard %d of store %r failed verification: %s",
+                    i, store.path, exc,
+                )
+                bad.append(i)
+        if not bad:
+            return store
+        for i in bad:
+            store.quarantine_shard(i)
+        try:
+            repaired = self.retrier.call(
+                rebuild_shards, graph, store.path, bad
+            )
+        except ShardCorrupted as exc:
+            # determinism broken: the graph/config no longer produce the
+            # recorded bytes — the store as a whole is stale
+            self._m_rebuilds.inc()
+            logger.warning(
+                "shard repair of %r could not reproduce the manifest "
+                "digests; quarantining the whole store: %s",
+                store.path, exc,
+            )
+            self._quarantine_store(store.path)
+            return None
+        self._m_shard_repairs.inc(len(repaired))
+        for i in bad:
+            store.verify_shard(i)  # repaired bytes match the manifest
+        logger.warning(
+            "repaired %d corrupt shard(s) %s of store %r in place",
+            len(bad), bad, store.path,
+        )
+        return store
+
+    def _quarantine_store(self, path: str) -> None:
+        """Move a whole bad store directory aside (best effort)."""
+        target = path + ".corrupt"
+        try:
+            if os.path.isdir(target):
+                import shutil
+
+                shutil.rmtree(target, ignore_errors=True)
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - quarantine is best-effort
+            import shutil
+
+            shutil.rmtree(path, ignore_errors=True)
+
     def put(self, name: str, index: CSRPlusIndex) -> None:
         """Register an already-prepared index and persist it.
 
@@ -243,14 +405,27 @@ class IndexRegistry:
             self._indexes[name] = index
 
     def evict(self, name: str, *, delete_file: bool = False) -> None:
-        """Drop ``name`` from memory (and optionally from disk)."""
+        """Drop ``name`` from memory (and optionally from disk).
+
+        Covers both the monolithic ``.npz`` and any ``.shards`` store
+        registered under the same name (a memory-tier
+        :class:`~repro.sharding.ShardedIndex` is closed on eviction).
+        """
         path = self.path_for(name)
         with self._lock:
             self._indexes.pop(name, None)
+            sharded = self._sharded.pop(name, None)
+        if sharded is not None:
+            sharded.close()
         if delete_file:
             for target in (path, path + ".sha256"):
                 if os.path.exists(target):
                     os.remove(target)
+            shard_dir = self.shard_store_path_for(name)
+            if os.path.isdir(shard_dir):
+                import shutil
+
+                shutil.rmtree(shard_dir, ignore_errors=True)
 
     # ------------------------------------------------------------------
     # hardened disk I/O

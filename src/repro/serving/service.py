@@ -109,7 +109,12 @@ class CoSimRankService:
         The index to serve; :meth:`~repro.core.base.SimilarityEngine.
         prepare` is called if it has not run yet.  The service only
         ever *reads* the index factors, so one index may back several
-        services.
+        services.  Any object with the backend surface (``prepare()``,
+        ``num_nodes``, ``dtype``, ``config.query_mode``,
+        ``query_columns(seeds, mode=...)``) works — in particular a
+        :class:`~repro.sharding.ShardedIndex`, which serves node-range
+        shards bit-identically to the monolithic index it was sharded
+        from (docs/sharding.md).
     cache_columns:
         LRU capacity in columns (each column is ``n * itemsize`` bytes).
         ``0`` disables caching.
@@ -225,7 +230,7 @@ class CoSimRankService:
         self._cache = ColumnCache(
             cache_columns,
             num_rows=index.num_nodes,
-            dtype=index.factors[3].dtype,
+            dtype=index.dtype,
             validate_checksums=cache_validate,
         )
         self._stats_lock = threading.Lock()
@@ -584,7 +589,7 @@ class CoSimRankService:
     ) -> np.ndarray:
         out = np.empty(
             (self.index.num_nodes, request_ids.size),
-            dtype=self.index.factors[3].dtype,
+            dtype=self.index.dtype,
             order="F",
         )
         for j, seed in enumerate(request_ids):

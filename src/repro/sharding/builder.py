@@ -1,0 +1,392 @@
+"""Out-of-core shard-store builder: Algorithm 1 without the full factors.
+
+The monolithic :meth:`~repro.core.index.CSRPlusIndex.prepare` holds
+three ``n x r`` dense factors at its peak (``U_q``, ``V_q``, ``Z``,
+each ``n*r*8`` bytes) on top of the sparse ``Q``.  For a graph whose
+factors do not fit, this builder runs the same pipeline with ~one
+``n x r`` factor resident:
+
+1. ``Q`` — sparse transition matrix (as usual);
+2. SVD with ``return_singular_vectors="vh"`` — ARPACK solves the same
+   eigenproblem but materialises only the right factor ``V_q`` (which
+   is the *retained* query factor ``U := V_q``; the left factor is
+   only ever needed transiently to form ``H``);
+3. ``H`` accumulated blockwise: ``U_q[blk] = (Q[blk] @ V_q) / sigma``
+   reconstructs ``block_rows`` rows of the left factor at a time, and
+   ``H = (sum_blk U_q[blk]^T V_q[blk]) * sigma`` — peak extra memory
+   is one ``block_rows x r`` buffer, and ``Q`` is released right after;
+4. Stein solve for ``P`` (``r x r``, as usual);
+5. ``Z`` streamed shard by shard: ``Z[a:b] = V_q[a:b] @ (Sigma P
+   Sigma)`` is computed, persisted via
+   :class:`~repro.sharding.store.ShardStoreWriter`, and freed before
+   the next shard.
+
+Every buffer is charged to a :class:`~repro.core.memory.MemoryMeter`
+under ``shard/*`` labels for exactly its lifetime, so the ledger peak
+honestly reflects the out-of-core profile — ``benchmarks/
+test_sharding.py`` asserts it at <= 0.5x the monolithic build's peak.
+
+**Equivalence contract** (docs/sharding.md): stores built this way are
+*tolerance-equivalent*, not bit-identical, to a monolithic prepare —
+the vh-only SVD skips sign canonicalisation (per-column sign flips
+applied consistently to ``Z`` and ``U`` cancel exactly in every query,
+since float negation is lossless) and the blockwise ``H``/``Z`` GEMMs
+sum in a different order.  Queries against such a store agree with the
+monolithic index within :func:`~repro.core.index.batched_query_atol`
+(measured ~1e-16 vs a ~1e-14 bound).  For *byte-identical* shards use
+:func:`~repro.sharding.store.shard_index` on a prepared index; the
+small-matrix dense-SVD path below (where out-of-core cannot pay
+anyway) also reproduces the monolithic bytes exactly.
+
+Builds are deterministic: the factors are a pure function of
+``(graph, config)`` and the shard layout of ``(n, num_shards)``, so
+rebuilding any single shard reproduces its original bytes — which is
+what lets :class:`~repro.serving.registry.IndexRegistry` repair one
+corrupt shard in place (:func:`rebuild_shards`) with the manifest's
+digests unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+from scipy.sparse.linalg import svds
+
+from repro.core.config import CSRPlusConfig
+from repro.core.memory import MemoryMeter, sparse_nbytes
+from repro.errors import (
+    DecompositionError,
+    InvalidParameterError,
+    ShardCorrupted,
+)
+from repro.graphs.digraph import DiGraph
+from repro.graphs.transition import transition_matrix
+from repro.linalg.stein import (
+    solve_stein_direct,
+    solve_stein_fixed_point,
+    solve_stein_squaring,
+)
+from repro.linalg.svd import truncated_svd, uses_dense_fallback
+from repro.sharding.manifest import ShardManifest, array_sha256, plan_shards
+from repro.sharding.store import ShardStore, ShardStoreWriter, _shard_file_names
+
+__all__ = ["build_sharded_store", "rebuild_shards"]
+
+#: Default cap on the transient left-factor reconstruction buffer.
+DEFAULT_BLOCK_ROWS = 4096
+
+
+def _default_block_rows(num_nodes: int) -> int:
+    """<= 1/8 of the factor rows, capped — keeps the buffer marginal."""
+    return max(1, min(DEFAULT_BLOCK_ROWS, -(-num_nodes // 8)))
+
+
+def _solve_stein(h_matrix: np.ndarray, cfg: CSRPlusConfig) -> Tuple[np.ndarray, int]:
+    if cfg.solver == "squaring":
+        return solve_stein_squaring(h_matrix, cfg.damping, cfg.epsilon)
+    if cfg.solver == "fixed_point":
+        return solve_stein_fixed_point(h_matrix, cfg.damping, cfg.epsilon)
+    return solve_stein_direct(h_matrix, cfg.damping), 0
+
+
+def _factors_streaming(
+    graph: DiGraph,
+    cfg: CSRPlusConfig,
+    meter: MemoryMeter,
+    block_rows: int,
+) -> Tuple[np.ndarray, Callable[[int, int], np.ndarray], int]:
+    """The vh-only pipeline: returns ``(U, z_block_of, stein_iterations)``.
+
+    ``U`` is the retained ``n x r`` query factor (float64, *not* sign
+    canonicalised — see the module docstring) and ``z_block_of(a, b)``
+    computes ``Z[a:b]`` on demand; neither the left SVD factor nor the
+    full ``Z`` is ever materialised.
+    """
+    q_matrix = transition_matrix(graph, dangling=cfg.dangling).tocsr()
+    meter.charge("shard/Q", sparse_nbytes(q_matrix))
+    n = graph.num_nodes
+
+    # Same deterministic start vector as linalg.svd.truncated_svd, but
+    # only the right singular vectors are computed and kept.
+    rng = np.random.default_rng(cfg.svd_seed)
+    v0 = rng.standard_normal(n)
+    try:
+        _, s, vt = svds(
+            q_matrix.astype(np.float64),
+            k=cfg.rank,
+            v0=v0,
+            return_singular_vectors="vh",
+        )
+    except Exception as exc:
+        raise DecompositionError(f"sparse SVD (ARPACK) failed: {exc}") from exc
+    order = np.argsort(s)[::-1]
+    sigma = np.ascontiguousarray(s[order])
+    u_factor = np.ascontiguousarray(vt[order].T)  # U := V_q, the retained factor
+    meter.charge("shard/U", u_factor.nbytes)
+    meter.charge("shard/Sigma", sigma.nbytes)
+
+    # H = (U_q^T V_q) * sigma, with U_q reconstructed block by block:
+    # Q V_q = U_q Sigma, so U_q[blk] = (Q[blk] @ V_q) / sigma.  A zero
+    # singular value zeroes its H column either way (H scales by sigma),
+    # so the guarded divisor never changes the result.
+    divisor = np.where(sigma == 0.0, 1.0, sigma)
+    h_matrix = np.zeros((cfg.rank, cfg.rank), dtype=np.float64)
+    with meter.charged(
+        "shard/Ublock", min(block_rows, n) * cfg.rank * 8
+    ):
+        for start in range(0, n, block_rows):
+            stop = min(start + block_rows, n)
+            left_block = (q_matrix[start:stop, :] @ u_factor) / divisor
+            h_matrix += left_block.T @ u_factor[start:stop, :]
+    h_matrix *= sigma[np.newaxis, :]
+    meter.charge("shard/H", h_matrix.nbytes)
+
+    # Q was only needed for the SVD and the H reconstruction.
+    del q_matrix
+    meter.release("shard/Q")
+
+    p_matrix, iterations = _solve_stein(h_matrix, cfg)
+    meter.charge("shard/P", p_matrix.nbytes)
+    sps = (sigma[:, np.newaxis] * p_matrix) * sigma[np.newaxis, :]
+
+    def z_block_of(start: int, stop: int) -> np.ndarray:
+        return u_factor[start:stop, :] @ sps
+
+    return u_factor, z_block_of, iterations
+
+
+def _factors_dense(
+    graph: DiGraph,
+    cfg: CSRPlusConfig,
+    meter: MemoryMeter,
+) -> Tuple[np.ndarray, Callable[[int, int], np.ndarray], int]:
+    """The small-matrix path: mirrors ``prepare()`` line for line.
+
+    Runs exactly the monolithic pipeline (dense SVD via
+    :func:`~repro.linalg.svd.truncated_svd`, including sign
+    canonicalisation, and one full-``Z`` GEMM), so the resulting shards
+    are byte-identical to slicing a prepared index.  Out-of-core
+    streaming cannot pay below the dense-fallback threshold, so
+    fidelity wins over streaming here.
+    """
+    q_matrix = transition_matrix(graph, dangling=cfg.dangling)
+    meter.charge("shard/Q", sparse_nbytes(q_matrix))
+    svd = truncated_svd(q_matrix, cfg.rank, seed=cfg.svd_seed)
+    u_factor, v_factor = svd.v, svd.u
+    meter.charge("shard/U", u_factor.nbytes)
+    meter.charge("shard/V", v_factor.nbytes)
+    meter.charge("shard/Sigma", svd.sigma.nbytes)
+    h_matrix = (v_factor.T @ u_factor) * svd.sigma[np.newaxis, :]
+    meter.charge("shard/H", h_matrix.nbytes)
+    del v_factor, q_matrix
+    meter.release("shard/V")
+    meter.release("shard/Q")
+    p_matrix, iterations = _solve_stein(h_matrix, cfg)
+    meter.charge("shard/P", p_matrix.nbytes)
+    sps = (svd.sigma[:, np.newaxis] * p_matrix) * svd.sigma[np.newaxis, :]
+    z_matrix = u_factor @ sps
+    meter.charge("shard/Z", z_matrix.nbytes)
+    return u_factor, lambda start, stop: z_matrix[start:stop, :], iterations
+
+
+def _compute_factors(
+    graph: DiGraph,
+    cfg: CSRPlusConfig,
+    meter: MemoryMeter,
+    block_rows: Optional[int],
+) -> Tuple[np.ndarray, Callable[[int, int], np.ndarray], int]:
+    max_rank = max(1, graph.num_nodes)
+    if cfg.rank > max_rank:
+        raise InvalidParameterError(
+            f"rank {cfg.rank} exceeds the number of nodes {graph.num_nodes}"
+        )
+    if block_rows is not None and block_rows < 1:
+        raise InvalidParameterError(
+            f"block_rows must be >= 1 (or None for auto), got {block_rows}"
+        )
+    shape = (graph.num_nodes, graph.num_nodes)
+    if uses_dense_fallback(shape, cfg.rank):
+        return _factors_dense(graph, cfg, meter)
+    return _factors_streaming(
+        graph, cfg, meter, block_rows or _default_block_rows(graph.num_nodes)
+    )
+
+
+def _cast_block(block: np.ndarray, dtype: str) -> np.ndarray:
+    """prepare()'s dtype policy: compute in f64, cast only what is kept."""
+    if dtype == "float32":
+        return block.astype(np.float32)
+    return np.ascontiguousarray(block)
+
+
+def build_sharded_store(
+    graph: DiGraph,
+    path: Union[str, "os.PathLike[str]"],
+    *,
+    num_shards: int,
+    config: Optional[CSRPlusConfig] = None,
+    block_rows: Optional[int] = None,
+    overwrite: bool = False,
+    memory: Optional[MemoryMeter] = None,
+    **overrides,
+) -> ShardStore:
+    """Build a sharded store from ``graph`` with ~one shard resident.
+
+    Parameters
+    ----------
+    graph / config / overrides:
+        Exactly as for :class:`~repro.core.index.CSRPlusIndex` —
+        ``build_sharded_store(g, path, num_shards=4, rank=32)`` builds
+        the sharded counterpart of ``CSRPlusIndex(g, rank=32)``.
+    num_shards:
+        Node-range shards to cut (clamped to ``num_nodes``;
+        :func:`~repro.sharding.manifest.plan_shards`).
+    block_rows:
+        Rows per transient left-factor reconstruction block (streaming
+        path only); ``None`` picks ``min(4096, ceil(n / 8))``.
+    memory:
+        Ledger to charge; a fresh unlimited
+        :class:`~repro.core.memory.MemoryMeter` by default.  A
+        ``memory_budget_bytes`` in the config is honoured either way.
+
+    Returns the opened :class:`~repro.sharding.store.ShardStore`.
+    """
+    cfg = (config or CSRPlusConfig()).with_overrides(**overrides)
+    meter = memory if memory is not None else MemoryMeter(cfg.memory_budget_bytes)
+    u_factor, z_block_of, iterations = _compute_factors(
+        graph, cfg, meter, block_rows
+    )
+    # The effective streaming block height is part of the determinism
+    # record: blockwise H accumulation is partition-dependent in
+    # floating point, so rebuilds must replay the same height (0 = the
+    # dense path ran and no streaming was involved).
+    shape = (graph.num_nodes, graph.num_nodes)
+    if uses_dense_fallback(shape, cfg.rank):
+        effective_block_rows = 0
+    else:
+        effective_block_rows = block_rows or _default_block_rows(graph.num_nodes)
+    writer = ShardStoreWriter(
+        path,
+        plan_shards(graph.num_nodes, num_shards),
+        rank=cfg.rank,
+        damping=cfg.damping,
+        epsilon=cfg.epsilon,
+        dtype=cfg.dtype,
+        builder="out-of-core",
+        stein_iterations=iterations,
+        overwrite=overwrite,
+        svd_seed=cfg.svd_seed,
+        solver=cfg.solver,
+        dangling=cfg.dangling,
+        block_rows=effective_block_rows,
+    )
+    itemsize = np.dtype(cfg.dtype).itemsize
+    for i, (start, stop) in enumerate(writer.boundaries):
+        rows = stop - start
+        # transient f64 block plus (for f32 stores) the cast copies
+        transient = rows * cfg.rank * (8 + 2 * itemsize if cfg.dtype == "float32" else 8)
+        with meter.charged(f"shard/z-block-{i}", transient):
+            z_block = _cast_block(z_block_of(start, stop), cfg.dtype)
+            u_block = _cast_block(u_factor[start:stop, :], cfg.dtype)
+            writer.write_shard(i, z_block, u_block)
+            del z_block, u_block
+    store = writer.finalize()
+    # Everything the factor pipeline retained dies with this frame —
+    # settle the ledger so the peak is the build's only legacy.
+    del u_factor, z_block_of
+    for label in list(meter.live_breakdown()):
+        if label.startswith("shard/"):
+            meter.release(label)
+    return store
+
+
+def rebuild_shards(
+    graph: DiGraph,
+    path: Union[str, "os.PathLike[str]"],
+    shard_ids: Iterable[int],
+    *,
+    verify: bool = True,
+) -> List[int]:
+    """Deterministically regenerate selected shards of an existing store.
+
+    Re-runs the build pipeline recorded in the manifest (``builder``,
+    ``svd_seed``, ``solver``, ...) against ``graph`` and rewrites only
+    the files of ``shard_ids``, leaving the manifest untouched — builds
+    are deterministic, so the regenerated bytes match the manifest's
+    digests (checked when ``verify=True``; a mismatch raises
+    :class:`~repro.errors.ShardCorrupted`, meaning the graph or code no
+    longer matches the store and the whole store must be rebuilt).
+
+    This is the single-shard repair primitive behind
+    :meth:`~repro.serving.registry.IndexRegistry.get_sharded`.
+    """
+    root = os.fspath(path)
+    manifest = ShardManifest.load(root)
+    if manifest.num_nodes != graph.num_nodes:
+        raise InvalidParameterError(
+            f"store at {root!r} was built for {manifest.num_nodes} nodes, "
+            f"got a graph with {graph.num_nodes}"
+        )
+    targets = sorted({int(i) for i in shard_ids})
+    for i in targets:
+        if not (0 <= i < manifest.num_shards):
+            raise InvalidParameterError(
+                f"shard index {i} out of range [0, {manifest.num_shards})"
+            )
+    if not targets:
+        return []
+    cfg = CSRPlusConfig(
+        damping=manifest.damping,
+        rank=manifest.rank,
+        epsilon=manifest.epsilon,
+        solver=manifest.solver,
+        dangling=manifest.dangling,
+        svd_seed=manifest.svd_seed,
+        dtype=manifest.dtype,
+    )
+    if manifest.builder == "from-index":
+        from repro.core.index import CSRPlusIndex
+
+        index = CSRPlusIndex(graph, cfg).prepare()
+        u_matrix, _, _, z_matrix = index.factors
+        u_factor, z_block_of = u_matrix, (
+            lambda start, stop: z_matrix[start:stop, :]
+        )
+        cast = lambda block: np.ascontiguousarray(block)  # noqa: E731
+    else:
+        meter = MemoryMeter()
+        u_factor, z_block_of, _ = _compute_factors(
+            graph, cfg, meter, manifest.block_rows or None
+        )
+        cast = lambda block: _cast_block(block, cfg.dtype)  # noqa: E731
+    for i in targets:
+        meta = manifest.shards[i]
+        z_block = cast(z_block_of(meta.start, meta.stop))
+        u_block = cast(u_factor[meta.start : meta.stop, :])
+        if verify:
+            for name, block, digest in (
+                ("Z", z_block, meta.z_sha256),
+                ("U", u_block, meta.u_sha256),
+            ):
+                actual = array_sha256(block)
+                if actual != digest:
+                    raise ShardCorrupted(
+                        root,
+                        i,
+                        f"rebuilt {name} block does not reproduce the "
+                        f"manifest digest (expected {digest[:12]}..., got "
+                        f"{actual[:12]}...); graph/config no longer match "
+                        "the store",
+                    )
+        z_name, u_name = _shard_file_names(i)
+        np.save(os.path.join(root, z_name), z_block)
+        np.save(os.path.join(root, u_name), u_block)
+        # drop any quarantined leftovers for the repaired files
+        for leftover in (z_name, u_name):
+            try:
+                os.remove(os.path.join(root, leftover + ".corrupt"))
+            except OSError:
+                pass
+    return targets

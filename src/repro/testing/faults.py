@@ -22,6 +22,11 @@ site                where it fires
                     (:meth:`~repro.serving.cache.ColumnCache.lookup`)
 ``compute.chunk``   at the start of every worker chunk, including the
                     per-seed isolation retries (context key ``seeds``)
+``shard.read``      on every shard load in a sharded store, before the
+                    ``.npy`` files are opened (``fire``, context keys
+                    ``shard``/``path``) and on the loaded arrays
+                    (``transform``, may corrupt the returned shard)
+                    (:meth:`~repro.sharding.store.ShardStore.load_shard`)
 ==================  =====================================================
 
 Example

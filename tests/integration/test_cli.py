@@ -258,6 +258,176 @@ class TestServeBatchCommand:
         assert "error" in capsys.readouterr().err
 
 
+class TestPartialExitCode:
+    """serve-batch --partial exits 3 when the batch came back incomplete,
+    so scripted callers can detect truncation (deadline hit, shed, ...)."""
+
+    @staticmethod
+    def _argv(tmp_path, *extra):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("1,2,3\n4 5\n")
+        return [
+            "serve-batch",
+            "--dataset", "P2P",
+            "--tier", "tiny",
+            "--queries-file", str(queries),
+            "--rank", "4",
+            "--repeat", "1",
+            *extra,
+        ]
+
+    def test_truncated_partial_batch_exits_3(self, tmp_path, capsys):
+        import json
+
+        code = main(
+            self._argv(
+                tmp_path, "--partial", "--deadline-ms", "1e-9", "--json"
+            )
+        )
+        assert code == 3
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["passes"][0]["failed_requests"] > 0
+        # the JSON payload stays clean; the warning goes to stderr only
+        assert "warning" not in captured.out
+
+    def test_truncated_partial_batch_warns_on_stderr(self, tmp_path, capsys):
+        code = main(
+            self._argv(tmp_path, "--partial", "--deadline-ms", "1e-9")
+        )
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "request(s) failed" in err
+
+    def test_complete_partial_batch_exits_0(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path, "--partial")) == 0
+
+    def test_without_partial_deadline_is_a_typed_error(self, tmp_path, capsys):
+        """No --partial: the deadline aborts with the usual exit 1."""
+        code = main(self._argv(tmp_path, "--deadline-ms", "1e-9"))
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestShardCLI:
+    """shard-build produces a store that query/serve-batch --shards can
+    serve with answers equal to the monolithic paths."""
+
+    @staticmethod
+    def _build(tmp_path, *extra):
+        out = tmp_path / "store.shards"
+        code = main(
+            [
+                "shard-build",
+                "--dataset", "P2P",
+                "--tier", "tiny",
+                "--rank", "4",
+                "--out", str(out),
+                "--num-shards", "3",
+                *extra,
+            ]
+        )
+        assert code == 0
+        return out
+
+    def test_build_then_query_matches_monolithic(self, tmp_path, capsys):
+        store = self._build(tmp_path, "--from-index")
+        capsys.readouterr()
+        argv = ["--queries", "1,2", "--rank", "4", "--top", "3"]
+        assert main(["query", "--shards", str(store), *argv]) == 0
+        sharded_out = capsys.readouterr().out
+        assert main(["query", "--dataset", "P2P", "--tier", "tiny", *argv]) == 0
+        mono_out = capsys.readouterr().out
+        # identical ranking lines (headers differ: store vs graph)
+        sharded_tail = sharded_out.split("top-3", 1)[1]
+        mono_tail = mono_out.split("top-3", 1)[1]
+        assert sharded_tail == mono_tail
+
+    def test_build_json_reports_layout(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "store.shards"
+        code = main(
+            [
+                "shard-build",
+                "--dataset", "P2P",
+                "--tier", "tiny",
+                "--rank", "4",
+                "--out", str(out),
+                "--num-shards", "3",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["builder"] == "out-of-core"
+        assert payload["num_shards"] == 3
+        assert sum(payload["shard_rows"]) == payload["num_nodes"]
+        assert payload["peak_resident_bytes"] > 0
+        assert (out / "manifest.json").exists()
+
+    def test_existing_store_needs_overwrite(self, tmp_path, capsys):
+        store = self._build(tmp_path)
+        code = main(
+            [
+                "shard-build",
+                "--dataset", "P2P",
+                "--tier", "tiny",
+                "--rank", "4",
+                "--out", str(store),
+                "--num-shards", "3",
+            ]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_batch_from_shards(self, tmp_path, capsys):
+        import json
+
+        store = self._build(tmp_path)
+        capsys.readouterr()
+        queries = tmp_path / "queries.txt"
+        queries.write_text("1,2,3\n4 5\n")
+        code = main(
+            [
+                "serve-batch",
+                "--shards", str(store),
+                "--queries-file", str(queries),
+                "--repeat", "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_edges"] is None  # store carries no edge count
+        assert payload["rank"] == 4  # from the manifest, not --rank
+        assert payload["passes"][0]["columns"] == 5
+        assert payload["stats"]["misses"] == 5
+        assert payload["stats"]["hits"] == 5  # pass 2 fully warm
+
+    def test_serve_batch_shards_rejects_index_dir(self, tmp_path, capsys):
+        store = self._build(tmp_path)
+        capsys.readouterr()
+        queries = tmp_path / "queries.txt"
+        queries.write_text("1\n")
+        code = main(
+            [
+                "serve-batch",
+                "--shards", str(store),
+                "--queries-file", str(queries),
+                "--index-dir", str(tmp_path / "registry"),
+            ]
+        )
+        assert code == 1
+        assert "--index-dir" in capsys.readouterr().err
+
+    def test_shards_source_exclusive_with_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--dataset", "FB", "--shards", "x", "--queries", "0"]
+            )
+
+
 class TestStatsCommand:
     def test_dataset_stats(self, capsys):
         assert main(["stats", "--dataset", "FB", "--tier", "tiny"]) == 0

@@ -65,11 +65,18 @@ def graph_and_batches(draw):
 
 
 def _reference_per_seed_columns(index, seeds):
-    """The pre-fast-path evaluation: one GEMV per seed, verbatim."""
+    """The canonical exact evaluation, re-implemented verbatim.
+
+    One fixed-order row reduction per seed (``np.einsum`` with the
+    default ``optimize=False``) — the partition-stable kernel that
+    ``repro.core.index.exact_column_product`` pins, written out here
+    independently so a kernel regression cannot hide behind its own
+    reference.
+    """
     u, _, _, z = index.factors
     out = np.empty((index.num_nodes, len(seeds)), dtype=z.dtype, order="F")
     for j, seed in enumerate(np.asarray(seeds, dtype=np.int64)):
-        column = index.damping * (z @ u[int(seed), :])
+        column = index.damping * np.einsum("ij,j->i", z, u[int(seed), :])
         column[seed] += 1.0
         out[:, j] = column
     return out

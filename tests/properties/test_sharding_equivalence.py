@@ -1,0 +1,134 @@
+"""Property: sharded queries are indistinguishable from monolithic ones.
+
+The row-partition argument (docs/sharding.md): ``S[x,q] = [x=q] +
+c * <Z[x], U[q]>`` depends only on row ``x`` of ``Z``, so cutting the
+factors into node-range shards and concatenating per-shard results must
+reproduce the monolithic answer. Hypothesis searches for a counter-
+example across:
+
+* arbitrary small digraphs, seed batches (duplicates allowed), ranks;
+* shard counts ``{1, 2, 7, n}`` — one shard, a couple, an uneven
+  layout, and the degenerate one-row-per-shard extreme;
+* both storage dtypes (float64 / float32);
+* both query modes — ``"exact"`` must be bit-identical
+  (``np.array_equal``), ``"batched"`` within
+  :func:`~repro.core.index.batched_query_atol`;
+* cold and warm cache states when served through
+  :class:`~repro.serving.CoSimRankService`.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import CSRPlusIndex, batched_query_atol
+from repro.graphs.digraph import DiGraph
+from repro.serving import CoSimRankService
+from repro.sharding import ShardedIndex, shard_index
+
+SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+SHARD_COUNTS = (1, 2, 7, None)  # None stands for n (one row per shard)
+
+
+@st.composite
+def sharding_case(draw):
+    n = draw(st.integers(min_value=2, max_value=14))
+    possible = [(s, t) for s in range(n) for t in range(n) if s != t]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=1, max_size=3 * n, unique=True)
+    )
+    seed = st.integers(min_value=0, max_value=n - 1)
+    seeds = draw(st.lists(seed, min_size=1, max_size=2 * n))  # dups allowed
+    rank = draw(st.integers(min_value=1, max_value=min(4, n)))
+    dtype = draw(st.sampled_from(["float64", "float32"]))
+    num_shards = draw(st.sampled_from(SHARD_COUNTS))
+    return DiGraph(n, edges), seeds, rank, dtype, num_shards or n
+
+
+@settings(**SETTINGS)
+@given(case=sharding_case())
+def test_exact_mode_bit_identical_for_any_layout(case, tmp_path_factory):
+    """Contract 1: exact mode survives sharding without moving one ulp."""
+    graph, seeds, rank, dtype, num_shards = case
+    index = CSRPlusIndex(graph, rank=rank, dtype=dtype).prepare()
+    store = shard_index(
+        index,
+        tmp_path_factory.mktemp("store"),
+        num_shards=num_shards,
+    )
+    with ShardedIndex(store, max_workers=1) as sharded:
+        got = sharded.query_columns(seeds, mode="exact")
+    want = index.query_columns(seeds, mode="exact")
+    assert got.dtype == want.dtype
+    assert np.array_equal(got, want)
+
+
+@settings(**SETTINGS)
+@given(case=sharding_case())
+def test_batched_mode_within_atol_for_any_layout(case, tmp_path_factory):
+    """Contract 2: the per-shard GEMM stays inside the documented atol."""
+    graph, seeds, rank, dtype, num_shards = case
+    index = CSRPlusIndex(graph, rank=rank, dtype=dtype).prepare()
+    store = shard_index(
+        index,
+        tmp_path_factory.mktemp("store"),
+        num_shards=num_shards,
+    )
+    with ShardedIndex(store, max_workers=1) as sharded:
+        got = sharded.query_columns(seeds, mode="batched")
+    want = index.query_columns(seeds, mode="exact")
+    atol = batched_query_atol(rank, np.dtype(dtype))
+    np.testing.assert_allclose(
+        got.astype(np.float64),
+        want.astype(np.float64),
+        rtol=0.0,
+        atol=atol,
+    )
+
+
+@settings(**SETTINGS)
+@given(case=sharding_case())
+def test_served_sharded_matches_served_monolithic(case, tmp_path_factory):
+    """Contract 3: behind CoSimRankService the backends are
+    interchangeable — cold serves match, and a warm (cache-hit) pass
+    replays the cold bytes on both."""
+    graph, seeds, rank, dtype, num_shards = case
+    index = CSRPlusIndex(graph, rank=rank, dtype=dtype).prepare()
+    store = shard_index(
+        index,
+        tmp_path_factory.mktemp("store"),
+        num_shards=num_shards,
+    )
+    with ShardedIndex(store, max_workers=1) as sharded:
+        with CoSimRankService(index, max_workers=1) as mono_service:
+            with CoSimRankService(sharded, max_workers=1) as shard_service:
+                mono_cold = mono_service.serve_batch([seeds])[0]
+                shard_cold = shard_service.serve_batch([seeds])[0]
+                assert np.array_equal(shard_cold, mono_cold)
+                shard_warm = shard_service.serve_batch([seeds])[0]
+                assert np.array_equal(shard_warm, shard_cold)
+                hits = shard_service.stats().hits
+    assert hits > 0  # the warm pass really exercised the cache
+
+
+@settings(**SETTINGS)
+@given(case=sharding_case())
+def test_parallel_fanout_equals_serial(case, tmp_path_factory):
+    """Thread-pool assembly is a pure partition of the output rows:
+    worker count must never show up in the bytes."""
+    graph, seeds, rank, dtype, num_shards = case
+    index = CSRPlusIndex(graph, rank=rank, dtype=dtype).prepare()
+    store = shard_index(
+        index,
+        tmp_path_factory.mktemp("store"),
+        num_shards=num_shards,
+    )
+    with ShardedIndex(store, max_workers=1) as serial:
+        want = serial.query_columns(seeds)
+    with ShardedIndex(store, max_workers=4) as pooled:
+        assert np.array_equal(pooled.query_columns(seeds), want)

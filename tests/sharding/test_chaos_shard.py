@@ -1,0 +1,178 @@
+"""Chaos suite for the ``shard.read`` seam.
+
+Contract (docs/sharding.md, docs/robustness.md): a poisoned or flaky
+shard is either *retried cleanly* or surfaces as a *typed*
+:class:`~repro.errors.ShardCorrupted` — never as silently wrong rows,
+never as a bare exception, never as a hang.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.index import CSRPlusIndex
+from repro.errors import ReproError, ShardCorrupted
+from repro.graphs.generators import erdos_renyi
+from repro.obs.metrics import MetricsRegistry
+from repro.serving import CoSimRankService
+from repro.sharding import ShardedIndex, shard_index
+from repro.testing.faults import FaultPlan
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi(60, 260, seed=31)
+
+
+@pytest.fixture
+def mono_index(graph):
+    return CSRPlusIndex(graph, rank=4).prepare()
+
+
+@pytest.fixture
+def store(mono_index, tmp_path):
+    return shard_index(mono_index, tmp_path / "store", num_shards=3)
+
+
+SEEDS = [0, 25, 59]
+
+
+def _poison(pair):
+    """Corrupt the Z block of a loaded shard without changing its shape."""
+    z, u = pair
+    bad = np.array(z)
+    bad[0, 0] += 1.0
+    return bad, u
+
+
+class TestReadFailures:
+    def test_transient_failure_retried_cleanly(self, mono_index, store):
+        metrics = MetricsRegistry()
+        want = mono_index.query_columns(SEEDS)
+        with FaultPlan().fail(
+            "shard.read", times=1, exc=OSError("flaky disk")
+        ) as plan:
+            with ShardedIndex(store, max_workers=1, metrics=metrics) as idx:
+                got = idx.query_columns(SEEDS)
+        assert plan.injected("shard.read") == 1
+        assert np.array_equal(got, want)  # the retry rebuilt exact bytes
+        assert (
+            metrics.counter("csrplus_shard_read_retries_total", "x").value == 1
+        )
+        assert (
+            metrics.counter("csrplus_shard_read_failures_total", "x").value == 0
+        )
+
+    def test_persistent_failure_is_typed(self, store):
+        metrics = MetricsRegistry()
+        with FaultPlan().fail("shard.read", times=None):
+            with ShardedIndex(store, max_workers=1, metrics=metrics) as idx:
+                with pytest.raises(ShardCorrupted) as excinfo:
+                    idx.query_columns(SEEDS)
+        assert isinstance(excinfo.value, ReproError)
+        assert (
+            metrics.counter("csrplus_shard_read_failures_total", "x").value >= 1
+        )
+
+    def test_targeted_failure_names_the_shard(self, store):
+        with FaultPlan().fail(
+            "shard.read", times=None, when=lambda ctx: ctx["shard"] == 2
+        ):
+            with ShardedIndex(
+                store, max_workers=1, read_retries=0
+            ) as idx:
+                with pytest.raises(ShardCorrupted) as excinfo:
+                    idx.query_columns(SEEDS)
+        assert excinfo.value.shard == 2
+
+    def test_retry_budget_zero_fails_fast(self, store):
+        metrics = MetricsRegistry()
+        with FaultPlan().fail("shard.read", times=1) as plan:
+            with ShardedIndex(
+                store, max_workers=1, read_retries=0, metrics=metrics
+            ) as idx:
+                with pytest.raises(ShardCorrupted):
+                    idx.query_columns(SEEDS)
+        assert plan.injected("shard.read") == 1
+        assert (
+            metrics.counter("csrplus_shard_read_retries_total", "x").value == 0
+        )
+
+
+class TestLatency:
+    def test_slow_shard_changes_nothing(self, mono_index, store):
+        """Latency injection exercises the fan-out's wait paths."""
+        sleeps = []
+        want = mono_index.query_columns(SEEDS)
+        with FaultPlan(sleep=sleeps.append).delay(
+            "shard.read", seconds=0.5, times=2
+        ) as plan:
+            with ShardedIndex(store, max_workers=3) as idx:
+                got = idx.query_columns(SEEDS)
+        assert plan.injected("shard.read") == 2
+        assert sleeps == [0.5, 0.5]
+        assert np.array_equal(got, want)
+
+
+class TestCorruption:
+    def test_validated_reads_detect_poison(self, store):
+        """validate_reads re-hashes against the manifest: a poisoned
+        shard raises typed, it is never served."""
+        with FaultPlan().corrupt("shard.read", _poison, times=None):
+            with ShardedIndex(
+                store, max_workers=1, validate_reads=True, read_retries=0
+            ) as idx:
+                with pytest.raises(ShardCorrupted):
+                    idx.query_columns(SEEDS)
+
+    def test_one_shot_poison_retries_to_exact_bytes(self, mono_index, store):
+        """A transient corruption costs one retry, not correctness."""
+        metrics = MetricsRegistry()
+        want = mono_index.query_columns(SEEDS)
+        with FaultPlan().corrupt("shard.read", _poison, times=1) as plan:
+            with ShardedIndex(
+                store, max_workers=1, validate_reads=True, metrics=metrics
+            ) as idx:
+                got = idx.query_columns(SEEDS)
+        assert plan.injected("shard.read") == 1
+        assert np.array_equal(got, want)
+        assert (
+            metrics.counter("csrplus_shard_read_retries_total", "x").value == 1
+        )
+
+    def test_shape_corruption_detected_even_without_validation(self, store):
+        """Structural damage fails the always-on shape/dtype check."""
+
+        def truncate(pair):
+            z, u = pair
+            return z[:-1, :], u
+
+        with FaultPlan().corrupt("shard.read", truncate, times=None):
+            with ShardedIndex(store, max_workers=1, read_retries=0) as idx:
+                with pytest.raises(ShardCorrupted):
+                    idx.query_columns(SEEDS)
+
+
+class TestUnderService:
+    def test_poisoned_shard_surfaces_typed_through_service(self, store):
+        """The serving layer's per-request isolation turns the shard
+        error into a typed per-request outcome, not a crash."""
+        with FaultPlan().corrupt("shard.read", _poison, times=None):
+            with ShardedIndex(
+                store, max_workers=1, validate_reads=True, read_retries=0
+            ) as idx:
+                with CoSimRankService(idx, max_workers=1) as service:
+                    detailed = service.serve_batch_detailed([SEEDS])
+        outcome = detailed.outcomes[0]
+        assert outcome.error is not None
+        assert isinstance(outcome.error, ReproError)
+
+    def test_transient_fault_invisible_to_clients(self, mono_index, store):
+        with CoSimRankService(mono_index, max_workers=1) as mono_service:
+            want = mono_service.serve_batch([SEEDS])[0]
+        with FaultPlan().fail("shard.read", times=1):
+            with ShardedIndex(store, max_workers=1) as idx:
+                with CoSimRankService(idx, max_workers=1) as service:
+                    got = service.serve_batch([SEEDS])[0]
+        assert np.array_equal(got, want)

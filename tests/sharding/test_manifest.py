@@ -1,0 +1,145 @@
+"""Unit tests for shard layout planning and the store manifest."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError, ShardCorrupted
+from repro.sharding import ShardManifest, ShardMeta, array_sha256, plan_shards
+from repro.sharding.manifest import MANIFEST_VERSION
+
+
+class TestPlanShards:
+    def test_even_split(self):
+        assert plan_shards(12, 4) == [(0, 3), (3, 6), (6, 9), (9, 12)]
+
+    def test_remainder_goes_to_leading_shards(self):
+        assert plan_shards(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_single_shard(self):
+        assert plan_shards(7, 1) == [(0, 7)]
+
+    def test_more_shards_than_nodes_clamps(self):
+        bounds = plan_shards(3, 10)
+        assert bounds == [(0, 1), (1, 2), (2, 3)]
+
+    def test_tiles_exactly_for_many_layouts(self):
+        for n in (1, 2, 5, 17, 100, 257):
+            for k in (1, 2, 3, 7, n, n + 5):
+                bounds = plan_shards(n, k)
+                assert bounds[0][0] == 0
+                assert bounds[-1][1] == n
+                for (_, b), (c, _) in zip(bounds, bounds[1:]):
+                    assert b == c
+                sizes = [b - a for a, b in bounds]
+                assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            plan_shards(0, 2)
+        with pytest.raises(InvalidParameterError):
+            plan_shards(5, 0)
+
+
+class TestArraySha256:
+    def test_container_free(self):
+        """The digest covers the data bytes, not the .npy wrapper."""
+        a = np.arange(6, dtype=np.float64).reshape(2, 3)
+        assert array_sha256(a) == array_sha256(a.copy(order="F"))
+
+    def test_sensitive_to_one_bit(self):
+        a = np.arange(6, dtype=np.float64).reshape(2, 3)
+        b = a.copy()
+        b[1, 2] = np.nextafter(b[1, 2], np.inf)
+        assert array_sha256(a) != array_sha256(b)
+
+
+def _manifest(n=10, k=3, rank=2):
+    shards = []
+    for i, (start, stop) in enumerate(plan_shards(n, k)):
+        shards.append(
+            ShardMeta(
+                index=i,
+                start=start,
+                stop=stop,
+                z_file=f"shard-{i:05d}.z.npy",
+                u_file=f"shard-{i:05d}.u.npy",
+                z_sha256="0" * 64,
+                u_sha256="1" * 64,
+            )
+        )
+    return ShardManifest(
+        version=MANIFEST_VERSION,
+        num_nodes=n,
+        rank=rank,
+        damping=0.6,
+        epsilon=1e-8,
+        dtype="float64",
+        builder="from-index",
+        stein_iterations=0,
+        svd_seed=0,
+        solver="squaring",
+        dangling="zero",
+        block_rows=0,
+        shards=shards,
+    )
+
+
+class TestManifestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        manifest = _manifest()
+        manifest.save(tmp_path)
+        loaded = ShardManifest.load(tmp_path)
+        assert loaded == manifest
+        assert loaded.boundaries == plan_shards(10, 3)
+
+    def test_sidecar_mismatch_is_store_level_corruption(self, tmp_path):
+        _manifest().save(tmp_path)
+        path = tmp_path / "manifest.json"
+        path.write_text(path.read_text() + " ")
+        with pytest.raises(ShardCorrupted) as excinfo:
+            ShardManifest.load(tmp_path)
+        assert excinfo.value.shard == -1
+
+    def test_unparseable_json_is_corruption(self, tmp_path):
+        _manifest().save(tmp_path)
+        (tmp_path / "manifest.json").write_text("{nope")
+        with pytest.raises(ShardCorrupted):
+            ShardManifest.load(tmp_path, check_sidecar=False)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        _manifest().save(tmp_path)
+        path = tmp_path / "manifest.json"
+        payload = json.loads(path.read_text())
+        payload["version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ShardCorrupted):
+            ShardManifest.load(tmp_path, check_sidecar=False)
+
+
+class TestManifestValidate:
+    def test_gap_between_shards_rejected(self):
+        manifest = _manifest()
+        bad = list(manifest.shards)
+        bad[1] = ShardMeta(
+            index=1, start=5, stop=7,  # shard 0 ends at 4
+            z_file="z", u_file="u", z_sha256="0" * 64, u_sha256="1" * 64,
+        )
+        with pytest.raises(InvalidParameterError):
+            ShardManifest(
+                **{**manifest.__dict__, "shards": bad}
+            ).validate()
+
+    def test_wrong_total_rejected(self):
+        manifest = _manifest(n=10, k=2)
+        with pytest.raises(InvalidParameterError):
+            ShardManifest(
+                **{**manifest.__dict__, "num_nodes": 11}
+            ).validate()
+
+    def test_mislabelled_index_rejected(self):
+        manifest = _manifest(n=10, k=2)
+        bad = [manifest.shards[1], manifest.shards[0]]
+        with pytest.raises(InvalidParameterError):
+            ShardManifest(**{**manifest.__dict__, "shards": bad}).validate()

@@ -15,6 +15,7 @@ PUBLIC_MODULES = [
     "repro.experiments",
     "repro.applications",
     "repro.serving",
+    "repro.sharding",
     "repro.cli",
 ]
 
