@@ -178,6 +178,13 @@ def build_parser() -> argparse.ArgumentParser:
         "columns tolerance-equal to exact (docs/serving.md)",
     )
     serve.add_argument(
+        "--topk", type=int, default=None, metavar="K",
+        help="serve top-K rankings instead of full columns: every seed "
+        "in the request file becomes one top-K query answered by the "
+        "blockwise pruned kernel, bit-identical to the full-sort "
+        "ranking in exact mode (docs/topk.md)",
+    )
+    serve.add_argument(
         "--repeat", type=int, default=2,
         help="serve the batch this many times (pass 1 is cold, later "
         "passes measure the warm cache)",
@@ -491,24 +498,44 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         cache_validate=args.cache_validate,
         slow_query_seconds=slow_query_seconds,
     ) as service:
+        topk_seeds = (
+            [seed for request in requests for seed in request]
+            if args.topk is not None
+            else None
+        )
         for pass_num in range(1, max(1, args.repeat) + 1):
             started = time.perf_counter()
-            results = service.serve_batch(
-                requests, deadline_s=deadline_s, partial=args.partial
-            )
-            elapsed = time.perf_counter() - started
-            served = [block for block in results if block is not None]
-            columns = sum(block.shape[1] for block in served)
-            entry = {
-                "pass": pass_num,
-                "seconds": elapsed,
-                "columns": columns,
-                "columns_per_second": columns / max(elapsed, 1e-12),
-            }
+            if topk_seeds is not None:
+                results = service.serve_topk(
+                    topk_seeds, args.topk,
+                    deadline_s=deadline_s, partial=args.partial,
+                )
+                elapsed = time.perf_counter() - started
+                served = [result for result in results if result is not None]
+                entry = {
+                    "pass": pass_num,
+                    "seconds": elapsed,
+                    "seeds": len(served),
+                    "seeds_per_second": len(served) / max(elapsed, 1e-12),
+                }
+            else:
+                results = service.serve_batch(
+                    requests, deadline_s=deadline_s, partial=args.partial
+                )
+                elapsed = time.perf_counter() - started
+                served = [block for block in results if block is not None]
+                columns = sum(block.shape[1] for block in served)
+                entry = {
+                    "pass": pass_num,
+                    "seconds": elapsed,
+                    "columns": columns,
+                    "columns_per_second": columns / max(elapsed, 1e-12),
+                }
             if args.partial:
                 entry["failed_requests"] = len(results) - len(served)
             passes.append(entry)
         stats = service.stats()
+        topk_stats = service.topk_stats() if args.topk is not None else None
     if args.shards:
         index.close()
 
@@ -535,6 +562,9 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         "passes": passes,
         "stats": stats.as_dict(),
     }
+    if topk_stats is not None:
+        payload["topk"] = args.topk
+        payload["topk_stats"] = topk_stats
     if slow_query_seconds is not None:
         payload["slow_batches"] = len(service.slow_queries())
     if args.json:
@@ -548,10 +578,26 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         f"mode={service.query_mode}"
     )
     for entry in passes:
+        if "seeds" in entry:
+            print(
+                f"pass {entry['pass']}: {entry['seconds']:.4f}s  "
+                f"{entry['seeds']} top-{args.topk} rankings  "
+                f"{entry['seeds_per_second']:,.0f} seeds/s"
+            )
+        else:
+            print(
+                f"pass {entry['pass']}: {entry['seconds']:.4f}s  "
+                f"{entry['columns']} columns  "
+                f"{entry['columns_per_second']:,.0f} columns/s"
+            )
+    if topk_stats is not None:
         print(
-            f"pass {entry['pass']}: {entry['seconds']:.4f}s  "
-            f"{entry['columns']} columns  "
-            f"{entry['columns_per_second']:,.0f} columns/s"
+            f"topk cache: {topk_stats['hits']} hits / "
+            f"{topk_stats['misses']} misses, "
+            f"{topk_stats['cached_entries']} rankings resident; "
+            f"pruning: {topk_stats['candidates_scored']} candidates "
+            f"scored, {topk_stats['blocks_scanned']} blocks scanned / "
+            f"{topk_stats['blocks_skipped']} skipped"
         )
     print(
         f"cache: {stats.hits} hits / {stats.misses} misses "

@@ -24,7 +24,7 @@ from repro.core.iterations import (
     truncation_error_bound,
 )
 from repro.core.memory import MemoryMeter, array_nbytes, nbytes_of, sparse_nbytes
-from repro.core.topk import TopKResult, top_k_pruned
+from repro.core.topk import TopKResult, top_k_blockwise, top_k_pruned
 from repro.core.tuning import estimate_rank_error, singular_value_profile, suggest_rank
 
 __all__ = [
@@ -56,4 +56,5 @@ __all__ = [
     "suggest_rank",
     "TopKResult",
     "top_k_pruned",
+    "top_k_blockwise",
 ]

@@ -132,6 +132,7 @@ class CSRPlusIndex(SimilarityEngine):
         self._h: Optional[np.ndarray] = None
         self._p: Optional[np.ndarray] = None
         self._z: Optional[np.ndarray] = None
+        self._z_norms: Optional[np.ndarray] = None
         self.stein_iterations: int = 0
 
     # ------------------------------------------------------------------
@@ -500,6 +501,26 @@ class CSRPlusIndex(SimilarityEngine):
         """The retained factors ``(U, sigma, P, Z)`` (after prepare)."""
         self._require_prepared()
         return self._u, self._sigma, self._p, self._z
+
+    def z_row_norms(self) -> np.ndarray:
+        """Per-row ``||Z[x]||_2`` in float64, computed once and cached.
+
+        These are the Cauchy–Schwarz score bounds behind the pruned
+        top-k kernels (:mod:`repro.core.topk`): by Eq. (12) the
+        off-diagonal score satisfies ``|S[x,q] - [x=q]| <= c * ||Z[x]||
+        * ||U[q]||``.  The returned array is read-only and shared
+        between calls.
+        """
+        self._require_prepared()
+        if self._z is None:
+            raise NotPreparedError("CSR+ factors missing; prepare() did not run")
+        if self._z_norms is None:
+            norms = np.linalg.norm(
+                self._z.astype(np.float64, copy=False), axis=1
+            )
+            norms.flags.writeable = False
+            self._z_norms = norms
+        return self._z_norms
 
     @property
     def rank(self) -> int:

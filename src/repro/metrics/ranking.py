@@ -27,14 +27,19 @@ def _validate_k(k: int) -> int:
 def precision_at_k(
     predicted: Sequence[int], relevant: Sequence[int], k: int
 ) -> float:
-    """Fraction of the top-``k`` predictions that are relevant."""
+    """Fraction of the top-``k`` slots filled with relevant items.
+
+    The denominator is ``k``, not the number of predictions actually
+    supplied: a ranker that returns fewer than ``k`` items left slots
+    empty, and empty slots are misses.  (Dividing by ``len(predicted)``
+    would score the 1-item list ``[hit]`` a perfect 1.0 at any ``k`` —
+    truncated predictions would *inflate* precision.)
+    """
     k = _validate_k(k)
     top = list(predicted)[:k]
-    if not top:
-        return 0.0
     relevant_set = set(int(x) for x in relevant)
     hits = sum(1 for item in top if int(item) in relevant_set)
-    return hits / len(top)
+    return hits / k
 
 
 def ndcg_at_k(predicted: Sequence[int], relevant: Sequence[int], k: int) -> float:

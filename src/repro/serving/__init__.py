@@ -30,7 +30,7 @@ into a traffic-serving component:
 """
 
 from repro.serving.admission import SeedBudget
-from repro.serving.cache import ColumnCache
+from repro.serving.cache import ColumnCache, TopKCache
 from repro.serving.registry import IndexRegistry
 from repro.serving.results import BatchResult, RequestOutcome
 from repro.serving.retry import Retrier, RetryPolicy
@@ -47,6 +47,7 @@ from repro.serving.stats import ServingStats
 __all__ = [
     "CoSimRankService",
     "ColumnCache",
+    "TopKCache",
     "ServingStats",
     "IndexRegistry",
     "BatchPlan",

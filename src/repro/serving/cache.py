@@ -1,6 +1,17 @@
-"""Thread-safe LRU cache of per-seed similarity columns.
+"""Thread-safe LRU caches for the serving layer.
 
-The unit of caching is one *column* of the CoSimRank block: the
+Two units of caching live here:
+
+* :class:`ColumnCache` — one full column ``[S]_{*,s}`` per seed, the
+  unit behind ``serve_batch``.
+* :class:`TopKCache` — one *ranking* per ``(seed, exclude_self)`` pair,
+  the unit behind ``serve_topk``.  A ranking is strictly smaller than a
+  column (``k`` entries instead of ``n``), and a stored top-``k'``
+  answers any request with ``k <= k'`` for free: the prefix of a
+  deterministically ordered top-``k'`` *is* the top-``k``
+  (docs/topk.md).
+
+For :class:`ColumnCache` the unit is one *column* of the CoSimRank block: the
 length-``n`` vector ``[S]_{*,s}`` for a single seed ``s``.  Theorem 3.5
 makes every column a pure function of its own seed, and
 :meth:`repro.core.index.CSRPlusIndex.query_columns` evaluates columns
@@ -32,10 +43,11 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.topk import TopKResult
 from repro.errors import InvalidParameterError
 from repro.testing import faults
 
-__all__ = ["ColumnCache"]
+__all__ = ["ColumnCache", "TopKCache"]
 
 
 def _fingerprint(column: np.ndarray) -> int:
@@ -264,4 +276,159 @@ class ColumnCache:
             return (
                 f"ColumnCache(capacity={self._capacity}, "
                 f"columns={len(self._columns)}, bytes={self._bytes})"
+            )
+
+
+class TopKCache:
+    """LRU map ``(seed, exclude_self) -> (k', TopKResult)``.
+
+    The prefix property does the heavy lifting: results are stored in
+    the engine's deterministic order (descending score, ties by
+    ascending id), so a resident top-``k'`` ranking answers any request
+    with ``k <= k'`` by slicing its first ``k`` entries — no
+    recomputation, no approximation.  A ranking that already contains
+    *every* candidate (``k'`` exceeded the candidate count) answers any
+    ``k`` at all.  Requests deeper than the resident entry miss, and
+    the fresh, deeper result replaces the shallower one.
+
+    Mutation mirrors :class:`ColumnCache`: one reentrant lock guards
+    the map and the hit/miss/eviction counters, stored arrays are
+    marked read-only, and ``capacity=0`` disables caching outright.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise InvalidParameterError(
+                f"cache capacity must be >= 0, got {capacity}"
+            )
+        self._capacity = int(capacity)
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[Tuple[int, bool], Tuple[int, TopKResult]]" = (
+            OrderedDict()
+        )
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def bytes_cached(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def counters(self) -> Dict[str, int]:
+        """A consistent snapshot of all counters and occupancy."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "cached_entries": len(self._entries),
+                "bytes_cached": self._bytes,
+            }
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _nbytes(result: TopKResult) -> int:
+        return int(result.nodes.nbytes) + int(result.scores.nbytes)
+
+    @staticmethod
+    def _answers(stored_k: int, result: TopKResult, k: int) -> bool:
+        # k <= k': slice the prefix.  nodes.size < k': the ranking ran
+        # out of candidates before k', i.e. it is complete — any depth
+        # is answerable.
+        return k <= stored_k or result.nodes.size < stored_k
+
+    @staticmethod
+    def _slice(result: TopKResult, k: int) -> TopKResult:
+        if result.nodes.size <= k:
+            return result
+        return TopKResult(
+            nodes=result.nodes[:k],
+            scores=result.scores[:k],
+            candidates_scored=result.candidates_scored,
+            blocks_scanned=result.blocks_scanned,
+            blocks_skipped=result.blocks_skipped,
+        )
+
+    def lookup(
+        self, seeds: Iterable[int], k: int, exclude_self: bool
+    ) -> Tuple[Dict[int, TopKResult], List[int]]:
+        """Probe for each seed's ranking at depth ``k`` atomically.
+
+        Returns ``(hits, misses)``: ``hits`` maps seed -> a
+        :class:`~repro.core.topk.TopKResult` sliced to depth ``k``
+        (scan counters kept from the original computation), ``misses``
+        lists seeds needing a fresh scan, in input order.  An entry
+        that is resident but too shallow for ``k`` counts as a miss.
+        """
+        hit_results: Dict[int, TopKResult] = {}
+        missing: List[int] = []
+        with self._lock:
+            for seed in seeds:
+                seed = int(seed)
+                key = (seed, bool(exclude_self))
+                entry = self._entries.get(key)
+                if entry is not None and self._answers(entry[0], entry[1], k):
+                    self.hits += 1
+                    self._entries.move_to_end(key)
+                    hit_results[seed] = self._slice(entry[1], k)
+                else:
+                    self.misses += 1
+                    missing.append(seed)
+        return hit_results, missing
+
+    def insert(
+        self, results: Dict[int, TopKResult], k: int, exclude_self: bool
+    ) -> int:
+        """Store fresh depth-``k`` rankings, evicting LRU entries.
+
+        A resident entry is replaced only when the incoming one is at
+        least as deep (a shallower insert would *lose* answerable
+        depths).  Returns the number of evictions caused.
+        """
+        if self._capacity == 0 or not results:
+            return 0
+        evicted_count = 0
+        with self._lock:
+            for seed, result in results.items():
+                key = (int(seed), bool(exclude_self))
+                previous = self._entries.get(key)
+                if previous is not None and previous[0] > k:
+                    self._entries.move_to_end(key)
+                    continue
+                result.nodes.flags.writeable = False
+                result.scores.flags.writeable = False
+                if previous is not None:
+                    self._bytes -= self._nbytes(previous[1])
+                    del self._entries[key]
+                self._entries[key] = (int(k), result)
+                self._bytes += self._nbytes(result)
+            while len(self._entries) > self._capacity:
+                _, (_, evicted) = self._entries.popitem(last=False)
+                self._bytes -= self._nbytes(evicted)
+                self.evictions += 1
+                evicted_count += 1
+        return evicted_count
+
+    def clear(self) -> None:
+        """Drop every resident ranking (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            return (
+                f"TopKCache(capacity={self._capacity}, "
+                f"entries={len(self._entries)}, bytes={self._bytes})"
             )

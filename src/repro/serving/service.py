@@ -72,8 +72,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 import repro.obs as obs
-from repro.core.base import QueryLike
+from repro.core.base import QueryLike, normalize_queries
 from repro.core.index import CSRPlusIndex
+from repro.core.topk import TopKResult, top_k_blockwise
 from repro.errors import (
     ColumnComputeFailed,
     DeadlineExceeded,
@@ -84,7 +85,7 @@ from repro.errors import (
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Span, Tracer
 from repro.serving.admission import SeedBudget
-from repro.serving.cache import ColumnCache
+from repro.serving.cache import ColumnCache, TopKCache
 from repro.serving.results import BatchResult, RequestOutcome
 from repro.core.config import QUERY_MODES
 from repro.serving.scheduler import chunk_seeds, effective_chunk_size, plan_batch
@@ -118,6 +119,12 @@ class CoSimRankService:
     cache_columns:
         LRU capacity in columns (each column is ``n * itemsize`` bytes).
         ``0`` disables caching.
+    topk_cache_entries:
+        LRU capacity of the separate top-k ranking cache backing
+        :meth:`serve_topk` (each entry is ``O(k)`` bytes — far smaller
+        than a column).  Entries are keyed ``(seed, exclude_self)`` and
+        a cached top-``k'`` answers any ``k <= k'`` by prefix slicing
+        (docs/topk.md).  ``0`` disables top-k caching.
     max_workers:
         Thread count for miss computation.  ``None`` (default) uses
         ``os.cpu_count()``; ``1`` computes misses serially on the
@@ -186,6 +193,7 @@ class CoSimRankService:
         index: CSRPlusIndex,
         *,
         cache_columns: int = 1024,
+        topk_cache_entries: int = 1024,
         max_workers: Optional[int] = None,
         chunk_size: int = 64,
         query_mode: Optional[str] = None,
@@ -233,6 +241,7 @@ class CoSimRankService:
             dtype=index.dtype,
             validate_checksums=cache_validate,
         )
+        self._topk_cache = TopKCache(topk_cache_entries)
         self._stats_lock = threading.Lock()
         self._slow_log: "deque[dict]" = deque(maxlen=int(slow_query_log_size))
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -309,6 +318,54 @@ class CoSimRankService:
         self._m_slow = reg.counter(
             "csrplus_serve_slow_batches_total",
             "Batches slower than the slow-query threshold",
+        )
+        self._m_topk_batches = reg.counter(
+            "csrplus_topk_batches_total", "serve_topk calls"
+        )
+        self._m_topk_seeds = reg.counter(
+            "csrplus_topk_seeds_total",
+            "Top-k rankings returned, duplicates included",
+        )
+        self._m_topk_hits = reg.counter(
+            "csrplus_topk_cache_hits_total",
+            "Top-k lookups answered from a resident ranking",
+        )
+        self._m_topk_misses = reg.counter(
+            "csrplus_topk_cache_misses_total",
+            "Top-k lookups that needed a fresh blockwise scan",
+        )
+        self._m_topk_evictions = reg.counter(
+            "csrplus_topk_cache_evictions_total",
+            "Rankings evicted from the top-k LRU",
+        )
+        self._m_topk_entries = reg.gauge(
+            "csrplus_topk_cache_entries", "Resident cached rankings"
+        )
+        self._m_topk_candidates = reg.counter(
+            "csrplus_topk_candidates_scored_total",
+            "Candidates scored by the blockwise kernel (pruning visible "
+            "as this staying well under seeds * n)",
+        )
+        self._m_topk_blocks_scanned = reg.counter(
+            "csrplus_topk_blocks_scanned_total",
+            "Row-blocks whose scores were computed",
+        )
+        self._m_topk_blocks_skipped = reg.counter(
+            "csrplus_topk_blocks_skipped_total",
+            "Row-blocks skipped by the norm bound",
+        )
+        self._m_topk_retries = reg.counter(
+            "csrplus_topk_retries_total",
+            "Per-seed isolation retries after top-k chunk failures",
+        )
+        self._m_topk_deadline = reg.counter(
+            "csrplus_topk_deadline_exceeded_total",
+            "serve_topk batches whose deadline cancelled at least one seed",
+        )
+        self._m_topk_degraded = reg.counter(
+            "csrplus_topk_degraded_requests_total",
+            "Top-k requests that failed while the rest of their batch "
+            "was served",
         )
         # info-style gauge: scrapes (and regressions) can attribute this
         # service's numbers to the mode that produced them
@@ -456,6 +513,258 @@ class CoSimRankService:
             failed_seeds=failures,
             cancelled_seeds=tuple(cancelled),
         )
+
+    # ------------------------------------------------------------------
+    # top-k serving
+    # ------------------------------------------------------------------
+    def serve_topk(
+        self,
+        seeds: QueryLike,
+        k: int,
+        *,
+        exclude_self: bool = True,
+        deadline_s: Optional[float] = None,
+        partial: bool = False,
+    ) -> List[TopKResult]:
+        """Top-``k`` most-similar nodes for each seed, served.
+
+        One :class:`~repro.core.topk.TopKResult` per input seed, in
+        input order.  Rankings are produced by the blockwise pruned
+        kernel (:func:`~repro.core.topk.top_k_blockwise`) — in exact
+        mode the returned nodes, scores, and tie order are
+        *bit-identical* to ``index.top_k(seed, k)`` plus the matching
+        column entries; batched mode carries the
+        :func:`~repro.core.index.batched_query_atol` contract.  Results
+        are cached per ``(seed, exclude_self)``: a cached top-``k'``
+        with ``k' >= k`` answers ``k`` by prefix slicing, without
+        touching the index.
+
+        The robustness surface matches :meth:`serve_batch`: admission
+        control sheds over-budget batches
+        (:class:`~repro.errors.ServiceOverloaded`), ``deadline_s``
+        cancels not-yet-started work cooperatively, failed chunks are
+        degraded to per-seed isolation retries, and with
+        ``partial=True`` failed seeds come back as ``None`` holes
+        instead of raising.  Use :meth:`serve_topk_detailed` for the
+        per-seed typed errors.
+        """
+        detailed = self.serve_topk_detailed(
+            seeds, k, exclude_self=exclude_self, deadline_s=deadline_s
+        )
+        if partial:
+            return detailed.partial_results()
+        return detailed.results()
+
+    def serve_topk_detailed(
+        self,
+        seeds: QueryLike,
+        k: int,
+        *,
+        exclude_self: bool = True,
+        deadline_s: Optional[float] = None,
+    ) -> BatchResult:
+        """Like :meth:`serve_topk` but with per-seed outcomes.
+
+        Never raises for individual seed failures — each
+        :class:`~repro.serving.results.RequestOutcome` carries either a
+        :class:`~repro.core.topk.TopKResult` or a typed
+        :class:`~repro.errors.ReproError`.  Batch-level rejections
+        (invalid seeds, bad ``k``, load shedding) still raise.
+        """
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise InvalidParameterError(
+                f"deadline_s must be > 0 (or None), got {deadline_s}"
+            )
+        started = self._clock()
+        deadline_at = started + deadline_s if deadline_s is not None else None
+        seed_ids = normalize_queries(seeds, self.index.num_nodes)
+        tracer = self._tracer
+        with tracer.span(
+            "serve.topk",
+            seeds=int(seed_ids.size),
+            k=int(k),
+            exclude_self=bool(exclude_self),
+            query_mode=self.query_mode,
+        ):
+            unique = np.unique(seed_ids)
+            n_seeds = int(unique.size)
+            if not self._budget.try_acquire(n_seeds):
+                with self._stats_lock:
+                    self._m_shed.inc()
+                assert self._budget.max_inflight is not None
+                raise ServiceOverloaded(
+                    n_seeds, self._budget.in_flight, self._budget.max_inflight
+                )
+            try:
+                hit_results, missing = self._topk_cache.lookup(
+                    unique, int(k), exclude_self
+                )
+                num_hits = len(hit_results)
+                with tracer.span(
+                    "serve.topk.compute",
+                    misses=len(missing),
+                    query_mode=self.query_mode,
+                ) as compute_span:
+                    fresh, failures, cancelled, retries = (
+                        self._compute_topk_missing(
+                            missing, int(k), exclude_self,
+                            compute_span, deadline_at,
+                        )
+                    )
+                    evicted = self._topk_cache.insert(
+                        fresh, int(k), exclude_self
+                    )
+                result_map = dict(hit_results)
+                result_map.update(fresh)
+                cancelled_set = set(cancelled)
+                outcomes: List[RequestOutcome] = []
+                for seed in seed_ids:
+                    seed = int(seed)
+                    if seed in result_map:
+                        outcomes.append(
+                            RequestOutcome(result=result_map[seed])
+                        )
+                    elif seed in cancelled_set:
+                        outcomes.append(
+                            RequestOutcome(
+                                error=DeadlineExceeded(
+                                    deadline_s if deadline_s is not None
+                                    else 0.0,
+                                    self._clock() - started,
+                                    completed_seeds=len(result_map),
+                                    cancelled_seeds=len(cancelled_set),
+                                )
+                            )
+                        )
+                    else:
+                        outcomes.append(
+                            RequestOutcome(error=failures[seed])
+                        )
+            finally:
+                self._budget.release(n_seeds)
+
+        with self._stats_lock:
+            self._m_topk_batches.inc()
+            self._m_topk_seeds.inc(int(seed_ids.size))
+            self._m_topk_hits.inc(num_hits)
+            self._m_topk_misses.inc(len(missing))
+            self._m_topk_evictions.inc(evicted)
+            self._m_topk_retries.inc(retries)
+            self._m_topk_degraded.inc(
+                sum(1 for outcome in outcomes if not outcome.ok)
+            )
+            if cancelled:
+                self._m_topk_deadline.inc()
+            for result in fresh.values():
+                self._m_topk_candidates.inc(result.candidates_scored)
+                self._m_topk_blocks_scanned.inc(result.blocks_scanned)
+                self._m_topk_blocks_skipped.inc(result.blocks_skipped)
+            self._m_topk_entries.set(
+                self._topk_cache.counters()["cached_entries"]
+            )
+        return BatchResult(
+            outcomes=outcomes,
+            retries=retries,
+            failed_seeds=failures,
+            cancelled_seeds=tuple(cancelled),
+        )
+
+    def _compute_topk_missing(
+        self,
+        missing: List[int],
+        k: int,
+        exclude_self: bool,
+        parent_span: Optional[Span],
+        deadline_at: Optional[float],
+    ) -> Tuple[Dict[int, TopKResult], Dict[int, ReproError], List[int], int]:
+        """Blockwise-scan missing seeds with isolation and cancellation.
+
+        The same degradation ladder as :meth:`_compute_missing`: chunks
+        run (possibly in parallel), a failed chunk is retried seed by
+        seed in exact mode, and seeds that miss the deadline are
+        cancelled rather than computed late.
+        """
+        results: Dict[int, TopKResult] = {}
+        failures: Dict[int, ReproError] = {}
+        cancelled: List[int] = []
+        retries = 0
+        if not missing:
+            return results, failures, cancelled, retries
+        chunks = chunk_seeds(missing, self.chunk_size)
+
+        def run_chunk(chunk):
+            if deadline_at is not None and self._clock() >= deadline_at:
+                return ("cancelled", None)
+            with self._tracer.span(
+                "serve.topk.chunk", parent=parent_span, seeds=len(chunk)
+            ) as chunk_span:
+                try:
+                    faults.fire(
+                        "compute.chunk", seeds=[int(s) for s in chunk]
+                    )
+                    return (
+                        "ok",
+                        top_k_blockwise(
+                            self.index,
+                            chunk,
+                            k,
+                            exclude_self=exclude_self,
+                            mode=self.query_mode,
+                            tracer=self._tracer,
+                            parent_span=chunk_span,
+                        ),
+                    )
+                except Exception as exc:  # isolated below, per seed
+                    return ("error", exc)
+
+        if self.max_workers == 1 or len(chunks) == 1:
+            outcomes = [run_chunk(chunk) for chunk in chunks]
+        else:
+            outcomes = list(self._get_executor().map(run_chunk, chunks))
+
+        failed_chunks = []
+        for chunk, (status, payload) in zip(chunks, outcomes):
+            if status == "ok":
+                for seed, result in zip(chunk, payload):
+                    results[int(seed)] = result
+            elif status == "cancelled":
+                cancelled.extend(int(seed) for seed in chunk)
+            else:
+                failed_chunks.append((chunk, payload))
+
+        for chunk, _chunk_exc in failed_chunks:
+            for seed in chunk:
+                seed = int(seed)
+                if deadline_at is not None and self._clock() >= deadline_at:
+                    cancelled.append(seed)
+                    continue
+                retries += 1
+                with self._tracer.span(
+                    "serve.topk.retry", parent=parent_span, seed=seed
+                ) as retry_span:
+                    try:
+                        faults.fire("compute.chunk", seeds=[seed])
+                        # isolation retries are single-seed; exact mode
+                        # makes the retried ranking canonical, exactly
+                        # as column retries do
+                        results[seed] = top_k_blockwise(
+                            self.index,
+                            [seed],
+                            k,
+                            exclude_self=exclude_self,
+                            mode="exact",
+                            tracer=self._tracer,
+                            parent_span=retry_span,
+                        )[0]
+                    except Exception as exc:
+                        error = ColumnComputeFailed(
+                            seed, str(exc) or type(exc).__name__
+                        )
+                        error.__cause__ = exc
+                        failures[seed] = error
+        return results, failures, cancelled, retries
 
     # ------------------------------------------------------------------
     # internals
@@ -702,14 +1011,36 @@ class CoSimRankService:
                 assemble_seconds=self._m_phase["assemble"].value,
             )
 
+    def topk_stats(self) -> Dict[str, int]:
+        """A consistent snapshot of the ``csrplus_topk_*`` instruments."""
+        cache = self._topk_cache.counters()
+        with self._stats_lock:
+            self._m_topk_entries.set(cache["cached_entries"])
+            return {
+                "batches": int(self._m_topk_batches.value),
+                "seeds": int(self._m_topk_seeds.value),
+                "hits": int(self._m_topk_hits.value),
+                "misses": int(self._m_topk_misses.value),
+                "evictions": int(self._m_topk_evictions.value),
+                "cached_entries": cache["cached_entries"],
+                "bytes_cached": cache["bytes_cached"],
+                "candidates_scored": int(self._m_topk_candidates.value),
+                "blocks_scanned": int(self._m_topk_blocks_scanned.value),
+                "blocks_skipped": int(self._m_topk_blocks_skipped.value),
+                "retries": int(self._m_topk_retries.value),
+                "deadline_exceeded": int(self._m_topk_deadline.value),
+                "degraded_requests": int(self._m_topk_degraded.value),
+            }
+
     def slow_queries(self) -> List[dict]:
         """Recent slow-batch records, oldest first (bounded ring)."""
         with self._stats_lock:
             return list(self._slow_log)
 
     def clear_cache(self) -> None:
-        """Drop all cached columns (useful for cold-start measurements)."""
+        """Drop all cached columns and rankings (for cold-start runs)."""
         self._cache.clear()
+        self._topk_cache.clear()
 
     def close(self) -> None:
         """Shut down the worker pool (idempotent)."""

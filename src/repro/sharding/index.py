@@ -273,6 +273,53 @@ class ShardedIndex:
             self._m_resident.set(0)
 
     # ------------------------------------------------------------------
+    # blockwise top-k surface (consumed by repro.core.topk)
+    # ------------------------------------------------------------------
+    def topk_block_plan(self):
+        """Shards as candidate blocks: ``(shard_id, start, stop, bound)``.
+
+        A shard is the natural row-block of the blockwise top-k kernel
+        (:func:`~repro.core.topk.top_k_blockwise`): ``bound`` is the
+        manifest's precomputed ``z_norm_max``, so the kernel can order
+        blocks and skip cold shards *without reading them*.  ``None``
+        stands in for manifests written before the field existed (bound
+        unknown: the kernel must load and scan those shards).
+        """
+        plan = []
+        for meta in self._store.manifest.shards:
+            bound = meta.z_norm_max if meta.z_norm_max >= 0.0 else None
+            plan.append((meta.index, meta.start, meta.stop, bound))
+        return plan
+
+    def load_topk_block(self, shard_id: int) -> np.ndarray:
+        """The ``Z`` rows of one block, via the retrying shard loader.
+
+        Shares :meth:`_get_shard`'s cache, retry budget, and typed
+        :class:`~repro.errors.ShardCorrupted` error path, so a poisoned
+        shard surfaces to the top-k caller exactly as it does to
+        :meth:`query_columns` — never as silently wrong rankings.
+        """
+        return self._get_shard(int(shard_id)).z
+
+    def gather_u_rows(self, seeds) -> np.ndarray:
+        """``U[seeds, :]`` gathered from owner shards only (seed order)."""
+        return self._gather_rows(seeds, "u")
+
+    def gather_z_rows(self, seeds) -> np.ndarray:
+        """``Z[seeds, :]`` gathered from owner shards only (seed order)."""
+        return self._gather_rows(seeds, "z")
+
+    def _gather_rows(self, seeds, which: str) -> np.ndarray:
+        routed = self._router.plan(seeds)
+        rows = np.empty((int(routed.seed_ids.size), self.rank), dtype=self.dtype)
+        for s in routed.gather_shards:
+            shard = self._get_shard(s)
+            mask = routed.owners == s
+            block = shard.u if which == "u" else shard.z
+            rows[mask] = block[routed.local_rows[mask], :]
+        return rows
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def query_columns(self, seeds, mode: Optional[str] = None) -> np.ndarray:

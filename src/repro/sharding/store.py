@@ -147,6 +147,10 @@ class ShardStoreWriter:
         u_block = np.ascontiguousarray(u_block)
         np.save(os.path.join(self.path, z_name), z_block)
         np.save(os.path.join(self.path, u_name), u_block)
+        # The per-shard score bound for blockwise top-k: a pure float64
+        # function of the shard bytes, so a single-shard rebuild
+        # (repro.sharding.builder.rebuild_shards) reproduces it exactly.
+        z_norms = np.linalg.norm(z_block.astype(np.float64, copy=False), axis=1)
         meta = ShardMeta(
             index=int(index),
             start=start,
@@ -155,6 +159,7 @@ class ShardStoreWriter:
             u_file=u_name,
             z_sha256=array_sha256(z_block),
             u_sha256=array_sha256(u_block),
+            z_norm_max=float(z_norms.max()) if z_norms.size else 0.0,
         )
         self._written[int(index)] = meta
         return meta

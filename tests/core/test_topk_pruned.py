@@ -1,10 +1,20 @@
-"""Unit tests for the norm-bound pruned top-k search."""
+"""Unit tests for the norm-bound pruned top-k searches.
+
+Two kernels share the Cauchy–Schwarz prune: the scalar
+:func:`~repro.core.topk.top_k_pruned` (the reference oracle) and the
+blockwise :func:`~repro.core.topk.top_k_blockwise` (the production
+path).  The regression classes at the bottom pin the pruning
+*behaviour*, not just correctness: skewed graphs must skip blocks and
+bound the scored fraction, flat-norm graphs must degrade to a clean
+full scan, and the scalar oracle must agree with the blockwise kernel
+candidate for candidate.
+"""
 
 import numpy as np
 import pytest
 
 from repro.core.index import CSRPlusIndex
-from repro.core.topk import top_k_pruned
+from repro.core.topk import top_k_blockwise, top_k_pruned
 from repro.errors import InvalidParameterError
 from repro.graphs.generators import chung_lu, preferential_attachment, ring
 
@@ -79,3 +89,76 @@ class TestValidation:
         index = CSRPlusIndex(chung_lu(100, 500, seed=42), rank=5)
         result = top_k_pruned(index, 0, 3)
         assert result.nodes.size == 3
+
+
+SEEDS = [0, 11, 500, 1999]
+
+
+class TestBlockwisePruning:
+    """Regression pins on the blockwise kernel's pruning behaviour."""
+
+    def test_skewed_graph_skips_blocks(self, skewed_index):
+        """Norm-ordered blocks + a skewed norm profile must actually
+        prune: blocks skipped, scored fraction bounded."""
+        n = skewed_index.num_nodes
+        results = top_k_blockwise(skewed_index, SEEDS, 10, block_rows=128)
+        for seed, result in zip(SEEDS, results):
+            assert result.blocks_skipped > 0, f"seed {seed} skipped nothing"
+            assert result.candidates_scored < 0.5 * n, (
+                f"seed {seed} scored {result.candidates_scored}/{n}"
+            )
+            assert (
+                result.blocks_scanned + result.blocks_skipped
+                == -(-n // 128)  # ceil: every block is either scanned or skipped
+            )
+
+    def test_flat_norm_graph_degrades_to_full_scan(self):
+        """On a ring every ||Z[x]|| is equal: no block's bound can drop
+        below the floor, so the kernel scans everything — gracefully,
+        once per block, not with pathological re-sorting."""
+        index = CSRPlusIndex(ring(60), rank=10).prepare()
+        results = top_k_blockwise(index, [4, 30], 5, block_rows=16)
+        for seed, result in zip([4, 30], results):
+            assert result.blocks_skipped == 0
+            assert result.blocks_scanned == -(-60 // 16)
+            assert result.candidates_scored == 59  # all but self
+            np.testing.assert_array_equal(
+                result.nodes, index.top_k(seed, 5)
+            )
+
+    def test_scalar_oracle_agrees_with_blockwise(self, skewed_index):
+        """top_k_pruned stays the reference: same nodes, same scores
+        (up to fp noise of the different accumulation), and the same
+        visit order means comparable work."""
+        for seed in SEEDS:
+            oracle = top_k_pruned(skewed_index, seed, 10)
+            block = top_k_blockwise(
+                skewed_index, [seed], 10, block_rows=128
+            )[0]
+            np.testing.assert_array_equal(block.nodes, oracle.nodes)
+            np.testing.assert_allclose(
+                block.scores, oracle.scores, atol=1e-10
+            )
+
+    def test_blockwise_never_scores_more_than_oracle_plus_block_slack(
+        self, skewed_index
+    ):
+        """Block granularity is the only extra work: the blockwise scan
+        stops within one block of where the scalar oracle stopped."""
+        block_rows = 128
+        for seed in SEEDS:
+            oracle = top_k_pruned(skewed_index, seed, 10)
+            block = top_k_blockwise(
+                skewed_index, [seed], 10, block_rows=block_rows
+            )[0]
+            assert (
+                block.candidates_scored
+                <= oracle.candidates_scored + block_rows
+            )
+
+    def test_deeper_k_scans_more(self, skewed_index):
+        """A deeper ranking has a lower floor, so pruning starts later."""
+        shallow = top_k_blockwise(skewed_index, [11], 5, block_rows=128)[0]
+        deep = top_k_blockwise(skewed_index, [11], 200, block_rows=128)[0]
+        assert deep.candidates_scored >= shallow.candidates_scored
+        assert deep.blocks_skipped <= shallow.blocks_skipped

@@ -18,10 +18,25 @@ class TestPrecisionAtK:
         assert precision_at_k([1, 9, 9, 9], [1], 1) == 1.0
 
     def test_short_prediction_list(self):
-        assert precision_at_k([1], [1, 2], 5) == 1.0
+        # regression: a 1-item prediction list fills 1 of 5 slots — the
+        # denominator is k, so truncated rankers cannot inflate their
+        # precision to 1.0
+        assert precision_at_k([1], [1, 2], 5) == pytest.approx(1 / 5)
+
+    def test_short_list_never_beats_full_list(self):
+        short = precision_at_k([1], [1, 2], 5)
+        full = precision_at_k([1, 2, 7, 8, 9], [1, 2], 5)
+        assert short < full == pytest.approx(2 / 5)
 
     def test_empty_predictions(self):
         assert precision_at_k([], [1], 3) == 0.0
+
+    def test_empty_relevant(self):
+        assert precision_at_k([1, 2, 3], [], 3) == 0.0
+
+    def test_k_larger_than_universe(self):
+        # all 3 relevant items found, but 7 of the 10 slots stay empty
+        assert precision_at_k([1, 2, 3], [1, 2, 3], 10) == pytest.approx(0.3)
 
     def test_invalid_k(self):
         with pytest.raises(InvalidParameterError):
@@ -43,6 +58,17 @@ class TestNDCG:
     def test_no_hits(self):
         assert ndcg_at_k([5, 6], [1], 2) == 0.0
 
+    def test_empty_predictions(self):
+        assert ndcg_at_k([], [1, 2], 3) == 0.0
+
+    def test_k_larger_than_predictions(self):
+        # ideal DCG is capped at the number of slots actually rankable
+        assert ndcg_at_k([1, 2], [1, 2], 10) == pytest.approx(1.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            ndcg_at_k([1], [1], 0)
+
 
 class TestKendallTau:
     def test_identical_order(self):
@@ -59,6 +85,12 @@ class TestKendallTau:
         with pytest.raises(InvalidParameterError):
             kendall_tau(np.zeros(1), np.zeros(1))
 
+    def test_all_ties_is_zero_not_nan(self):
+        # kendalltau returns nan when one side is constant (zero
+        # variance); the wrapper reports 0.0 — "no ordering signal"
+        assert kendall_tau(np.ones(4), np.array([1.0, 2, 3, 4])) == 0.0
+        assert kendall_tau(np.ones(4), np.ones(4)) == 0.0
+
 
 class TestRankOf:
     def test_basic(self):
@@ -71,6 +103,19 @@ class TestRankOf:
         scores = np.array([0.5, 0.5])
         assert rank_of(scores, 0) == 0
         assert rank_of(scores, 1) == 1
+
+    def test_all_ties_rank_by_id(self):
+        scores = np.zeros(4)
+        assert [rank_of(scores, node) for node in range(4)] == [0, 1, 2, 3]
+
+    def test_matches_engine_tie_order(self):
+        # same (descending score, ascending id) order as
+        # SimilarityEngine.top_k and the top-k kernels
+        scores = np.array([0.3, 0.5, 0.5, 0.1])
+        assert rank_of(scores, 1) == 0
+        assert rank_of(scores, 2) == 1
+        assert rank_of(scores, 0) == 2
+        assert rank_of(scores, 3) == 3
 
     def test_out_of_range(self):
         with pytest.raises(InvalidParameterError):

@@ -1,0 +1,225 @@
+"""Chaos suite: ``serve_topk`` under injected shard and compute faults.
+
+The top-k contract under faults is stricter than "mostly right": a
+ranking is only useful if it is *complete and correctly ordered*, so a
+failed or poisoned shard must surface as a typed
+:mod:`repro.errors` exception (or a ``None`` hole under the partial
+policy) — **never** as a silently truncated or reordered ranking.  And
+because faults are injected, not real, disarming the plan must heal
+the service in place: the very next call returns exact rankings.
+
+Every test runs in both query modes: exact served rankings are
+bit-identical to the engine; batched rankings keep the same node order
+(the fixture graph has no near-ties) with scores inside
+:func:`~repro.core.index.batched_query_atol`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.index import CSRPlusIndex, batched_query_atol
+from repro.errors import ColumnComputeFailed, ReproError, ShardCorrupted
+from repro.graphs.generators import erdos_renyi
+from repro.serving import CoSimRankService
+from repro.sharding import ShardedIndex, shard_index
+from repro.testing.faults import FaultPlan
+
+pytestmark = pytest.mark.chaos
+
+SEEDS = [0, 25, 59, 25]
+K = 7
+RANK = 4
+
+
+@pytest.fixture(params=["exact", "batched"])
+def query_mode(request):
+    return request.param
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi(60, 260, seed=31)
+
+
+@pytest.fixture
+def mono_index(graph):
+    return CSRPlusIndex(graph, rank=RANK).prepare()
+
+
+@pytest.fixture
+def store(mono_index, tmp_path):
+    return shard_index(mono_index, tmp_path / "store", num_shards=3)
+
+
+@pytest.fixture
+def expected(mono_index):
+    out = []
+    for seed in SEEDS:
+        nodes = mono_index.top_k(int(seed), K)
+        out.append((nodes, mono_index.single_source(int(seed))[nodes]))
+    return out
+
+
+def _assert_exact(results, expected, query_mode="exact"):
+    assert len(results) == len(expected)
+    atol = 0.0 if query_mode == "exact" else batched_query_atol(RANK, "float64")
+    for result, (nodes, scores) in zip(results, expected):
+        np.testing.assert_array_equal(result.nodes, nodes)
+        np.testing.assert_allclose(
+            np.asarray(result.scores, dtype=np.float64),
+            scores,
+            rtol=0.0,
+            atol=atol,
+        )
+
+
+def _poison(pair):
+    """Corrupt the Z block of a loaded shard without changing its shape."""
+    z, u = pair
+    bad = np.array(z)
+    bad[0, 0] += 1.0
+    return bad, u
+
+
+class TestReadFailures:
+    def test_transient_failure_retried_to_exact_rankings(
+        self, store, expected, query_mode
+    ):
+        with FaultPlan().fail(
+            "shard.read", times=1, exc=OSError("flaky disk")
+        ) as plan:
+            with ShardedIndex(store, max_workers=1) as idx:
+                with CoSimRankService(
+                    idx, max_workers=1, query_mode=query_mode
+                ) as service:
+                    results = service.serve_topk(SEEDS, K)
+        assert plan.injected("shard.read") == 1
+        _assert_exact(results, expected, query_mode)
+
+    def test_persistent_failure_is_typed_never_truncated(self, store, query_mode):
+        with FaultPlan().fail("shard.read", times=None):
+            with ShardedIndex(store, max_workers=1, read_retries=0) as idx:
+                with CoSimRankService(
+                    idx, max_workers=1, query_mode=query_mode
+                ) as service:
+                    detailed = service.serve_topk_detailed(SEEDS, K)
+        assert not detailed.ok
+        for outcome in detailed.outcomes:
+            # all-or-typed: no outcome may carry a partial ranking
+            assert outcome.result is None
+            assert isinstance(outcome.error, ReproError)
+            assert isinstance(outcome.error, ColumnComputeFailed)
+
+    def test_partial_policy_returns_holes_not_short_rankings(
+        self, store, query_mode
+    ):
+        with FaultPlan().fail("shard.read", times=None):
+            with ShardedIndex(store, max_workers=1, read_retries=0) as idx:
+                with CoSimRankService(
+                    idx, max_workers=1, query_mode=query_mode
+                ) as service:
+                    results = service.serve_topk(SEEDS, K, partial=True)
+        assert results == [None] * len(SEEDS)
+
+    def test_heals_after_disarm(self, store, expected, query_mode):
+        with ShardedIndex(store, max_workers=1, read_retries=0) as idx:
+            with CoSimRankService(
+                idx, max_workers=1, query_mode=query_mode
+            ) as service:
+                with FaultPlan().fail("shard.read", times=None):
+                    broken = service.serve_topk(SEEDS, K, partial=True)
+                assert broken == [None] * len(SEEDS)
+                # same service, same index, plan disarmed: exact again
+                _assert_exact(service.serve_topk(SEEDS, K), expected, query_mode)
+
+
+class TestLatency:
+    def test_slow_shard_changes_nothing(self, store, expected, query_mode):
+        sleeps = []
+        with FaultPlan(sleep=sleeps.append).delay(
+            "shard.read", seconds=0.25, times=2
+        ) as plan:
+            with ShardedIndex(store, max_workers=1) as idx:
+                with CoSimRankService(
+                    idx, max_workers=1, query_mode=query_mode
+                ) as service:
+                    results = service.serve_topk(SEEDS, K)
+        assert plan.injected("shard.read") == 2
+        assert sleeps == [0.25, 0.25]
+        _assert_exact(results, expected, query_mode)
+
+
+class TestCorruption:
+    def test_poisoned_shard_is_typed_with_validation(self, store, query_mode):
+        """validate_reads re-hashes loaded blocks: a poisoned shard can
+        never contribute wrong scores to a served ranking."""
+        with FaultPlan().corrupt("shard.read", _poison, times=None):
+            with ShardedIndex(
+                store, max_workers=1, validate_reads=True, read_retries=0
+            ) as idx:
+                with CoSimRankService(
+                    idx, max_workers=1, query_mode=query_mode
+                ) as service:
+                    detailed = service.serve_topk_detailed(SEEDS, K)
+        assert not detailed.ok
+        for outcome in detailed.outcomes:
+            assert outcome.result is None
+            assert isinstance(outcome.error, ReproError)
+
+    def test_one_shot_poison_retries_to_exact_rankings(
+        self, store, expected, query_mode
+    ):
+        with FaultPlan().corrupt("shard.read", _poison, times=1) as plan:
+            with ShardedIndex(
+                store, max_workers=1, validate_reads=True
+            ) as idx:
+                with CoSimRankService(
+                    idx, max_workers=1, query_mode=query_mode
+                ) as service:
+                    results = service.serve_topk(SEEDS, K)
+        assert plan.injected("shard.read") == 1
+        _assert_exact(results, expected, query_mode)
+
+    def test_corruption_error_chain_names_the_shard(self, store, query_mode):
+        with FaultPlan().corrupt("shard.read", _poison, times=None):
+            with ShardedIndex(
+                store, max_workers=1, validate_reads=True, read_retries=0
+            ) as idx:
+                with CoSimRankService(
+                    idx, max_workers=1, query_mode=query_mode
+                ) as service:
+                    detailed = service.serve_topk_detailed([0], K)
+        error = detailed.outcomes[0].error
+        cause = error.__cause__
+        while cause is not None and not isinstance(cause, ShardCorrupted):
+            cause = cause.__cause__
+        assert isinstance(cause, ShardCorrupted)
+
+
+class TestComputeFaults:
+    def test_chunk_fault_isolated_and_counted(
+        self, mono_index, expected, query_mode
+    ):
+        """A failing compute chunk degrades to per-seed retries; the
+        retried rankings are still exact."""
+        with CoSimRankService(
+            mono_index, max_workers=1, query_mode=query_mode
+        ) as service:
+            with FaultPlan().fail(
+                "compute.chunk", times=1, exc=RuntimeError("boom")
+            ) as plan:
+                results = service.serve_topk(SEEDS, K)
+            assert plan.injected("compute.chunk") == 1
+            _assert_exact(results, expected, query_mode)
+            assert service.topk_stats()["retries"] == len(set(SEEDS))
+
+    def test_metrics_count_degraded_topk_requests(self, mono_index, query_mode):
+        with CoSimRankService(
+            mono_index, max_workers=1, query_mode=query_mode
+        ) as service:
+            with FaultPlan().fail("compute.chunk", times=None):
+                results = service.serve_topk(SEEDS, K, partial=True)
+            assert results == [None] * len(SEEDS)
+            stats = service.topk_stats()
+            assert stats["degraded_requests"] == len(SEEDS)
+            assert stats["retries"] == len(set(SEEDS))
