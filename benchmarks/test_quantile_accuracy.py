@@ -1,0 +1,77 @@
+"""Histogram quantile accuracy: interpolation error vs exact percentiles.
+
+Not a paper artefact — this guards the SLO arithmetic
+(docs/observability.md).  ``Histogram.quantile`` reconstructs
+percentiles from cumulative bucket counts with linear interpolation,
+which is what the serving SLOs and the loadgen report are evaluated
+from.  Its worst-case error is one bucket width (the true sample could
+sit anywhere inside the bucket the quantile lands in), so at bench
+scale the estimate must stay within the width of the bucket containing
+the exact :func:`numpy.percentile` answer — for every tested quantile,
+across several realistic latency-shaped distributions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, Histogram
+
+N_SAMPLES = 200_000
+QUANTILES = (0.50, 0.90, 0.95, 0.99, 0.999)
+
+# latency-shaped workloads: right-skewed bulk, heavy tail, bimodal
+# (cache hit vs miss), and near-constant service time
+DISTRIBUTIONS = {
+    "gamma": lambda rng: rng.gamma(shape=2.0, scale=0.05, size=N_SAMPLES),
+    "lognormal": lambda rng: rng.lognormal(
+        mean=-3.0, sigma=1.0, size=N_SAMPLES
+    ),
+    "bimodal": lambda rng: np.where(
+        rng.random(N_SAMPLES) < 0.8,
+        rng.gamma(shape=2.0, scale=0.002, size=N_SAMPLES),
+        rng.gamma(shape=4.0, scale=0.1, size=N_SAMPLES),
+    ),
+    "constant": lambda rng: np.full(N_SAMPLES, 0.042)
+    + rng.normal(0.0, 1e-4, size=N_SAMPLES),
+}
+
+
+def _bucket_width_at(value: float, bounds) -> float:
+    """Width of the finite bucket containing ``value``.
+
+    Values beyond the highest finite bound have no finite bucket; the
+    quantile clamps there, so use the last finite width as the bar.
+    """
+    lower = 0.0
+    for upper in bounds:
+        if value <= upper:
+            return upper - lower
+        lower = upper
+    return bounds[-1] - (bounds[-2] if len(bounds) > 1 else 0.0)
+
+
+@pytest.mark.parametrize("shape", sorted(DISTRIBUTIONS))
+def test_quantile_within_one_bucket_width(shape):
+    rng = np.random.default_rng(29)
+    samples = np.clip(DISTRIBUTIONS[shape](rng), 0.0, None)
+    histogram = Histogram(buckets=DEFAULT_LATENCY_BUCKETS)
+    for value in samples:
+        histogram.observe(float(value))
+
+    bounds = [b for b in histogram.bucket_bounds if np.isfinite(b)]
+    worst = 0.0
+    for q in QUANTILES:
+        exact = float(np.percentile(samples, q * 100.0))
+        estimate = histogram.quantile(q)
+        width = _bucket_width_at(exact, bounds)
+        error = abs(estimate - exact)
+        worst = max(worst, error / width)
+        assert error <= width, (
+            f"{shape} q={q}: estimate {estimate:.6f}s vs exact "
+            f"{exact:.6f}s — error {error:.6f}s exceeds the "
+            f"{width:.6f}s bucket width"
+        )
+    print(
+        f"\nquantile accuracy ({shape}, n={N_SAMPLES:,}): "
+        f"worst error {worst:.2f} bucket widths"
+    )

@@ -1,0 +1,314 @@
+"""Schema-versioned performance snapshots and regression gating.
+
+A repo that optimises serving paths needs a memory of how fast it used
+to be.  ``csrplus bench`` measures the load-bearing numbers — prepare
+time, exact/batched column throughput, top-k throughput, and a seeded
+loadgen pass (:mod:`repro.serving.loadgen`) — and writes them as a
+``BENCH_<date>.json`` snapshot:
+
+* every metric carries a ``direction`` (``"lower"`` or ``"higher"`` is
+  better), so the comparator needs no out-of-band knowledge;
+* the payload is versioned (``schema: csrplus-bench/v1``) and records
+  the workload and environment that produced it, so apples are only
+  ever compared to apples;
+* ``csrplus bench --compare prior.json`` re-runs the suite and exits
+  nonzero when any metric regresses beyond the tolerance — the CI
+  perf-smoke lane and local pre-merge checks both gate on this.
+
+Snapshots committed under ``benchmarks/trajectory/`` form the repo's
+perf trajectory; see docs/observability.md for the reading guide.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import CSRPlusConfig
+from repro.core.index import CSRPlusIndex
+from repro.core.topk import top_k_blockwise
+from repro.errors import GraphFormatError, InvalidParameterError
+from repro.graphs.digraph import DiGraph
+from repro.obs.metrics import MetricsRegistry
+from repro.serving.loadgen import (
+    LoadProfile,
+    LoadReport,
+    SimulatedClock,
+    build_schedule,
+    loadgen_slos,
+    run_load,
+)
+from repro.serving.service import CoSimRankService
+
+__all__ = [
+    "SCHEMA",
+    "DEFAULT_TOLERANCE",
+    "run_bench",
+    "write_snapshot",
+    "load_snapshot",
+    "compare_snapshots",
+    "render_comparison",
+]
+
+#: Bump on any incompatible payload change; the loader refuses other
+#: schemas instead of comparing mismatched shapes.
+SCHEMA = "csrplus-bench/v1"
+
+#: Relative slack a metric may move in its bad direction before the
+#: comparator calls it a regression (timings are noisy; 25% is roughly
+#: the CI-runner jitter floor for sub-second kernels).
+DEFAULT_TOLERANCE = 0.25
+
+
+def _environment() -> Dict[str, str]:
+    import scipy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def _metric(value: float, unit: str, direction: str) -> Dict[str, object]:
+    assert direction in ("lower", "higher")
+    return {"value": float(value), "unit": unit, "direction": direction}
+
+
+def _throughput(fn, amount: int, repeats: int = 3) -> float:
+    """Best-of-``repeats`` items/second for one kernel invocation."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return amount / max(best, 1e-12)
+
+
+def run_bench(
+    graph: DiGraph,
+    *,
+    rank: int = 16,
+    damping: float = 0.6,
+    profile: Optional[LoadProfile] = None,
+    topk: int = 10,
+    simulate: bool = False,
+    slo_p99_ms: float = 250.0,
+    slo_availability: float = 0.99,
+    workload: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Measure the bench suite on ``graph`` and return the payload.
+
+    ``simulate`` runs the loadgen pass on a
+    :class:`~repro.serving.loadgen.SimulatedClock`, making its metrics
+    deterministic (CI uses this; kernel timings stay real either way).
+    The ``workload`` dict is recorded verbatim so the comparator can
+    refuse cross-workload comparisons.
+    """
+    profile = profile or LoadProfile(requests=200, qps=500.0, seed=0)
+    config = CSRPlusConfig(damping=damping, rank=min(rank, graph.num_nodes))
+
+    prepare_started = time.perf_counter()
+    index = CSRPlusIndex(graph, config).prepare()
+    prepare_seconds = time.perf_counter() - prepare_started
+
+    rng = np.random.default_rng(profile.seed)
+    seeds = rng.integers(0, graph.num_nodes, size=64)
+    metrics: Dict[str, Dict[str, object]] = {
+        "prepare_seconds": _metric(prepare_seconds, "s", "lower"),
+        "exact_columns_per_second": _metric(
+            _throughput(
+                lambda: index.query_columns(seeds, mode="exact"), seeds.size
+            ),
+            "columns/s",
+            "higher",
+        ),
+        "batched_columns_per_second": _metric(
+            _throughput(
+                lambda: index.query_columns(seeds, mode="batched"), seeds.size
+            ),
+            "columns/s",
+            "higher",
+        ),
+        "topk_seeds_per_second": _metric(
+            _throughput(
+                lambda: top_k_blockwise(index, seeds[:16], topk), 16
+            ),
+            "seeds/s",
+            "higher",
+        ),
+    }
+
+    schedule = build_schedule(profile, graph.num_nodes)
+    registry = MetricsRegistry()
+    service = CoSimRankService(index, max_workers=1)
+    try:
+        if simulate:
+            sim = SimulatedClock()
+            clock, sleep = sim.now, sim.sleep
+        else:
+            clock, sleep = time.monotonic, time.sleep
+        report: LoadReport = run_load(
+            service,
+            schedule,
+            registry=registry,
+            clock=clock,
+            sleep=sleep,
+            slos=loadgen_slos(
+                p99_ms=slo_p99_ms, availability=slo_availability
+            ),
+        )
+    finally:
+        service.close()
+
+    metrics["loadgen_p50_seconds"] = _metric(
+        report.latency_s["p50"], "s", "lower"
+    )
+    metrics["loadgen_p95_seconds"] = _metric(
+        report.latency_s["p95"], "s", "lower"
+    )
+    metrics["loadgen_p99_seconds"] = _metric(
+        report.latency_s["p99"], "s", "lower"
+    )
+    metrics["loadgen_qps_achieved"] = _metric(
+        report.qps_achieved, "req/s", "higher"
+    )
+    metrics["loadgen_ok_rate"] = _metric(report.ok_rate, "fraction", "higher")
+
+    return {
+        "schema": SCHEMA,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "workload": dict(workload or {}) or {
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "rank": config.rank,
+            "damping": config.damping,
+            "topk": topk,
+            "simulate": simulate,
+            "profile": profile.as_dict(),
+        },
+        "environment": _environment(),
+        "metrics": metrics,
+        "loadgen": report.as_dict(),
+        "slo": report.slo,
+    }
+
+
+def write_snapshot(payload: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def load_snapshot(path: str) -> Dict[str, object]:
+    """Read and validate a snapshot written by :func:`write_snapshot`."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise GraphFormatError(
+            f"cannot read bench snapshot {path!r}: {exc}"
+        ) from exc
+    except ValueError as exc:
+        raise GraphFormatError(f"{path!r} is not JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != SCHEMA:
+        raise GraphFormatError(
+            f"{path!r} is not a {SCHEMA} snapshot "
+            f"(schema={payload.get('schema')!r})"
+            if isinstance(payload, dict)
+            else f"{path!r} is not a bench snapshot"
+        )
+    if not isinstance(payload.get("metrics"), dict):
+        raise GraphFormatError(f"{path!r} has no metrics section")
+    return payload
+
+
+def compare_snapshots(
+    old: Dict[str, object],
+    new: Dict[str, object],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[Dict[str, object]]:
+    """Regressions of ``new`` against ``old`` beyond ``tolerance``.
+
+    A lower-is-better metric regresses when
+    ``new > old * (1 + tolerance)``; a higher-is-better one when
+    ``new < old / (1 + tolerance)``.  Metrics present in only one
+    snapshot are skipped (the trajectory may grow new metrics).
+    Returns one record per regressed metric, empty when clean.
+    """
+    if tolerance < 0:
+        raise InvalidParameterError(
+            f"tolerance must be >= 0, got {tolerance}"
+        )
+    regressions: List[Dict[str, object]] = []
+    old_metrics: Dict[str, Dict[str, object]] = old["metrics"]  # type: ignore[assignment]
+    new_metrics: Dict[str, Dict[str, object]] = new["metrics"]  # type: ignore[assignment]
+    for name in sorted(set(old_metrics) & set(new_metrics)):
+        old_value = float(old_metrics[name]["value"])
+        new_value = float(new_metrics[name]["value"])
+        direction = new_metrics[name].get(
+            "direction", old_metrics[name].get("direction", "lower")
+        )
+        if direction == "lower":
+            regressed = new_value > old_value * (1.0 + tolerance)
+            ratio = new_value / max(old_value, 1e-12)
+        else:
+            regressed = new_value < old_value / (1.0 + tolerance)
+            ratio = old_value / max(new_value, 1e-12)
+        if regressed:
+            regressions.append({
+                "metric": name,
+                "direction": direction,
+                "old": old_value,
+                "new": new_value,
+                "ratio": ratio,
+                "unit": new_metrics[name].get("unit", ""),
+                "tolerance": tolerance,
+            })
+    return regressions
+
+
+def render_comparison(
+    old: Dict[str, object],
+    new: Dict[str, object],
+    regressions: List[Dict[str, object]],
+    tolerance: float,
+) -> str:
+    """Human-readable delta of every shared metric, worst first."""
+    regressed = {entry["metric"] for entry in regressions}
+    old_metrics: Dict[str, Dict[str, object]] = old["metrics"]  # type: ignore[assignment]
+    new_metrics: Dict[str, Dict[str, object]] = new["metrics"]  # type: ignore[assignment]
+    lines = [
+        f"bench comparison (tolerance {tolerance:.0%}, "
+        f"baseline {old.get('created', '?')}):"
+    ]
+    for name in sorted(set(old_metrics) & set(new_metrics)):
+        old_value = float(old_metrics[name]["value"])
+        new_value = float(new_metrics[name]["value"])
+        unit = new_metrics[name].get("unit", "")
+        direction = new_metrics[name].get("direction", "lower")
+        arrow = "↑" if new_value > old_value else "↓"
+        change = (
+            (new_value - old_value) / max(abs(old_value), 1e-12)
+        )
+        verdict = "REGRESSED" if name in regressed else "ok"
+        lines.append(
+            f"  {name:<32} {old_value:>12.4g} -> {new_value:>12.4g} {unit:<10}"
+            f" {arrow}{abs(change):>6.1%}  ({direction} is better)  {verdict}"
+        )
+    if regressions:
+        lines.append(
+            f"{len(regressions)} metric(s) regressed beyond "
+            f"{tolerance:.0%} tolerance"
+        )
+    else:
+        lines.append("no regressions")
+    return "\n".join(lines)

@@ -15,6 +15,10 @@
     csrplus serve-batch --dataset FB --queries-file q.txt \
         --metrics-out metrics.prom --trace-out trace.json
     csrplus stats --metrics-file metrics.prom --trace-file trace.json
+    csrplus loadgen --dataset FB --tier small --requests 500 --qps 200 \
+        --zipf 1.1 --slo-p99-ms 250 --fail-on-slo
+    csrplus bench --dataset FB --tier tiny --out BENCH_today.json
+    csrplus bench --dataset FB --tier tiny --compare BENCH_prior.json
 
 (Also reachable as ``python -m repro``.)
 """
@@ -256,6 +260,158 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-file", default=None, metavar="PATH",
         help="render a span tree from a trace written by serve-batch "
         "--trace-out",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive the service with deterministic Zipf/burst traffic "
+        "and report QPS, latency percentiles, and SLO verdicts",
+    )
+    loadgen_source = loadgen.add_mutually_exclusive_group(required=True)
+    loadgen_source.add_argument(
+        "--dataset", choices=dataset_keys(), help="built-in stand-in"
+    )
+    loadgen_source.add_argument(
+        "--edge-list", help="path to a SNAP-style edge list"
+    )
+    loadgen.add_argument(
+        "--tier", choices=("tiny", "small", "bench"), default="small"
+    )
+    loadgen.add_argument("--rank", type=int, default=5)
+    loadgen.add_argument("--damping", type=float, default=0.6)
+    loadgen.add_argument(
+        "--requests", type=int, default=200, help="requests to generate"
+    )
+    loadgen.add_argument(
+        "--qps", type=float, default=200.0, help="base offered rate"
+    )
+    loadgen.add_argument(
+        "--seeds-per-request", type=int, default=4, metavar="N",
+        help="distinct seed ids per multi-source request",
+    )
+    loadgen.add_argument(
+        "--zipf", type=float, default=1.1, metavar="S",
+        help="seed-popularity skew exponent (0 = uniform)",
+    )
+    loadgen.add_argument(
+        "--burst-factor", type=float, default=1.0, metavar="X",
+        help="arrival-rate multiplier during burst windows (1 = steady)",
+    )
+    loadgen.add_argument(
+        "--burst-period-s", type=float, default=1.0, metavar="S",
+        help="length of one burst cycle",
+    )
+    loadgen.add_argument(
+        "--burst-duty", type=float, default=0.5, metavar="F",
+        help="fraction of each cycle at the burst rate",
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed; the schedule is a pure function of the profile",
+    )
+    loadgen.add_argument(
+        "--topk", type=int, default=None, metavar="K",
+        help="serve top-K rankings per request instead of full columns",
+    )
+    loadgen.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline (typed DeadlineExceeded outcomes)",
+    )
+    loadgen.add_argument(
+        "--max-inflight-seeds", type=int, default=None, metavar="N",
+        help="admission-control budget (shed outcomes over it)",
+    )
+    loadgen.add_argument(
+        "--cache-columns", type=int, default=1024,
+        help="service column-cache capacity (0 disables)",
+    )
+    loadgen.add_argument(
+        "--query-mode", choices=("exact", "batched"), default="exact",
+    )
+    loadgen.add_argument(
+        "--slo-p99-ms", type=float, default=None, metavar="MS",
+        help="evaluate a p99-latency SLO at this threshold",
+    )
+    loadgen.add_argument(
+        "--slo-p50-ms", type=float, default=None, metavar="MS",
+        help="evaluate a p50-latency SLO at this threshold",
+    )
+    loadgen.add_argument(
+        "--slo-availability", type=float, default=None, metavar="F",
+        help="evaluate an availability SLO at this target, e.g. 0.999",
+    )
+    loadgen.add_argument(
+        "--fail-on-slo", action="store_true",
+        help="exit 4 when any evaluated SLO fails",
+    )
+    loadgen.add_argument(
+        "--simulate", action="store_true",
+        help="run on a virtual clock: no real waiting, byte-identical "
+        "reports across runs (CI determinism mode)",
+    )
+    loadgen.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    loadgen.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write merged metrics (loadgen + service + global) here "
+        "(Prometheus text, or JSON when PATH ends with .json)",
+    )
+    loadgen.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the span trace here as JSON",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure the perf-trajectory suite; write/compare "
+        "schema-versioned BENCH snapshots",
+    )
+    bench_source = bench.add_mutually_exclusive_group(required=True)
+    bench_source.add_argument(
+        "--dataset", choices=dataset_keys(), help="built-in stand-in"
+    )
+    bench_source.add_argument(
+        "--edge-list", help="path to a SNAP-style edge list"
+    )
+    bench.add_argument(
+        "--tier", choices=("tiny", "small", "bench"), default="small"
+    )
+    bench.add_argument("--rank", type=int, default=16)
+    bench.add_argument("--damping", type=float, default=0.6)
+    bench.add_argument(
+        "--requests", type=int, default=200, help="loadgen requests"
+    )
+    bench.add_argument(
+        "--qps", type=float, default=500.0, help="loadgen base rate"
+    )
+    bench.add_argument(
+        "--seed", type=int, default=0, help="loadgen RNG seed"
+    )
+    bench.add_argument(
+        "--topk", type=int, default=10, help="k for the top-k kernel lap"
+    )
+    bench.add_argument(
+        "--simulate", action="store_true",
+        help="loadgen on a virtual clock (deterministic loadgen metrics)",
+    )
+    bench.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the snapshot here (default: BENCH_<utc-date>.json)",
+    )
+    bench.add_argument(
+        "--compare", default=None, metavar="PATH",
+        help="baseline snapshot; exit 5 when any metric regresses "
+        "beyond --tolerance",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=None, metavar="F",
+        help="relative slack before a metric counts as regressed "
+        "(default 0.25)",
+    )
+    bench.add_argument(
+        "--json", action="store_true",
+        help="print the snapshot payload instead of the summary",
     )
 
     tune = sub.add_parser("tune", help="suggest an SVD rank for an error target")
@@ -633,18 +789,20 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     return exit_code
 
 
-def _write_metrics_dump(path: str, service) -> None:
+def _write_metrics_dump(path: str, service, *extra_registries) -> None:
     """Write the global (prepare) + service (serve) metrics to ``path``.
 
     Prometheus text format by default; a structured JSON dump when the
-    path ends with ``.json``.  The two registries have disjoint metric
-    names, so merging their expositions is always valid.
+    path ends with ``.json``.  The registries have disjoint metric
+    names (``csrplus_prepare_*`` / ``csrplus_serve_*`` /
+    ``csrplus_loadgen_*``), so merging their expositions is always
+    valid.
     """
     import json as _json
 
     import repro.obs as obs
 
-    registries = (obs.get_registry(), service.registry)
+    registries = (obs.get_registry(), service.registry, *extra_registries)
     with open(path, "w", encoding="utf-8") as handle:
         if path.endswith(".json"):
             _json.dump(obs.registries_as_dict(*registries), handle, indent=2)
@@ -658,6 +816,164 @@ def _load_graph(args: argparse.Namespace):
         return load_dataset(args.dataset, args.tier)
     graph, _ = read_edge_list(args.edge_list)
     return graph
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import time as _time
+
+    import repro.obs as obs
+    from repro.obs.metrics import MetricsRegistry
+    from repro.serving import (
+        CoSimRankService,
+        LoadProfile,
+        SimulatedClock,
+        build_schedule,
+        loadgen_slos,
+        run_load,
+    )
+
+    if args.metrics_out or args.trace_out:
+        obs.enable()
+    graph = _load_graph(args)
+    config = CSRPlusConfig(
+        damping=args.damping, rank=min(args.rank, graph.num_nodes)
+    )
+    index = CSRPlusIndex(graph, config).prepare()
+    profile = LoadProfile(
+        requests=args.requests,
+        qps=args.qps,
+        seeds_per_request=args.seeds_per_request,
+        zipf_s=args.zipf,
+        burst_factor=args.burst_factor,
+        burst_period_s=args.burst_period_s,
+        burst_duty=args.burst_duty,
+        seed=args.seed,
+    )
+    schedule = build_schedule(profile, graph.num_nodes)
+    slos = loadgen_slos(
+        p99_ms=args.slo_p99_ms,
+        p50_ms=args.slo_p50_ms,
+        availability=args.slo_availability,
+    )
+    registry = MetricsRegistry()
+    deadline_s = (
+        args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+    )
+    if args.simulate:
+        sim = SimulatedClock()
+        clock, sleep = sim.now, sim.sleep
+    else:
+        clock, sleep = _time.monotonic, _time.sleep
+    with CoSimRankService(
+        index,
+        cache_columns=args.cache_columns,
+        max_workers=1,
+        query_mode=args.query_mode,
+        max_inflight_seeds=args.max_inflight_seeds,
+    ) as service:
+        report = run_load(
+            service,
+            schedule,
+            topk=args.topk,
+            deadline_s=deadline_s,
+            slos=slos,
+            registry=registry,
+            clock=clock,
+            sleep=sleep,
+        )
+        if args.metrics_out:
+            _write_metrics_dump(args.metrics_out, service, registry)
+    if args.trace_out:
+        obs.get_tracer().write_json(args.trace_out)
+
+    exit_code = 4 if args.fail_on_slo and not report.slo_ok else 0
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+        return exit_code
+    print(report.render())
+    if report.slo is not None:
+        from repro.obs.slo import SLOReport, SLOResult
+
+        table = SLOReport(
+            results=[
+                SLOResult(**{
+                    key: value
+                    for key, value in entry.items()
+                    if key not in ("burn_rate", "budget_remaining")
+                })
+                for entry in report.slo["slos"]
+            ]
+        ).render()
+        print(table)
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
+    if exit_code:
+        print(
+            "error: SLO verdicts failed; exiting 4 (--fail-on-slo)",
+            file=sys.stderr,
+        )
+    return exit_code
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from datetime import datetime, timezone
+
+    from repro.bench import (
+        DEFAULT_TOLERANCE,
+        compare_snapshots,
+        load_snapshot,
+        render_comparison,
+        run_bench,
+        write_snapshot,
+    )
+    from repro.serving import LoadProfile
+
+    graph = _load_graph(args)
+    profile = LoadProfile(
+        requests=args.requests, qps=args.qps, seed=args.seed
+    )
+    payload = run_bench(
+        graph,
+        rank=args.rank,
+        damping=args.damping,
+        profile=profile,
+        topk=args.topk,
+        simulate=args.simulate,
+    )
+    out = args.out or (
+        f"BENCH_{datetime.now(timezone.utc).strftime('%Y-%m-%d')}.json"
+    )
+    write_snapshot(payload, out)
+
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"bench snapshot written to {out}")
+        for name, metric in payload["metrics"].items():
+            print(
+                f"  {name:<32} {metric['value']:>12.4g} {metric['unit']:<10}"
+                f" ({metric['direction']} is better)"
+            )
+        if payload.get("slo"):
+            print("slo ok:", payload["slo"]["ok"])
+
+    if args.compare:
+        tolerance = (
+            args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        )
+        baseline = load_snapshot(args.compare)
+        regressions = compare_snapshots(baseline, payload, tolerance)
+        print(render_comparison(baseline, payload, regressions, tolerance))
+        if regressions:
+            print(
+                f"error: {len(regressions)} metric(s) regressed vs "
+                f"{args.compare}; exiting 5",
+                file=sys.stderr,
+            )
+            return 5
+    return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -788,6 +1104,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_serve_batch(args)
         if args.command == "stats":
             return _cmd_stats(args)
+        if args.command == "loadgen":
+            return _cmd_loadgen(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "tune":
             return _cmd_tune(args)
     except ReproError as exc:

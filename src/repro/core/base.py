@@ -32,7 +32,7 @@ import numpy as np
 from scipy import sparse
 
 import repro.obs as obs
-from repro.core.memory import MemoryMeter, sparse_nbytes
+from repro.core.memory import MemoryMeter, publish_peak, sparse_nbytes
 from repro.errors import (
     InvalidParameterError,
     NotPreparedError,
@@ -142,11 +142,16 @@ class SimilarityEngine(ABC):
             self._prepare_impl()
         self.prepare_seconds = time.perf_counter() - start
         if obs.enabled():
+            # prepare runs minutes at bench scale; the request-latency
+            # buckets top out at 10s and would park every observation
+            # in +Inf, degenerating any quantile estimate
             obs.get_registry().histogram(
                 "csrplus_prepare_seconds",
                 "Offline (prepare) phase wall time per engine",
                 labels={"engine": self.name},
+                buckets=obs.DEFAULT_PREPARE_BUCKETS,
             ).observe(self.prepare_seconds)
+            publish_peak(self.memory, self.name)
         self._prepared = True
         logger.debug(
             "%s prepared: n=%d m=%d in %.4fs (peak %.1f MB accounted)",

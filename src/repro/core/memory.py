@@ -28,7 +28,35 @@ from scipy import sparse
 
 from repro.errors import InvalidParameterError, MemoryBudgetExceeded
 
-__all__ = ["MemoryMeter", "array_nbytes", "sparse_nbytes", "nbytes_of"]
+__all__ = [
+    "MemoryMeter",
+    "array_nbytes",
+    "sparse_nbytes",
+    "nbytes_of",
+    "publish_peak",
+]
+
+
+def publish_peak(meter: "MemoryMeter", ledger: str) -> None:
+    """Export a meter's peak to the obs registry (no-op while disabled).
+
+    Sets ``csrplus_memory_peak_bytes{ledger=...}`` on the process-global
+    registry so deterministic memory accounting appears on the same
+    Prometheus scrape as the latency metrics, not only in experiment
+    reports.  Engines call this after ``prepare()`` with their display
+    name as the ledger; the out-of-core shard builder uses
+    ``"shard-build"``.
+    """
+    import repro.obs as obs  # deferred: keep memory importable standalone
+
+    if not obs.enabled():
+        return
+    obs.get_registry().gauge(
+        "csrplus_memory_peak_bytes",
+        "Peak accounted bytes per memory ledger (deterministic "
+        "MemoryMeter accounting, not RSS)",
+        labels={"ledger": ledger},
+    ).set(meter.peak_bytes)
 
 
 def array_nbytes(shape, dtype=np.float64) -> int:

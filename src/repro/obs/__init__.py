@@ -34,14 +34,24 @@ from repro.obs.config import (
     instrumentation,
     set_enabled,
 )
+from repro.obs.latency import DEFAULT_PERCENTILES, LatencyWindow
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_PREPARE_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     registries_as_dict,
     render_prometheus,
+)
+from repro.obs.slo import (
+    DEFAULT_SERVE_SLOS,
+    AvailabilitySLO,
+    LatencySLO,
+    SLOReport,
+    SLOResult,
+    evaluate_slos,
 )
 from repro.obs.tracing import (
     NULL_SPAN,
@@ -61,6 +71,15 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_PREPARE_BUCKETS",
+    "LatencyWindow",
+    "DEFAULT_PERCENTILES",
+    "LatencySLO",
+    "AvailabilitySLO",
+    "SLOResult",
+    "SLOReport",
+    "evaluate_slos",
+    "DEFAULT_SERVE_SLOS",
     "render_prometheus",
     "registries_as_dict",
     "Span",

@@ -1,0 +1,137 @@
+"""Sliding-window latency tracking for live percentile readouts.
+
+A :class:`~repro.obs.metrics.Histogram` is the right shape for a
+Prometheus scrape — cheap, mergeable, fixed memory — but its quantiles
+are bucket-resolution estimates over the *whole* process lifetime.
+Operating a serving SLO also needs the other view: exact percentiles
+over *recent* traffic ("what is p99 right now?").  :class:`LatencyWindow`
+keeps the last ``max_samples`` observations (optionally further limited
+to the last ``window_seconds``) in a bounded ring and computes exact
+linear-interpolated percentiles over them on demand.
+
+The clock is injectable so window expiry is unit-testable without real
+waiting, and so the load generator can run deterministically under a
+simulated clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["LatencyWindow", "DEFAULT_PERCENTILES"]
+
+#: The standard serving readout: median, tail, far tail.
+DEFAULT_PERCENTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
+
+
+class LatencyWindow:
+    """Bounded ring of recent latency samples with exact percentiles.
+
+    Parameters
+    ----------
+    max_samples:
+        Ring capacity; the oldest sample is dropped when full.
+    window_seconds:
+        If set, samples older than this (by the injected clock) are
+        also expired at read time, so a quiet service's percentiles
+        reflect recent traffic rather than an old burst.
+    clock:
+        Monotonic-seconds source (injectable for tests / simulation).
+
+    Examples
+    --------
+    >>> window = LatencyWindow(max_samples=4)
+    >>> for value in (0.1, 0.2, 0.3, 0.4):
+    ...     window.observe(value)
+    >>> round(window.percentile(50.0), 3)
+    0.25
+    """
+
+    def __init__(
+        self,
+        max_samples: int = 4096,
+        window_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_samples < 1:
+            raise InvalidParameterError(
+                f"max_samples must be >= 1, got {max_samples}"
+            )
+        if window_seconds is not None and window_seconds <= 0:
+            raise InvalidParameterError(
+                f"window_seconds must be > 0 (or None), got {window_seconds}"
+            )
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._window_seconds = window_seconds
+        self._samples: "deque[Tuple[float, float]]" = deque(maxlen=int(max_samples))
+        self._observed = 0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample (timestamped with the clock)."""
+        now = self._clock()
+        with self._lock:
+            self._samples.append((now, float(seconds)))
+            self._observed += 1
+
+    def _live_values(self) -> List[float]:
+        now = self._clock()
+        with self._lock:
+            if self._window_seconds is not None:
+                horizon = now - self._window_seconds
+                while self._samples and self._samples[0][0] < horizon:
+                    self._samples.popleft()
+            return [value for _, value in self._samples]
+
+    @property
+    def observed(self) -> int:
+        """Total samples ever observed (expiry does not reduce this)."""
+        with self._lock:
+            return self._observed
+
+    def __len__(self) -> int:
+        """Samples currently inside the window."""
+        return len(self._live_values())
+
+    def percentile(self, p: float) -> float:
+        """Exact linear-interpolated ``p``-th percentile (``nan`` if empty)."""
+        return self.percentiles((p,))[p]
+
+    def percentiles(
+        self, ps: Iterable[float] = DEFAULT_PERCENTILES
+    ) -> Dict[float, float]:
+        """Percentiles over the live window, keyed by the requested ``p``."""
+        ps = tuple(float(p) for p in ps)
+        for p in ps:
+            if not 0.0 <= p <= 100.0:
+                raise InvalidParameterError(
+                    f"percentile must be in [0, 100], got {p}"
+                )
+        values = self._live_values()
+        if not values:
+            return {p: float("nan") for p in ps}
+        computed = np.percentile(np.asarray(values, dtype=np.float64), ps)
+        return {p: float(value) for p, value in zip(ps, computed)}
+
+    def snapshot(self) -> Dict[str, float]:
+        """The standard readout: ``{"p50": ..., "p95": ..., "p99": ...}``."""
+        return {
+            f"p{p:g}": value for p, value in self.percentiles().items()
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LatencyWindow(live={len(self)}, observed={self.observed}, "
+            f"window_seconds={self._window_seconds})"
+        )

@@ -42,6 +42,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_PREPARE_BUCKETS",
     "render_prometheus",
     "registries_as_dict",
 ]
@@ -52,6 +53,16 @@ __all__ = [
 DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
     0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Buckets for the *offline* phase (seconds).  ``prepare()`` on a bench
+#: graph runs minutes, not milliseconds; with the request-latency
+#: buckets every observation lands in ``+Inf`` and any quantile
+#: estimate degenerates to the last finite bound.  Ten milliseconds to
+#: a half hour in the same 1-2.5-5 progression.
+DEFAULT_PREPARE_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    25.0, 60.0, 120.0, 300.0, 600.0, 1800.0,
 )
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -202,6 +213,50 @@ class Histogram:
             cumulative.append((bound, total))
         return cumulative
 
+    @property
+    def bucket_bounds(self) -> Tuple[float, ...]:
+        """The finite upper bounds this histogram was built with."""
+        return tuple(self._bounds)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Prometheus ``histogram_quantile`` semantics: locate the bucket
+        the target rank falls in, then interpolate linearly within it
+        (the lowest bucket interpolates from ``0``).  The estimate is
+        therefore within one bucket width of the exact empirical
+        quantile — unless the rank lands in the implicit ``+Inf``
+        bucket, in which case the highest finite bound is returned (the
+        honest answer when the histogram's range was exceeded).
+
+        Returns ``nan`` when nothing has been observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise InvalidParameterError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return float("nan")
+        rank = q * total
+        cumulative = 0.0
+        for index, count in enumerate(counts):
+            previous = cumulative
+            cumulative += count
+            # the cumulative > 0 guard makes q=0 resolve to the lower
+            # bound of the first non-empty bucket instead of an empty one
+            if cumulative >= rank and cumulative > 0:
+                if index >= len(self._bounds):
+                    # target rank is in +Inf: clamp to the largest
+                    # finite bound, as histogram_quantile does
+                    return self._bounds[-1]
+                lower = self._bounds[index - 1] if index > 0 else 0.0
+                upper = self._bounds[index]
+                if count == 0:  # pragma: no cover - cumulative jump implies count>0
+                    return upper
+                return lower + (upper - lower) * (rank - previous) / count
+        return self._bounds[-1]  # pragma: no cover - loop always terminates above
+
     def _reset(self) -> None:
         with self._lock:
             self._counts = [0] * len(self._counts)
@@ -310,6 +365,24 @@ class MetricsRegistry:
     def names(self) -> List[str]:
         with self._lock:
             return sorted(self._families)
+
+    def instruments(
+        self, name: str
+    ) -> List[Tuple[Dict[str, str], Union[Counter, Gauge, Histogram]]]:
+        """Existing ``(labels, instrument)`` pairs for one metric name.
+
+        Read-only lookup (nothing is created): an unknown name returns
+        an empty list.  This is how consumers like the SLO evaluator
+        (:mod:`repro.obs.slo`) read a registry without mutating it.
+        """
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return []
+            return [
+                (dict(label_set), instrument)
+                for label_set, instrument in sorted(family.children.items())
+            ]
 
     def reset(self) -> None:
         """Zero every instrument in place (references stay valid)."""

@@ -1,0 +1,403 @@
+"""Serving SLOs: declarative objectives evaluated from a metrics registry.
+
+An SLO (service-level objective) turns "fast enough" into a testable
+statement.  Two kinds are modelled, matching the two failure surfaces
+of the serving stack:
+
+* :class:`LatencySLO` — "p99 batch latency stays under 250 ms":
+  evaluated against a :class:`~repro.obs.metrics.Histogram` by name,
+  using bucket-interpolated quantiles (:meth:`Histogram.quantile`).
+  The compliance target implied by the percentile (p99 → 99% of
+  requests under the threshold) defines the **error budget** (1%); the
+  measured fraction of over-threshold requests divided by that budget
+  is the **burn rate** (1.0 = budget exactly exhausted).
+* :class:`AvailabilitySLO` — "99.9% of requests are answered": bad
+  outcomes (shed / deadline-exceeded / degraded, by counter name) over
+  a total counter, with the same budget/burn arithmetic.
+
+:func:`evaluate_slos` reads one or more registries (nothing is
+created or mutated), returns an :class:`SLOReport`, and the report can
+:meth:`~SLOReport.export` itself as ``csrplus_slo_*`` gauges for the
+Prometheus scrape and :meth:`~SLOReport.render` a verdict table for
+humans.  The load generator (:mod:`repro.serving.loadgen`) and
+``csrplus bench`` both build on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "LatencySLO",
+    "AvailabilitySLO",
+    "SLOResult",
+    "SLOReport",
+    "evaluate_slos",
+    "DEFAULT_SERVE_SLOS",
+]
+
+#: Guard for float comparisons at the budget boundary.
+_EPS = 1e-12
+
+
+def _merged_histogram(
+    registries: Sequence[MetricsRegistry], name: str
+) -> Optional[Histogram]:
+    """All children of a histogram family summed into one histogram.
+
+    Returns ``None`` when no registry has the family.  Children must
+    share bucket bounds (they always do when created through the same
+    call site); mismatched bounds raise rather than merging nonsense.
+    """
+    merged: Optional[Histogram] = None
+    for registry in registries:
+        for _, instrument in registry.instruments(name):
+            if not isinstance(instrument, Histogram):
+                raise InvalidParameterError(
+                    f"SLO metric {name!r} is a "
+                    f"{instrument.metric_type}, not a histogram"
+                )
+            if merged is None:
+                merged = Histogram(instrument.bucket_bounds)
+            elif merged.bucket_bounds != instrument.bucket_bounds:
+                raise InvalidParameterError(
+                    f"histogram {name!r} has children with different "
+                    f"bucket bounds; cannot merge for SLO evaluation"
+                )
+            # same-module private access: fold the child's counts in
+            # so quantile/fraction logic stays single-sourced
+            with instrument._lock:
+                counts = list(instrument._counts)
+                merged._sum += instrument._sum
+                merged._count += instrument._count
+            for index, count in enumerate(counts):
+                merged._counts[index] += count
+    return merged
+
+
+def _counter_sum(registries: Sequence[MetricsRegistry], name: str) -> float:
+    total = 0.0
+    for registry in registries:
+        for _, instrument in registry.instruments(name):
+            total += instrument.value
+    return total
+
+
+def _fraction_le(hist: Histogram, value: float) -> float:
+    """Estimated fraction of observations ``<= value`` (interpolated).
+
+    Observations in the implicit ``+Inf`` bucket are conservatively
+    counted as *over* any finite threshold.
+    """
+    buckets = hist.buckets()
+    total = buckets[-1][1]
+    if total == 0:
+        return 1.0
+    previous = 0
+    lower = 0.0
+    for bound, cumulative in buckets:
+        if value < bound:
+            in_bucket = cumulative - previous
+            if in_bucket == 0 or bound == float("inf"):
+                return previous / total
+            covered = (value - lower) / (bound - lower)
+            return (previous + in_bucket * max(0.0, covered)) / total
+        previous = cumulative
+        lower = bound
+    return 1.0  # pragma: no cover - +Inf bound always exceeds value
+
+
+@dataclass(frozen=True)
+class SLOResult:
+    """One evaluated objective: the verdict plus its arithmetic."""
+
+    name: str
+    kind: str                 # "latency" | "availability"
+    objective: str            # human-readable target, e.g. "p99 <= 250ms"
+    target: float
+    measured: float           # quantile seconds / availability fraction
+    samples: int              # observations / requests the verdict rests on
+    error_budget: float       # allowed bad fraction
+    bad_fraction: float       # measured bad fraction
+    ok: bool
+
+    @property
+    def burn_rate(self) -> float:
+        """Bad fraction over budget: 1.0 = budget exactly exhausted."""
+        return self.bad_fraction / self.error_budget
+
+    @property
+    def budget_remaining(self) -> float:
+        """Unspent error budget as a fraction of the budget (can go < 0)."""
+        return 1.0 - self.burn_rate
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "objective": self.objective,
+            "target": self.target,
+            "measured": self.measured,
+            "samples": self.samples,
+            "error_budget": self.error_budget,
+            "bad_fraction": self.bad_fraction,
+            "burn_rate": self.burn_rate,
+            "budget_remaining": self.budget_remaining,
+            "ok": self.ok,
+        }
+
+
+@dataclass(frozen=True)
+class LatencySLO:
+    """Latency objective: the ``percentile``-th percentile of a latency
+    histogram must stay at or under ``threshold_s``.
+
+    Parameters
+    ----------
+    name:
+        Identifier (becomes the ``slo`` label on exported gauges).
+    threshold_s:
+        Latency bound in seconds.
+    percentile:
+        Which percentile the bound applies to, in ``(0, 100)``.  Also
+        defines the error budget: p99 tolerates 1% of requests over
+        the threshold.
+    metric:
+        Histogram family name to evaluate (children are merged).
+    """
+
+    name: str
+    threshold_s: float
+    percentile: float = 99.0
+    metric: str = "csrplus_serve_batch_seconds"
+
+    def __post_init__(self) -> None:
+        if self.threshold_s <= 0:
+            raise InvalidParameterError(
+                f"threshold_s must be > 0, got {self.threshold_s}"
+            )
+        if not 0.0 < self.percentile < 100.0:
+            raise InvalidParameterError(
+                f"percentile must be in (0, 100), got {self.percentile}"
+            )
+
+    def evaluate(self, *registries: MetricsRegistry) -> SLOResult:
+        budget = 1.0 - self.percentile / 100.0
+        hist = _merged_histogram(registries, self.metric)
+        if hist is None or hist.count == 0:
+            # no traffic: vacuous pass with nan measurement
+            return SLOResult(
+                name=self.name,
+                kind="latency",
+                objective=self._objective(),
+                target=self.threshold_s,
+                measured=float("nan"),
+                samples=0,
+                error_budget=budget,
+                bad_fraction=0.0,
+                ok=True,
+            )
+        bad_fraction = 1.0 - _fraction_le(hist, self.threshold_s)
+        return SLOResult(
+            name=self.name,
+            kind="latency",
+            objective=self._objective(),
+            target=self.threshold_s,
+            measured=hist.quantile(self.percentile / 100.0),
+            samples=hist.count,
+            error_budget=budget,
+            bad_fraction=bad_fraction,
+            ok=bad_fraction <= budget + _EPS,
+        )
+
+    def _objective(self) -> str:
+        return f"p{self.percentile:g} <= {self.threshold_s * 1000:g}ms"
+
+
+@dataclass(frozen=True)
+class AvailabilitySLO:
+    """Availability objective: bad outcomes stay within ``1 - target``.
+
+    Parameters
+    ----------
+    name:
+        Identifier (becomes the ``slo`` label on exported gauges).
+    target:
+        Required good fraction, in ``(0, 1)`` — e.g. ``0.999``.
+    total_metric:
+        Counter family counting every request (children summed).
+    bad_metrics:
+        Counter families whose sum is the bad-outcome count — by
+        default the serving stack's shed / deadline / degraded tallies.
+    """
+
+    name: str
+    target: float = 0.999
+    total_metric: str = "csrplus_serve_requests_total"
+    bad_metrics: Tuple[str, ...] = (
+        "csrplus_serve_shed_total",
+        "csrplus_serve_deadline_exceeded_total",
+        "csrplus_serve_degraded_requests_total",
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise InvalidParameterError(
+                f"target must be in (0, 1), got {self.target}"
+            )
+
+    def evaluate(self, *registries: MetricsRegistry) -> SLOResult:
+        budget = 1.0 - self.target
+        total = _counter_sum(registries, self.total_metric)
+        bad = sum(_counter_sum(registries, name) for name in self.bad_metrics)
+        if total <= 0:
+            return SLOResult(
+                name=self.name,
+                kind="availability",
+                objective=self._objective(),
+                target=self.target,
+                measured=float("nan"),
+                samples=0,
+                error_budget=budget,
+                bad_fraction=0.0,
+                ok=True,
+            )
+        bad_fraction = min(1.0, bad / total)
+        return SLOResult(
+            name=self.name,
+            kind="availability",
+            objective=self._objective(),
+            target=self.target,
+            measured=1.0 - bad_fraction,
+            samples=int(total),
+            error_budget=budget,
+            bad_fraction=bad_fraction,
+            ok=bad_fraction <= budget + _EPS,
+        )
+
+    def _objective(self) -> str:
+        return f"availability >= {self.target * 100:g}%"
+
+
+@dataclass
+class SLOReport:
+    """Every objective's verdict for one evaluation pass."""
+
+    results: List[SLOResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def failed(self) -> List[SLOResult]:
+        return [result for result in self.results if not result.ok]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "slos": [result.as_dict() for result in self.results],
+        }
+
+    def export(self, registry: MetricsRegistry) -> None:
+        """Publish the verdicts as ``csrplus_slo_*`` gauges.
+
+        One child per SLO (labelled ``slo=<name>``), so a scrape after
+        a loadgen or bench pass carries the objectives next to the raw
+        counters they were computed from.
+        """
+        for result in self.results:
+            labels = {"slo": result.name}
+            registry.gauge(
+                "csrplus_slo_target",
+                "Objective target (seconds for latency SLOs, fraction "
+                "for availability SLOs)",
+                labels=labels,
+            ).set(result.target)
+            measured = result.measured
+            registry.gauge(
+                "csrplus_slo_measured",
+                "Measured value the verdict was computed from",
+                labels=labels,
+            ).set(0.0 if measured != measured else measured)
+            registry.gauge(
+                "csrplus_slo_error_budget",
+                "Allowed bad fraction",
+                labels=labels,
+            ).set(result.error_budget)
+            registry.gauge(
+                "csrplus_slo_bad_fraction",
+                "Measured bad fraction",
+                labels=labels,
+            ).set(result.bad_fraction)
+            registry.gauge(
+                "csrplus_slo_burn_rate",
+                "Bad fraction over error budget (1.0 = budget exhausted)",
+                labels=labels,
+            ).set(result.burn_rate)
+            registry.gauge(
+                "csrplus_slo_ok",
+                "1 when the objective is met, else 0",
+                labels=labels,
+            ).set(1.0 if result.ok else 0.0)
+
+    def render(self) -> str:
+        """Monospace verdict table, one row per objective."""
+        headers = (
+            "SLO", "kind", "objective", "measured", "samples",
+            "budget burn", "verdict",
+        )
+        rows = []
+        for result in self.results:
+            if result.measured != result.measured:  # nan: no traffic
+                measured = "n/a"
+            elif result.kind == "latency":
+                measured = f"{result.measured * 1000:.2f}ms"
+            else:
+                measured = f"{result.measured:.4%}"
+            rows.append((
+                result.name,
+                result.kind,
+                result.objective,
+                measured,
+                str(result.samples),
+                f"{result.burn_rate * 100:.1f}%",
+                "PASS" if result.ok else "FAIL",
+            ))
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in rows))
+            if rows else len(headers[i])
+            for i in range(len(headers))
+        ]
+        def line(cells):
+            return "  ".join(
+                cell.ljust(width) for cell, width in zip(cells, widths)
+            )
+        out = [line(headers), line(["-" * width for width in widths])]
+        out.extend(line(row) for row in rows)
+        return "\n".join(out)
+
+
+def evaluate_slos(
+    slos: Sequence[object], *registries: MetricsRegistry
+) -> SLOReport:
+    """Evaluate every objective against the given registries (read-only)."""
+    if not registries:
+        raise InvalidParameterError("evaluate_slos needs at least one registry")
+    return SLOReport(
+        results=[slo.evaluate(*registries) for slo in slos]
+    )
+
+
+#: A sensible default objective set for the serving stack: tail latency
+#: on the per-batch histogram plus availability over the robustness
+#: counters.  Callers tune thresholds per deployment.
+DEFAULT_SERVE_SLOS: Tuple[object, ...] = (
+    LatencySLO(name="serve-p99", threshold_s=0.25, percentile=99.0),
+    LatencySLO(name="serve-p50", threshold_s=0.05, percentile=50.0),
+    AvailabilitySLO(name="serve-availability", target=0.999),
+)

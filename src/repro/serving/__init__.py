@@ -26,11 +26,25 @@ into a traffic-serving component:
   failure snapshot;
 * :class:`~repro.serving.registry.IndexRegistry` — named, lazily
   loaded on-disk indexes with retry, checksum validation, and
-  automatic re-prepare on corruption.
+  automatic re-prepare on corruption;
+* :mod:`repro.serving.loadgen` — deterministic open-loop load
+  generation (Zipf popularity, bursts, SLO verdicts) behind
+  ``csrplus loadgen`` and ``csrplus bench``.
 """
 
 from repro.serving.admission import SeedBudget
 from repro.serving.cache import ColumnCache, TopKCache
+from repro.serving.loadgen import (
+    LoadProfile,
+    LoadReport,
+    LoadSchedule,
+    ScheduledRequest,
+    SimulatedClock,
+    build_schedule,
+    loadgen_slos,
+    run_load,
+    zipf_probabilities,
+)
 from repro.serving.registry import IndexRegistry
 from repro.serving.results import BatchResult, RequestOutcome
 from repro.serving.retry import Retrier, RetryPolicy
@@ -60,4 +74,13 @@ __all__ = [
     "Retrier",
     "BatchResult",
     "RequestOutcome",
+    "LoadProfile",
+    "LoadSchedule",
+    "ScheduledRequest",
+    "LoadReport",
+    "SimulatedClock",
+    "build_schedule",
+    "run_load",
+    "zipf_probabilities",
+    "loadgen_slos",
 ]

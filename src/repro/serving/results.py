@@ -27,10 +27,18 @@ __all__ = ["RequestOutcome", "BatchResult"]
 
 @dataclass
 class RequestOutcome:
-    """The fate of one request in a batch: a block or a typed error."""
+    """The fate of one request in a batch: a block or a typed error.
+
+    ``request_id`` is the correlation handle minted by the service
+    (``batch-<seq>.<index>``): the same id appears on the batch span's
+    ``request_ids`` attribute and in the slow-query JSON log line, so a
+    slow or failed request can be joined across trace, log, and outcome
+    (docs/observability.md).
+    """
 
     result: Optional[np.ndarray] = None
     error: Optional[ReproError] = None
+    request_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -64,6 +72,9 @@ class BatchResult:
     retries: int = 0
     failed_seeds: Dict[int, ReproError] = field(default_factory=dict)
     cancelled_seeds: Tuple[int, ...] = ()
+    #: Correlation id of the whole batch; each outcome's ``request_id``
+    #: is ``<batch_id>.<index>``.
+    batch_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:

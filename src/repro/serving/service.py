@@ -61,6 +61,8 @@ ring (:meth:`CoSimRankService.slow_queries`).
 
 from __future__ import annotations
 
+import itertools
+import json
 import logging
 import os
 import threading
@@ -82,6 +84,7 @@ from repro.errors import (
     ReproError,
     ServiceOverloaded,
 )
+from repro.obs.latency import LatencyWindow
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Span, Tracer
 from repro.serving.admission import SeedBudget
@@ -173,6 +176,10 @@ class CoSimRankService:
         instrumentation to be enabled (spans provide the batch timing).
     slow_query_log_size:
         Capacity of the slow-query ring (oldest entries dropped).
+    latency_window_samples:
+        Ring capacity of the live latency window backing
+        :meth:`latency_percentiles` (exact p50/p95/p99 over the most
+        recent batches, independent of the bucketed histogram).
 
     Examples
     --------
@@ -204,6 +211,7 @@ class CoSimRankService:
         clock: Callable[[], float] = time.monotonic,
         slow_query_seconds: Optional[float] = None,
         slow_query_log_size: int = 64,
+        latency_window_samples: int = 1024,
     ):
         if max_workers is not None and max_workers < 1:
             raise InvalidParameterError(
@@ -244,6 +252,10 @@ class CoSimRankService:
         self._topk_cache = TopKCache(topk_cache_entries)
         self._stats_lock = threading.Lock()
         self._slow_log: "deque[dict]" = deque(maxlen=int(slow_query_log_size))
+        # request-id mint: next(itertools.count()) is atomic under the
+        # GIL, so concurrent batches get distinct monotone sequence ids
+        self._batch_seq = itertools.count(1)
+        self.latency_window = LatencyWindow(max_samples=latency_window_samples)
         self._executor: Optional[ThreadPoolExecutor] = None
         self._executor_lock = threading.Lock()
         self._closed = False
@@ -443,13 +455,16 @@ class CoSimRankService:
             )
         started = self._clock()
         deadline_at = started + deadline_s if deadline_s is not None else None
+        batch_id = f"batch-{next(self._batch_seq)}"
+        request_ids = [f"{batch_id}.{i}" for i in range(len(requests))]
         tracer = self._tracer
-        with tracer.span("serve.batch") as batch_span:
+        with tracer.span("serve.batch", batch_id=batch_id) as batch_span:
             with tracer.span("serve.coalesce") as coalesce_span:
                 plan = plan_batch(requests, self.index.num_nodes)
             batch_span.set_attribute("requests", plan.num_requests)
             batch_span.set_attribute("unique_seeds", int(plan.unique_seeds.size))
             batch_span.set_attribute("query_mode", self.query_mode)
+            batch_span.set_attribute("request_ids", list(request_ids))
 
             n_seeds = int(plan.unique_seeds.size)
             if not self._budget.try_acquire(n_seeds):
@@ -486,6 +501,7 @@ class CoSimRankService:
                         cancelled,
                         deadline_s=deadline_s,
                         started=started,
+                        request_ids=request_ids,
                     )
             finally:
                 self._budget.release(n_seeds)
@@ -500,6 +516,8 @@ class CoSimRankService:
             num_failed=num_failed,
             deadline_hit=bool(cancelled),
             batch_span=batch_span,
+            batch_id=batch_id,
+            request_ids=request_ids,
             phase_spans={
                 "coalesce": coalesce_span,
                 "lookup": lookup_span,
@@ -512,6 +530,7 @@ class CoSimRankService:
             retries=retries,
             failed_seeds=failures,
             cancelled_seeds=tuple(cancelled),
+            batch_id=batch_id,
         )
 
     # ------------------------------------------------------------------
@@ -580,6 +599,8 @@ class CoSimRankService:
         started = self._clock()
         deadline_at = started + deadline_s if deadline_s is not None else None
         seed_ids = normalize_queries(seeds, self.index.num_nodes)
+        batch_id = f"topk-{next(self._batch_seq)}"
+        request_ids = [f"{batch_id}.{i}" for i in range(int(seed_ids.size))]
         tracer = self._tracer
         with tracer.span(
             "serve.topk",
@@ -587,6 +608,8 @@ class CoSimRankService:
             k=int(k),
             exclude_self=bool(exclude_self),
             query_mode=self.query_mode,
+            batch_id=batch_id,
+            request_ids=list(request_ids),
         ):
             unique = np.unique(seed_ids)
             n_seeds = int(unique.size)
@@ -620,11 +643,15 @@ class CoSimRankService:
                 result_map.update(fresh)
                 cancelled_set = set(cancelled)
                 outcomes: List[RequestOutcome] = []
-                for seed in seed_ids:
+                for position, seed in enumerate(seed_ids):
                     seed = int(seed)
+                    request_id = request_ids[position]
                     if seed in result_map:
                         outcomes.append(
-                            RequestOutcome(result=result_map[seed])
+                            RequestOutcome(
+                                result=result_map[seed],
+                                request_id=request_id,
+                            )
                         )
                     elif seed in cancelled_set:
                         outcomes.append(
@@ -635,12 +662,15 @@ class CoSimRankService:
                                     self._clock() - started,
                                     completed_seeds=len(result_map),
                                     cancelled_seeds=len(cancelled_set),
-                                )
+                                ),
+                                request_id=request_id,
                             )
                         )
                     else:
                         outcomes.append(
-                            RequestOutcome(error=failures[seed])
+                            RequestOutcome(
+                                error=failures[seed], request_id=request_id
+                            )
                         )
             finally:
                 self._budget.release(n_seeds)
@@ -669,6 +699,7 @@ class CoSimRankService:
             retries=retries,
             failed_seeds=failures,
             cancelled_seeds=tuple(cancelled),
+            batch_id=batch_id,
         )
 
     def _compute_topk_missing(
@@ -867,16 +898,21 @@ class CoSimRankService:
         *,
         deadline_s: Optional[float],
         started: float,
+        request_ids: Optional[List[str]] = None,
     ) -> List[RequestOutcome]:
         """One outcome per request: a block, or the typed reason why not."""
         cancelled_set = set(cancelled)
         outcomes: List[RequestOutcome] = []
-        for ids in plan.request_ids:
+        for index, ids in enumerate(plan.request_ids):
+            request_id = request_ids[index] if request_ids else None
             needed = [int(seed) for seed in ids]
             unavailable = [seed for seed in needed if seed not in column_map]
             if not unavailable:
                 outcomes.append(
-                    RequestOutcome(result=self._assemble(ids, column_map))
+                    RequestOutcome(
+                        result=self._assemble(ids, column_map),
+                        request_id=request_id,
+                    )
                 )
             elif any(seed in cancelled_set for seed in unavailable):
                 outcomes.append(
@@ -886,11 +922,16 @@ class CoSimRankService:
                             self._clock() - started,
                             completed_seeds=len(column_map),
                             cancelled_seeds=len(cancelled_set),
-                        )
+                        ),
+                        request_id=request_id,
                     )
                 )
             else:
-                outcomes.append(RequestOutcome(error=failures[unavailable[0]]))
+                outcomes.append(
+                    RequestOutcome(
+                        error=failures[unavailable[0]], request_id=request_id
+                    )
+                )
         return outcomes
 
     def _assemble(
@@ -916,6 +957,8 @@ class CoSimRankService:
         num_failed: int,
         deadline_hit: bool,
         batch_span,
+        batch_id: Optional[str] = None,
+        request_ids: Optional[List[str]] = None,
         phase_spans,
     ) -> None:
         """Fold one batch's outcome into the registry (consistent snapshot)."""
@@ -939,11 +982,14 @@ class CoSimRankService:
                 self._m_phase[phase].inc(span.wall_seconds)
             if batch_span is not obs.NULL_SPAN:
                 self._m_batch_seconds.observe(batch_span.wall_seconds)
+                self.latency_window.observe(batch_span.wall_seconds)
         if (
             self.slow_query_seconds is not None
             and batch_span.wall_seconds >= self.slow_query_seconds
         ):
             entry = {
+                "batch_id": batch_id,
+                "request_ids": list(request_ids or []),
                 "seconds": batch_span.wall_seconds,
                 "requests": plan.num_requests,
                 "unique_seeds": int(plan.unique_seeds.size),
@@ -957,11 +1003,19 @@ class CoSimRankService:
             with self._stats_lock:
                 self._m_slow.inc()
                 self._slow_log.append(entry)
+            # structured JSON so log pipelines can join the slow batch
+            # with its trace span and outcomes by batch_id/request_ids;
+            # the "slow batch" event name is the stable grep handle
             logger.warning(
-                "slow batch: %.4fs (threshold %.4fs) requests=%d "
-                "unique_seeds=%d hits=%d misses=%d",
-                entry["seconds"], self.slow_query_seconds,
-                entry["requests"], entry["unique_seeds"], hits, misses,
+                "%s",
+                json.dumps(
+                    {
+                        "event": "slow batch",
+                        "threshold_seconds": self.slow_query_seconds,
+                        **entry,
+                    },
+                    sort_keys=False,
+                ),
             )
 
     def _get_executor(self) -> ThreadPoolExecutor:
@@ -1036,6 +1090,18 @@ class CoSimRankService:
         """Recent slow-batch records, oldest first (bounded ring)."""
         with self._stats_lock:
             return list(self._slow_log)
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """Exact p50/p95/p99 over the most recent batch latencies.
+
+        Computed from the sliding :class:`~repro.obs.latency.
+        LatencyWindow` (raw samples), so unlike
+        ``csrplus_serve_batch_seconds`` quantiles the values carry no
+        bucket-interpolation error — at the cost of covering only the
+        window's last ``latency_window_samples`` batches.  All ``nan``
+        when instrumentation is disabled or no batch has completed.
+        """
+        return self.latency_window.snapshot()
 
     def clear_cache(self) -> None:
         """Drop all cached columns and rankings (for cold-start runs)."""

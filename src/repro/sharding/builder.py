@@ -55,7 +55,7 @@ import numpy as np
 from scipy.sparse.linalg import svds
 
 from repro.core.config import CSRPlusConfig
-from repro.core.memory import MemoryMeter, sparse_nbytes
+from repro.core.memory import MemoryMeter, publish_peak, sparse_nbytes
 from repro.errors import (
     DecompositionError,
     InvalidParameterError,
@@ -299,6 +299,7 @@ def build_sharded_store(
     for label in list(meter.live_breakdown()):
         if label.startswith("shard/"):
             meter.release(label)
+    publish_peak(meter, "shard-build")
     return store
 
 

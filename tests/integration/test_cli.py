@@ -589,3 +589,179 @@ class TestObservabilityCLI:
         assert main(["stats"]) != 0
         err = capsys.readouterr().err
         assert "stats" in err or "source" in err.lower()
+
+
+def _edge_list(tmp_path, nodes=32):
+    """A ring edge list on disk — small, connected, deterministic."""
+    path = tmp_path / "ring.txt"
+    path.write_text(
+        "\n".join(f"{i} {(i + 1) % nodes}" for i in range(nodes)) + "\n"
+    )
+    return str(path)
+
+
+class TestLoadgenCommand:
+    """Acceptance criterion: `csrplus loadgen` drives the service with a
+    seeded Zipf workload and reports latency percentiles + SLO verdicts."""
+
+    @staticmethod
+    def _run(tmp_path, *extra):
+        return main([
+            "loadgen",
+            "--edge-list", _edge_list(tmp_path),
+            "--rank", "4",
+            "--requests", "20",
+            "--qps", "500",
+            "--seed", "3",
+            "--simulate",
+            *extra,
+        ])
+
+    def test_renders_report_and_slo_table(self, tmp_path, capsys):
+        assert self._run(tmp_path, "--slo-p99-ms", "250") == 0
+        out = capsys.readouterr().out
+        assert "loadgen:" in out
+        assert "p99" in out
+        assert "loadgen-p99" in out
+        assert "PASS" in out
+
+    def test_json_report_is_deterministic(self, tmp_path, capsys):
+        import json
+
+        assert self._run(tmp_path, "--json") == 0
+        first = json.loads(capsys.readouterr().out)
+        assert self._run(tmp_path, "--json") == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["requests"] == 20
+        assert first["outcomes"]["ok"] == 20
+        assert first["schedule_digest"] == second["schedule_digest"]
+        assert first == second
+
+    def test_fail_on_slo_exits_4(self, tmp_path, capsys):
+        # an unmeetable p99 bound (far below the simulated clock tick
+        # floor) must flip the verdict and the exit code
+        code = self._run(
+            tmp_path, "--fail-on-slo", "--slo-p99-ms", "0.0000001"
+        )
+        assert code == 4
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "exiting 4" in captured.err
+
+    def test_metrics_out_covers_loadgen_families(self, tmp_path, capsys):
+        from tests.obs.prom import assert_known_families
+
+        metrics_path = tmp_path / "loadgen.prom"
+        code = self._run(
+            tmp_path, "--metrics-out", str(metrics_path),
+            "--slo-p99-ms", "250",
+        )
+        assert code == 0
+        text = metrics_path.read_text()
+        assert_known_families(text)
+        assert "csrplus_loadgen_requests_total 20" in text
+        assert 'csrplus_loadgen_outcomes_total{outcome="ok"} 20' in text
+        assert 'csrplus_slo_ok{slo="loadgen-p99"} 1' in text
+
+    def test_topk_mode(self, tmp_path, capsys):
+        assert self._run(tmp_path, "--topk", "5") == 0
+        out = capsys.readouterr().out
+        assert "top-5" in out or "topk" in out
+
+    def test_parser_rejects_bad_profile(self, tmp_path, capsys):
+        assert self._run(tmp_path, "--qps", "0") == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    """Acceptance criterion: `csrplus bench --compare prior.json` exits
+    nonzero when a tracked metric regresses beyond tolerance."""
+
+    @staticmethod
+    def _bench(tmp_path, out_name, *extra):
+        return main([
+            "bench",
+            "--edge-list", _edge_list(tmp_path),
+            "--rank", "4",
+            "--requests", "15",
+            "--qps", "500",
+            "--seed", "3",
+            "--simulate",
+            "--out", str(tmp_path / out_name),
+            *extra,
+        ])
+
+    def test_writes_schema_versioned_snapshot(self, tmp_path, capsys):
+        import json
+
+        assert self._bench(tmp_path, "BENCH_a.json") == 0
+        out = capsys.readouterr().out
+        assert "bench snapshot written to" in out
+        payload = json.loads((tmp_path / "BENCH_a.json").read_text())
+        assert payload["schema"] == "csrplus-bench/v1"
+        assert "loadgen_p99_seconds" in payload["metrics"]
+        assert payload["slo"]["ok"] is True
+
+    def test_compare_clean_against_self(self, tmp_path, capsys):
+        assert self._bench(tmp_path, "BENCH_base.json") == 0
+        capsys.readouterr()
+        # identical simulated loadgen metrics; wall-clock metrics get
+        # the 25% default tolerance but can still jitter on a tiny
+        # graph, so gate only on the deterministic ones
+        code = self._bench(
+            tmp_path, "BENCH_next.json",
+            "--compare", str(tmp_path / "BENCH_base.json"),
+            "--tolerance", "1000",
+        )
+        assert code == 0
+        assert "bench comparison" in capsys.readouterr().out
+
+    def test_compare_exits_5_on_injected_p99_regression(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        assert self._bench(tmp_path, "BENCH_base.json") == 0
+        capsys.readouterr()
+        # inject the regression by making the baseline 10x better than
+        # the (deterministic) rerun can ever be — editing a copy, not
+        # re-measuring, keeps the test immune to timing jitter
+        baseline = json.loads((tmp_path / "BENCH_base.json").read_text())
+        baseline["metrics"]["loadgen_p99_seconds"]["value"] /= 10.0
+        for name in list(baseline["metrics"]):
+            if not name.startswith("loadgen_"):
+                del baseline["metrics"][name]  # mute wall-clock noise
+        (tmp_path / "BENCH_prior.json").write_text(json.dumps(baseline))
+
+        code = self._bench(
+            tmp_path, "BENCH_next.json",
+            "--compare", str(tmp_path / "BENCH_prior.json"),
+        )
+        assert code == 5
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "loadgen_p99_seconds" in captured.out
+        assert "exiting 5" in captured.err
+
+    def test_compare_missing_baseline_fails(self, tmp_path, capsys):
+        code = self._bench(
+            tmp_path, "BENCH_x.json",
+            "--compare", str(tmp_path / "nope.json"),
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLoadgenBenchParser:
+    def test_loadgen_source_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["loadgen", "--dataset", "FB", "--edge-list", "x"]
+            )
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench", "--dataset", "FB"])
+        assert args.command == "bench"
+        assert args.out is None
+        assert args.compare is None
+        assert args.tolerance is None

@@ -1,0 +1,139 @@
+"""Shared Prometheus line-format validation for the observability tests.
+
+``assert_valid_prometheus`` checks the text exposition line by line;
+``assert_known_families`` additionally pins every ``csrplus_*`` family
+name against :data:`KNOWN_CSRPLUS_FAMILIES`, so a typo'd or renamed
+metric fails a test instead of silently forking a new time series.
+New instruments must be registered here (and documented in
+docs/observability.md).
+"""
+
+import re
+
+# One Prometheus text-format sample line: name, optional labels, value.
+PROM_SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+    r' (-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN)$'
+)
+PROM_COMMENT_RE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ?.*$")
+
+#: Every csrplus_* metric family the package may legitimately emit.
+KNOWN_CSRPLUS_FAMILIES = frozenset({
+    # engines (repro.core.base, repro.core.memory)
+    "csrplus_prepare_seconds",
+    "csrplus_query_seconds",
+    "csrplus_stage_seconds_total",
+    "csrplus_memory_peak_bytes",
+    # serving (repro.serving.service)
+    "csrplus_serve_requests_total",
+    "csrplus_serve_batches_total",
+    "csrplus_serve_seeds_requested_total",
+    "csrplus_serve_unique_seeds_total",
+    "csrplus_serve_cache_hits_total",
+    "csrplus_serve_cache_misses_total",
+    "csrplus_serve_cache_evictions_total",
+    "csrplus_serve_cache_columns",
+    "csrplus_serve_cache_bytes",
+    "csrplus_serve_cache_capacity",
+    "csrplus_serve_cache_integrity_failures",
+    "csrplus_serve_shed_total",
+    "csrplus_serve_deadline_exceeded_total",
+    "csrplus_serve_retries_total",
+    "csrplus_serve_degraded_requests_total",
+    "csrplus_serve_phase_seconds_total",
+    "csrplus_serve_batch_seconds",
+    "csrplus_serve_slow_batches_total",
+    "csrplus_serve_query_mode",
+    # top-k serving
+    "csrplus_topk_batches_total",
+    "csrplus_topk_seeds_total",
+    "csrplus_topk_cache_hits_total",
+    "csrplus_topk_cache_misses_total",
+    "csrplus_topk_cache_evictions_total",
+    "csrplus_topk_cache_entries",
+    "csrplus_topk_candidates_scored_total",
+    "csrplus_topk_blocks_scanned_total",
+    "csrplus_topk_blocks_skipped_total",
+    "csrplus_topk_retries_total",
+    "csrplus_topk_deadline_exceeded_total",
+    "csrplus_topk_degraded_requests_total",
+    # index registry (repro.core.registry)
+    "csrplus_registry_corrupt_total",
+    "csrplus_registry_rebuilds_total",
+    "csrplus_registry_retries_total",
+    "csrplus_registry_shard_repairs_total",
+    # sharded backend (repro.sharding)
+    "csrplus_shard_count",
+    "csrplus_shard_resident",
+    "csrplus_shard_loads_total",
+    "csrplus_shard_queries_total",
+    "csrplus_shard_columns_total",
+    "csrplus_shard_tasks_total",
+    "csrplus_shard_read_failures_total",
+    "csrplus_shard_read_retries_total",
+    # SLO verdict gauges (repro.obs.slo)
+    "csrplus_slo_target",
+    "csrplus_slo_measured",
+    "csrplus_slo_error_budget",
+    "csrplus_slo_bad_fraction",
+    "csrplus_slo_burn_rate",
+    "csrplus_slo_ok",
+    # load generation (repro.serving.loadgen)
+    "csrplus_loadgen_requests_total",
+    "csrplus_loadgen_outcomes_total",
+    "csrplus_loadgen_shed_total",
+    "csrplus_loadgen_deadline_total",
+    "csrplus_loadgen_degraded_total",
+    "csrplus_loadgen_request_seconds",
+})
+
+#: Suffixes the text format appends to histogram families.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def assert_valid_prometheus(text: str) -> int:
+    """Line-format check; returns the number of sample lines."""
+    samples = 0
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            assert PROM_COMMENT_RE.match(line), f"bad comment line: {line!r}"
+        else:
+            assert PROM_SAMPLE_RE.match(line), f"bad sample line: {line!r}"
+            samples += 1
+    return samples
+
+
+def _family_of(sample_name: str) -> str:
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def assert_known_families(text: str) -> int:
+    """Valid line format *and* every csrplus_* family is registered.
+
+    Returns the number of distinct csrplus families seen.
+    """
+    assert_valid_prometheus(text)
+    seen = set()
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name = line.split("{", 1)[0].split(" ", 1)[0]
+        if not name.startswith("csrplus_"):
+            continue
+        family = _family_of(name)
+        # a histogram's family name is the un-suffixed one; plain
+        # counters/gauges pass through _family_of unchanged, but a
+        # counter that *ends* in _count/_sum would be mis-stripped —
+        # accept either resolution before failing
+        assert (
+            family in KNOWN_CSRPLUS_FAMILIES
+            or name in KNOWN_CSRPLUS_FAMILIES
+        ), f"unregistered csrplus metric family: {name!r} (add it to tests/obs/prom.py)"
+        seen.add(family if family in KNOWN_CSRPLUS_FAMILIES else name)
+    return len(seen)

@@ -1,0 +1,130 @@
+"""Unit tests for the sliding-window latency tracker."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs.latency import DEFAULT_PERCENTILES, LatencyWindow
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestConstruction:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LatencyWindow(max_samples=0)
+        with pytest.raises(InvalidParameterError):
+            LatencyWindow(window_seconds=0.0)
+        with pytest.raises(InvalidParameterError):
+            LatencyWindow(window_seconds=-1.0)
+
+
+class TestPercentiles:
+    def test_empty_window_is_nan(self):
+        window = LatencyWindow()
+        assert math.isnan(window.percentile(50.0))
+        assert all(math.isnan(v) for v in window.snapshot().values())
+
+    def test_out_of_range_percentile_rejected(self):
+        window = LatencyWindow()
+        window.observe(0.1)
+        with pytest.raises(InvalidParameterError):
+            window.percentile(101.0)
+        with pytest.raises(InvalidParameterError):
+            window.percentile(-1.0)
+
+    def test_matches_numpy_exactly(self):
+        rng = np.random.default_rng(11)
+        values = rng.exponential(0.05, size=300)
+        window = LatencyWindow(max_samples=1000)
+        for value in values:
+            window.observe(float(value))
+        for p in DEFAULT_PERCENTILES:
+            assert window.percentile(p) == pytest.approx(
+                float(np.percentile(values, p)), rel=0, abs=0
+            )
+
+    def test_snapshot_keys(self):
+        window = LatencyWindow()
+        window.observe(0.2)
+        assert set(window.snapshot()) == {"p50", "p95", "p99"}
+
+
+class TestBounding:
+    def test_ring_drops_oldest(self):
+        window = LatencyWindow(max_samples=3)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            window.observe(value)
+        assert len(window) == 3
+        assert window.observed == 4
+        # 1.0 fell off the ring: the minimum is now 2.0
+        assert window.percentile(0.0) == pytest.approx(2.0)
+
+    def test_time_window_expires_at_read(self):
+        clock = FakeClock()
+        window = LatencyWindow(window_seconds=10.0, clock=clock)
+        window.observe(0.1)
+        clock.now = 5.0
+        window.observe(0.9)
+        assert len(window) == 2
+        clock.now = 12.0  # first sample (t=0) is now outside the window
+        assert len(window) == 1
+        assert window.percentile(50.0) == pytest.approx(0.9)
+
+    def test_reset_clears_live_samples(self):
+        window = LatencyWindow()
+        window.observe(0.5)
+        window.reset()
+        assert len(window) == 0
+        assert math.isnan(window.percentile(50.0))
+        assert window.observed == 1  # lifetime count survives reset
+
+
+class TestServiceIntegration:
+    def test_service_latency_percentiles(self):
+        import repro.obs as obs
+        from repro.core.index import CSRPlusIndex
+        from repro.graphs import ring
+        from repro.serving import CoSimRankService
+
+        previous = obs.set_enabled(True)
+        try:
+            service = CoSimRankService(
+                CSRPlusIndex(ring(16), rank=4), max_workers=1
+            )
+            assert math.isnan(service.latency_percentiles()["p99"])
+            for _ in range(5):
+                service.serve_batch([[0, 3]])
+            snap = service.latency_percentiles()
+            assert snap["p50"] > 0.0
+            assert snap["p50"] <= snap["p95"] <= snap["p99"]
+            assert len(service.latency_window) == 5
+            service.close()
+        finally:
+            obs.set_enabled(previous)
+
+    def test_window_stays_empty_when_disabled(self):
+        import repro.obs as obs
+        from repro.core.index import CSRPlusIndex
+        from repro.graphs import ring
+        from repro.serving import CoSimRankService
+
+        previous = obs.set_enabled(False)
+        try:
+            service = CoSimRankService(
+                CSRPlusIndex(ring(16), rank=4), max_workers=1
+            )
+            service.serve_batch([[0]])
+            # NULL_SPAN has no wall time; the window records nothing
+            assert len(service.latency_window) == 0
+            service.close()
+        finally:
+            obs.set_enabled(previous)

@@ -1,14 +1,16 @@
 """Unit tests for the metrics registry and its expositions."""
 
 import json
-import re
+import math
 import threading
 
+import numpy as np
 import pytest
 
 from repro.errors import InvalidParameterError
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_PREPARE_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -17,27 +19,13 @@ from repro.obs.metrics import (
     render_prometheus,
 )
 
-# One Prometheus text-format sample line: name, optional labels, value.
-PROM_SAMPLE_RE = re.compile(
-    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
-    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
-    r' (-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN)$'
+# Shared with every other obs test; re-exported here for backward
+# compatibility with older imports of this module.
+from tests.obs.prom import (  # noqa: F401
+    PROM_COMMENT_RE,
+    PROM_SAMPLE_RE,
+    assert_valid_prometheus,
 )
-PROM_COMMENT_RE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ?.*$")
-
-
-def assert_valid_prometheus(text: str) -> int:
-    """Line-format check; returns the number of sample lines."""
-    samples = 0
-    for line in text.splitlines():
-        if not line:
-            continue
-        if line.startswith("#"):
-            assert PROM_COMMENT_RE.match(line), f"bad comment line: {line!r}"
-        else:
-            assert PROM_SAMPLE_RE.match(line), f"bad sample line: {line!r}"
-            samples += 1
-    return samples
 
 
 class TestCounter:
@@ -107,6 +95,97 @@ class TestHistogram:
             Histogram(buckets=())
         with pytest.raises(InvalidParameterError):
             Histogram(buckets=(2.0, 1.0))
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_is_nan(self):
+        assert math.isnan(Histogram(buckets=(1.0, 2.0)).quantile(0.5))
+
+    def test_out_of_range_q_rejected(self):
+        hist = Histogram(buckets=(1.0,))
+        with pytest.raises(InvalidParameterError):
+            hist.quantile(-0.1)
+        with pytest.raises(InvalidParameterError):
+            hist.quantile(1.5)
+
+    def test_linear_interpolation_within_bucket(self):
+        # 4 observations all in the (1, 2] bucket: the median
+        # interpolates to the middle of that bucket, Prometheus-style.
+        hist = Histogram(buckets=(1.0, 2.0, 4.0))
+        for value in (1.2, 1.4, 1.6, 1.8):
+            hist.observe(value)
+        assert hist.quantile(0.5) == pytest.approx(1.5)
+        assert hist.quantile(1.0) == pytest.approx(2.0)
+
+    def test_q0_resolves_to_first_nonempty_bucket_lower_bound(self):
+        hist = Histogram(buckets=(1.0, 2.0, 4.0))
+        hist.observe(3.0)
+        assert hist.quantile(0.0) == pytest.approx(2.0)
+
+    def test_inf_bucket_clamps_to_highest_finite_bound(self):
+        hist = Histogram(buckets=(1.0, 2.0))
+        hist.observe(50.0)
+        assert hist.quantile(0.99) == pytest.approx(2.0)
+
+    def test_quantile_monotone_in_q(self):
+        rng = np.random.default_rng(3)
+        hist = Histogram(buckets=DEFAULT_LATENCY_BUCKETS)
+        for value in rng.exponential(0.1, size=500):
+            hist.observe(float(value))
+        qs = [hist.quantile(q) for q in np.linspace(0.0, 1.0, 21)]
+        assert qs == sorted(qs)
+
+    def test_error_bounded_by_bucket_width(self):
+        # the core accuracy contract, also enforced at bench scale in
+        # benchmarks/test_quantile_accuracy.py
+        rng = np.random.default_rng(7)
+        values = rng.gamma(2.0, 0.05, size=2000)
+        hist = Histogram(buckets=DEFAULT_LATENCY_BUCKETS)
+        for value in values:
+            hist.observe(float(value))
+        bounds = (0.0,) + tuple(DEFAULT_LATENCY_BUCKETS)
+        for percentile in (50.0, 90.0, 95.0, 99.0):
+            exact = float(np.percentile(values, percentile))
+            estimate = hist.quantile(percentile / 100.0)
+            widths = [
+                upper - lower
+                for lower, upper in zip(bounds, bounds[1:])
+                if lower <= exact <= upper
+            ]
+            assert widths, f"exact p{percentile} outside finite buckets"
+            assert abs(estimate - exact) <= max(widths)
+
+
+class TestCustomBuckets:
+    def test_registry_histogram_accepts_custom_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", buckets=(0.5, 5.0, 50.0))
+        assert hist.bucket_bounds == (0.5, 5.0, 50.0)
+        # same name resolves to the same child regardless of buckets
+        assert registry.histogram("h_seconds") is hist
+
+    def test_prepare_buckets_cover_minutes(self):
+        # satellite: prepare-phase histograms must not park bench-scale
+        # observations (minutes) in +Inf
+        assert max(DEFAULT_LATENCY_BUCKETS) <= 10.0
+        assert max(DEFAULT_PREPARE_BUCKETS) >= 600.0
+        assert list(DEFAULT_PREPARE_BUCKETS) == sorted(DEFAULT_PREPARE_BUCKETS)
+
+    def test_prepare_histogram_uses_wide_buckets(self):
+        import repro.obs as obs
+        from repro.core.index import CSRPlusIndex
+        from repro.graphs import ring
+
+        previous = obs.set_enabled(True)
+        try:
+            obs.get_registry().reset()
+            CSRPlusIndex(ring(12), rank=4).prepare()
+            hist = obs.get_registry().histogram(
+                "csrplus_prepare_seconds", labels={"engine": "CSR+"}
+            )
+            assert hist.bucket_bounds == DEFAULT_PREPARE_BUCKETS
+        finally:
+            obs.set_enabled(previous)
 
 
 class TestRegistry:

@@ -1,0 +1,177 @@
+"""Unit tests for declarative SLOs, error budgets, and burn rates."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_SERVE_SLOS,
+    AvailabilitySLO,
+    LatencySLO,
+    SLOReport,
+    evaluate_slos,
+)
+from tests.obs.prom import assert_known_families
+
+
+def _latency_registry(values, name="csrplus_serve_batch_seconds"):
+    registry = MetricsRegistry()
+    # a bucket edge at 0.25 makes the fraction-over-threshold exact for
+    # the 0.25s SLO thresholds used below (no interpolation ambiguity)
+    hist = registry.histogram(name, buckets=(0.01, 0.1, 0.25, 1.0))
+    for value in values:
+        hist.observe(value)
+    return registry
+
+
+class TestLatencySLO:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LatencySLO(name="x", threshold_s=0.0)
+        with pytest.raises(InvalidParameterError):
+            LatencySLO(name="x", threshold_s=0.1, percentile=100.0)
+        with pytest.raises(InvalidParameterError):
+            LatencySLO(name="x", threshold_s=0.1, percentile=0.0)
+
+    def test_no_traffic_is_vacuous_pass(self):
+        result = LatencySLO(name="p99", threshold_s=0.25).evaluate(
+            MetricsRegistry()
+        )
+        assert result.ok
+        assert result.samples == 0
+        assert math.isnan(result.measured)
+        assert result.burn_rate == 0.0
+
+    def test_pass_and_fail(self):
+        fast = _latency_registry([0.005] * 99 + [0.5])
+        slow = _latency_registry([0.5] * 100)
+        slo = LatencySLO(name="p99", threshold_s=0.25, percentile=99.0)
+        assert slo.evaluate(fast).ok
+        failed = slo.evaluate(slow)
+        assert not failed.ok
+        assert failed.bad_fraction == pytest.approx(1.0)
+        assert failed.burn_rate == pytest.approx(100.0)  # 100% bad / 1% budget
+
+    def test_error_budget_from_percentile(self):
+        result = LatencySLO(
+            name="p95", threshold_s=1.0, percentile=95.0
+        ).evaluate(_latency_registry([0.005]))
+        assert result.error_budget == pytest.approx(0.05)
+
+    def test_merges_children_across_registries(self):
+        first = _latency_registry([0.005] * 50)
+        second = _latency_registry([0.5] * 50)
+        result = LatencySLO(
+            name="p50", threshold_s=0.25, percentile=50.0
+        ).evaluate(first, second)
+        assert result.samples == 100
+        assert result.bad_fraction == pytest.approx(0.5, abs=0.01)
+
+    def test_non_histogram_metric_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("csrplus_serve_batch_seconds_x_total").inc()
+        registry.counter("csrplus_serve_batch_seconds").inc()
+        with pytest.raises(InvalidParameterError):
+            LatencySLO(name="x", threshold_s=0.1).evaluate(registry)
+
+
+class TestAvailabilitySLO:
+    def _registry(self, total, shed=0, deadline=0, degraded=0):
+        registry = MetricsRegistry()
+        registry.counter("csrplus_serve_requests_total").inc(total)
+        registry.counter("csrplus_serve_shed_total").inc(shed)
+        registry.counter("csrplus_serve_deadline_exceeded_total").inc(deadline)
+        registry.counter("csrplus_serve_degraded_requests_total").inc(degraded)
+        return registry
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AvailabilitySLO(name="x", target=1.0)
+        with pytest.raises(InvalidParameterError):
+            AvailabilitySLO(name="x", target=0.0)
+
+    def test_no_traffic_is_vacuous_pass(self):
+        result = AvailabilitySLO(name="avail").evaluate(MetricsRegistry())
+        assert result.ok and result.samples == 0
+
+    def test_bad_outcomes_burn_the_budget(self):
+        slo = AvailabilitySLO(name="avail", target=0.99)
+        ok = slo.evaluate(self._registry(1000, shed=5))
+        assert ok.ok
+        assert ok.measured == pytest.approx(0.995)
+        assert ok.burn_rate == pytest.approx(0.5)
+        failed = slo.evaluate(self._registry(1000, shed=10, deadline=10))
+        assert not failed.ok
+        assert failed.burn_rate == pytest.approx(2.0)
+
+    def test_all_bad_counters_counted(self):
+        result = AvailabilitySLO(name="avail", target=0.99).evaluate(
+            self._registry(100, shed=1, deadline=1, degraded=1)
+        )
+        assert result.bad_fraction == pytest.approx(0.03)
+
+
+class TestSLOReport:
+    def _report(self):
+        registry = _latency_registry([0.005] * 100)
+        registry.counter("csrplus_serve_requests_total").inc(100)
+        return evaluate_slos(DEFAULT_SERVE_SLOS, registry)
+
+    def test_evaluate_requires_registry(self):
+        with pytest.raises(InvalidParameterError):
+            evaluate_slos(DEFAULT_SERVE_SLOS)
+
+    def test_report_aggregates_verdicts(self):
+        report = self._report()
+        assert report.ok
+        assert report.failed == []
+        assert len(report.results) == len(DEFAULT_SERVE_SLOS)
+        as_dict = report.as_dict()
+        assert as_dict["ok"] is True
+        assert {entry["name"] for entry in as_dict["slos"]} == {
+            "serve-p99", "serve-p50", "serve-availability",
+        }
+
+    def test_render_is_a_verdict_table(self):
+        text = self._report().render()
+        assert "PASS" in text
+        assert "serve-p99" in text
+        assert "objective" in text
+        # one header, one rule, one row per SLO
+        assert len(text.splitlines()) == 2 + len(DEFAULT_SERVE_SLOS)
+
+    def test_render_marks_failures(self):
+        registry = _latency_registry([0.5] * 100)
+        report = evaluate_slos(
+            [LatencySLO(name="p99", threshold_s=0.01)], registry
+        )
+        assert "FAIL" in report.render()
+
+    def test_export_emits_valid_slo_gauges(self):
+        report = self._report()
+        registry = MetricsRegistry()
+        report.export(registry)
+        text = registry.render_prometheus()
+        assert_known_families(text)
+        assert 'csrplus_slo_ok{slo="serve-p99"} 1' in text
+        assert 'csrplus_slo_target{slo="serve-availability"} 0.999' in text
+        for family in (
+            "csrplus_slo_target", "csrplus_slo_measured",
+            "csrplus_slo_error_budget", "csrplus_slo_bad_fraction",
+            "csrplus_slo_burn_rate", "csrplus_slo_ok",
+        ):
+            assert family in text
+
+    def test_export_maps_nan_measured_to_zero(self):
+        report = evaluate_slos(DEFAULT_SERVE_SLOS, MetricsRegistry())
+        registry = MetricsRegistry()
+        report.export(registry)  # must not crash formatting nan/inf
+        value = registry.gauge(
+            "csrplus_slo_measured", labels={"slo": "serve-p99"}
+        ).value
+        assert value == 0.0
+
+    def test_empty_report_renders(self):
+        assert SLOReport().render().count("\n") == 1

@@ -1,0 +1,165 @@
+"""Observability of the top-k serving path.
+
+Mirror of :mod:`tests.serving.test_observability` for ``serve_topk``:
+the span taxonomy (``serve.topk`` → ``serve.topk.compute`` →
+``serve.topk.chunk`` → ``topk.block``), the ``csrplus_topk_*``
+instruments, and the CLI dumps (``serve-batch --topk`` with
+``--metrics-out``/``--trace-out``).
+"""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.core.index import CSRPlusIndex
+from repro.graphs.generators import chung_lu, ring
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.serving import CoSimRankService
+from repro.cli import main
+from tests.obs.prom import assert_known_families
+
+
+def _collect_spans(roots):
+    by_name = {}
+
+    def visit(span):
+        by_name.setdefault(span.name, []).append(span)
+        for child in span.children:
+            visit(child)
+
+    for root in roots:
+        visit(root)
+    return by_name
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    return Tracer()
+
+
+@pytest.fixture
+def service_factory(tracer):
+    def build(**kwargs):
+        kwargs.setdefault("max_workers", 1)
+        kwargs.setdefault("tracer", tracer)
+        index = CSRPlusIndex(ring(24), rank=4)
+        return CoSimRankService(index, **kwargs)
+
+    return build
+
+
+class TestTopkSpans:
+    def test_topk_span_tree(self, service_factory, tracer):
+        with service_factory() as service:
+            service.serve_topk([0, 5, 9], 4)
+        by_name = _collect_spans(tracer.roots())
+        assert len(by_name["serve.topk"]) == 1
+        topk_span = by_name["serve.topk"][0]
+        assert topk_span.attributes["seeds"] == 3
+        assert topk_span.attributes["k"] == 4
+        compute = by_name["serve.topk.compute"][0]
+        assert compute.attributes["misses"] == 3
+        # the blockwise kernel's per-block spans nest under the chunks
+        assert "serve.topk.chunk" in by_name
+        assert "topk.block" in by_name
+        blocks = by_name["topk.block"]
+        assert all(
+            "rows" in span.attributes or span.attributes
+            for span in blocks
+        )
+
+    def test_warm_cache_skips_compute_chunks(self, service_factory, tracer):
+        with service_factory() as service:
+            service.serve_topk([0], 4)
+            service.serve_topk([0], 4)
+        by_name = _collect_spans(tracer.roots())
+        assert len(by_name["serve.topk"]) == 2
+        # the second call is a pure cache hit: exactly one chunk total
+        assert len(by_name["serve.topk.chunk"]) == 1
+
+
+class TestTopkMetrics:
+    def test_scrape_covers_topk_family(self, service_factory):
+        registry = MetricsRegistry()
+        with service_factory(registry=registry) as service:
+            service.serve_topk([0, 5, 9], 4)
+            service.serve_topk([0], 4)
+            stats = service.topk_stats()
+        text = registry.render_prometheus()
+        assert_known_families(text)
+        assert f"csrplus_topk_batches_total {stats['batches']}" in text
+        assert f"csrplus_topk_seeds_total {stats['seeds']}" in text
+        assert f"csrplus_topk_cache_hits_total {stats['hits']}" in text
+        assert f"csrplus_topk_cache_misses_total {stats['misses']}" in text
+        assert (
+            f"csrplus_topk_candidates_scored_total "
+            f"{stats['candidates_scored']}" in text
+        )
+        assert stats["batches"] == 2
+        assert stats["hits"] == 1
+
+    def test_pruning_counters_account_for_all_blocks(self):
+        registry = MetricsRegistry()
+        index = CSRPlusIndex(chung_lu(300, 1200, seed=5), rank=6)
+        with CoSimRankService(
+            index, max_workers=1, registry=registry
+        ) as service:
+            service.serve_topk([0, 7], 5)
+        scanned = registry.counter("csrplus_topk_blocks_scanned_total").value
+        skipped = registry.counter("csrplus_topk_blocks_skipped_total").value
+        assert scanned > 0
+        assert scanned + skipped > 0
+
+
+class TestTopkObservabilityCLI:
+    """Satellite: serve-batch --topk emits csrplus_topk_* metrics and
+    topk.block spans through --metrics-out / --trace-out."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_obs_state(self):
+        previous = obs.set_enabled(True)
+        obs.get_tracer().reset()
+        yield
+        obs.set_enabled(previous)
+        obs.get_tracer().reset()
+
+    def test_topk_dumps(self, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("0 1 2\n3\n")
+        metrics_path = tmp_path / "metrics.prom"
+        trace_path = tmp_path / "trace.json"
+        code = main([
+            "serve-batch",
+            "--dataset", "P2P",
+            "--tier", "tiny",
+            "--queries-file", str(queries),
+            "--rank", "4",
+            "--topk", "5",
+            "--metrics-out", str(metrics_path),
+            "--trace-out", str(trace_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top-5 rankings" in out
+
+        text = metrics_path.read_text()
+        assert_known_families(text)
+        assert "csrplus_topk_batches_total" in text
+        assert "csrplus_topk_seeds_total 8" in text  # 4 seeds x 2 passes
+        assert "csrplus_topk_candidates_scored_total" in text
+
+        names = set()
+
+        def visit(span):
+            names.add(span["name"])
+            for child in span["children"]:
+                visit(child)
+
+        for root in json.loads(trace_path.read_text())["spans"]:
+            visit(root)
+        assert {
+            "serve.topk", "serve.topk.compute", "serve.topk.chunk",
+            "topk.block",
+        } <= names

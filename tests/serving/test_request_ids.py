@@ -1,0 +1,123 @@
+"""Request-ID correlation across outcomes, spans, and the slow-query log.
+
+The service mints ``batch-<seq>`` / ``topk-<seq>`` ids per call and
+``<batch_id>.<index>`` per request; the same id must be observable on
+the :class:`~repro.serving.results.RequestOutcome`, on the batch span's
+attributes, and in the slow-query log's structured JSON line — that
+triple join is the whole point of the ids (docs/observability.md).
+"""
+
+import json
+import logging
+
+import pytest
+
+from repro.core.index import CSRPlusIndex
+from repro.graphs.generators import ring
+from repro.obs.tracing import Tracer
+from repro.serving import CoSimRankService
+from repro.testing.faults import FaultPlan
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    return Tracer()
+
+
+@pytest.fixture
+def service_factory(tracer):
+    def build(**kwargs):
+        kwargs.setdefault("max_workers", 1)
+        kwargs.setdefault("tracer", tracer)
+        return CoSimRankService(CSRPlusIndex(ring(24), rank=4), **kwargs)
+
+    return build
+
+
+class TestBatchRequestIds:
+    def test_outcomes_carry_sequential_ids(self, service_factory):
+        with service_factory() as service:
+            first = service.serve_batch_detailed([[0, 1], [2]])
+            second = service.serve_batch_detailed([[3]])
+        assert first.batch_id == "batch-1"
+        assert [o.request_id for o in first.outcomes] == [
+            "batch-1.0", "batch-1.1",
+        ]
+        assert second.batch_id == "batch-2"
+        assert second.outcomes[0].request_id == "batch-2.0"
+
+    def test_span_attributes_match_outcomes(self, service_factory, tracer):
+        with service_factory() as service:
+            result = service.serve_batch_detailed([[0, 1], [1, 2]])
+        batch = [r for r in tracer.roots() if r.name == "serve.batch"][0]
+        assert batch.attributes["batch_id"] == result.batch_id
+        assert batch.attributes["request_ids"] == [
+            o.request_id for o in result.outcomes
+        ]
+
+    def test_failed_outcomes_keep_their_ids(self, service_factory):
+        bad = lambda ctx: 1 in ctx["seeds"]  # noqa: E731
+        with service_factory(cache_columns=0, chunk_size=1) as service:
+            with FaultPlan().fail("compute.chunk", times=None, when=bad):
+                result = service.serve_batch_detailed([[0], [1]])
+        assert result.outcomes[0].ok
+        assert not result.outcomes[1].ok
+        assert result.outcomes[1].request_id == f"{result.batch_id}.1"
+
+    def test_slow_log_json_line_joins_the_trace(
+        self, service_factory, tracer, caplog
+    ):
+        with service_factory(slow_query_seconds=1e-9) as service:
+            with caplog.at_level(logging.WARNING, logger="repro.serving"):
+                result = service.serve_batch_detailed([[0, 1], [2]])
+            ring_entry = service.slow_queries()[0]
+
+        # the log line is machine-parseable JSON with the stable
+        # "slow batch" event name...
+        record = next(
+            r for r in caplog.records if "slow batch" in r.message
+        )
+        payload = json.loads(record.message)
+        assert payload["event"] == "slow batch"
+        # ...and carries the same ids as the outcome, the ring entry,
+        # and the batch span: one id joins all four surfaces
+        span = [r for r in tracer.roots() if r.name == "serve.batch"][0]
+        expected_ids = [o.request_id for o in result.outcomes]
+        assert payload["batch_id"] == result.batch_id
+        assert payload["request_ids"] == expected_ids
+        assert ring_entry["batch_id"] == result.batch_id
+        assert ring_entry["request_ids"] == expected_ids
+        assert span.attributes["batch_id"] == result.batch_id
+        assert payload["seconds"] == ring_entry["seconds"]
+        assert payload["threshold_seconds"] == 1e-9
+
+
+class TestTopkRequestIds:
+    def test_topk_ids_use_their_own_prefix(self, service_factory):
+        with service_factory() as service:
+            batch = service.serve_batch_detailed([[0]])
+            topk = service.serve_topk_detailed([0, 5], 3)
+        # one shared mint: ids stay unique across entry points
+        assert batch.batch_id == "batch-1"
+        assert topk.batch_id == "topk-2"
+        assert [o.request_id for o in topk.outcomes] == [
+            "topk-2.0", "topk-2.1",
+        ]
+
+    def test_topk_span_attributes(self, service_factory, tracer):
+        with service_factory() as service:
+            result = service.serve_topk_detailed([0, 5], 3)
+        span = [r for r in tracer.roots() if r.name == "serve.topk"][0]
+        assert span.attributes["batch_id"] == result.batch_id
+        assert span.attributes["request_ids"] == [
+            o.request_id for o in result.outcomes
+        ]
+
+    def test_topk_failed_outcomes_keep_ids(self, service_factory):
+        bad = lambda ctx: 5 in ctx["seeds"]  # noqa: E731
+        with service_factory(topk_cache_entries=0, chunk_size=1) as service:
+            with FaultPlan().fail("compute.chunk", times=None, when=bad):
+                result = service.serve_topk_detailed([0, 5], 3)
+        assert result.outcomes[0].ok
+        assert not result.outcomes[1].ok
+        assert result.outcomes[1].request_id == f"{result.batch_id}.1"
