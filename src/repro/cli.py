@@ -15,8 +15,14 @@
     csrplus serve-batch --dataset FB --queries-file q.txt \
         --metrics-out metrics.prom --trace-out trace.json
     csrplus stats --metrics-file metrics.prom --trace-file trace.json
+    csrplus update --store fb.shards --out fb.shards.v1 --dataset FB \
+        --tier small --add 3:14,7:2 --remove 5:6
+    csrplus serve-batch --dataset FB --tier small --queries-file q.txt \
+        --live --mutate-per-pass 2
     csrplus loadgen --dataset FB --tier small --requests 500 --qps 200 \
         --zipf 1.1 --slo-p99-ms 250 --fail-on-slo
+    csrplus loadgen --dataset FB --tier small --requests 500 \
+        --mutate-every 50 --mutate-edges 2
     csrplus bench --dataset FB --tier tiny --out BENCH_today.json
     csrplus bench --dataset FB --tier tiny --compare BENCH_prior.json
 
@@ -137,6 +143,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
 
+    update = sub.add_parser(
+        "update",
+        help="apply an edge batch to a sharded store by targeted repair "
+        "(only digest-changed shards are rewritten; docs/dynamic.md)",
+    )
+    update_source = update.add_mutually_exclusive_group(required=True)
+    update_source.add_argument(
+        "--dataset", choices=dataset_keys(),
+        help="built-in stand-in the store was built from",
+    )
+    update_source.add_argument(
+        "--edge-list", help="path to the SNAP-style edge list the store "
+        "was built from",
+    )
+    update.add_argument(
+        "--tier", choices=("tiny", "small", "bench"), default="small"
+    )
+    update.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="existing shard store (csrplus shard-build); never modified",
+    )
+    update.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="directory for the repaired next-version store",
+    )
+    update.add_argument(
+        "--add", default="", metavar="SRC:DST,...",
+        help="edges to add, e.g. 3:14,7:2",
+    )
+    update.add_argument(
+        "--remove", default="", metavar="SRC:DST,...",
+        help="edges to remove (missing edges are ignored)",
+    )
+    update.add_argument(
+        "--dirty-threshold", type=float, default=0.5, metavar="F",
+        help="dirty-shard fraction above which targeted repair falls "
+        "back to a full rebuild",
+    )
+    update.add_argument(
+        "--overwrite", action="store_true",
+        help="replace an existing store at --out",
+    )
+    update.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
     serve = sub.add_parser(
         "serve-batch",
         help="serve a file of multi-source requests through CoSimRankService",
@@ -241,6 +293,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="log batches slower than this many milliseconds and count "
         "them in csrplus_serve_slow_batches_total",
     )
+    serve.add_argument(
+        "--live", action="store_true",
+        help="serve through a LiveIndexChain: a random edge batch is "
+        "applied between passes and each new version is swapped in "
+        "with zero downtime (docs/dynamic.md; needs a graph source, "
+        "not --shards)",
+    )
+    serve.add_argument(
+        "--live-shards", type=int, default=None, metavar="K",
+        help="shard the live backend into K node ranges and route "
+        "updates through targeted repair (requires --live-store)",
+    )
+    serve.add_argument(
+        "--live-store", default=None, metavar="DIR",
+        help="root directory for the per-version shard stores of a "
+        "sharded live chain",
+    )
+    serve.add_argument(
+        "--mutate-per-pass", type=int, default=1, metavar="N",
+        help="random edges added per between-pass update batch "
+        "(with --live)",
+    )
+    serve.add_argument(
+        "--mutate-seed", type=int, default=0,
+        help="RNG seed for the between-pass edge batches",
+    )
 
     stats = sub.add_parser(
         "stats",
@@ -327,6 +405,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument(
         "--query-mode", choices=("exact", "batched"), default="exact",
+    )
+    loadgen.add_argument(
+        "--mutate-every", type=int, default=0, metavar="N",
+        help="apply a live edge batch after every N dispatched requests "
+        "(0 disables; the service serves across version swaps, "
+        "docs/dynamic.md)",
+    )
+    loadgen.add_argument(
+        "--mutate-edges", type=int, default=1, metavar="M",
+        help="random edges added per mutation batch (with --mutate-every)",
+    )
+    loadgen.add_argument(
+        "--mutate-seed", type=int, default=0,
+        help="RNG seed for the mutation batches",
     )
     loadgen.add_argument(
         "--slo-p99-ms", type=float, default=None, metavar="MS",
@@ -568,6 +660,87 @@ def _cmd_shard_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_edge_pairs(text: str, flag: str) -> List[tuple]:
+    """Parse ``SRC:DST,SRC:DST,...`` edge batches from the CLI."""
+    from repro.errors import InvalidParameterError
+
+    edges = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        src, sep, dst = token.partition(":")
+        try:
+            if not sep:
+                raise ValueError
+            edges.append((int(src), int(dst)))
+        except ValueError:
+            raise InvalidParameterError(
+                f"{flag} expects comma-separated SRC:DST pairs, got {token!r}"
+            ) from None
+    return edges
+
+
+def _random_edge_batch(rng, num_nodes: int, count: int) -> List[tuple]:
+    """``count`` random non-self-loop edges over ``num_nodes`` nodes."""
+    edges = []
+    for _ in range(max(0, count)):
+        src = int(rng.integers(num_nodes))
+        dst = int((src + 1 + rng.integers(max(1, num_nodes - 1))) % num_nodes)
+        edges.append((src, dst))
+    return edges
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    from repro.errors import InvalidParameterError
+    from repro.sharding import repair_sharded_store
+
+    added = _parse_edge_pairs(args.add, "--add")
+    removed = _parse_edge_pairs(args.remove, "--remove")
+    if not added and not removed:
+        raise InvalidParameterError(
+            "update needs at least one edge via --add or --remove"
+        )
+    graph = _load_graph(args)
+    graph = graph.with_edges_added(added).with_edges_removed(removed)
+    started = time.perf_counter()
+    report = repair_sharded_store(
+        graph,
+        args.store,
+        args.out,
+        dirty_threshold=args.dirty_threshold,
+        overwrite=args.overwrite,
+    )
+    elapsed = time.perf_counter() - started
+    payload = {
+        "store": args.store,
+        "out": report.path,
+        "edges_added": len(added),
+        "edges_removed": len(removed),
+        "repaired_shards": list(report.repaired_shards),
+        "total_shards": report.total_shards,
+        "dirty_fraction": report.dirty_fraction,
+        "full_rebuild": report.full_rebuild,
+        "dirty_ranges": [list(r) for r in report.dirty_ranges],
+        "repair_seconds": elapsed,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    kind = "full rebuild" if report.full_rebuild else "targeted repair"
+    print(
+        f"{kind}: {len(report.repaired_shards)}/{report.total_shards} "
+        f"shard(s) rewritten (dirty fraction "
+        f"{report.dirty_fraction:.2f}) in {elapsed:.3f}s"
+    )
+    print(
+        f"next-version store written to {report.path} "
+        f"(+{len(added)}/-{len(removed)} edges; clean shards hard-linked "
+        f"from {args.store})"
+    )
+    return 0
+
+
 def _read_requests_file(path: str) -> List[List[int]]:
     """Parse a serve-batch query file: one request per non-empty line."""
     from repro.errors import GraphFormatError, QueryError
@@ -610,6 +783,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         logging.basicConfig(level=logging.WARNING)
 
     requests = _read_requests_file(args.queries_file)
+    chain = None
     if args.shards:
         from repro.errors import InvalidParameterError
         from repro.sharding import ShardedIndex
@@ -618,6 +792,11 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
             raise InvalidParameterError(
                 "--index-dir does not apply with --shards (the store "
                 "directory already is the on-disk index)"
+            )
+        if args.live:
+            raise InvalidParameterError(
+                "--live needs a graph source (--dataset/--edge-list) so "
+                "edge batches can be applied; --shards is read-only"
             )
         index = ShardedIndex(args.shards)
         num_nodes, num_edges = index.num_nodes, None
@@ -628,7 +807,23 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         config = CSRPlusConfig(
             damping=args.damping, rank=min(args.rank, graph.num_nodes)
         )
-        if args.index_dir:
+        if args.live:
+            from repro.errors import InvalidParameterError
+            from repro.serving import LiveIndexChain
+
+            if args.live_shards is not None and not args.live_store:
+                raise InvalidParameterError(
+                    "--live-shards needs --live-store (one directory per "
+                    "version is created beneath it)"
+                )
+            chain = LiveIndexChain(
+                graph,
+                config,
+                store_root=args.live_store,
+                num_shards=args.live_shards,
+            )
+            index = chain.index
+        elif args.index_dir:
             source = args.dataset or "edgelist"
             name = args.index_name or (
                 f"{source}-{args.tier}-r{config.rank}-c{config.damping}"
@@ -654,12 +849,26 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         cache_validate=args.cache_validate,
         slow_query_seconds=slow_query_seconds,
     ) as service:
+        if chain is not None:
+            import numpy as _np
+
+            chain.attach(service)
+            mutate_rng = _np.random.default_rng(args.mutate_seed)
         topk_seeds = (
             [seed for request in requests for seed in request]
             if args.topk is not None
             else None
         )
         for pass_num in range(1, max(1, args.repeat) + 1):
+            link = None
+            if chain is not None and pass_num > 1:
+                # live scenario: an edge batch lands between passes and
+                # the repaired version is swapped in before this pass
+                link = chain.update_edges(
+                    added=_random_edge_batch(
+                        mutate_rng, num_nodes, args.mutate_per_pass
+                    )
+                )
             started = time.perf_counter()
             if topk_seeds is not None:
                 results = service.serve_topk(
@@ -689,6 +898,11 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
                 }
             if args.partial:
                 entry["failed_requests"] = len(results) - len(served)
+            if chain is not None:
+                entry["index_version"] = service.index_version
+                if link is not None and chain.is_sharded:
+                    entry["repaired_shards"] = len(link.repaired_shards)
+                    entry["full_rebuild"] = link.full_rebuild
             passes.append(entry)
         stats = service.stats()
         topk_stats = service.topk_stats() if args.topk is not None else None
@@ -721,6 +935,13 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     if topk_stats is not None:
         payload["topk"] = args.topk
         payload["topk_stats"] = topk_stats
+    if chain is not None:
+        payload["live"] = {
+            "final_version": chain.version,
+            "sharded": chain.is_sharded,
+            "mutate_per_pass": args.mutate_per_pass,
+            "mutate_seed": args.mutate_seed,
+        }
     if slow_query_seconds is not None:
         payload["slow_batches"] = len(service.slow_queries())
     if args.json:
@@ -734,18 +955,32 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         f"mode={service.query_mode}"
     )
     for entry in passes:
+        live_note = ""
+        if "index_version" in entry:
+            live_note = f"  [v{entry['index_version']}"
+            if "repaired_shards" in entry:
+                live_note += (
+                    f", {entry['repaired_shards']} shard(s) repaired"
+                )
+            live_note += "]"
         if "seeds" in entry:
             print(
                 f"pass {entry['pass']}: {entry['seconds']:.4f}s  "
                 f"{entry['seeds']} top-{args.topk} rankings  "
-                f"{entry['seeds_per_second']:,.0f} seeds/s"
+                f"{entry['seeds_per_second']:,.0f} seeds/s{live_note}"
             )
         else:
             print(
                 f"pass {entry['pass']}: {entry['seconds']:.4f}s  "
                 f"{entry['columns']} columns  "
-                f"{entry['columns_per_second']:,.0f} columns/s"
+                f"{entry['columns_per_second']:,.0f} columns/s{live_note}"
             )
+    if chain is not None:
+        print(
+            f"live: final version v{chain.version} "
+            f"({'sharded' if chain.is_sharded else 'monolithic'} chain, "
+            f"{args.mutate_per_pass} edge(s) per between-pass batch)"
+        )
     if topk_stats is not None:
         print(
             f"topk cache: {topk_stats['hits']} hits / "
@@ -838,7 +1073,14 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     config = CSRPlusConfig(
         damping=args.damping, rank=min(args.rank, graph.num_nodes)
     )
-    index = CSRPlusIndex(graph, config).prepare()
+    chain = None
+    if args.mutate_every:
+        from repro.serving import LiveIndexChain
+
+        chain = LiveIndexChain(graph, config)
+        index = chain.index
+    else:
+        index = CSRPlusIndex(graph, config).prepare()
     profile = LoadProfile(
         requests=args.requests,
         qps=args.qps,
@@ -871,6 +1113,20 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         query_mode=args.query_mode,
         max_inflight_seeds=args.max_inflight_seeds,
     ) as service:
+        mutator = None
+        if chain is not None:
+            import numpy as _np
+
+            chain.attach(service)
+            mutate_rng = _np.random.default_rng(args.mutate_seed)
+
+            def mutator(_mutation_index: int) -> None:
+                chain.update_edges(
+                    added=_random_edge_batch(
+                        mutate_rng, graph.num_nodes, args.mutate_edges
+                    )
+                )
+
         report = run_load(
             service,
             schedule,
@@ -880,6 +1136,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             registry=registry,
             clock=clock,
             sleep=sleep,
+            mutator=mutator,
+            mutate_every=args.mutate_every,
         )
         if args.metrics_out:
             _write_metrics_dump(args.metrics_out, service, registry)
@@ -1100,6 +1358,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_query(args)
         if args.command == "shard-build":
             return _cmd_shard_build(args)
+        if args.command == "update":
+            return _cmd_update(args)
         if args.command == "serve-batch":
             return _cmd_serve_batch(args)
         if args.command == "stats":

@@ -14,21 +14,36 @@ pattern:
   changes (bounded staleness, amortised SVD cost);
 * ``policy="manual"`` — rebuild only on :meth:`refresh` (caller-managed).
 
+The live-serving layer (:class:`~repro.serving.live.LiveIndexChain`,
+docs/dynamic.md) composes this class with targeted shard repair and a
+versioned zero-downtime swap: pass ``rebuilder=`` to route
+:meth:`refresh` through an incremental backend instead of the full
+monolithic ``prepare()``.
+
 For *exact* per-query dynamics, use
 :class:`repro.baselines.fcosim.FCoSimEngine` instead — it re-verifies
 cached columns against a hop-bounded reachability argument.
+
+Observability: the update log is instrumented — the
+``csrplus_dynamic_staleness`` gauge tracks how many edge changes the
+served index lags the graph by, ``csrplus_dynamic_rebuilds_total``
+counts rebuilds, and every :meth:`refresh` emits a ``dynamic.rebuild``
+span carrying the staleness it retired.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.config import CSRPlusConfig
 from repro.core.index import CSRPlusIndex
 from repro.errors import InvalidParameterError
 from repro.graphs.digraph import DiGraph
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 
 __all__ = ["DynamicCSRPlus"]
 
@@ -49,6 +64,19 @@ class DynamicCSRPlus:
         One of ``"immediate"``, ``"batch"``, ``"manual"``.
     batch_size:
         Edge-change threshold for the ``"batch"`` policy.
+    index:
+        An already-prepared index for the initial graph, adopted
+        instead of building one (the live chain builds its backend
+        first and must not pay a second SVD).  Any object with the
+        serving backend surface works.
+    rebuilder:
+        ``rebuilder(graph, config) -> index`` used by :meth:`refresh`
+        instead of a monolithic ``CSRPlusIndex(...).prepare()``; the
+        seam the live chain uses to route rebuilds through targeted
+        shard repair.
+    metrics / tracer:
+        Instrument sinks; default to the process-global registry and
+        tracer (:mod:`repro.obs`), matching the other engines.
     """
 
     def __init__(
@@ -57,6 +85,11 @@ class DynamicCSRPlus:
         config: Optional[CSRPlusConfig] = None,
         policy: str = "batch",
         batch_size: int = 100,
+        *,
+        index=None,
+        rebuilder: Optional[Callable[[DiGraph, CSRPlusConfig], object]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
         **overrides,
     ):
         if policy not in _POLICIES:
@@ -71,9 +104,27 @@ class DynamicCSRPlus:
         self.policy = policy
         self.batch_size = int(batch_size)
         self._graph = graph
-        self._index = CSRPlusIndex(graph, self._config).prepare()
+        self._rebuilder = rebuilder
+        self._tracer = tracer if tracer is not None else obs.get_tracer()
+        reg = metrics if metrics is not None else obs.get_registry()
+        self._m_staleness = reg.gauge(
+            "csrplus_dynamic_staleness",
+            "Edge changes applied to the graph but not yet reflected in "
+            "the served index",
+        )
+        self._m_rebuilds = reg.counter(
+            "csrplus_dynamic_rebuilds_total",
+            "Index rebuilds triggered by the update policy or refresh()",
+        )
+        if index is not None:
+            self._index = index.prepare() if hasattr(index, "prepare") else index
+        elif rebuilder is not None:
+            self._index = rebuilder(graph, self._config)
+        else:
+            self._index = CSRPlusIndex(graph, self._config).prepare()
         self._pending_changes = 0
         self.rebuild_count = 0
+        self._m_staleness.set(0)
 
     # ------------------------------------------------------------------
     @property
@@ -82,7 +133,7 @@ class DynamicCSRPlus:
         return self._graph
 
     @property
-    def index(self) -> CSRPlusIndex:
+    def index(self):
         """The last built index (may lag the graph; see ``staleness``)."""
         return self._index
 
@@ -111,6 +162,7 @@ class DynamicCSRPlus:
         # bound (duplicate adds / missing removals still age the index
         # from the caller's perspective)
         self._pending_changes += len(added) + len(removed)
+        self._m_staleness.set(self._pending_changes)
         if self.policy == "immediate":
             self.refresh()
         elif self.policy == "batch" and self._pending_changes >= self.batch_size:
@@ -120,9 +172,20 @@ class DynamicCSRPlus:
         """Rebuild the index against the current graph."""
         if self._pending_changes == 0:
             return
-        self._index = CSRPlusIndex(self._graph, self._config).prepare()
+        with self._tracer.span(
+            "dynamic.rebuild",
+            policy=self.policy,
+            staleness=self._pending_changes,
+            rebuilds=self.rebuild_count,
+        ):
+            if self._rebuilder is not None:
+                self._index = self._rebuilder(self._graph, self._config)
+            else:
+                self._index = CSRPlusIndex(self._graph, self._config).prepare()
         self._pending_changes = 0
         self.rebuild_count += 1
+        self._m_rebuilds.inc()
+        self._m_staleness.set(0)
 
     # ------------------------------------------------------------------
     # query surface (served from the last built index)

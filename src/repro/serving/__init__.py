@@ -27,9 +27,14 @@ into a traffic-serving component:
 * :class:`~repro.serving.registry.IndexRegistry` — named, lazily
   loaded on-disk indexes with retry, checksum validation, and
   automatic re-prepare on corruption;
+* :class:`~repro.serving.live.LiveIndexChain` /
+  :class:`~repro.serving.live.IndexVersion` — live-graph serving
+  (docs/dynamic.md): edge batches repaired into per-version stores and
+  published to attached services with zero downtime
+  (:meth:`~repro.serving.service.CoSimRankService.publish_index`);
 * :mod:`repro.serving.loadgen` — deterministic open-loop load
-  generation (Zipf popularity, bursts, SLO verdicts) behind
-  ``csrplus loadgen`` and ``csrplus bench``.
+  generation (Zipf popularity, bursts, SLO verdicts, and live-mutation
+  schedules) behind ``csrplus loadgen`` and ``csrplus bench``.
 """
 
 from repro.serving.admission import SeedBudget
@@ -45,6 +50,7 @@ from repro.serving.loadgen import (
     run_load,
     zipf_probabilities,
 )
+from repro.serving.live import IndexVersion, LiveIndexChain
 from repro.serving.registry import IndexRegistry
 from repro.serving.results import BatchResult, RequestOutcome
 from repro.serving.retry import Retrier, RetryPolicy
@@ -64,6 +70,8 @@ __all__ = [
     "TopKCache",
     "ServingStats",
     "IndexRegistry",
+    "LiveIndexChain",
+    "IndexVersion",
     "BatchPlan",
     "plan_batch",
     "chunk_seeds",

@@ -32,6 +32,21 @@ instead of poisoning later reads.  With ``validate_checksums=True`` the
 cache also fingerprints each column at insert and re-verifies on every
 hit — a poisoned entry is evicted and reported as a miss (the service
 then recomputes it), never returned.
+
+Live-graph versioning (docs/dynamic.md): every entry carries an index
+*version tag*.  ``lookup``/``insert`` accept the version a batch pinned
+at entry — a hit requires a matching tag, and an insert from a batch
+still finishing on an already-replaced index is silently dropped (a
+stale producer must never poison the new version's cache).  On a
+version swap, :meth:`ColumnCache.advance` invalidates *per seed*
+rather than flushing wholesale: seeds whose own ``U`` row changed are
+dropped, surviving columns have just their dirty ``Z`` row ranges
+recomputed (the partition-stable exact kernel makes the patched column
+bit-identical to a fresh compute), and untouched entries are simply
+retagged — staying warm across the swap.  :meth:`TopKCache.advance`
+retags on a clean swap and clears otherwise: a ranking is a *global*
+ordering, so any changed row can displace cached entries and no local
+patch can restore the prefix guarantee.
 """
 
 from __future__ import annotations
@@ -39,7 +54,7 @@ from __future__ import annotations
 import threading
 import zlib
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,6 +68,23 @@ __all__ = ["ColumnCache", "TopKCache"]
 def _fingerprint(column: np.ndarray) -> int:
     """A cheap integrity fingerprint of a column's exact bytes."""
     return zlib.crc32(np.ascontiguousarray(column).view(np.uint8).data)
+
+
+#: ``(start, stop)`` node ranges whose ``Z``/``U`` rows changed in a swap.
+DirtyRanges = Sequence[Tuple[int, int]]
+
+
+def _normalize_ranges(dirty_ranges: DirtyRanges) -> List[Tuple[int, int]]:
+    ranges = []
+    for start, stop in dirty_ranges:
+        start, stop = int(start), int(stop)
+        if stop > start:
+            ranges.append((start, stop))
+    return ranges
+
+
+def _in_ranges(row: int, ranges: List[Tuple[int, int]]) -> bool:
+    return any(start <= row < stop for start, stop in ranges)
 
 
 class ColumnCache:
@@ -110,6 +142,8 @@ class ColumnCache:
         self._lock = threading.RLock()
         self._columns: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self._checksums: Dict[int, int] = {}
+        self._tags: Dict[int, int] = {}
+        self._version = 0
         self._bytes = 0
         self.hits = 0
         self.misses = 0
@@ -122,6 +156,12 @@ class ColumnCache:
     @property
     def capacity(self) -> int:
         return self._capacity
+
+    @property
+    def version(self) -> int:
+        """The index version current entries are tagged for."""
+        with self._lock:
+            return self._version
 
     @property
     def bytes_cached(self) -> int:
@@ -157,7 +197,7 @@ class ColumnCache:
     # the two operations the service uses
     # ------------------------------------------------------------------
     def lookup(
-        self, seeds: Iterable[int]
+        self, seeds: Iterable[int], version: Optional[int] = None
     ) -> Tuple[Dict[int, np.ndarray], List[int]]:
         """Probe the cache for each seed in one atomic critical section.
 
@@ -167,13 +207,25 @@ class ColumnCache:
         increments exactly one of the hit/miss counters; a hit whose
         checksum no longer matches (``validate_checksums=True``) is
         evicted and counted as a miss plus an integrity failure.
+
+        ``version`` is the index version the caller pinned at batch
+        entry (``None`` means the cache's current version).  An entry
+        only hits when its tag matches — a batch still running on an
+        already-swapped-out index misses and recomputes against its own
+        pinned index, so every answer is exact *for its version*.
         """
         hit_columns: Dict[int, np.ndarray] = {}
         missing: List[int] = []
         with self._lock:
+            wanted = self._version if version is None else int(version)
             for seed in seeds:
                 seed = int(seed)
                 column = self._columns.get(seed)
+                if column is not None and self._tags.get(seed, 0) != wanted:
+                    # resident, but for a different index version — not
+                    # an answer for this batch (and not evicted either:
+                    # current-version batches can still use it)
+                    column = None
                 if column is not None:
                     # chaos seam: a FaultPlan may hand back a corrupted
                     # view of the stored column here
@@ -192,8 +244,17 @@ class ColumnCache:
                     hit_columns[seed] = column
         return hit_columns, missing
 
-    def insert(self, columns: Dict[int, np.ndarray]) -> int:
+    def insert(
+        self, columns: Dict[int, np.ndarray], version: Optional[int] = None
+    ) -> int:
         """Store freshly computed columns, evicting LRU entries as needed.
+
+        ``version`` tags the entries with the index version they were
+        computed against (``None`` = the cache's current version).  An
+        insert carrying a version older than the cache's current one is
+        silently dropped: a batch that pinned the old index before a
+        swap must not overwrite entries that already reflect the new
+        version.
 
         Every column is validated first — 1-D, the declared length, the
         declared dtype — and the whole insertion is rejected with
@@ -218,28 +279,109 @@ class ColumnCache:
             validated[int(seed)] = self._check_column(int(seed), column)
         evicted_count = 0
         with self._lock:
+            tag = self._version if version is None else int(version)
+            if tag != self._version:
+                # stale producer (pinned a replaced index): never poison
+                # the current version's entries
+                return 0
             for seed, column in validated.items():
                 column.flags.writeable = False
                 previous = self._columns.pop(seed, None)
                 if previous is not None:
                     self._bytes -= previous.nbytes
                 self._columns[seed] = column
+                self._tags[seed] = tag
                 self._bytes += column.nbytes
                 if self._validate:
                     self._checksums[seed] = _fingerprint(column)
             while len(self._columns) > self._capacity:
                 evicted_seed, evicted = self._columns.popitem(last=False)
                 self._checksums.pop(evicted_seed, None)
+                self._tags.pop(evicted_seed, None)
                 self._bytes -= evicted.nbytes
                 self.evictions += 1
                 evicted_count += 1
         return evicted_count
+
+    def advance(
+        self,
+        version: int,
+        dirty_ranges: DirtyRanges,
+        recompute_rows: Optional[Callable[[int, int, int], np.ndarray]] = None,
+    ) -> Dict[str, int]:
+        """Publish a new index version with per-seed invalidation.
+
+        ``dirty_ranges`` lists the ``[start, stop)`` node ranges whose
+        ``Z``/``U`` rows changed between the old and new index (e.g.
+        repaired shard ranges).  Per entry:
+
+        * the seed itself falls in a dirty range — **dropped** (its
+          ``U`` row may have changed, so the whole column is suspect);
+        * otherwise, dirty ranges exist — the column's rows inside each
+          dirty range are **patched** via ``recompute_rows(seed, start,
+          stop)`` (which must return the final served values for those
+          rows, identity term included).  By Theorem 3.5 row
+          independence the patched column is bit-identical to a fresh
+          exact compute against the new index.  Without a
+          ``recompute_rows`` callback such entries are dropped instead;
+        * no dirty ranges at all — the entry is **retained** untouched
+          (exact pre-swap bytes) and merely retagged.
+
+        A ``recompute_rows`` failure drops that entry rather than
+        failing the publish.  Returns ``{"dropped", "patched",
+        "retained"}`` counts.
+        """
+        ranges = _normalize_ranges(dirty_ranges)
+        dropped = patched = retained = 0
+        with self._lock:
+            if int(version) <= self._version:
+                raise InvalidParameterError(
+                    f"cache version must advance monotonically: "
+                    f"got {version}, current {self._version}"
+                )
+            for seed in list(self._columns.keys()):
+                if self._tags.get(seed, 0) != self._version:
+                    # an entry from an even older version (should not
+                    # happen — advance retags survivors — but never
+                    # carry unknown bytes forward)
+                    self._drop(seed)
+                    dropped += 1
+                elif _in_ranges(seed, ranges):
+                    self._drop(seed)
+                    dropped += 1
+                elif ranges:
+                    if recompute_rows is None:
+                        self._drop(seed)
+                        dropped += 1
+                        continue
+                    column = self._columns[seed].copy()
+                    try:
+                        for start, stop in ranges:
+                            column[start:stop] = recompute_rows(
+                                seed, start, stop
+                            )
+                    except Exception:
+                        self._drop(seed)
+                        dropped += 1
+                        continue
+                    column.flags.writeable = False
+                    self._columns[seed] = column
+                    self._tags[seed] = int(version)
+                    if self._validate:
+                        self._checksums[seed] = _fingerprint(column)
+                    patched += 1
+                else:
+                    self._tags[seed] = int(version)
+                    retained += 1
+            self._version = int(version)
+        return {"dropped": dropped, "patched": patched, "retained": retained}
 
     def clear(self) -> None:
         """Drop every resident column (counters are preserved)."""
         with self._lock:
             self._columns.clear()
             self._checksums.clear()
+            self._tags.clear()
             self._bytes = 0
 
     # ------------------------------------------------------------------
@@ -268,6 +410,7 @@ class ColumnCache:
         """Remove one entry (lock held by caller)."""
         column = self._columns.pop(seed, None)
         self._checksums.pop(seed, None)
+        self._tags.pop(seed, None)
         if column is not None:
             self._bytes -= column.nbytes
 
@@ -306,6 +449,8 @@ class TopKCache:
         self._entries: "OrderedDict[Tuple[int, bool], Tuple[int, TopKResult]]" = (
             OrderedDict()
         )
+        self._tags: Dict[Tuple[int, bool], int] = {}
+        self._version = 0
         self._bytes = 0
         self.hits = 0
         self.misses = 0
@@ -315,6 +460,12 @@ class TopKCache:
     @property
     def capacity(self) -> int:
         return self._capacity
+
+    @property
+    def version(self) -> int:
+        """The index version current entries are tagged for."""
+        with self._lock:
+            return self._version
 
     @property
     def bytes_cached(self) -> int:
@@ -361,7 +512,11 @@ class TopKCache:
         )
 
     def lookup(
-        self, seeds: Iterable[int], k: int, exclude_self: bool
+        self,
+        seeds: Iterable[int],
+        k: int,
+        exclude_self: bool,
+        version: Optional[int] = None,
     ) -> Tuple[Dict[int, TopKResult], List[int]]:
         """Probe for each seed's ranking at depth ``k`` atomically.
 
@@ -369,16 +524,23 @@ class TopKCache:
         :class:`~repro.core.topk.TopKResult` sliced to depth ``k``
         (scan counters kept from the original computation), ``misses``
         lists seeds needing a fresh scan, in input order.  An entry
-        that is resident but too shallow for ``k`` counts as a miss.
+        that is resident but too shallow for ``k`` counts as a miss —
+        as does one tagged for a different index version than the
+        caller pinned (``version=None`` means the current one).
         """
         hit_results: Dict[int, TopKResult] = {}
         missing: List[int] = []
         with self._lock:
+            wanted = self._version if version is None else int(version)
             for seed in seeds:
                 seed = int(seed)
                 key = (seed, bool(exclude_self))
                 entry = self._entries.get(key)
-                if entry is not None and self._answers(entry[0], entry[1], k):
+                if (
+                    entry is not None
+                    and self._tags.get(key, 0) == wanted
+                    and self._answers(entry[0], entry[1], k)
+                ):
                     self.hits += 1
                     self._entries.move_to_end(key)
                     hit_results[seed] = self._slice(entry[1], k)
@@ -388,18 +550,28 @@ class TopKCache:
         return hit_results, missing
 
     def insert(
-        self, results: Dict[int, TopKResult], k: int, exclude_self: bool
+        self,
+        results: Dict[int, TopKResult],
+        k: int,
+        exclude_self: bool,
+        version: Optional[int] = None,
     ) -> int:
         """Store fresh depth-``k`` rankings, evicting LRU entries.
 
         A resident entry is replaced only when the incoming one is at
         least as deep (a shallower insert would *lose* answerable
-        depths).  Returns the number of evictions caused.
+        depths).  An insert tagged with a version older than the
+        cache's current one is silently dropped (stale producer, as for
+        :meth:`ColumnCache.insert`).  Returns the number of evictions
+        caused.
         """
         if self._capacity == 0 or not results:
             return 0
         evicted_count = 0
         with self._lock:
+            tag = self._version if version is None else int(version)
+            if tag != self._version:
+                return 0
             for seed, result in results.items():
                 key = (int(seed), bool(exclude_self))
                 previous = self._entries.get(key)
@@ -412,18 +584,52 @@ class TopKCache:
                     self._bytes -= self._nbytes(previous[1])
                     del self._entries[key]
                 self._entries[key] = (int(k), result)
+                self._tags[key] = tag
                 self._bytes += self._nbytes(result)
             while len(self._entries) > self._capacity:
-                _, (_, evicted) = self._entries.popitem(last=False)
+                evicted_key, (_, evicted) = self._entries.popitem(last=False)
+                self._tags.pop(evicted_key, None)
                 self._bytes -= self._nbytes(evicted)
                 self.evictions += 1
                 evicted_count += 1
         return evicted_count
 
+    def advance(self, version: int, dirty_ranges: DirtyRanges) -> Dict[str, int]:
+        """Publish a new index version over the ranking cache.
+
+        A clean swap (no dirty ranges — e.g. a byte-no-op update batch)
+        retags every entry: the rankings' bytes are provably unchanged.
+        Any dirty range clears the cache instead: a ranking is a global
+        ordering over *all* candidates, so a changed row anywhere can
+        displace entries and no per-range patch can restore the prefix
+        guarantee.  Returns ``{"dropped", "retained"}`` counts.
+        """
+        ranges = _normalize_ranges(dirty_ranges)
+        with self._lock:
+            if int(version) <= self._version:
+                raise InvalidParameterError(
+                    f"cache version must advance monotonically: "
+                    f"got {version}, current {self._version}"
+                )
+            if ranges:
+                dropped = len(self._entries)
+                retained = 0
+                self._entries.clear()
+                self._tags.clear()
+                self._bytes = 0
+            else:
+                dropped = 0
+                retained = len(self._entries)
+                for key in self._entries:
+                    self._tags[key] = int(version)
+            self._version = int(version)
+        return {"dropped": dropped, "retained": retained}
+
     def clear(self) -> None:
         """Drop every resident ranking (counters are preserved)."""
         with self._lock:
             self._entries.clear()
+            self._tags.clear()
             self._bytes = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -274,6 +274,7 @@ class LoadReport:
     outcomes: Dict[str, int]             # per-OUTCOMES counts
     slo: Optional[Dict[str, object]] = None
     topk: Optional[int] = None
+    mutations: int = 0
     latencies: List[float] = field(default_factory=list, repr=False)
 
     @property
@@ -300,6 +301,8 @@ class LoadReport:
         }
         if self.topk is not None:
             payload["topk"] = self.topk
+        if self.mutations:
+            payload["mutations"] = self.mutations
         if self.slo is not None:
             payload["slo"] = self.slo
         return payload
@@ -328,6 +331,11 @@ class LoadReport:
             )
             + f"  (ok rate {self.ok_rate:.2%})",
         ]
+        if self.mutations:
+            lines.append(
+                f"mutations: {self.mutations} live edge batches applied "
+                "mid-run (docs/dynamic.md)"
+            )
         return "\n".join(lines)
 
 
@@ -393,6 +401,8 @@ def run_load(
     registry: Optional[MetricsRegistry] = None,
     clock: Callable[[], float] = time.monotonic,
     sleep: Callable[[float], None] = time.sleep,
+    mutator: Optional[Callable[[int], None]] = None,
+    mutate_every: int = 0,
 ) -> LoadReport:
     """Drive a service through a schedule and report what happened.
 
@@ -404,6 +414,15 @@ def run_load(
     ``serve_batch`` to ``serve_topk``; shed / deadline / per-request
     failures are recorded as outcomes, never raised.
 
+    ``mutator`` / ``mutate_every`` interleave live-graph updates with
+    the traffic (docs/dynamic.md): after every ``mutate_every``-th
+    dispatched request, ``mutator(mutation_index)`` is called — the
+    hook typically routes an edge batch through a
+    :class:`~repro.serving.live.LiveIndexChain` attached to the
+    service, so the run measures serving behaviour *across* version
+    swaps.  A mutator that raises aborts the run (mutations are part of
+    the scenario, not traffic, so their failures are not outcomes).
+
     ``registry`` (default: a fresh private one) receives the
     ``csrplus_loadgen_*`` instruments; pass ``slos`` (for example from
     :func:`loadgen_slos`) to have the verdicts evaluated over that
@@ -412,6 +431,14 @@ def run_load(
     """
     if topk is not None and topk < 1:
         raise InvalidParameterError(f"topk must be >= 1, got {topk}")
+    if mutate_every < 0:
+        raise InvalidParameterError(
+            f"mutate_every must be >= 0, got {mutate_every}"
+        )
+    if mutate_every and mutator is None:
+        raise InvalidParameterError(
+            "mutate_every > 0 requires a mutator callable"
+        )
     reg = registry if registry is not None else MetricsRegistry()
     m_requests = reg.counter(
         "csrplus_loadgen_requests_total", "Requests dispatched by the generator"
@@ -445,10 +472,25 @@ def run_load(
         "Per-request latency from scheduled arrival to completion",
     )
 
+    m_mutations = reg.counter(
+        "csrplus_loadgen_mutations_total",
+        "Live edge batches applied by the mutation schedule",
+    )
+
     outcomes = {outcome: 0 for outcome in OUTCOMES}
     latencies: List[float] = []
+    mutations = 0
     start = clock()
-    for request in schedule.requests:
+    for position, request in enumerate(schedule.requests):
+        if (
+            mutator is not None
+            and mutate_every
+            and position
+            and position % mutate_every == 0
+        ):
+            mutator(mutations)
+            mutations += 1
+            m_mutations.inc()
         arrival = start + request.at_s
         delay = arrival - clock()
         if delay > 0:
@@ -501,6 +543,7 @@ def run_load(
         },
         outcomes=outcomes,
         topk=topk,
+        mutations=mutations,
         latencies=latencies,
     )
     if slos:

@@ -122,6 +122,7 @@ class IndexRegistry:
         self._lock = threading.RLock()
         self._indexes: Dict[str, CSRPlusIndex] = {}
         self._sharded: Dict[str, object] = {}  # name -> ShardedIndex
+        self._live: Dict[str, object] = {}  # name -> LiveIndexChain
         if metrics is None:
             import repro.obs as obs
 
@@ -386,6 +387,70 @@ class IndexRegistry:
 
             shutil.rmtree(path, ignore_errors=True)
 
+    # ------------------------------------------------------------------
+    # live chains (versioned zero-downtime updates, docs/dynamic.md)
+    # ------------------------------------------------------------------
+    def live_store_root_for(self, name: str) -> str:
+        """The per-version store root backing a live ``name``."""
+        if not _NAME_RE.match(name):
+            raise InvalidParameterError(
+                "index names must match [A-Za-z0-9][A-Za-z0-9._-]* "
+                f"(got {name!r})"
+            )
+        return os.path.join(self.root, f"{name}.live")
+
+    def get_live(
+        self,
+        name: str,
+        graph: DiGraph,
+        config: Optional[CSRPlusConfig] = None,
+        *,
+        num_shards: Optional[int] = None,
+        dirty_threshold: float = 0.5,
+        keep_versions: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        query_mode: Optional[str] = None,
+        **overrides,
+    ):
+        """A :class:`~repro.serving.live.LiveIndexChain` for ``name``.
+
+        The chain owns an evolving copy of ``graph`` and a versioned
+        backend: monolithic when ``num_shards`` is ``None``, else
+        per-version shard stores under ``<root>/<name>.live/``
+        (``v000000/``, ``v000001/``, ...) produced by targeted repair
+        (:func:`~repro.sharding.builder.repair_sharded_store`).  Edge
+        batches go through :meth:`~repro.serving.live.LiveIndexChain.
+        update_edges`, which publishes each new version atomically to
+        every attached service.  Memoised per name; thread-safe.
+        """
+        from repro.serving.live import DEFAULT_KEEP_VERSIONS, LiveIndexChain
+
+        with self._lock:
+            chain = self._live.get(name)
+            if chain is not None:
+                return chain
+            chain = LiveIndexChain(
+                graph,
+                config,
+                store_root=(
+                    self.live_store_root_for(name)
+                    if num_shards is not None
+                    else None
+                ),
+                num_shards=num_shards,
+                dirty_threshold=dirty_threshold,
+                keep_versions=(
+                    keep_versions
+                    if keep_versions is not None
+                    else DEFAULT_KEEP_VERSIONS
+                ),
+                max_workers=max_workers,
+                query_mode=query_mode,
+                **overrides,
+            )
+            self._live[name] = chain
+            return chain
+
     def put(self, name: str, index: CSRPlusIndex) -> None:
         """Register an already-prepared index and persist it.
 
@@ -415,17 +480,21 @@ class IndexRegistry:
         with self._lock:
             self._indexes.pop(name, None)
             sharded = self._sharded.pop(name, None)
+            self._live.pop(name, None)
         if sharded is not None:
             sharded.close()
         if delete_file:
             for target in (path, path + ".sha256"):
                 if os.path.exists(target):
                     os.remove(target)
-            shard_dir = self.shard_store_path_for(name)
-            if os.path.isdir(shard_dir):
-                import shutil
+            for directory in (
+                self.shard_store_path_for(name),
+                self.live_store_root_for(name),
+            ):
+                if os.path.isdir(directory):
+                    import shutil
 
-                shutil.rmtree(shard_dir, ignore_errors=True)
+                    shutil.rmtree(directory, ignore_errors=True)
 
     # ------------------------------------------------------------------
     # hardened disk I/O

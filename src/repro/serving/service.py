@@ -75,7 +75,7 @@ import numpy as np
 
 import repro.obs as obs
 from repro.core.base import QueryLike, normalize_queries
-from repro.core.index import CSRPlusIndex
+from repro.core.index import CSRPlusIndex, exact_column_product
 from repro.core.topk import TopKResult, top_k_blockwise
 from repro.errors import (
     ColumnComputeFailed,
@@ -237,6 +237,13 @@ class CoSimRankService:
             )
         index.prepare()
         self.index = index
+        # live-graph versioning (docs/dynamic.md): batches pin
+        # (index, version) under _swap_lock at entry, publish_index
+        # replaces both atomically — in-flight batches finish on the
+        # old index while new batches already serve the new one
+        self._index_version = 0
+        self._swap_lock = threading.Lock()
+        self._publish_lock = threading.Lock()
         self.query_mode = query_mode or index.config.query_mode
         self.chunk_size = effective_chunk_size(chunk_size, self.query_mode)
         self.max_workers = int(max_workers or (os.cpu_count() or 1))
@@ -387,6 +394,35 @@ class CoSimRankService:
             labels={"mode": self.query_mode},
         )
         self._m_query_mode.set(1)
+        self._m_index_version = reg.gauge(
+            "csrplus_index_version",
+            "Version of the index currently being served",
+        )
+        self._m_index_version.set(0)
+        self._m_swap_seconds = reg.histogram(
+            "csrplus_update_swap_seconds",
+            "Wall time of publish_index (swap + per-seed cache upgrade)",
+        )
+        self._m_cache_invalidated = reg.counter(
+            "csrplus_serve_cache_invalidated_total",
+            "Cached columns dropped by version swaps (touched seeds)",
+        )
+        self._m_cache_patched = reg.counter(
+            "csrplus_serve_cache_patched_total",
+            "Cached columns row-patched across version swaps",
+        )
+        self._m_cache_retained = reg.counter(
+            "csrplus_serve_cache_retained_total",
+            "Cached columns retained untouched across version swaps",
+        )
+        self._m_topk_invalidated = reg.counter(
+            "csrplus_topk_cache_invalidated_total",
+            "Cached rankings dropped by version swaps",
+        )
+        self._m_topk_retained = reg.counter(
+            "csrplus_topk_cache_retained_total",
+            "Cached rankings retained across clean version swaps",
+        )
 
     # ------------------------------------------------------------------
     # serving entry points
@@ -457,13 +493,19 @@ class CoSimRankService:
         deadline_at = started + deadline_s if deadline_s is not None else None
         batch_id = f"batch-{next(self._batch_seq)}"
         request_ids = [f"{batch_id}.{i}" for i in range(len(requests))]
+        # pin (index, version) for the whole batch: a publish_index
+        # racing with this batch never mixes versions inside one answer
+        with self._swap_lock:
+            index = self.index
+            version = self._index_version
         tracer = self._tracer
         with tracer.span("serve.batch", batch_id=batch_id) as batch_span:
             with tracer.span("serve.coalesce") as coalesce_span:
-                plan = plan_batch(requests, self.index.num_nodes)
+                plan = plan_batch(requests, index.num_nodes)
             batch_span.set_attribute("requests", plan.num_requests)
             batch_span.set_attribute("unique_seeds", int(plan.unique_seeds.size))
             batch_span.set_attribute("query_mode", self.query_mode)
+            batch_span.set_attribute("index_version", version)
             batch_span.set_attribute("request_ids", list(request_ids))
 
             n_seeds = int(plan.unique_seeds.size)
@@ -476,7 +518,9 @@ class CoSimRankService:
                 )
             try:
                 with tracer.span("serve.lookup") as lookup_span:
-                    hit_columns, missing = self._cache.lookup(plan.unique_seeds)
+                    hit_columns, missing = self._cache.lookup(
+                        plan.unique_seeds, version=version
+                    )
                 # captured now: assembly below merges fresh columns into
                 # the same dict, which would inflate the hit count
                 num_hits = len(hit_columns)
@@ -487,9 +531,9 @@ class CoSimRankService:
                     query_mode=self.query_mode,
                 ) as compute_span:
                     fresh, failures, cancelled, retries = self._compute_missing(
-                        missing, compute_span, deadline_at
+                        missing, compute_span, deadline_at, index
                     )
-                    evicted = self._cache.insert(fresh)
+                    evicted = self._cache.insert(fresh, version=version)
 
                 with tracer.span("serve.assemble") as assemble_span:
                     column_map = hit_columns
@@ -502,6 +546,7 @@ class CoSimRankService:
                         deadline_s=deadline_s,
                         started=started,
                         request_ids=request_ids,
+                        index=index,
                     )
             finally:
                 self._budget.release(n_seeds)
@@ -598,7 +643,11 @@ class CoSimRankService:
             )
         started = self._clock()
         deadline_at = started + deadline_s if deadline_s is not None else None
-        seed_ids = normalize_queries(seeds, self.index.num_nodes)
+        # pin (index, version) for the whole batch (see serve_batch_detailed)
+        with self._swap_lock:
+            index = self.index
+            version = self._index_version
+        seed_ids = normalize_queries(seeds, index.num_nodes)
         batch_id = f"topk-{next(self._batch_seq)}"
         request_ids = [f"{batch_id}.{i}" for i in range(int(seed_ids.size))]
         tracer = self._tracer
@@ -609,6 +658,7 @@ class CoSimRankService:
             exclude_self=bool(exclude_self),
             query_mode=self.query_mode,
             batch_id=batch_id,
+            index_version=version,
             request_ids=list(request_ids),
         ):
             unique = np.unique(seed_ids)
@@ -622,7 +672,7 @@ class CoSimRankService:
                 )
             try:
                 hit_results, missing = self._topk_cache.lookup(
-                    unique, int(k), exclude_self
+                    unique, int(k), exclude_self, version=version
                 )
                 num_hits = len(hit_results)
                 with tracer.span(
@@ -633,11 +683,11 @@ class CoSimRankService:
                     fresh, failures, cancelled, retries = (
                         self._compute_topk_missing(
                             missing, int(k), exclude_self,
-                            compute_span, deadline_at,
+                            compute_span, deadline_at, index,
                         )
                     )
                     evicted = self._topk_cache.insert(
-                        fresh, int(k), exclude_self
+                        fresh, int(k), exclude_self, version=version
                     )
                 result_map = dict(hit_results)
                 result_map.update(fresh)
@@ -709,6 +759,7 @@ class CoSimRankService:
         exclude_self: bool,
         parent_span: Optional[Span],
         deadline_at: Optional[float],
+        index=None,
     ) -> Tuple[Dict[int, TopKResult], Dict[int, ReproError], List[int], int]:
         """Blockwise-scan missing seeds with isolation and cancellation.
 
@@ -723,6 +774,8 @@ class CoSimRankService:
         retries = 0
         if not missing:
             return results, failures, cancelled, retries
+        if index is None:
+            index = self.index
         chunks = chunk_seeds(missing, self.chunk_size)
 
         def run_chunk(chunk):
@@ -738,7 +791,7 @@ class CoSimRankService:
                     return (
                         "ok",
                         top_k_blockwise(
-                            self.index,
+                            index,
                             chunk,
                             k,
                             exclude_self=exclude_self,
@@ -781,7 +834,7 @@ class CoSimRankService:
                         # makes the retried ranking canonical, exactly
                         # as column retries do
                         results[seed] = top_k_blockwise(
-                            self.index,
+                            index,
                             [seed],
                             k,
                             exclude_self=exclude_self,
@@ -805,13 +858,15 @@ class CoSimRankService:
         missing: List[int],
         parent_span: Optional[Span],
         deadline_at: Optional[float],
+        index=None,
     ) -> Tuple[Dict[int, np.ndarray], Dict[int, ReproError], List[int], int]:
         """Evaluate missing columns with isolation and cancellation.
 
-        Returns ``(columns, failures, cancelled, retries)``: computed
-        columns, per-seed typed errors for seeds that failed even in
-        isolation, seeds cancelled by the deadline, and the number of
-        isolation retries attempted.
+        ``index`` is the batch-pinned index (defaults to the currently
+        published one).  Returns ``(columns, failures, cancelled,
+        retries)``: computed columns, per-seed typed errors for seeds
+        that failed even in isolation, seeds cancelled by the deadline,
+        and the number of isolation retries attempted.
         """
         columns: Dict[int, np.ndarray] = {}
         failures: Dict[int, ReproError] = {}
@@ -819,6 +874,8 @@ class CoSimRankService:
         retries = 0
         if not missing:
             return columns, failures, cancelled, retries
+        if index is None:
+            index = self.index
         chunks = chunk_seeds(missing, self.chunk_size)
 
         def run_chunk(chunk):
@@ -838,7 +895,7 @@ class CoSimRankService:
                     )
                     return (
                         "ok",
-                        self.index.query_columns(chunk, mode=self.query_mode),
+                        index.query_columns(chunk, mode=self.query_mode),
                     )
                 except Exception as exc:  # isolated below, per seed
                     return ("error", exc)
@@ -878,7 +935,7 @@ class CoSimRankService:
                         # isolation retries are single-seed, where the
                         # batched GEMM degenerates to the exact GEMV —
                         # use exact so a retried column is canonical
-                        columns[seed] = self.index.query_columns(
+                        columns[seed] = index.query_columns(
                             [seed], mode="exact"
                         )[:, 0].copy()
                     except Exception as exc:
@@ -899,18 +956,21 @@ class CoSimRankService:
         deadline_s: Optional[float],
         started: float,
         request_ids: Optional[List[str]] = None,
+        index: Optional[object] = None,
     ) -> List[RequestOutcome]:
         """One outcome per request: a block, or the typed reason why not."""
+        if index is None:
+            index = self.index
         cancelled_set = set(cancelled)
         outcomes: List[RequestOutcome] = []
-        for index, ids in enumerate(plan.request_ids):
-            request_id = request_ids[index] if request_ids else None
+        for position, ids in enumerate(plan.request_ids):
+            request_id = request_ids[position] if request_ids else None
             needed = [int(seed) for seed in ids]
             unavailable = [seed for seed in needed if seed not in column_map]
             if not unavailable:
                 outcomes.append(
                     RequestOutcome(
-                        result=self._assemble(ids, column_map),
+                        result=self._assemble(ids, column_map, index),
                         request_id=request_id,
                     )
                 )
@@ -935,11 +995,16 @@ class CoSimRankService:
         return outcomes
 
     def _assemble(
-        self, request_ids: np.ndarray, column_map: Dict[int, np.ndarray]
+        self,
+        request_ids: np.ndarray,
+        column_map: Dict[int, np.ndarray],
+        index: Optional[object] = None,
     ) -> np.ndarray:
+        if index is None:
+            index = self.index
         out = np.empty(
-            (self.index.num_nodes, request_ids.size),
-            dtype=self.index.dtype,
+            (index.num_nodes, request_ids.size),
+            dtype=index.dtype,
             order="F",
         )
         for j, seed in enumerate(request_ids):
@@ -1028,6 +1093,180 @@ class CoSimRankService:
                     thread_name_prefix="cosimrank-serve",
                 )
             return self._executor
+
+    # ------------------------------------------------------------------
+    # live-graph version swaps (docs/dynamic.md)
+    # ------------------------------------------------------------------
+    @property
+    def index_version(self) -> int:
+        """Monotone version of the currently published index."""
+        with self._swap_lock:
+            return self._index_version
+
+    def publish_index(
+        self,
+        new_index,
+        *,
+        dirty_ranges: Optional[Sequence[Tuple[int, int]]] = None,
+    ) -> int:
+        """Atomically swap in a rebuilt index — zero downtime.
+
+        The swap itself is one pointer exchange under ``_swap_lock``:
+        batches entering after it serve the new index; batches that
+        pinned the old one at entry finish on it undisturbed (the old
+        index object is never mutated, so no request ever mixes
+        versions inside one answer).
+
+        Caches are *upgraded*, not flushed: entries whose seed row
+        ranges were untouched by the rebuild are retagged to the new
+        version wholesale; entries overlapping a dirty row range are
+        row-patched with the canonical exact kernel (bit-identical to a
+        fresh recompute, Theorem 3.5 row independence) or dropped when
+        their seed itself went dirty.  See
+        :meth:`~repro.serving.cache.ColumnCache.advance`.
+
+        Parameters
+        ----------
+        new_index:
+            A prepared index for the updated graph.  Must have the same
+            ``num_nodes`` and ``dtype`` as the one being replaced (the
+            per-seed caches are shaped for them).
+        dirty_ranges:
+            Row ranges ``(start, stop)`` whose ``Z``/``U`` rows changed
+            in the rebuild (e.g. from
+            :class:`~repro.sharding.ShardRepairReport.dirty_ranges`).
+            ``None`` infers them by diffing factors when both indexes
+            are monolithic, else conservatively marks every row dirty.
+
+        Returns
+        -------
+        The new version number (old version + 1).
+        """
+        if hasattr(new_index, "prepare"):
+            new_index.prepare()
+        started = self._clock()
+        with self._publish_lock:
+            old_index = self.index
+            if int(new_index.num_nodes) != int(old_index.num_nodes):
+                raise InvalidParameterError(
+                    "publish_index requires an index over the same node "
+                    f"set: serving {old_index.num_nodes} nodes, got "
+                    f"{new_index.num_nodes}"
+                )
+            if np.dtype(new_index.dtype) != np.dtype(old_index.dtype):
+                raise InvalidParameterError(
+                    "publish_index requires the serving dtype to match: "
+                    f"serving {np.dtype(old_index.dtype)}, got "
+                    f"{np.dtype(new_index.dtype)}"
+                )
+            if dirty_ranges is None:
+                dirty_ranges = self._infer_dirty_ranges(old_index, new_index)
+            ranges = tuple(
+                (int(start), int(stop))
+                for start, stop in dirty_ranges
+                if int(stop) > int(start)
+            )
+            with self._tracer.span(
+                "index.swap",
+                from_version=self._index_version,
+                to_version=self._index_version + 1,
+                dirty_ranges=len(ranges),
+                dirty_rows=sum(stop - start for start, stop in ranges),
+            ):
+                with self._swap_lock:
+                    self.index = new_index
+                    self._index_version += 1
+                    version = self._index_version
+                # in-flight batches pinned the old (index, version) pair
+                # and keep finishing on it; from here on every new batch
+                # sees the new pair.  The cache upgrade below happens
+                # outside _swap_lock — stale-version inserts are dropped
+                # by the caches, so old batches cannot poison entries.
+                patcher = self._make_row_patcher(new_index)
+                col = self._cache.advance(
+                    version, ranges, recompute_rows=patcher
+                )
+                topk = self._topk_cache.advance(version, ranges)
+            elapsed = self._clock() - started
+            with self._stats_lock:
+                self._m_index_version.set(version)
+                self._m_swap_seconds.observe(elapsed)
+                self._m_cache_invalidated.inc(col["dropped"])
+                self._m_cache_patched.inc(col["patched"])
+                self._m_cache_retained.inc(col["retained"])
+                self._m_topk_invalidated.inc(topk["dropped"])
+                self._m_topk_retained.inc(topk["retained"])
+        return version
+
+    @staticmethod
+    def _infer_dirty_ranges(old_index, new_index):
+        """Row ranges whose factors changed, by direct comparison.
+
+        Only possible when both backends expose dense ``factors``
+        (monolithic indexes); otherwise every row is conservatively
+        dirty — sharded rebuilds should pass the repair report's
+        digest-diffed ranges instead.
+        """
+        n = int(new_index.num_nodes)
+        if not (hasattr(old_index, "factors") and hasattr(new_index, "factors")):
+            return ((0, n),)
+        old_u, _, _, old_z = old_index.factors
+        new_u, _, _, new_z = new_index.factors
+        if old_u.shape != new_u.shape or old_z.shape != new_z.shape:
+            return ((0, n),)
+        dirty = np.any(old_z != new_z, axis=1) | np.any(old_u != new_u, axis=1)
+        ranges: List[Tuple[int, int]] = []
+        start = None
+        for row in range(n):
+            if dirty[row] and start is None:
+                start = row
+            elif not dirty[row] and start is not None:
+                ranges.append((start, row))
+                start = None
+        if start is not None:
+            ranges.append((start, n))
+        return tuple(ranges)
+
+    @staticmethod
+    def _make_row_patcher(index):
+        """``recompute_rows(seed, start, stop)`` against ``index``.
+
+        Returns the *final* cached-column values for rows
+        ``[start, stop)`` of seed's column — damping applied and the
+        identity contribution included — via the same expression, cast,
+        and add order as the backends' exact paths, so a patched column
+        is bit-identical to a fresh ``query_columns([seed])``
+        (partition stability of :func:`~repro.core.index.
+        exact_column_product`).
+        """
+        damping = index.config.damping
+        dtype = np.dtype(index.dtype)
+        if hasattr(index, "gather_z_rows"):
+            # sharded backend: gather the stored-dtype rows from owner
+            # shards (same bytes the shard kernel reads)
+            def load(seed, start, stop):
+                z_rows = index.gather_z_rows(
+                    np.arange(start, stop, dtype=np.int64)
+                )
+                u_row = index.gather_u_rows(
+                    np.asarray([seed], dtype=np.int64)
+                )[0]
+                return z_rows, u_row
+        else:
+            u_all, _sigma, _p, z_all = index.factors
+
+            def load(seed, start, stop):
+                return z_all[start:stop], u_all[int(seed), :]
+
+        def recompute_rows(seed, start, stop):
+            z_rows, u_row = load(seed, start, stop)
+            rows = damping * exact_column_product(z_rows, u_row)
+            rows = np.asarray(rows, dtype=dtype)
+            if start <= seed < stop:
+                rows[seed - start] += 1.0
+            return rows
+
+        return recompute_rows
 
     # ------------------------------------------------------------------
     # stats and lifecycle

@@ -29,7 +29,12 @@ load shedding, fault seams, and metrics all work unchanged — and into
 the CLI via ``csrplus shard-build`` / ``--shards``.
 """
 
-from repro.sharding.builder import build_sharded_store, rebuild_shards
+from repro.sharding.builder import (
+    ShardRepairReport,
+    build_sharded_store,
+    rebuild_shards,
+    repair_sharded_store,
+)
 from repro.sharding.index import ShardedIndex
 from repro.sharding.manifest import (
     ShardManifest,
@@ -51,6 +56,8 @@ __all__ = [
     "shard_index",
     "build_sharded_store",
     "rebuild_shards",
+    "repair_sharded_store",
+    "ShardRepairReport",
     "RoutedSeeds",
     "ShardRouter",
     "ShardedIndex",

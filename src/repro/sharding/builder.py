@@ -49,7 +49,9 @@ digests unchanged.
 from __future__ import annotations
 
 import os
-from typing import Callable, Iterable, List, Optional, Tuple, Union
+import shutil
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 from scipy.sparse.linalg import svds
@@ -69,10 +71,21 @@ from repro.linalg.stein import (
     solve_stein_squaring,
 )
 from repro.linalg.svd import truncated_svd, uses_dense_fallback
-from repro.sharding.manifest import ShardManifest, array_sha256, plan_shards
+from repro.sharding.manifest import (
+    MANIFEST_VERSION,
+    ShardManifest,
+    ShardMeta,
+    array_sha256,
+    plan_shards,
+)
 from repro.sharding.store import ShardStore, ShardStoreWriter, _shard_file_names
 
-__all__ = ["build_sharded_store", "rebuild_shards"]
+__all__ = [
+    "build_sharded_store",
+    "rebuild_shards",
+    "repair_sharded_store",
+    "ShardRepairReport",
+]
 
 #: Default cap on the transient left-factor reconstruction buffer.
 DEFAULT_BLOCK_ROWS = 4096
@@ -391,3 +404,224 @@ def rebuild_shards(
             except OSError:
                 pass
     return targets
+
+
+@dataclass(frozen=True)
+class ShardRepairReport:
+    """Outcome of :func:`repair_sharded_store`.
+
+    ``repaired_shards`` lists the shards whose bytes changed (and were
+    rewritten); ``dirty_ranges`` gives the corresponding ``[start,
+    stop)`` node ranges — the rows of ``Z``/``U`` a version swap must
+    invalidate or patch in serving caches.  ``full_rebuild`` means the
+    dirty fraction crossed the threshold (or the node count changed)
+    and every shard was rewritten from scratch.
+    """
+
+    path: str
+    repaired_shards: Tuple[int, ...]
+    total_shards: int
+    dirty_fraction: float
+    full_rebuild: bool
+    dirty_ranges: Tuple[Tuple[int, int], ...]
+
+    def open(self, **kwargs) -> ShardStore:
+        """Open the repaired store for serving."""
+        return ShardStore(self.path, **kwargs)
+
+
+def _link_or_copy(src: str, dst: str) -> None:
+    """Hard-link ``src`` to ``dst`` (byte sharing), copying as fallback."""
+    try:
+        if os.path.exists(dst):
+            os.remove(dst)
+        os.link(src, dst)
+    except OSError:
+        shutil.copy2(src, dst)
+
+
+def repair_sharded_store(
+    graph: DiGraph,
+    old_path: Union[str, "os.PathLike[str]"],
+    new_path: Union[str, "os.PathLike[str]"],
+    *,
+    dirty_threshold: float = 0.5,
+    overwrite: bool = False,
+) -> ShardRepairReport:
+    """Targeted repair of a store against a *mutated* graph (digest diff).
+
+    Unlike :func:`rebuild_shards` — which restores a corrupted shard of
+    an *unchanged* graph and leaves the manifest alone — this is the
+    live-update primitive: the graph has genuinely changed, so the
+    factors (and some shard digests) have too.  The pipeline recorded
+    in the old manifest is replayed against ``graph``, every shard's
+    fresh ``Z``/``U`` blocks are hashed, and only the shards whose
+    digests differ from the old manifest are rewritten into
+    ``new_path``; byte-identical shards are hard-linked from the old
+    directory (Theorem 3.5 row independence makes per-row-range reuse
+    sound, and the digest comparison makes it *exact*).  A fresh
+    manifest is written either way, so the new directory is a complete,
+    independently verifiable store and the old one is never touched —
+    in-flight queries against mmap-ed old shards keep their bytes
+    (zero-downtime swap, docs/dynamic.md).
+
+    Past ``dirty_threshold`` (fraction of shards dirty), selective
+    linking stops paying and the store is rebuilt wholesale into
+    ``new_path`` (``full_rebuild=True`` in the report).  A changed node
+    count always forces the full rebuild, since row ranges no longer
+    correspond.
+
+    The repaired store's bytes equal a from-scratch build against the
+    mutated graph in every case: clean shards are proven equal by
+    digest, dirty shards are freshly written from the recomputed
+    factors.
+    """
+    old_root = os.fspath(old_path)
+    new_root = os.fspath(new_path)
+    if os.path.abspath(old_root) == os.path.abspath(new_root):
+        raise InvalidParameterError(
+            "repair_sharded_store must write a fresh directory: rewriting "
+            "the live store in place would corrupt mmap-ed readers"
+        )
+    if not (0.0 <= dirty_threshold <= 1.0):
+        raise InvalidParameterError(
+            f"dirty_threshold must be in [0, 1], got {dirty_threshold}"
+        )
+    if os.path.exists(new_root):
+        if not overwrite:
+            raise InvalidParameterError(
+                f"repair target {new_root!r} already exists "
+                "(pass overwrite=True to replace it)"
+            )
+        shutil.rmtree(new_root)
+    manifest = ShardManifest.load(old_root)
+    cfg = CSRPlusConfig(
+        damping=manifest.damping,
+        rank=manifest.rank,
+        epsilon=manifest.epsilon,
+        solver=manifest.solver,
+        dangling=manifest.dangling,
+        svd_seed=manifest.svd_seed,
+        dtype=manifest.dtype,
+    )
+    if manifest.builder == "from-index":
+        from repro.core.index import CSRPlusIndex
+
+        index = CSRPlusIndex(graph, cfg).prepare()
+        u_matrix, _, _, z_matrix = index.factors
+        u_factor = u_matrix
+        z_block_of = lambda start, stop: z_matrix[start:stop, :]  # noqa: E731
+        cast = lambda block: np.ascontiguousarray(block)  # noqa: E731
+        iterations = int(index.stein_iterations)
+    else:
+        u_factor, z_block_of, iterations = _compute_factors(
+            graph, cfg, MemoryMeter(), manifest.block_rows or None
+        )
+        cast = lambda block: _cast_block(block, cfg.dtype)  # noqa: E731
+
+    def blocks_of(start: int, stop: int) -> Tuple[np.ndarray, np.ndarray]:
+        return cast(z_block_of(start, stop)), cast(u_factor[start:stop, :])
+
+    node_count_changed = manifest.num_nodes != graph.num_nodes
+    boundaries = plan_shards(graph.num_nodes, manifest.num_shards)
+    total = len(boundaries)
+    dirty: List[int] = []
+    if node_count_changed:
+        dirty = list(range(total))
+    else:
+        for meta in manifest.shards:
+            z_block, u_block = blocks_of(meta.start, meta.stop)
+            if (
+                array_sha256(z_block) != meta.z_sha256
+                or array_sha256(u_block) != meta.u_sha256
+            ):
+                dirty.append(meta.index)
+            del z_block, u_block
+    dirty_fraction = len(dirty) / total if total else 0.0
+    full_rebuild = node_count_changed or dirty_fraction > dirty_threshold
+
+    if full_rebuild:
+        writer = ShardStoreWriter(
+            new_root,
+            boundaries,
+            rank=cfg.rank,
+            damping=cfg.damping,
+            epsilon=cfg.epsilon,
+            dtype=cfg.dtype,
+            builder=manifest.builder,
+            stein_iterations=iterations,
+            svd_seed=cfg.svd_seed,
+            solver=cfg.solver,
+            dangling=cfg.dangling,
+            block_rows=manifest.block_rows,
+        )
+        for i, (start, stop) in enumerate(writer.boundaries):
+            z_block, u_block = blocks_of(start, stop)
+            writer.write_shard(i, z_block, u_block)
+            del z_block, u_block
+        writer.finalize()
+        return ShardRepairReport(
+            path=new_root,
+            repaired_shards=tuple(range(total)),
+            total_shards=total,
+            dirty_fraction=1.0 if node_count_changed else dirty_fraction,
+            full_rebuild=True,
+            dirty_ranges=((0, graph.num_nodes),),
+        )
+
+    os.makedirs(new_root, exist_ok=True)
+    dirty_set = set(dirty)
+    new_metas: List[ShardMeta] = []
+    for meta in manifest.shards:
+        z_name, u_name = _shard_file_names(meta.index)
+        if meta.index in dirty_set:
+            z_block, u_block = blocks_of(meta.start, meta.stop)
+            np.save(os.path.join(new_root, z_name), z_block)
+            np.save(os.path.join(new_root, u_name), u_block)
+            z_norms = np.linalg.norm(
+                z_block.astype(np.float64, copy=False), axis=1
+            )
+            new_metas.append(
+                ShardMeta(
+                    index=meta.index,
+                    start=meta.start,
+                    stop=meta.stop,
+                    z_file=z_name,
+                    u_file=u_name,
+                    z_sha256=array_sha256(z_block),
+                    u_sha256=array_sha256(u_block),
+                    z_norm_max=float(z_norms.max()) if z_norms.size else 0.0,
+                )
+            )
+            del z_block, u_block
+        else:
+            for name in (z_name, u_name):
+                _link_or_copy(
+                    os.path.join(old_root, name), os.path.join(new_root, name)
+                )
+            new_metas.append(meta)
+    ShardManifest(
+        version=MANIFEST_VERSION,
+        num_nodes=graph.num_nodes,
+        rank=cfg.rank,
+        damping=cfg.damping,
+        epsilon=cfg.epsilon,
+        dtype=cfg.dtype,
+        builder=manifest.builder,
+        stein_iterations=iterations,
+        svd_seed=cfg.svd_seed,
+        solver=cfg.solver,
+        dangling=cfg.dangling,
+        block_rows=manifest.block_rows,
+        shards=new_metas,
+    ).save(new_root)
+    return ShardRepairReport(
+        path=new_root,
+        repaired_shards=tuple(dirty),
+        total_shards=total,
+        dirty_fraction=dirty_fraction,
+        full_rebuild=False,
+        dirty_ranges=tuple(
+            (manifest.shards[i].start, manifest.shards[i].stop) for i in dirty
+        ),
+    )

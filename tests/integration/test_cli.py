@@ -765,3 +765,193 @@ class TestLoadgenBenchParser:
         assert args.out is None
         assert args.compare is None
         assert args.tolerance is None
+
+
+class TestUpdateCommand:
+    """`csrplus update`: edge batches repaired into a next-version store,
+    rewriting only digest-changed shards (docs/dynamic.md)."""
+
+    @staticmethod
+    def _build(tmp_path):
+        store = tmp_path / "store.shards"
+        assert main([
+            "shard-build",
+            "--edge-list", _edge_list(tmp_path),
+            "--rank", "4",
+            "--out", str(store),
+            "--num-shards", "3",
+        ]) == 0
+        return store
+
+    def test_noop_batch_repairs_zero_shards(self, tmp_path, capsys):
+        """Re-adding an existing edge leaves the graph's bytes unchanged:
+        the repair must rewrite strictly fewer shards than the total —
+        here, none — and still produce a serviceable store."""
+        import json
+
+        store = self._build(tmp_path)
+        capsys.readouterr()
+        code = main([
+            "update",
+            "--edge-list", _edge_list(tmp_path),
+            "--store", str(store),
+            "--out", str(tmp_path / "v1.shards"),
+            "--add", "0:1",  # the ring already has this edge
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["repaired_shards"] == []
+        assert payload["total_shards"] == 3
+        assert payload["full_rebuild"] is False
+        assert payload["dirty_fraction"] == 0.0
+
+    def test_real_batch_reports_repair_and_serves(self, tmp_path, capsys):
+        store = self._build(tmp_path)
+        capsys.readouterr()
+        code = main([
+            "update",
+            "--edge-list", _edge_list(tmp_path),
+            "--store", str(store),
+            "--out", str(tmp_path / "v1.shards"),
+            "--add", "0:16,5:20",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shard(s) rewritten" in out
+        assert "next-version store written" in out
+        # the repaired store serves queries like any other
+        assert main([
+            "query", "--shards", str(tmp_path / "v1.shards"),
+            "--queries", "0", "--top", "3",
+        ]) == 0
+
+    def test_requires_an_edge(self, tmp_path, capsys):
+        store = self._build(tmp_path)
+        code = main([
+            "update",
+            "--edge-list", _edge_list(tmp_path),
+            "--store", str(store),
+            "--out", str(tmp_path / "v1.shards"),
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_edge_spec_is_typed(self, tmp_path, capsys):
+        store = self._build(tmp_path)
+        code = main([
+            "update",
+            "--edge-list", _edge_list(tmp_path),
+            "--store", str(store),
+            "--out", str(tmp_path / "v1.shards"),
+            "--add", "0-1",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestServeBatchLive:
+    """serve-batch --live: between-pass edge batches through a
+    LiveIndexChain, each new version swapped in with zero downtime."""
+
+    @staticmethod
+    def _queries(tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text("1,2\n3 4\n")
+        return str(path)
+
+    def test_monolithic_live_passes_report_versions(self, tmp_path, capsys):
+        code = main([
+            "serve-batch",
+            "--edge-list", _edge_list(tmp_path),
+            "--queries-file", self._queries(tmp_path),
+            "--rank", "4",
+            "--repeat", "3",
+            "--live",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[v1]" in out or "[v1," in out
+        assert "[v2]" in out or "[v2," in out
+        assert "live:" in out
+
+    def test_sharded_live_reports_repairs(self, tmp_path, capsys):
+        import json
+
+        code = main([
+            "serve-batch",
+            "--edge-list", _edge_list(tmp_path),
+            "--queries-file", self._queries(tmp_path),
+            "--rank", "4",
+            "--repeat", "3",
+            "--live",
+            "--live-shards", "3",
+            "--live-store", str(tmp_path / "live"),
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["live"]["final_version"] == 2
+        assert payload["live"]["sharded"] is True
+        versions = [entry["index_version"] for entry in payload["passes"]]
+        assert versions == [0, 1, 2]
+        for entry in payload["passes"][1:]:
+            assert "repaired_shards" in entry
+
+    def test_live_conflicts_with_shards_source(self, tmp_path, capsys):
+        store = tmp_path / "store.shards"
+        assert main([
+            "shard-build",
+            "--edge-list", _edge_list(tmp_path),
+            "--rank", "4",
+            "--out", str(store),
+            "--num-shards", "2",
+        ]) == 0
+        code = main([
+            "serve-batch",
+            "--shards", str(store),
+            "--queries-file", self._queries(tmp_path),
+            "--live",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_live_shards_require_store(self, tmp_path, capsys):
+        code = main([
+            "serve-batch",
+            "--edge-list", _edge_list(tmp_path),
+            "--queries-file", self._queries(tmp_path),
+            "--live",
+            "--live-shards", "2",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestLoadgenMutate:
+    def test_mutation_schedule_reports_and_serves(self, tmp_path, capsys):
+        code = main([
+            "loadgen",
+            "--edge-list", _edge_list(tmp_path),
+            "--rank", "4",
+            "--requests", "30",
+            "--qps", "500",
+            "--seed", "3",
+            "--simulate",
+            "--mutate-every", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mutations: 2 live edge batches" in out
+        assert "ok=30" in out  # sustained mutation never broke serving
+
+    def test_mutate_every_requires_positive(self, tmp_path, capsys):
+        code = main([
+            "loadgen",
+            "--edge-list", _edge_list(tmp_path),
+            "--requests", "10",
+            "--simulate",
+            "--mutate-every", "-1",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

@@ -39,8 +39,18 @@ def test_quickstart_output_content(capsys):
     assert "single pair" in out
 
 
-def test_dynamic_updates_keeps_cache_warm(capsys):
+def test_dynamic_updates_serves_during_sustained_mutation(capsys):
+    """The served live-graph scenario: a nonzero ok-rate while edge
+    batches publish version swaps mid-run, cache warmth across a
+    byte-no-op swap, and post-swap answers matching a fresh build."""
+    import re
+
     runpy.run_path(str(EXAMPLES_DIR / "dynamic_updates.py"), run_name="__main__")
     out = capsys.readouterr().out
-    assert "stay warm" in out
-    assert "match a fresh engine" in out
+    ok_rate = re.search(r"ok rate (\d+(?:\.\d+)?)%", out)
+    assert ok_rate is not None and float(ok_rate.group(1)) > 0
+    mutations = re.search(r"mutations: (\d+) live edge batches", out)
+    assert mutations is not None and int(mutations.group(1)) > 0
+    assert "version swaps completed with zero downtime" in out
+    assert "replayed exact bytes: True" in out
+    assert "match a fresh index" in out

@@ -45,6 +45,19 @@ KNOWN_CSRPLUS_FAMILIES = frozenset({
     "csrplus_serve_batch_seconds",
     "csrplus_serve_slow_batches_total",
     "csrplus_serve_query_mode",
+    # live-graph serving (repro.serving.service / live, repro.core.dynamic)
+    "csrplus_index_version",
+    "csrplus_update_swap_seconds",
+    "csrplus_update_edges_total",
+    "csrplus_update_repaired_shards_total",
+    "csrplus_update_full_rebuilds_total",
+    "csrplus_serve_cache_invalidated_total",
+    "csrplus_serve_cache_patched_total",
+    "csrplus_serve_cache_retained_total",
+    "csrplus_topk_cache_invalidated_total",
+    "csrplus_topk_cache_retained_total",
+    "csrplus_dynamic_staleness",
+    "csrplus_dynamic_rebuilds_total",
     # top-k serving
     "csrplus_topk_batches_total",
     "csrplus_topk_seeds_total",
@@ -86,6 +99,7 @@ KNOWN_CSRPLUS_FAMILIES = frozenset({
     "csrplus_loadgen_deadline_total",
     "csrplus_loadgen_degraded_total",
     "csrplus_loadgen_request_seconds",
+    "csrplus_loadgen_mutations_total",
 })
 
 #: Suffixes the text format appends to histogram families.

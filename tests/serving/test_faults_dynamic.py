@@ -1,0 +1,227 @@
+"""Chaos suite for live-graph serving: updates, queries, swaps, faults.
+
+The contract under test (docs/dynamic.md, docs/robustness.md): while
+edge batches, version swaps, and injected shard faults interleave with
+traffic, every answer the service returns is **bit-exact for the index
+version its batch pinned** — or a **typed** :mod:`repro.errors`
+exception.  Never a torn read mixing two versions, never silently
+stale-after-invalidation bytes, never a hang; and once a fault plan is
+disarmed the chain heals back to exact service.
+
+Every test runs under the CI lane's hard thread-level timeout
+(pytest-timeout): a swap that deadlocks against an in-flight batch is
+itself the bug this suite exists to catch.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.index import CSRPlusIndex
+from repro.errors import ReproError
+from repro.graphs.generators import erdos_renyi
+from repro.serving import CoSimRankService, LiveIndexChain, RetryPolicy
+from repro.testing.faults import FaultPlan
+
+pytestmark = [pytest.mark.chaos, pytest.mark.timeout(120)]
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0)
+
+SEEDS = [0, 7, 13, 25]
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi(40, 160, seed=11)
+
+
+def _scratch_answer(graph, seeds=SEEDS, rank=4):
+    return CSRPlusIndex(graph, rank=rank).prepare().query_columns(
+        seeds, mode="exact"
+    )
+
+
+def _batches():
+    """A fixed little update scenario: growth, churn, and a byte-no-op."""
+    return [
+        dict(added=[(0, 20), (5, 31)]),
+        dict(removed=[(0, 20)]),
+        dict(added=[(2, 39), (17, 3)], removed=[(99, 100)]),  # missing edge
+    ]
+
+
+class TestSwapWhileInFlight:
+    def test_concurrent_queries_see_only_whole_versions(self, graph):
+        """Background threads hammer the service while the main thread
+        publishes updates; every returned block must equal the exact
+        answer of *some* published version — no torn or truncated reads,
+        and the swaps must complete while those queries are in flight."""
+        chain = LiveIndexChain(graph, rank=4)
+        valid = [_scratch_answer(chain.graph)]
+        collected = []
+        errors = []
+        stop = threading.Event()
+        started = threading.Event()
+
+        with CoSimRankService(chain.index, max_workers=2) as service:
+            chain.attach(service)
+
+            def hammer():
+                while not stop.is_set():
+                    try:
+                        collected.append(service.serve_batch([SEEDS])[0])
+                    except Exception as exc:  # noqa: BLE001 - triaged below
+                        errors.append(exc)
+                    started.set()
+
+            workers = [threading.Thread(target=hammer) for _ in range(2)]
+            for worker in workers:
+                worker.start()
+            started.wait(timeout=30)
+            for batch in _batches():
+                chain.update_edges(**batch)
+                valid.append(_scratch_answer(chain.graph))
+            # swaps completed while the hammer threads were live
+            assert service.index_version == len(_batches())
+            stop.set()
+            for worker in workers:
+                worker.join(timeout=30)
+                assert not worker.is_alive()
+            final = service.serve_batch([SEEDS])[0]
+
+        assert not errors, f"queries failed during swaps: {errors[:3]}"
+        assert collected  # traffic genuinely overlapped the swaps
+        for block in collected:
+            assert any(np.array_equal(block, answer) for answer in valid), (
+                "a served block matches no published version "
+                "(torn or stale-undetected read)"
+            )
+        assert np.array_equal(final, valid[-1])  # settles on the newest
+
+    def test_sharded_swap_with_inflight_topk(self, graph, tmp_path):
+        """Same interleaving through the sharded repair path, with the
+        ranking cache in play."""
+        chain = LiveIndexChain(
+            graph, rank=4, num_shards=3, store_root=str(tmp_path)
+        )
+        collected = []
+        errors = []
+        stop = threading.Event()
+        started = threading.Event()
+        with CoSimRankService(chain.index, max_workers=2) as service:
+            chain.attach(service)
+
+            def hammer():
+                while not stop.is_set():
+                    try:
+                        collected.append(service.serve_topk([5, 11], 4))
+                    except Exception as exc:  # noqa: BLE001
+                        errors.append(exc)
+                    started.set()
+
+            worker = threading.Thread(target=hammer)
+            worker.start()
+            started.wait(timeout=30)
+            for batch in _batches():
+                chain.update_edges(**batch)
+            stop.set()
+            worker.join(timeout=30)
+            assert not worker.is_alive()
+            got = service.serve_topk([5, 11], 4)
+        assert not errors
+        assert collected
+        scratch = CSRPlusIndex(chain.graph, rank=4).prepare()
+        from repro.core.topk import top_k_blockwise
+
+        want = top_k_blockwise(scratch, [5, 11], 4, mode="exact")
+        for got_r, want_r in zip(got, want):
+            assert np.array_equal(got_r.nodes, want_r.nodes)
+            assert np.array_equal(got_r.scores, want_r.scores)
+
+
+class TestShardFaultsDuringUpdates:
+    def test_persistent_shard_fault_is_typed_then_heals(self, graph, tmp_path):
+        """A dead shard after a swap surfaces as typed per-request
+        errors; disarming the plan restores bit-exact service with no
+        restart (the acceptance 'heals after disarm' clause)."""
+        chain = LiveIndexChain(
+            graph, rank=4, num_shards=3, store_root=str(tmp_path)
+        )
+        with CoSimRankService(chain.index, max_workers=1) as service:
+            chain.attach(service)
+            chain.update_edges(added=[(0, 20)])
+            with FaultPlan().fail("shard.read", times=None) as plan:
+                batch = service.serve_batch_detailed([SEEDS])
+            assert plan.injected("shard.read") > 0
+            for outcome in batch.outcomes:
+                assert not outcome.ok
+                assert isinstance(outcome.error, ReproError)
+            # disarmed: the same request now serves scratch-exact bytes
+            healed = service.serve_batch([SEEDS])[0]
+        assert np.array_equal(healed, _scratch_answer(chain.graph))
+
+    def test_corrupted_shard_read_never_served(self, graph, tmp_path):
+        """A bit-flipped shard read during post-swap traffic is caught
+        by read validation — retried to the exact bytes, never
+        returned."""
+        chain = LiveIndexChain(
+            graph,
+            rank=4,
+            num_shards=3,
+            store_root=str(tmp_path),
+            validate_reads=True,
+        )
+
+        def poison(pair):
+            z, u = pair
+            bad = np.array(z)
+            bad[0, 0] += 1.0
+            return bad, u
+
+        with CoSimRankService(chain.index, max_workers=1) as service:
+            chain.attach(service)
+            chain.update_edges(added=[(2, 39)])
+            with FaultPlan().corrupt("shard.read", poison, times=1) as plan:
+                got = service.serve_batch([SEEDS])[0]
+            assert plan.injected("shard.read") == 1
+        assert np.array_equal(got, _scratch_answer(chain.graph))
+
+    def test_update_query_fault_interleave(self, graph, tmp_path):
+        """The full chaos braid: update, transient shard fault, query,
+        repeat — every served block exact for the then-current
+        version."""
+        chain = LiveIndexChain(
+            graph, rank=4, num_shards=3, store_root=str(tmp_path)
+        )
+        with CoSimRankService(chain.index, max_workers=1) as service:
+            chain.attach(service)
+            for step, batch in enumerate(_batches()):
+                chain.update_edges(**batch)
+                with FaultPlan().fail(
+                    "shard.read", times=1, exc=OSError("flaky disk")
+                ):
+                    got = service.serve_batch([SEEDS])[0]
+                assert np.array_equal(got, _scratch_answer(chain.graph)), (
+                    f"step {step}: healed read is not version-exact"
+                )
+            assert service.index_version == len(_batches())
+
+
+class TestStaleProducers:
+    def test_stale_insert_cannot_poison_new_version(self, graph):
+        """A batch that pinned version v inserts its columns *after*
+        the swap to v+1: the insert must be dropped, and the next
+        lookup must recompute against the new index."""
+        chain = LiveIndexChain(graph, rank=4)
+        with CoSimRankService(chain.index, max_workers=1) as service:
+            chain.attach(service)
+            old_version = service.index_version
+            old_column = service.serve_batch([[3]])[0]
+            chain.update_edges(added=[(3, 30), (30, 3)])
+            # replay the old bytes with the stale tag — must be a no-op
+            service._cache.insert({3: old_column[:, 0]}, version=old_version)
+            got = service.serve_batch([[3]])[0]
+        assert np.array_equal(
+            got, _scratch_answer(chain.graph, seeds=[3])
+        )
