@@ -31,6 +31,7 @@ from repro.graphs.digraph import DiGraph
 __all__ = ["RPCoSimEngine"]
 
 _MODES = ("all-pairs", "multi-source")
+_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
 
 class RPCoSimEngine(SimilarityEngine):
@@ -48,6 +49,7 @@ class RPCoSimEngine(SimilarityEngine):
         seed: int = 0,
         memory_budget_bytes: Optional[int] = None,
         dangling: str = "zero",
+        dtype: "np.typing.DTypeLike" = np.float64,
     ):
         super().__init__(graph, damping, memory_budget_bytes, dangling)
         if iterations < 1:
@@ -58,10 +60,16 @@ class RPCoSimEngine(SimilarityEngine):
             )
         if mode not in _MODES:
             raise InvalidParameterError(f"mode must be one of {_MODES}, got {mode!r}")
+        requested = np.dtype(dtype)
+        if requested not in _DTYPES:
+            raise InvalidParameterError(
+                f"dtype must be float32 or float64, got {requested}"
+            )
         self.iterations = int(iterations)
         self.num_projections = int(num_projections)
         self.mode = mode
         self.seed = seed
+        self.dtype = requested
         self._sketches: List[np.ndarray] = []
         self._s_hat: Optional[np.ndarray] = None
 
@@ -76,20 +84,25 @@ class RPCoSimEngine(SimilarityEngine):
         d = self.num_projections
         q_matrix = self.transition()
 
+        # Iterate in float64 for stability, then store each retained
+        # sketch in the requested dtype (the same cast-on-store policy
+        # as CSRPlusIndex factors).  C-contiguous, so an npz round trip
+        # (ApproxIndex.save/load) restores the exact memory layout and
+        # reloaded replicas answer bit-identically.
         rng = np.random.default_rng(self.seed)
         sketch = rng.standard_normal((d, n)) / np.sqrt(d)
-        sketches = [sketch]
+        sketches = [np.ascontiguousarray(sketch, dtype=self.dtype)]
         for _ in range(self.iterations):
             sketch = sketch @ q_matrix  # Y_{k+1} = Y_k Q (dense @ sparse)
-            sketches.append(sketch)
+            sketches.append(np.ascontiguousarray(sketch, dtype=self.dtype))
         self._sketches = sketches
         self.memory.charge(
             "precompute/sketches", sum(y.nbytes for y in sketches)
         )
 
         if self.mode == "all-pairs":
-            self.memory.require("precompute/S_hat", n * n * 8)
-            s_hat = np.zeros((n, n))
+            self.memory.require("precompute/S_hat", n * n * self.dtype.itemsize)
+            s_hat = np.zeros((n, n), dtype=self.dtype)
             c_power = 1.0
             for y_k in sketches:
                 s_hat += c_power * (y_k.T @ y_k)
@@ -100,11 +113,11 @@ class RPCoSimEngine(SimilarityEngine):
     # ------------------------------------------------------------------
     def _query_impl(self, query_ids: np.ndarray) -> np.ndarray:
         n = self.num_nodes
-        self.memory.require("query/S", n * query_ids.size * 8)
+        self.memory.require("query/S", n * query_ids.size * self.dtype.itemsize)
         if self.mode == "all-pairs":
             result = self._s_hat[:, query_ids].copy()
         else:
-            result = np.zeros((n, query_ids.size))
+            result = np.zeros((n, query_ids.size), dtype=self.dtype)
             c_power = 1.0
             for y_k in self._sketches:
                 result += c_power * (y_k.T @ y_k[:, query_ids])

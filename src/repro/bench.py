@@ -44,6 +44,7 @@ from repro.serving.loadgen import (
     loadgen_slos,
     run_load,
 )
+from repro.serving.approx import ApproxIndex
 from repro.serving.service import CoSimRankService
 
 __all__ = [
@@ -183,6 +184,63 @@ def run_bench(
     )
     metrics["loadgen_ok_rate"] = _metric(report.ok_rate, "fraction", "higher")
 
+    # Approximate tier (docs/approx.md): sketch-replica column
+    # throughput, plus a deterministic overload A/B — the same
+    # over-budget traffic served exact-only (sheds) and quality="auto"
+    # (degrades onto the replica).  The coverage metric is the headline:
+    # the fraction of requests the exact-only baseline shed that the
+    # auto policy turned into served (approx) answers.
+    approx = ApproxIndex.for_rank(graph, config.rank, damping=damping).prepare()
+    metrics["approx_columns_per_second"] = _metric(
+        _throughput(lambda: approx.query_columns(seeds), seeds.size),
+        "columns/s",
+        "higher",
+    )
+
+    overload_profile = LoadProfile(
+        requests=60,
+        qps=500.0,
+        seeds_per_request=8,
+        zipf_s=0.0,
+        seed=profile.seed,
+    )
+    overload_schedule = build_schedule(overload_profile, graph.num_nodes)
+    overload_reports: Dict[str, LoadReport] = {}
+    for label, quality, replica in (
+        ("exact", "exact", None),
+        ("auto", "auto", approx),
+    ):
+        overload_service = CoSimRankService(
+            index,
+            max_workers=1,
+            max_inflight_seeds=4,
+            cache_columns=0,
+            approx_index=replica,
+        )
+        try:
+            sim = SimulatedClock()
+            overload_reports[label] = run_load(
+                overload_service,
+                overload_schedule,
+                quality=quality,
+                registry=MetricsRegistry(),
+                clock=sim.now,
+                sleep=sim.sleep,
+            )
+        finally:
+            overload_service.close()
+    shed_exact = overload_reports["exact"].outcomes.get("shed", 0)
+    approx_served = overload_reports["auto"].outcomes.get("approx", 0)
+    metrics["overload_exact_served_rate"] = _metric(
+        overload_reports["exact"].served_rate, "fraction", "higher"
+    )
+    metrics["overload_auto_served_rate"] = _metric(
+        overload_reports["auto"].served_rate, "fraction", "higher"
+    )
+    metrics["overload_degrade_coverage"] = _metric(
+        min(1.0, approx_served / max(1, shed_exact)), "fraction", "higher"
+    )
+
     return {
         "schema": SCHEMA,
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -198,6 +256,13 @@ def run_bench(
         "environment": _environment(),
         "metrics": metrics,
         "loadgen": report.as_dict(),
+        "overload": {
+            "profile": overload_profile.as_dict(),
+            "max_inflight_seeds": 4,
+            "approx_atol": approx.query_atol(),
+            "exact_outcomes": dict(overload_reports["exact"].outcomes),
+            "auto_outcomes": dict(overload_reports["auto"].outcomes),
+        },
         "slo": report.slo,
     }
 

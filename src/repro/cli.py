@@ -23,6 +23,8 @@
         --zipf 1.1 --slo-p99-ms 250 --fail-on-slo
     csrplus loadgen --dataset FB --tier small --requests 500 \
         --mutate-every 50 --mutate-edges 2
+    csrplus loadgen --dataset FB --tier small --requests 500 \
+        --max-inflight-seeds 4 --quality auto --slo-availability 0.99
     csrplus bench --dataset FB --tier tiny --out BENCH_today.json
     csrplus bench --dataset FB --tier tiny --compare BENCH_prior.json
 
@@ -262,6 +264,19 @@ def build_parser() -> argparse.ArgumentParser:
         "aborting the pass (successful blocks stay bit-exact)",
     )
     serve.add_argument(
+        "--quality", choices=("exact", "approx", "auto"), default="exact",
+        help="serving tier: 'exact' (default), 'approx' = answer from "
+        "the sketch replica within its published atol, 'auto' = exact "
+        "but downgrade would-be sheds to the replica instead of "
+        "raising ServiceOverloaded (docs/approx.md; needs a graph "
+        "source, not --shards)",
+    )
+    serve.add_argument(
+        "--approx-projections", type=int, default=256, metavar="D",
+        help="sketch width d of the approximate replica (larger = "
+        "tighter atol, more memory; with --quality approx/auto)",
+    )
+    serve.add_argument(
         "--cache-validate", action="store_true",
         help="checksum cached columns on every hit; poisoned entries "
         "are evicted and recomputed instead of served",
@@ -405,6 +420,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument(
         "--query-mode", choices=("exact", "batched"), default="exact",
+    )
+    loadgen.add_argument(
+        "--quality", choices=("exact", "approx", "auto"), default="exact",
+        help="serving tier per request: 'auto' turns would-be sheds "
+        "into approx outcomes served by the sketch replica "
+        "(docs/approx.md)",
+    )
+    loadgen.add_argument(
+        "--approx-projections", type=int, default=256, metavar="D",
+        help="sketch width d of the approximate replica (with "
+        "--quality approx/auto)",
     )
     loadgen.add_argument(
         "--mutate-every", type=int, default=0, metavar="N",
@@ -798,6 +824,12 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
                 "--live needs a graph source (--dataset/--edge-list) so "
                 "edge batches can be applied; --shards is read-only"
             )
+        if args.quality != "exact":
+            raise InvalidParameterError(
+                "--quality approx/auto needs a graph source "
+                "(--dataset/--edge-list) to build the sketch replica "
+                "from; --shards carries only the exact factors"
+            )
         index = ShardedIndex(args.shards)
         num_nodes, num_edges = index.num_nodes, None
         config = index.config
@@ -832,6 +864,17 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         else:
             index = CSRPlusIndex(graph, config).prepare()
 
+    approx_index = None
+    if args.quality != "exact":
+        from repro.serving import ApproxIndex
+
+        approx_index = ApproxIndex.for_rank(
+            graph,
+            config.rank,
+            damping=config.damping,
+            num_projections=args.approx_projections,
+        ).prepare()
+
     passes = []
     slow_query_seconds = (
         args.slow_query_ms / 1000.0 if args.slow_query_ms is not None else None
@@ -848,6 +891,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         max_inflight_seeds=args.max_inflight_seeds,
         cache_validate=args.cache_validate,
         slow_query_seconds=slow_query_seconds,
+        approx_index=approx_index,
     ) as service:
         if chain is not None:
             import numpy as _np
@@ -874,6 +918,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
                 results = service.serve_topk(
                     topk_seeds, args.topk,
                     deadline_s=deadline_s, partial=args.partial,
+                    quality=args.quality,
                 )
                 elapsed = time.perf_counter() - started
                 served = [result for result in results if result is not None]
@@ -885,7 +930,8 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
                 }
             else:
                 results = service.serve_batch(
-                    requests, deadline_s=deadline_s, partial=args.partial
+                    requests, deadline_s=deadline_s, partial=args.partial,
+                    quality=args.quality,
                 )
                 elapsed = time.perf_counter() - started
                 served = [block for block in results if block is not None]
@@ -929,9 +975,15 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         "cache_columns": args.cache_columns,
         "workers": service.max_workers,
         "query_mode": service.query_mode,
+        "quality": args.quality,
         "passes": passes,
         "stats": stats.as_dict(),
     }
+    if approx_index is not None:
+        payload["approx"] = {
+            "num_projections": approx_index.num_projections,
+            "atol": approx_index.query_atol(),
+        }
     if topk_stats is not None:
         payload["topk"] = args.topk
         payload["topk_stats"] = topk_stats
@@ -1006,6 +1058,13 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         f"degraded={stats.degraded_requests} "
         f"cache_integrity_failures={stats.cache_integrity_failures}"
     )
+    if approx_index is not None:
+        print(
+            f"tiers: exact={stats.tier_exact} approx={stats.tier_approx} "
+            f"downgrades={stats.approx_downgrades} "
+            f"(replica d={approx_index.num_projections}, "
+            f"atol {approx_index.query_atol():.3g})"
+        )
     if slow_query_seconds is not None:
         print(
             f"slow batches: {len(service.slow_queries())} "
@@ -1081,6 +1140,16 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         index = chain.index
     else:
         index = CSRPlusIndex(graph, config).prepare()
+    approx_index = None
+    if args.quality != "exact":
+        from repro.serving import ApproxIndex
+
+        approx_index = ApproxIndex.for_rank(
+            graph,
+            config.rank,
+            damping=config.damping,
+            num_projections=args.approx_projections,
+        ).prepare()
     profile = LoadProfile(
         requests=args.requests,
         qps=args.qps,
@@ -1112,6 +1181,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         max_workers=1,
         query_mode=args.query_mode,
         max_inflight_seeds=args.max_inflight_seeds,
+        approx_index=approx_index,
     ) as service:
         mutator = None
         if chain is not None:
@@ -1132,6 +1202,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             schedule,
             topk=args.topk,
             deadline_s=deadline_s,
+            quality=args.quality,
             slos=slos,
             registry=registry,
             clock=clock,

@@ -34,10 +34,17 @@ into a traffic-serving component:
   (:meth:`~repro.serving.service.CoSimRankService.publish_index`);
 * :mod:`repro.serving.loadgen` — deterministic open-loop load
   generation (Zipf popularity, bursts, SLO verdicts, and live-mutation
-  schedules) behind ``csrplus loadgen`` and ``csrplus bench``.
+  schedules) behind ``csrplus loadgen`` and ``csrplus bench``;
+* :class:`~repro.serving.approx.ApproxIndex` /
+  :func:`~repro.serving.approx.approx_query_atol` — the approximate
+  serving tier (docs/approx.md): random-projection sketches behind the
+  exact index's query surface, with a published AvgDiff error
+  contract, backing the ``quality="approx"``/``"auto"`` degrade
+  policy.
 """
 
 from repro.serving.admission import SeedBudget
+from repro.serving.approx import ApproxConfig, ApproxIndex, approx_query_atol
 from repro.serving.cache import ColumnCache, TopKCache
 from repro.serving.loadgen import (
     LoadProfile,
@@ -61,11 +68,15 @@ from repro.serving.scheduler import (
     effective_chunk_size,
     plan_batch,
 )
-from repro.serving.service import CoSimRankService
+from repro.serving.service import QUALITY_LEVELS, CoSimRankService
 from repro.serving.stats import ServingStats
 
 __all__ = [
     "CoSimRankService",
+    "QUALITY_LEVELS",
+    "ApproxConfig",
+    "ApproxIndex",
+    "approx_query_atol",
     "ColumnCache",
     "TopKCache",
     "ServingStats",

@@ -15,12 +15,15 @@ which is the behaviour the ROADMAP's "heavy traffic" target needs.
 
 from __future__ import annotations
 
+import logging
 import threading
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.errors import InvalidParameterError
 
 __all__ = ["SeedBudget"]
+
+logger = logging.getLogger("repro.serving")
 
 
 class SeedBudget:
@@ -31,6 +34,17 @@ class SeedBudget:
     max_inflight:
         Ceiling on concurrently admitted seeds; ``None`` disables
         admission control (every batch is admitted).
+    on_underflow:
+        Optional callback invoked with the seed deficit whenever
+        :meth:`release` returns more than was acquired (the service
+        wires this to ``csrplus_serve_budget_underflow_total``).
+
+    An unmatched :meth:`release` — a double-release in some degrade
+    path — is an accounting bug, but it is *surfaced*, not raised:
+    ``release`` runs inside ``finally`` blocks, where raising would
+    mask the batch's original error.  Instead the in-flight count is
+    clamped to zero, the event is counted in :attr:`underflows`,
+    reported through ``on_underflow``, and logged at WARNING.
 
     Examples
     --------
@@ -44,7 +58,12 @@ class SeedBudget:
     0
     """
 
-    def __init__(self, max_inflight: Optional[int]):
+    def __init__(
+        self,
+        max_inflight: Optional[int],
+        *,
+        on_underflow: Optional[Callable[[int], None]] = None,
+    ):
         if max_inflight is not None and max_inflight < 1:
             raise InvalidParameterError(
                 f"max_inflight must be >= 1 (or None to disable), "
@@ -53,11 +72,19 @@ class SeedBudget:
         self.max_inflight = max_inflight
         self._lock = threading.Lock()
         self._in_flight = 0
+        self._underflows = 0
+        self._on_underflow = on_underflow
 
     @property
     def in_flight(self) -> int:
         with self._lock:
             return self._in_flight
+
+    @property
+    def underflows(self) -> int:
+        """How many times ``release`` exceeded what was acquired."""
+        with self._lock:
+            return self._underflows
 
     def try_acquire(self, seeds: int) -> bool:
         """Reserve ``seeds`` units; ``False`` (no side effect) if full."""
@@ -73,11 +100,25 @@ class SeedBudget:
             return True
 
     def release(self, seeds: int) -> None:
-        """Return ``seeds`` units to the budget (paired with acquire)."""
+        """Return ``seeds`` units to the budget (paired with acquire).
+
+        A release that exceeds what was acquired clamps to zero and is
+        surfaced (counter + callback + WARNING) instead of raised — see
+        the class docstring.
+        """
+        deficit = 0
         with self._lock:
             self._in_flight -= seeds
-            if self._in_flight < 0:  # pragma: no cover - programming error
+            if self._in_flight < 0:
+                deficit = -self._in_flight
                 self._in_flight = 0
-                raise InvalidParameterError(
-                    "SeedBudget.release without a matching try_acquire"
-                )
+                self._underflows += 1
+        if deficit:
+            logger.warning(
+                "SeedBudget.release(%d) without a matching try_acquire "
+                "(deficit %d seeds); in-flight clamped to 0",
+                seeds,
+                deficit,
+            )
+            if self._on_underflow is not None:
+                self._on_underflow(deficit)

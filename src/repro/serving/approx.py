@@ -1,0 +1,312 @@
+"""The approximate serving tier: sketched CoSimRank behind the index surface.
+
+:class:`ApproxIndex` packages :class:`~repro.baselines.rpcosim.RPCoSimEngine`'s
+multi-source Johnson–Lindenstrauss sketches (``Y_k = R Q^k``, ``d x n`` each)
+behind the same column / top-k query surface as
+:class:`~repro.core.index.CSRPlusIndex` — ``query_columns``, ``top_k``,
+``save``/``load`` — so :class:`~repro.serving.service.CoSimRankService` can
+hold it as a *replica* next to the exact index and downgrade an over-budget
+batch onto it instead of shedding (``quality="auto"``, docs/approx.md).
+
+The tier's answers are estimates, and the contract says exactly how wrong
+they may be: :func:`approx_query_atol` bounds the AvgDiff (the paper's §6
+accuracy metric, :func:`repro.metrics.accuracy.avg_diff`) between an
+approximate block and the exact tier's block for the same seeds.  It plays
+the same role for this tier that
+:func:`~repro.core.index.batched_query_atol` plays for batched-GEMM exact
+serving: a published tolerance the test suite and the serving layer both
+enforce.
+
+Why the replica is cheap enough to always keep resident: the sketches are
+``(K+1) * d * n`` floats with ``d ~ 256`` — for large ``n`` that is far
+smaller than the exact index's ``O(r n)`` factors *plus* its column cache,
+and the query is one ``(d x n)^T @ (d x |Q|)`` GEMM per retained power.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.baselines.rpcosim import RPCoSimEngine
+from repro.core.config import QUERY_MODES
+from repro.core.iterations import baseline_iterations_for_rank
+from repro.core.topk import TopKResult
+from repro.errors import InvalidParameterError
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["ApproxConfig", "ApproxIndex", "approx_query_atol"]
+
+#: Safety factor over the estimator's per-entry noise scale.  The mean
+#: absolute sketch error per entry is ``sigma * sqrt(2/pi) ~ 0.8 sigma``
+#: with ``sigma <= standard_error_bound()``, so 8x covers both the tail
+#: fluctuation of the AvgDiff average at small ``n * |Q|`` and the exact
+#: tier's own (far smaller) low-rank deviation from the truncated series.
+APPROX_ATOL_SAFETY = 8.0
+
+
+def approx_query_atol(num_projections: int, damping: float) -> float:
+    """AvgDiff tolerance between the approximate and exact tiers.
+
+    Derived from ``RPCoSimEngine.standard_error_bound()``: each sketched
+    inner product has noise scale at most ``sqrt(2/d) / (1 - c)``, so the
+    mean absolute difference over a served ``n x |Q|`` block is bounded
+    (with a wide margin — :data:`APPROX_ATOL_SAFETY`) by
+
+        ``atol = 8 * sqrt(2 / num_projections) / (1 - damping)``.
+
+    This is the approximate tier's published contract, in the spirit of
+    :func:`~repro.core.index.batched_query_atol`: every answer the
+    ``"approx"`` tier returns satisfies
+    ``avg_diff(approx_block, exact_block) <= atol`` for the same seeds,
+    and the property suite (``tests/properties/test_approx_equivalence``)
+    pins it across dtypes, seeds, and sketch widths.
+    """
+    if num_projections < 1:
+        raise InvalidParameterError(
+            f"num_projections must be >= 1, got {num_projections}"
+        )
+    if not 0.0 < damping < 1.0:
+        raise InvalidParameterError(
+            f"damping must be in (0, 1), got {damping}"
+        )
+    return APPROX_ATOL_SAFETY * math.sqrt(2.0 / num_projections) / (1.0 - damping)
+
+
+@dataclass(frozen=True)
+class ApproxConfig:
+    """Parameters of an :class:`ApproxIndex` (mirrors ``CSRPlusConfig``).
+
+    ``query_mode`` exists for surface compatibility with the exact index
+    config; a sketched query has a single evaluation strategy, so the
+    field is accepted and ignored by :meth:`ApproxIndex.query_columns`.
+    """
+
+    damping: float = 0.6
+    iterations: int = 5
+    num_projections: int = 256
+    seed: int = 0
+    dtype: str = "float64"
+    query_mode: str = "exact"
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class ApproxIndex:
+    """Sketch-backed approximate CoSimRank index (the degrade tier).
+
+    Wraps an :class:`RPCoSimEngine` in ``mode="multi-source"`` — only the
+    ``(K+1)`` sketches are retained, never the ``n x n`` estimate — and
+    exposes the serving backend surface: ``prepare``/``num_nodes``/
+    ``dtype``/``query_columns``/``top_k``/``save``/``load``.
+
+    Examples
+    --------
+    >>> from repro.graphs import ring
+    >>> approx = ApproxIndex(ring(16), num_projections=128).prepare()
+    >>> block = approx.query_columns([0, 3])       # n x 2 estimate
+    >>> block.shape
+    (16, 2)
+    """
+
+    name = "CSR+approx"
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        *,
+        damping: float = 0.6,
+        iterations: int = 5,
+        num_projections: int = 256,
+        seed: int = 0,
+        dtype: "np.typing.DTypeLike" = np.float64,
+        memory_budget_bytes: Optional[int] = None,
+        dangling: str = "zero",
+    ):
+        self._engine = RPCoSimEngine(
+            graph,
+            damping=damping,
+            iterations=iterations,
+            num_projections=num_projections,
+            mode="multi-source",
+            seed=seed,
+            memory_budget_bytes=memory_budget_bytes,
+            dangling=dangling,
+            dtype=dtype,
+        )
+        self.config = ApproxConfig(
+            damping=float(damping),
+            iterations=int(iterations),
+            num_projections=int(num_projections),
+            seed=int(seed),
+            dtype=str(np.dtype(dtype)),
+        )
+
+    @classmethod
+    def for_rank(cls, graph: DiGraph, rank: int, **kwargs) -> "ApproxIndex":
+        """Replica matched to an exact index of ``rank`` (``K = r``).
+
+        Uses the same fairness rule as the baseline study so the sketch
+        truncates the series exactly where the exact tier does.
+        """
+        return cls(graph, iterations=baseline_iterations_for_rank(rank), **kwargs)
+
+    # ------------------------------------------------------------------
+    # index surface
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DiGraph:
+        return self._engine.graph
+
+    @property
+    def num_nodes(self) -> int:
+        return self._engine.num_nodes
+
+    @property
+    def damping(self) -> float:
+        return self._engine.damping
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._engine.dtype
+
+    @property
+    def num_projections(self) -> int:
+        return self._engine.num_projections
+
+    @property
+    def is_prepared(self) -> bool:
+        return self._engine.is_prepared
+
+    @property
+    def memory(self):
+        return self._engine.memory
+
+    def prepare(self) -> "ApproxIndex":
+        """Materialise the sketches (idempotent).  Returns ``self``."""
+        self._engine.prepare()
+        return self
+
+    def query_atol(self) -> float:
+        """This replica's :func:`approx_query_atol` contract."""
+        return approx_query_atol(self.config.num_projections, self.config.damping)
+
+    def standard_error_bound(self) -> float:
+        return self._engine.standard_error_bound()
+
+    def query_columns(self, seeds, mode: Optional[str] = None) -> np.ndarray:
+        """Estimated similarity columns ``[S_hat]_{*, seeds[j]}``.
+
+        Same shape contract as ``CSRPlusIndex.query_columns``: an
+        ``n x len(seeds)`` Fortran-ordered block in the index dtype,
+        duplicates honoured.  ``mode`` is accepted for surface
+        compatibility (any of :data:`~repro.core.config.QUERY_MODES`,
+        or ``None``) and ignored — a sketched query has one evaluation
+        strategy, so there is no exact/batched distinction to pick.
+        """
+        if mode is not None and mode not in QUERY_MODES:
+            raise InvalidParameterError(
+                f"query mode must be one of {QUERY_MODES} (or None), got {mode!r}"
+            )
+        seed_ids = np.asarray(seeds, dtype=np.int64).ravel()
+        if seed_ids.size == 0:
+            return np.empty((self.num_nodes, 0), dtype=self.dtype, order="F")
+        return np.asfortranarray(self._engine.query(seed_ids))
+
+    def query(self, queries) -> np.ndarray:
+        """Alias for :meth:`query_columns` (SimilarityEngine spelling)."""
+        return self.query_columns(queries)
+
+    def top_k(self, query: int, k: int, exclude_self: bool = True) -> np.ndarray:
+        """Ids of the estimated top-``k`` (ties by ascending id)."""
+        return self._engine.top_k(query, k, exclude_self)
+
+    def top_k_batch(
+        self, seeds, k: int, exclude_self: bool = True
+    ) -> List[TopKResult]:
+        """One :class:`~repro.core.topk.TopKResult` per seed, in order.
+
+        The sketched replica has no norm-ordered blocks to prune, so the
+        whole estimated column is scored (``candidates_scored = n``) and
+        sorted with the serving layer's canonical tie order (descending
+        score, ties by ascending node id).
+        """
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        seed_ids = np.asarray(seeds, dtype=np.int64).ravel()
+        block = self.query_columns(seed_ids)
+        n = self.num_nodes
+        results: List[TopKResult] = []
+        for j, seed in enumerate(seed_ids):
+            scores = block[:, j]
+            order = np.lexsort((np.arange(n), -scores))
+            if exclude_self:
+                order = order[order != int(seed)]
+            top = order[: min(k, order.size)].astype(np.int64)
+            results.append(
+                TopKResult(
+                    nodes=top,
+                    scores=scores[top].copy(),
+                    candidates_scored=n,
+                    blocks_scanned=1,
+                    blocks_skipped=0,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # persistence (registry-compatible: save(path) / load(path, graph))
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, "os.PathLike[str]"]) -> None:
+        """Serialise the prepared sketches to an ``.npz`` file."""
+        self.prepare()
+        np.savez_compressed(
+            os.fspath(path),
+            sketches=np.stack(self._engine._sketches),
+            num_nodes=np.int64(self.num_nodes),
+            damping=np.float64(self.config.damping),
+            iterations=np.int64(self.config.iterations),
+            num_projections=np.int64(self.config.num_projections),
+            seed=np.int64(self.config.seed),
+        )
+
+    @classmethod
+    def load(
+        cls, path: Union[str, "os.PathLike[str]"], graph: DiGraph
+    ) -> "ApproxIndex":
+        """Load a replica saved with :meth:`save` for the same graph."""
+        with np.load(os.fspath(path)) as data:
+            num_nodes = int(data["num_nodes"])
+            if num_nodes != graph.num_nodes:
+                raise InvalidParameterError(
+                    f"saved approx replica is for a graph with {num_nodes} "
+                    f"nodes, got one with {graph.num_nodes}"
+                )
+            sketches = data["sketches"]
+            index = cls(
+                graph,
+                damping=float(data["damping"]),
+                iterations=int(data["iterations"]),
+                num_projections=int(data["num_projections"]),
+                seed=int(data["seed"]),
+                dtype=sketches.dtype,
+            )
+            engine = index._engine
+            engine._sketches = [np.ascontiguousarray(y) for y in sketches]
+        engine.memory.charge(
+            "precompute/sketches", sum(y.nbytes for y in engine._sketches)
+        )
+        engine._prepared = True
+        return index
+
+    def __repr__(self) -> str:
+        state = "prepared" if self.is_prepared else "unprepared"
+        return (
+            f"ApproxIndex(n={self.num_nodes}, d={self.config.num_projections}, "
+            f"K={self.config.iterations}, c={self.config.damping}, {state})"
+        )

@@ -43,10 +43,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import (
+    ColumnComputeFailed,
     InvalidParameterError,
     ReproError,
     DeadlineExceeded,
+    IndexCorrupted,
     ServiceOverloaded,
+    ShardCorrupted,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.slo import AvailabilitySLO, LatencySLO, SLOReport, evaluate_slos
@@ -64,9 +67,21 @@ __all__ = [
     "OUTCOMES",
 ]
 
-#: Terminal states a generated request can end in.  ``ok`` is the only
-#: good one; the rest are the availability SLO's bad outcomes.
-OUTCOMES = ("ok", "shed", "deadline", "degraded")
+#: Terminal states a generated request can end in.  ``ok`` (exact
+#: answer) and ``approx`` (answered by the approximate tier, within its
+#: published atol — the ``quality="auto"`` degrade policy turning
+#: would-be sheds into served requests, docs/approx.md) are the good
+#: ones; ``shed`` / ``deadline`` / ``degraded`` / ``failed`` are the
+#: availability SLO's bad outcomes.  ``failed`` is the hard-failure
+#: bucket (corruption, compute errors) — distinct from ``degraded``
+#: (soft, retryable degradation), so chaos-induced corruption can
+#: never masquerade as graceful degradation in a report.
+OUTCOMES = ("ok", "approx", "shed", "deadline", "degraded", "failed")
+
+#: Error types classified as ``failed``: the request did not get an
+#: answer *and* the cause was data loss or a compute fault, not an
+#: explicit serving policy (admission, deadline).
+_HARD_FAILURES = (IndexCorrupted, ShardCorrupted, ColumnComputeFailed)
 
 
 @dataclass(frozen=True)
@@ -282,6 +297,12 @@ class LoadReport:
         return self.outcomes.get("ok", 0) / max(1, self.requests)
 
     @property
+    def served_rate(self) -> float:
+        """Fraction of requests that got an answer (exact or approx)."""
+        served = self.outcomes.get("ok", 0) + self.outcomes.get("approx", 0)
+        return served / max(1, self.requests)
+
+    @property
     def slo_ok(self) -> bool:
         """True when no evaluated objective failed (vacuously true)."""
         return bool(self.slo["ok"]) if self.slo else True
@@ -298,6 +319,7 @@ class LoadReport:
             "latency_s": dict(self.latency_s),
             "outcomes": dict(self.outcomes),
             "ok_rate": self.ok_rate,
+            "served_rate": self.served_rate,
         }
         if self.topk is not None:
             payload["topk"] = self.topk
@@ -329,7 +351,8 @@ class LoadReport:
                 f"{outcome}={self.outcomes.get(outcome, 0)}"
                 for outcome in OUTCOMES
             )
-            + f"  (ok rate {self.ok_rate:.2%})",
+            + f"  (ok rate {self.ok_rate:.2%}, "
+            f"served rate {self.served_rate:.2%})",
         ]
         if self.mutations:
             lines.append(
@@ -376,18 +399,30 @@ def loadgen_slos(
                 "csrplus_loadgen_shed_total",
                 "csrplus_loadgen_deadline_total",
                 "csrplus_loadgen_degraded_total",
+                "csrplus_loadgen_failed_total",
             ),
         ))
     return tuple(slos)
 
 
-def _classify(error: Optional[ReproError]) -> str:
+def _classify(error: Optional[ReproError], tier: str = "exact") -> str:
+    """Map one request's (error, tier) pair to its terminal outcome.
+
+    Hard failures (:data:`_HARD_FAILURES` — corruption, compute faults)
+    are ``"failed"``, never ``"degraded"``: lumping them together let
+    chaos-induced corruption read as graceful degradation in
+    availability verdicts.  An errorless answer from the approximate
+    tier is ``"approx"`` — served, within its atol contract, but worth
+    telling apart from ``"ok"``.
+    """
     if error is None:
-        return "ok"
+        return "approx" if tier == "approx" else "ok"
     if isinstance(error, ServiceOverloaded):
         return "shed"
     if isinstance(error, DeadlineExceeded):
         return "deadline"
+    if isinstance(error, _HARD_FAILURES):
+        return "failed"
     return "degraded"
 
 
@@ -397,6 +432,7 @@ def run_load(
     *,
     topk: Optional[int] = None,
     deadline_s: Optional[float] = None,
+    quality: Optional[str] = None,
     slos: Sequence[object] = (),
     registry: Optional[MetricsRegistry] = None,
     clock: Callable[[], float] = time.monotonic,
@@ -413,6 +449,13 @@ def run_load(
     module docstring.  ``topk`` switches each request from
     ``serve_batch`` to ``serve_topk``; shed / deadline / per-request
     failures are recorded as outcomes, never raised.
+
+    ``quality`` is forwarded to the service's ``quality=`` knob
+    (docs/approx.md): with ``"auto"`` and an attached approximate
+    replica, overload shows up as ``approx`` outcomes (served, counted
+    good by the availability SLO) instead of ``shed``.  ``None``
+    (default) leaves the service's default, so reports from services
+    without the knob stay comparable.
 
     ``mutator`` / ``mutate_every`` interleave live-graph updates with
     the traffic (docs/dynamic.md): after every ``mutate_every``-th
@@ -464,7 +507,12 @@ def run_load(
         ),
         "degraded": reg.counter(
             "csrplus_loadgen_degraded_total",
-            "Generated requests that failed for non-deadline reasons",
+            "Generated requests that degraded for soft, non-deadline reasons",
+        ),
+        "failed": reg.counter(
+            "csrplus_loadgen_failed_total",
+            "Generated requests lost to hard failures (corruption, "
+            "compute faults)",
         ),
     }
     m_latency = reg.histogram(
@@ -495,21 +543,32 @@ def run_load(
         delay = arrival - clock()
         if delay > 0:
             sleep(delay)
+        # only forward quality when asked for, so services without the
+        # knob keep working under the generator
+        extra = {} if quality is None else {"quality": quality}
         try:
             if topk is not None:
                 detailed = service.serve_topk_detailed(
-                    list(request.seeds), topk, deadline_s=deadline_s
+                    list(request.seeds), topk, deadline_s=deadline_s, **extra
+                )
+                first_bad = next(
+                    (o for o in detailed.outcomes if not o.ok), None
+                )
+                judged = first_bad if first_bad is not None else (
+                    detailed.outcomes[0] if detailed.outcomes else None
                 )
                 outcome = _classify(
-                    next(
-                        (o.error for o in detailed.outcomes if not o.ok), None
-                    )
+                    judged.error if judged is not None else None,
+                    getattr(judged, "tier", "exact"),
                 )
             else:
                 detailed = service.serve_batch_detailed(
-                    [list(request.seeds)], deadline_s=deadline_s
+                    [list(request.seeds)], deadline_s=deadline_s, **extra
                 )
-                outcome = _classify(detailed.outcomes[0].error)
+                judged = detailed.outcomes[0]
+                outcome = _classify(
+                    judged.error, getattr(judged, "tier", "exact")
+                )
         except ServiceOverloaded:
             outcome = "shed"
         except DeadlineExceeded:  # pragma: no cover - detailed never raises it

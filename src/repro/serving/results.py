@@ -34,11 +34,20 @@ class RequestOutcome:
     ``request_ids`` attribute and in the slow-query JSON log line, so a
     slow or failed request can be joined across trace, log, and outcome
     (docs/observability.md).
+
+    ``tier`` records which serving tier produced the outcome:
+    ``"exact"`` for the CSR+ index path (bit-exact under Theorem 3.5),
+    ``"approx"`` for the sketched replica — including requests that a
+    ``quality="auto"`` batch downgraded instead of shedding.  Approx
+    answers carry the :func:`~repro.serving.approx.approx_query_atol`
+    error contract and are never cached into the exact caches
+    (docs/approx.md).
     """
 
     result: Optional[np.ndarray] = None
     error: Optional[ReproError] = None
     request_id: Optional[str] = None
+    tier: str = "exact"
 
     @property
     def ok(self) -> bool:

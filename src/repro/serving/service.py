@@ -46,6 +46,22 @@ or, under the partial-result policy, return the completed blocks.
 Every failure path counts in the service's metrics registry
 (``csrplus_serve_{retries,shed,deadline_exceeded,degraded_requests}_*``).
 
+Degradation tier (docs/approx.md): a service constructed with an
+``approx_index=`` replica (:class:`~repro.serving.approx.ApproxIndex`,
+the random-projection sketch of the same graph) gains a per-request
+``quality=`` knob on :meth:`CoSimRankService.serve_batch` /
+:meth:`CoSimRankService.serve_topk`: ``"exact"`` (default) keeps
+today's behaviour, ``"approx"`` answers straight from the sketched
+replica, and ``"auto"`` serves exactly until admission control would
+shed the batch — then *downgrades* it onto the replica instead of
+raising :class:`~repro.errors.ServiceOverloaded`.  Approximate answers
+carry ``tier="approx"`` on their outcomes, satisfy the
+:func:`~repro.serving.approx.approx_query_atol` AvgDiff contract
+against the exact tier, never enter the exact ``ColumnCache`` /
+``TopKCache``, and never charge the seed budget (the whole point is
+that the sketch is cheap enough to absorb overload).  Tier traffic is
+accounted exactly once in ``csrplus_serve_tier_{exact,approx}_total``.
+
 Observability (docs/observability.md): every batch emits a
 ``serve.batch`` span with nested ``serve.coalesce`` / ``serve.lookup``
 / ``serve.compute`` (plus one ``serve.compute.chunk`` per worker task
@@ -95,13 +111,19 @@ from repro.serving.scheduler import chunk_seeds, effective_chunk_size, plan_batc
 from repro.serving.stats import ServingStats
 from repro.testing import faults
 
-__all__ = ["CoSimRankService"]
+__all__ = ["CoSimRankService", "QUALITY_LEVELS"]
 
 logger = logging.getLogger("repro.serving")
 
 #: Serving phases tracked by the ``csrplus_serve_phase_seconds_total``
 #: counter and the per-phase spans.
 PHASES = ("coalesce", "lookup", "compute", "assemble")
+
+#: Per-request quality knob: ``"exact"`` serves only from the exact
+#: index (over budget -> shed), ``"approx"`` serves only from the
+#: sketched replica, ``"auto"`` serves exactly but downgrades a batch
+#: the budget would shed onto the replica (docs/approx.md).
+QUALITY_LEVELS = ("exact", "approx", "auto")
 
 
 class CoSimRankService:
@@ -152,8 +174,17 @@ class CoSimRankService:
         Admission-control budget: the maximum number of distinct seed
         columns allowed in flight across all concurrent batches.
         Batches that would exceed it raise
-        :class:`~repro.errors.ServiceOverloaded` (load shedding).
+        :class:`~repro.errors.ServiceOverloaded` (load shedding) —
+        unless they asked for ``quality="auto"`` and an
+        ``approx_index`` replica is attached, in which case they are
+        downgraded onto the approximate tier instead.
         ``None`` (default) disables admission control.
+    approx_index:
+        Optional :class:`~repro.serving.approx.ApproxIndex` replica
+        over the same graph, enabling ``quality="approx"`` /
+        ``"auto"`` (docs/approx.md).  Prepared if needed; must match
+        the exact index's ``num_nodes``.  Approximate answers never
+        enter the exact caches and never charge the seed budget.
     cache_validate:
         Fingerprint cached columns and re-verify on every hit; a
         corrupted entry is evicted and recomputed instead of served
@@ -205,6 +236,7 @@ class CoSimRankService:
         chunk_size: int = 64,
         query_mode: Optional[str] = None,
         max_inflight_seeds: Optional[int] = None,
+        approx_index=None,
         cache_validate: bool = False,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
@@ -249,7 +281,21 @@ class CoSimRankService:
         self.max_workers = int(max_workers or (os.cpu_count() or 1))
         self.slow_query_seconds = slow_query_seconds
         self._clock = clock
-        self._budget = SeedBudget(max_inflight_seeds)
+        self._budget = SeedBudget(
+            max_inflight_seeds, on_underflow=self._on_budget_underflow
+        )
+        if approx_index is not None:
+            approx_index.prepare()
+            if int(approx_index.num_nodes) != int(index.num_nodes):
+                raise InvalidParameterError(
+                    "approx_index must cover the same node set: serving "
+                    f"{index.num_nodes} nodes, replica has "
+                    f"{approx_index.num_nodes}"
+                )
+        # the replica is version-tagged alongside the exact index;
+        # publish_index swaps both under _swap_lock (docs/approx.md)
+        self._approx_index = approx_index
+        self._approx_version = 0
         self._cache = ColumnCache(
             cache_columns,
             num_rows=index.num_nodes,
@@ -423,6 +469,50 @@ class CoSimRankService:
             "csrplus_topk_cache_retained_total",
             "Cached rankings retained across clean version swaps",
         )
+        # approximate-tier accounting (docs/approx.md): every answered
+        # request lands in exactly one tier counter
+        self._m_tier_exact = reg.counter(
+            "csrplus_serve_tier_exact_total",
+            "Requests answered by the exact tier (columns and top-k)",
+        )
+        self._m_tier_approx = reg.counter(
+            "csrplus_serve_tier_approx_total",
+            "Requests answered by the approximate (sketched) tier",
+        )
+        self._m_approx_batches = reg.counter(
+            "csrplus_approx_batches_total",
+            "Batches answered on the approximate tier",
+        )
+        self._m_approx_downgrades = reg.counter(
+            "csrplus_approx_downgrades_total",
+            "quality=auto batches downgraded to the approximate tier "
+            "instead of being shed",
+        )
+        self._m_approx_seeds = reg.counter(
+            "csrplus_approx_seeds_total",
+            "Distinct sketch columns evaluated by the approximate tier",
+        )
+        self._m_approx_index_version = reg.gauge(
+            "csrplus_approx_index_version",
+            "Version of the approximate replica currently attached",
+        )
+        self._m_approx_atol = reg.gauge(
+            "csrplus_approx_atol",
+            "Published AvgDiff error contract of the attached replica "
+            "(approx_query_atol)",
+        )
+        if approx_index is not None:
+            self._m_approx_atol.set(approx_index.query_atol())
+        self._m_budget_underflow = reg.counter(
+            "csrplus_serve_budget_underflow_total",
+            "SeedBudget.release calls exceeding what was acquired "
+            "(double-release accounting bugs, surfaced not swallowed)",
+        )
+
+    def _on_budget_underflow(self, deficit: int) -> None:
+        """Wired into :class:`SeedBudget`; counts unmatched releases."""
+        with self._stats_lock:
+            self._m_budget_underflow.inc()
 
     # ------------------------------------------------------------------
     # serving entry points
@@ -437,6 +527,7 @@ class CoSimRankService:
         *,
         deadline_s: Optional[float] = None,
         partial: bool = False,
+        quality: str = "exact",
     ) -> List[np.ndarray]:
         """Answer a batch of requests, one ``n x |Q_i|`` block each.
 
@@ -459,14 +550,27 @@ class CoSimRankService:
             list has ``None`` holes for failed requests while every
             successful block is still bit-exact.  Use
             :meth:`serve_batch_detailed` to see the per-request errors.
+        quality:
+            One of :data:`QUALITY_LEVELS`.  ``"exact"`` (default)
+            serves from the exact index only; ``"approx"`` answers
+            from the sketched replica (within the
+            :func:`~repro.serving.approx.approx_query_atol` contract);
+            ``"auto"`` serves exactly unless admission control would
+            shed the batch, in which case it is downgraded onto the
+            replica instead of raising.  Requires an ``approx_index``
+            for ``"approx"``; ``"auto"`` without one degrades to plain
+            exact-or-shed.
 
         Raises
         ------
         ServiceOverloaded
             When admission control sheds the batch (both policies — an
-            over-budget batch produces no results at all).
+            over-budget batch produces no results at all), unless
+            ``quality="auto"`` downgraded it onto the replica.
         """
-        detailed = self.serve_batch_detailed(requests, deadline_s=deadline_s)
+        detailed = self.serve_batch_detailed(
+            requests, deadline_s=deadline_s, quality=quality
+        )
         if partial:
             return detailed.partial_results()
         return detailed.results()
@@ -476,6 +580,7 @@ class CoSimRankService:
         requests: Sequence[QueryLike],
         *,
         deadline_s: Optional[float] = None,
+        quality: str = "exact",
     ) -> BatchResult:
         """Like :meth:`serve_batch` but with per-request outcomes.
 
@@ -483,11 +588,18 @@ class CoSimRankService:
         :class:`~repro.serving.results.RequestOutcome` carries either a
         bit-exact block or a typed :class:`~repro.errors.ReproError`.
         Batch-level rejections (invalid requests, load shedding) still
-        raise, since no per-request answer exists.
+        raise, since no per-request answer exists.  Every outcome's
+        ``tier`` names the tier that produced it (``"exact"`` /
+        ``"approx"``, see the ``quality`` parameter on
+        :meth:`serve_batch`).
         """
         if deadline_s is not None and deadline_s <= 0:
             raise InvalidParameterError(
                 f"deadline_s must be > 0 (or None), got {deadline_s}"
+            )
+        if quality not in QUALITY_LEVELS:
+            raise InvalidParameterError(
+                f"quality must be one of {QUALITY_LEVELS}, got {quality!r}"
             )
         started = self._clock()
         deadline_at = started + deadline_s if deadline_s is not None else None
@@ -498,6 +610,24 @@ class CoSimRankService:
         with self._swap_lock:
             index = self.index
             version = self._index_version
+            approx_index = self._approx_index
+            approx_version = self._approx_version
+        if quality == "approx" and approx_index is None:
+            raise InvalidParameterError(
+                'quality="approx" requires an approx_index replica '
+                "(pass approx_index= to the service constructor)"
+            )
+        if quality == "approx":
+            return self._serve_batch_approx(
+                requests,
+                batch_id=batch_id,
+                request_ids=request_ids,
+                started=started,
+                deadline_s=deadline_s,
+                index=approx_index,
+                version=approx_version,
+                downgraded=False,
+            )
         tracer = self._tracer
         with tracer.span("serve.batch", batch_id=batch_id) as batch_span:
             with tracer.span("serve.coalesce") as coalesce_span:
@@ -510,6 +640,22 @@ class CoSimRankService:
 
             n_seeds = int(plan.unique_seeds.size)
             if not self._budget.try_acquire(n_seeds):
+                if quality == "auto" and approx_index is not None:
+                    # the degrade policy: answer from the sketched
+                    # replica instead of shedding (docs/approx.md)
+                    with self._stats_lock:
+                        self._m_approx_downgrades.inc()
+                    return self._serve_batch_approx(
+                        requests,
+                        batch_id=batch_id,
+                        request_ids=request_ids,
+                        started=started,
+                        deadline_s=deadline_s,
+                        index=approx_index,
+                        version=approx_version,
+                        downgraded=True,
+                        plan=plan,
+                    )
                 with self._stats_lock:
                     self._m_shed.inc()
                 assert self._budget.max_inflight is not None
@@ -579,6 +725,218 @@ class CoSimRankService:
         )
 
     # ------------------------------------------------------------------
+    # approximate tier (docs/approx.md)
+    # ------------------------------------------------------------------
+    def _serve_batch_approx(
+        self,
+        requests: Sequence[QueryLike],
+        *,
+        batch_id: str,
+        request_ids: List[str],
+        started: float,
+        deadline_s: Optional[float],
+        index,
+        version: int,
+        downgraded: bool,
+        plan=None,
+    ) -> BatchResult:
+        """Answer a whole batch from the sketched replica.
+
+        No budget charge (the sketch is the overload absorber), no
+        exact-cache interaction (approximate columns must never be
+        replayed as exact answers), outcomes tagged ``tier="approx"``.
+        ``plan`` is passed when the auto-downgrade path already
+        coalesced the batch.
+        """
+        tracer = self._tracer
+        deadline_at = started + deadline_s if deadline_s is not None else None
+        with tracer.span(
+            "serve.approx",
+            batch_id=batch_id,
+            downgraded=downgraded,
+            index_version=version,
+            num_projections=int(index.config.num_projections),
+        ) as approx_span:
+            if plan is None:
+                with tracer.span("serve.coalesce"):
+                    plan = plan_batch(requests, index.num_nodes)
+            approx_span.set_attribute("requests", plan.num_requests)
+            approx_span.set_attribute(
+                "unique_seeds", int(plan.unique_seeds.size)
+            )
+            approx_span.set_attribute("request_ids", list(request_ids))
+            outcomes: List[RequestOutcome] = []
+            deadline_hit = False
+            failures: Dict[int, ReproError] = {}
+            if deadline_at is not None and self._clock() >= deadline_at:
+                # the replica's answer is one GEMM — either the whole
+                # batch makes the deadline or none of it does
+                deadline_hit = True
+                for request_id in request_ids:
+                    outcomes.append(
+                        RequestOutcome(
+                            error=DeadlineExceeded(
+                                deadline_s if deadline_s is not None else 0.0,
+                                self._clock() - started,
+                                completed_seeds=0,
+                                cancelled_seeds=int(plan.unique_seeds.size),
+                            ),
+                            request_id=request_id,
+                            tier="approx",
+                        )
+                    )
+            else:
+                try:
+                    block = index.query_columns(plan.unique_seeds)
+                    column_map = {
+                        int(seed): block[:, j]
+                        for j, seed in enumerate(plan.unique_seeds)
+                    }
+                except Exception as exc:
+                    for position, ids in enumerate(plan.request_ids):
+                        seed = int(ids[0]) if ids.size else -1
+                        error = ColumnComputeFailed(
+                            seed, str(exc) or type(exc).__name__
+                        )
+                        error.__cause__ = exc
+                        failures[seed] = error
+                        outcomes.append(
+                            RequestOutcome(
+                                error=error,
+                                request_id=request_ids[position],
+                                tier="approx",
+                            )
+                        )
+                else:
+                    for position, ids in enumerate(plan.request_ids):
+                        out = np.empty(
+                            (index.num_nodes, ids.size),
+                            dtype=index.dtype,
+                            order="F",
+                        )
+                        for j, seed in enumerate(ids):
+                            out[:, j] = column_map[int(seed)]
+                        outcomes.append(
+                            RequestOutcome(
+                                result=out,
+                                request_id=request_ids[position],
+                                tier="approx",
+                            )
+                        )
+        num_failed = sum(1 for outcome in outcomes if not outcome.ok)
+        with self._stats_lock:
+            self._m_batches.inc()
+            self._m_requests.inc(plan.num_requests)
+            self._m_tier_approx.inc(plan.num_requests)
+            self._m_seeds.inc(plan.seeds_requested)
+            self._m_approx_batches.inc()
+            self._m_approx_seeds.inc(int(plan.unique_seeds.size))
+            self._m_degraded.inc(num_failed)
+            if deadline_hit:
+                self._m_deadline.inc()
+            if approx_span is not obs.NULL_SPAN:
+                self._m_batch_seconds.observe(approx_span.wall_seconds)
+                self.latency_window.observe(approx_span.wall_seconds)
+        return BatchResult(
+            outcomes=outcomes,
+            failed_seeds=failures,
+            batch_id=batch_id,
+        )
+
+    def _serve_topk_approx(
+        self,
+        seed_ids: np.ndarray,
+        k: int,
+        exclude_self: bool,
+        *,
+        batch_id: str,
+        request_ids: List[str],
+        started: float,
+        deadline_s: Optional[float],
+        index,
+        version: int,
+        downgraded: bool,
+    ) -> BatchResult:
+        """Rank the replica's estimated columns for a top-k batch.
+
+        Mirrors :meth:`_serve_batch_approx`: no budget charge, no
+        ``TopKCache`` interaction, ``tier="approx"`` outcomes.
+        """
+        tracer = self._tracer
+        deadline_at = started + deadline_s if deadline_s is not None else None
+        with tracer.span(
+            "serve.approx",
+            batch_id=batch_id,
+            downgraded=downgraded,
+            index_version=version,
+            num_projections=int(index.config.num_projections),
+            k=int(k),
+        ) as approx_span:
+            unique = np.unique(seed_ids)
+            approx_span.set_attribute("requests", int(seed_ids.size))
+            approx_span.set_attribute("unique_seeds", int(unique.size))
+            outcomes: List[RequestOutcome] = []
+            deadline_hit = False
+            failures: Dict[int, ReproError] = {}
+            if deadline_at is not None and self._clock() >= deadline_at:
+                deadline_hit = True
+                for request_id in request_ids:
+                    outcomes.append(
+                        RequestOutcome(
+                            error=DeadlineExceeded(
+                                deadline_s if deadline_s is not None else 0.0,
+                                self._clock() - started,
+                                completed_seeds=0,
+                                cancelled_seeds=int(unique.size),
+                            ),
+                            request_id=request_id,
+                            tier="approx",
+                        )
+                    )
+            else:
+                try:
+                    results = index.top_k_batch(unique, k, exclude_self)
+                    result_map = dict(zip((int(s) for s in unique), results))
+                except Exception as exc:
+                    for position, seed in enumerate(seed_ids):
+                        error = ColumnComputeFailed(
+                            int(seed), str(exc) or type(exc).__name__
+                        )
+                        error.__cause__ = exc
+                        failures[int(seed)] = error
+                        outcomes.append(
+                            RequestOutcome(
+                                error=error,
+                                request_id=request_ids[position],
+                                tier="approx",
+                            )
+                        )
+                else:
+                    for position, seed in enumerate(seed_ids):
+                        outcomes.append(
+                            RequestOutcome(
+                                result=result_map[int(seed)],
+                                request_id=request_ids[position],
+                                tier="approx",
+                            )
+                        )
+        num_failed = sum(1 for outcome in outcomes if not outcome.ok)
+        with self._stats_lock:
+            self._m_topk_batches.inc()
+            self._m_topk_seeds.inc(int(seed_ids.size))
+            self._m_tier_approx.inc(int(seed_ids.size))
+            self._m_approx_batches.inc()
+            self._m_approx_seeds.inc(int(np.unique(seed_ids).size))
+            self._m_topk_degraded.inc(num_failed)
+            if deadline_hit:
+                self._m_topk_deadline.inc()
+        return BatchResult(
+            outcomes=outcomes,
+            failed_seeds=failures,
+            batch_id=batch_id,
+        )
+
+    # ------------------------------------------------------------------
     # top-k serving
     # ------------------------------------------------------------------
     def serve_topk(
@@ -589,6 +947,7 @@ class CoSimRankService:
         exclude_self: bool = True,
         deadline_s: Optional[float] = None,
         partial: bool = False,
+        quality: str = "exact",
     ) -> List[TopKResult]:
         """Top-``k`` most-similar nodes for each seed, served.
 
@@ -611,9 +970,16 @@ class CoSimRankService:
         ``partial=True`` failed seeds come back as ``None`` holes
         instead of raising.  Use :meth:`serve_topk_detailed` for the
         per-seed typed errors.
+
+        ``quality`` works as in :meth:`serve_batch`: ``"approx"``
+        ranks the sketched replica's estimated columns (full scan, the
+        canonical tie order), ``"auto"`` downgrades to that instead of
+        shedding.  Approximate rankings never enter the
+        :class:`~repro.serving.cache.TopKCache`.
         """
         detailed = self.serve_topk_detailed(
-            seeds, k, exclude_self=exclude_self, deadline_s=deadline_s
+            seeds, k, exclude_self=exclude_self, deadline_s=deadline_s,
+            quality=quality,
         )
         if partial:
             return detailed.partial_results()
@@ -626,6 +992,7 @@ class CoSimRankService:
         *,
         exclude_self: bool = True,
         deadline_s: Optional[float] = None,
+        quality: str = "exact",
     ) -> BatchResult:
         """Like :meth:`serve_topk` but with per-seed outcomes.
 
@@ -641,15 +1008,34 @@ class CoSimRankService:
             raise InvalidParameterError(
                 f"deadline_s must be > 0 (or None), got {deadline_s}"
             )
+        if quality not in QUALITY_LEVELS:
+            raise InvalidParameterError(
+                f"quality must be one of {QUALITY_LEVELS}, got {quality!r}"
+            )
         started = self._clock()
         deadline_at = started + deadline_s if deadline_s is not None else None
         # pin (index, version) for the whole batch (see serve_batch_detailed)
         with self._swap_lock:
             index = self.index
             version = self._index_version
+            approx_index = self._approx_index
+            approx_version = self._approx_version
+        if quality == "approx" and approx_index is None:
+            raise InvalidParameterError(
+                'quality="approx" requires an approx_index replica '
+                "(pass approx_index= to the service constructor)"
+            )
         seed_ids = normalize_queries(seeds, index.num_nodes)
         batch_id = f"topk-{next(self._batch_seq)}"
         request_ids = [f"{batch_id}.{i}" for i in range(int(seed_ids.size))]
+        if quality == "approx":
+            return self._serve_topk_approx(
+                seed_ids, int(k), exclude_self,
+                batch_id=batch_id, request_ids=request_ids,
+                started=started, deadline_s=deadline_s,
+                index=approx_index, version=approx_version,
+                downgraded=False,
+            )
         tracer = self._tracer
         with tracer.span(
             "serve.topk",
@@ -664,6 +1050,16 @@ class CoSimRankService:
             unique = np.unique(seed_ids)
             n_seeds = int(unique.size)
             if not self._budget.try_acquire(n_seeds):
+                if quality == "auto" and approx_index is not None:
+                    with self._stats_lock:
+                        self._m_approx_downgrades.inc()
+                    return self._serve_topk_approx(
+                        seed_ids, int(k), exclude_self,
+                        batch_id=batch_id, request_ids=request_ids,
+                        started=started, deadline_s=deadline_s,
+                        index=approx_index, version=approx_version,
+                        downgraded=True,
+                    )
                 with self._stats_lock:
                     self._m_shed.inc()
                 assert self._budget.max_inflight is not None
@@ -728,6 +1124,7 @@ class CoSimRankService:
         with self._stats_lock:
             self._m_topk_batches.inc()
             self._m_topk_seeds.inc(int(seed_ids.size))
+            self._m_tier_exact.inc(int(seed_ids.size))
             self._m_topk_hits.inc(num_hits)
             self._m_topk_misses.inc(len(missing))
             self._m_topk_evictions.inc(evicted)
@@ -1031,6 +1428,7 @@ class CoSimRankService:
         with self._stats_lock:
             self._m_batches.inc()
             self._m_requests.inc(plan.num_requests)
+            self._m_tier_exact.inc(plan.num_requests)
             self._m_seeds.inc(plan.seeds_requested)
             self._m_unique.inc(int(plan.unique_seeds.size))
             self._m_hits.inc(hits)
@@ -1103,11 +1501,24 @@ class CoSimRankService:
         with self._swap_lock:
             return self._index_version
 
+    @property
+    def approx_index(self):
+        """The attached approximate replica, or ``None``."""
+        with self._swap_lock:
+            return self._approx_index
+
+    @property
+    def approx_version(self) -> int:
+        """Version tag of the attached approximate replica."""
+        with self._swap_lock:
+            return self._approx_version
+
     def publish_index(
         self,
         new_index,
         *,
         dirty_ranges: Optional[Sequence[Tuple[int, int]]] = None,
+        approx_index=None,
     ) -> int:
         """Atomically swap in a rebuilt index — zero downtime.
 
@@ -1137,6 +1548,14 @@ class CoSimRankService:
             :class:`~repro.sharding.ShardRepairReport.dirty_ranges`).
             ``None`` infers them by diffing factors when both indexes
             are monolithic, else conservatively marks every row dirty.
+        approx_index:
+            Optional rebuilt :class:`~repro.serving.approx.ApproxIndex`
+            replica for the updated graph; swapped atomically alongside
+            the exact index and version-tagged with the same new
+            version.  ``None`` keeps the current replica (it then
+            serves stale sketches until the next publish supplies one —
+            acceptable for an approximate tier, but the version gauges
+            make the skew visible).
 
         Returns
         -------
@@ -1144,6 +1563,14 @@ class CoSimRankService:
         """
         if hasattr(new_index, "prepare"):
             new_index.prepare()
+        if approx_index is not None:
+            approx_index.prepare()
+            if int(approx_index.num_nodes) != int(new_index.num_nodes):
+                raise InvalidParameterError(
+                    "published approx_index must cover the same node set: "
+                    f"index has {new_index.num_nodes} nodes, replica has "
+                    f"{approx_index.num_nodes}"
+                )
         started = self._clock()
         with self._publish_lock:
             old_index = self.index
@@ -1177,6 +1604,9 @@ class CoSimRankService:
                     self.index = new_index
                     self._index_version += 1
                     version = self._index_version
+                    if approx_index is not None:
+                        self._approx_index = approx_index
+                        self._approx_version = version
                 # in-flight batches pinned the old (index, version) pair
                 # and keep finishing on it; from here on every new batch
                 # sees the new pair.  The cache upgrade below happens
@@ -1190,6 +1620,9 @@ class CoSimRankService:
             elapsed = self._clock() - started
             with self._stats_lock:
                 self._m_index_version.set(version)
+                if approx_index is not None:
+                    self._m_approx_index_version.set(version)
+                    self._m_approx_atol.set(approx_index.query_atol())
                 self._m_swap_seconds.observe(elapsed)
                 self._m_cache_invalidated.inc(col["dropped"])
                 self._m_cache_patched.inc(col["patched"])
@@ -1302,6 +1735,11 @@ class CoSimRankService:
                 lookup_seconds=self._m_phase["lookup"].value,
                 compute_seconds=self._m_phase["compute"].value,
                 assemble_seconds=self._m_phase["assemble"].value,
+                tier_exact=int(self._m_tier_exact.value),
+                tier_approx=int(self._m_tier_approx.value),
+                approx_batches=int(self._m_approx_batches.value),
+                approx_downgrades=int(self._m_approx_downgrades.value),
+                budget_underflows=int(self._m_budget_underflow.value),
             )
 
     def topk_stats(self) -> Dict[str, int]:

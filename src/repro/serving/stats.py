@@ -64,6 +64,21 @@ class ServingStats:
         columns into per-request result blocks.  Measured by the
         ``serve.*`` spans, so they are zero while instrumentation is
         disabled (:func:`repro.obs.disable`).
+    tier_exact / tier_approx:
+        Answered requests per serving tier (docs/approx.md) — column
+        requests plus top-k seed requests, each counted exactly once:
+        ``tier_exact + tier_approx`` always equals
+        ``requests + topk seeds served``.
+    approx_batches:
+        Batches answered on the approximate tier
+        (``csrplus_approx_batches_total``).
+    approx_downgrades:
+        ``quality="auto"`` batches downgraded to the approximate tier
+        instead of shed (``csrplus_approx_downgrades_total``).
+    budget_underflows:
+        ``SeedBudget.release`` calls exceeding what was acquired — a
+        double-release accounting bug surfaced, never swallowed
+        (``csrplus_serve_budget_underflow_total``).
     """
 
     requests: int = 0
@@ -84,6 +99,11 @@ class ServingStats:
     lookup_seconds: float = 0.0
     compute_seconds: float = 0.0
     assemble_seconds: float = 0.0
+    tier_exact: int = 0
+    tier_approx: int = 0
+    approx_batches: int = 0
+    approx_downgrades: int = 0
+    budget_underflows: int = 0
 
     @property
     def hit_rate(self) -> float:

@@ -63,6 +63,70 @@ class TestModes:
         np.testing.assert_array_equal(a, b)
 
 
+class TestDtype:
+    """Regression tests for the dtype plumbing bug: a requested
+    ``float32`` used to be ignored past the constructor, so sketches,
+    ``S_hat``, query results, and the memory ledger all stayed f64."""
+
+    def test_float32_honoured_end_to_end(self, small_er):
+        engine = RPCoSimEngine(
+            small_er, iterations=5, num_projections=64, seed=2,
+            mode="all-pairs", dtype="float32",
+        ).prepare()
+        assert all(y.dtype == np.float32 for y in engine._sketches)
+        assert engine._s_hat.dtype == np.float32
+        assert engine.query([0, 5]).dtype == np.float32
+
+    def test_float32_multi_source_result_dtype(self, small_er):
+        engine = RPCoSimEngine(
+            small_er, iterations=5, num_projections=64, seed=2,
+            mode="multi-source", dtype=np.float32,
+        )
+        assert engine.query([1, 3]).dtype == np.float32
+
+    def test_ledger_charged_with_actual_itemsize(self, small_er):
+        n = small_er.num_nodes
+        f32 = RPCoSimEngine(
+            small_er, iterations=5, num_projections=64,
+            mode="all-pairs", dtype="float32",
+        ).prepare()
+        f64 = RPCoSimEngine(
+            small_er, iterations=5, num_projections=64,
+            mode="all-pairs", dtype="float64",
+        ).prepare()
+        f32_usage = f32.memory.high_water_breakdown()
+        f64_usage = f64.memory.high_water_breakdown()
+        assert f32_usage["precompute/S_hat"] == n * n * 4
+        assert f64_usage["precompute/S_hat"] == n * n * 8
+        assert (
+            f32_usage["precompute/sketches"] * 2
+            == f64_usage["precompute/sketches"]
+        )
+
+    def test_float32_fits_half_the_budget(self, small_er):
+        n = small_er.num_nodes
+        # 3 sketches of 16 x n plus S_hat: 25,920 bytes at f32,
+        # 51,840 at f64 — a budget between the two separates them
+        budget = n * n * 8 + 16 * n * 4 * 3
+        RPCoSimEngine(
+            small_er, iterations=2, num_projections=16, mode="all-pairs",
+            dtype="float32", memory_budget_bytes=budget,
+        ).prepare()
+        from repro.errors import MemoryBudgetExceeded
+
+        with pytest.raises(MemoryBudgetExceeded):
+            RPCoSimEngine(
+                small_er, iterations=2, num_projections=16, mode="all-pairs",
+                dtype="float64", memory_budget_bytes=budget,
+            ).prepare()
+
+    def test_bad_dtype_rejected(self, small_er):
+        with pytest.raises(InvalidParameterError, match="dtype"):
+            RPCoSimEngine(small_er, dtype="int32")
+        with pytest.raises(InvalidParameterError, match="dtype"):
+            RPCoSimEngine(small_er, dtype=np.float16)
+
+
 class TestValidation:
     def test_bad_mode(self, small_er):
         with pytest.raises(InvalidParameterError):

@@ -258,6 +258,92 @@ class TestServeBatchCommand:
         assert "error" in capsys.readouterr().err
 
 
+class TestQualityFlag:
+    """--quality plumbs the serving tier through serve-batch/loadgen."""
+
+    @staticmethod
+    def _write_queries(tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text("1,2,3\n4 5\n1,2\n")
+        return str(path)
+
+    def test_serve_batch_approx_reports_tiers(self, tmp_path, capsys):
+        import json
+
+        code = main(
+            [
+                "serve-batch",
+                "--dataset", "P2P",
+                "--tier", "tiny",
+                "--queries-file", self._write_queries(tmp_path),
+                "--rank", "4",
+                "--quality", "approx",
+                "--approx-projections", "64",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["quality"] == "approx"
+        assert payload["approx"]["num_projections"] == 64
+        assert payload["approx"]["atol"] > 0
+
+    def test_serve_batch_human_output_prints_tiers_line(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve-batch",
+                "--dataset", "P2P",
+                "--tier", "tiny",
+                "--queries-file", self._write_queries(tmp_path),
+                "--rank", "4",
+                "--quality", "auto",
+                "--approx-projections", "64",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tiers: exact=" in out
+        assert "replica d=64" in out
+
+    def test_shards_reject_quality(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve-batch",
+                "--shards", str(tmp_path / "store"),
+                "--queries-file", self._write_queries(tmp_path),
+                "--quality", "auto",
+            ]
+        )
+        assert code == 1
+        assert "exact factors" in capsys.readouterr().err
+
+    def test_loadgen_auto_serves_overload_as_approx(self, capsys):
+        import json
+
+        code = main(
+            [
+                "loadgen",
+                "--dataset", "P2P",
+                "--tier", "tiny",
+                "--rank", "4",
+                "--requests", "10",
+                "--qps", "500",
+                "--seeds-per-request", "8",
+                "--max-inflight-seeds", "4",
+                "--cache-columns", "0",
+                "--quality", "auto",
+                "--approx-projections", "64",
+                "--seed", "3",
+                "--simulate",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["outcomes"]["shed"] == 0
+        assert payload["outcomes"]["approx"] == 10
+
+
 class TestPartialExitCode:
     """serve-batch --partial exits 3 when the batch came back incomplete,
     so scripted callers can detect truncation (deadline hit, shed, ...)."""

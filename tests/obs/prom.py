@@ -45,6 +45,15 @@ KNOWN_CSRPLUS_FAMILIES = frozenset({
     "csrplus_serve_batch_seconds",
     "csrplus_serve_slow_batches_total",
     "csrplus_serve_query_mode",
+    # approximate serving tier (repro.serving.approx, docs/approx.md)
+    "csrplus_serve_tier_exact_total",
+    "csrplus_serve_tier_approx_total",
+    "csrplus_approx_batches_total",
+    "csrplus_approx_downgrades_total",
+    "csrplus_approx_seeds_total",
+    "csrplus_approx_index_version",
+    "csrplus_approx_atol",
+    "csrplus_serve_budget_underflow_total",
     # live-graph serving (repro.serving.service / live, repro.core.dynamic)
     "csrplus_index_version",
     "csrplus_update_swap_seconds",
@@ -98,6 +107,7 @@ KNOWN_CSRPLUS_FAMILIES = frozenset({
     "csrplus_loadgen_shed_total",
     "csrplus_loadgen_deadline_total",
     "csrplus_loadgen_degraded_total",
+    "csrplus_loadgen_failed_total",
     "csrplus_loadgen_request_seconds",
     "csrplus_loadgen_mutations_total",
 })

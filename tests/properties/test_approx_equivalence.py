@@ -1,0 +1,106 @@
+"""Property: the approximate tier honours its published error contract.
+
+The approximate serving tier (docs/approx.md) answers with sketched
+estimates, and :func:`repro.serving.approx.approx_query_atol` is the
+contract for how wrong they may be: for any graph, any seeds, any
+sketch width ``d``, any dtype, and any RNG seed, the AvgDiff (the
+paper's §6 accuracy metric) between an :class:`ApproxIndex` block and
+the exact tier's block for the same request must stay under the atol.
+Hypothesis searches for a counterexample; a second property pins the
+replica's determinism — the sketches are a pure function of the
+configuration, byte for byte — which the registry's checksum tier and
+the bench trajectory both rely on.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import CSRPlusIndex
+from repro.graphs.digraph import DiGraph
+from repro.metrics.accuracy import avg_diff
+from repro.serving.approx import (
+    APPROX_ATOL_SAFETY,
+    ApproxIndex,
+    approx_query_atol,
+)
+
+SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+PROJECTIONS = (64, 256, 1024)
+DTYPES = ("float32", "float64")
+
+
+@st.composite
+def graph_and_query(draw):
+    n = draw(st.integers(min_value=3, max_value=16))
+    possible = [(s, t) for s in range(n) for t in range(n) if s != t]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=2, max_size=3 * n, unique=True)
+    )
+    seeds = draw(
+        st.lists(st.integers(0, n - 1), min_size=1, max_size=4)
+    )  # duplicates allowed, like any served request
+    rank = draw(st.integers(min_value=2, max_value=min(5, n)))
+    return DiGraph(n, edges), seeds, rank
+
+
+class TestApproxErrorContract:
+    @given(
+        data=graph_and_query(),
+        d=st.sampled_from(PROJECTIONS),
+        dtype=st.sampled_from(DTYPES),
+        sketch_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(**SETTINGS)
+    def test_avg_diff_within_published_atol(self, data, d, dtype, sketch_seed):
+        graph, seeds, rank = data
+        exact = CSRPlusIndex(graph, rank=rank).prepare()
+        approx = ApproxIndex.for_rank(
+            graph, rank, num_projections=d, seed=sketch_seed, dtype=dtype
+        ).prepare()
+        block_a = approx.query_columns(seeds)
+        block_e = exact.query_columns(seeds)
+        assert block_a.shape == block_e.shape
+        assert block_a.dtype == np.dtype(dtype)
+        assert avg_diff(block_a, block_e) <= approx.query_atol()
+
+    @given(data=graph_and_query(), d=st.sampled_from(PROJECTIONS))
+    @settings(**SETTINGS)
+    def test_atol_matches_standard_error_bound(self, data, d):
+        graph, _, rank = data
+        approx = ApproxIndex.for_rank(graph, rank, num_projections=d)
+        assert approx.query_atol() == approx_query_atol(d, approx.damping)
+        assert approx.query_atol() == (
+            APPROX_ATOL_SAFETY * approx.standard_error_bound()
+        )
+
+
+class TestApproxDeterminism:
+    @given(
+        data=graph_and_query(),
+        d=st.sampled_from((64, 256)),
+        dtype=st.sampled_from(DTYPES),
+        sketch_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(**SETTINGS)
+    def test_same_seed_gives_byte_identical_sketches(
+        self, data, d, dtype, sketch_seed
+    ):
+        graph, seeds, rank = data
+        first = ApproxIndex.for_rank(
+            graph, rank, num_projections=d, seed=sketch_seed, dtype=dtype
+        ).prepare()
+        second = ApproxIndex.for_rank(
+            graph, rank, num_projections=d, seed=sketch_seed, dtype=dtype
+        ).prepare()
+        for y1, y2 in zip(first._engine._sketches, second._engine._sketches):
+            assert y1.dtype == y2.dtype
+            assert y1.tobytes() == y2.tobytes()
+        assert np.array_equal(
+            first.query_columns(seeds), second.query_columns(seeds)
+        )

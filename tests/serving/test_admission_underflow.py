@@ -1,0 +1,88 @@
+"""A double-release of the seed budget is surfaced, never swallowed.
+
+``SeedBudget.release`` runs inside the service's ``finally`` blocks, so
+an unmatched release (an accounting bug in some degrade path) must not
+raise — but it must not silently vanish either.  The contract: clamp
+in-flight to zero, count the event, call ``on_underflow``, and log at
+WARNING, all without disturbing the original batch's outcome.
+"""
+
+import logging
+
+import pytest
+
+from repro.core.index import CSRPlusIndex
+from repro.graphs.generators import ring
+from repro.serving import CoSimRankService, SeedBudget
+
+
+class TestSeedBudgetUnderflow:
+    def test_double_release_clamps_and_counts(self):
+        budget = SeedBudget(4)
+        assert budget.try_acquire(3)
+        budget.release(3)
+        budget.release(3)  # the bug: released twice
+        assert budget.in_flight == 0
+        assert budget.underflows == 1
+
+    def test_release_beyond_acquired_reports_deficit(self):
+        seen = []
+        budget = SeedBudget(8, on_underflow=seen.append)
+        assert budget.try_acquire(2)
+        budget.release(5)
+        assert budget.in_flight == 0
+        assert budget.underflows == 1
+        assert seen == [3]
+
+    def test_warning_logged(self, caplog):
+        budget = SeedBudget(4)
+        budget.try_acquire(1)
+        budget.release(1)
+        with caplog.at_level(logging.WARNING, logger="repro.serving"):
+            budget.release(1)
+        assert any(
+            "without a matching try_acquire" in record.message
+            for record in caplog.records
+        )
+
+    def test_matched_releases_never_count(self):
+        budget = SeedBudget(4, on_underflow=lambda d: pytest.fail(
+            "matched release must not report an underflow"
+        ))
+        for _ in range(5):
+            assert budget.try_acquire(2)
+            budget.release(2)
+        assert budget.underflows == 0
+        assert budget.in_flight == 0
+
+    def test_budget_still_usable_after_underflow(self):
+        budget = SeedBudget(2)
+        budget.release(7)  # nothing acquired at all
+        assert budget.underflows == 1
+        # the clamp keeps the ceiling meaningful afterwards
+        assert budget.try_acquire(2)
+        assert not budget.try_acquire(1)
+        budget.release(2)
+        assert budget.in_flight == 0
+        assert budget.underflows == 1
+
+
+class TestServiceUnderflowCounter:
+    def test_underflow_lands_in_service_stats_and_metrics(self):
+        index = CSRPlusIndex(ring(24), rank=4).prepare()
+        with CoSimRankService(index, max_inflight_seeds=8) as service:
+            assert service.stats().budget_underflows == 0
+            # simulate the double-release bug against the service's own
+            # budget: the instrument the constructor wired must count it
+            service._budget.release(3)
+            stats = service.stats()
+            assert stats.budget_underflows == 1
+            text = service.registry.render_prometheus()
+            assert "csrplus_serve_budget_underflow_total 1" in text
+
+    def test_healthy_serving_never_underflows(self):
+        index = CSRPlusIndex(ring(24), rank=4).prepare()
+        with CoSimRankService(index, max_inflight_seeds=8) as service:
+            for _ in range(3):
+                service.serve_batch([[0, 1, 2], [3, 4]])
+            assert service.stats().budget_underflows == 0

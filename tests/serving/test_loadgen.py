@@ -217,3 +217,124 @@ class TestRunLoad:
                 run_load(service, schedule, topk=0)
         finally:
             service.close()
+
+
+class TestFailedOutcome:
+    """Hard failures are ``failed``, never ``degraded`` (the satellite
+    bugfix): chaos-induced compute faults must not read as graceful
+    degradation in availability verdicts."""
+
+    _OVERLOAD = dict(
+        requests=10, qps=500.0, seeds_per_request=4, zipf_s=0.0, seed=9
+    )
+
+    def test_compute_faults_classify_as_failed(self, index):
+        from repro.testing.faults import FaultPlan
+
+        profile = LoadProfile(**self._OVERLOAD)
+        schedule = build_schedule(profile, index.num_nodes)
+        registry = MetricsRegistry()
+        clock = SimulatedClock()
+        # every chunk AND every isolation retry fails -> each request
+        # ends in ColumnComputeFailed, a hard failure
+        service = _service(index, cache_columns=0)
+        try:
+            with FaultPlan(sleep=lambda s: None).fail(
+                "compute.chunk", times=None
+            ):
+                report = run_load(
+                    service, schedule,
+                    registry=registry,
+                    slos=loadgen_slos(availability=0.9),
+                    clock=clock.now, sleep=clock.sleep,
+                )
+        finally:
+            service.close()
+        assert report.outcomes["failed"] == 10
+        assert report.outcomes["degraded"] == 0
+        assert report.ok_rate == 0.0
+        # the new family feeds the availability SLO's bad set
+        text = registry.render_prometheus()
+        assert_known_families(text)
+        assert "csrplus_loadgen_failed_total 10" in text
+        assert not report.slo_ok
+
+    def test_classifier_keeps_failures_out_of_degraded(self):
+        from repro.errors import (
+            ColumnComputeFailed,
+            DeadlineExceeded,
+            IndexCorrupted,
+            ServiceOverloaded,
+            ShardCorrupted,
+        )
+        from repro.serving.loadgen import _classify
+
+        assert _classify(None) == "ok"
+        assert _classify(None, tier="approx") == "approx"
+        assert _classify(ServiceOverloaded(8, 4, 4)) == "shed"
+        assert _classify(DeadlineExceeded(0.1, 0.2)) == "deadline"
+        assert _classify(IndexCorrupted("x.npz", "bad digest")) == "failed"
+        assert _classify(ShardCorrupted("y", 0, "bad shard")) == "failed"
+        assert _classify(ColumnComputeFailed(3, "boom")) == "failed"
+
+
+class TestQualityForwarding:
+    """``run_load(quality="auto")`` turns overload sheds into served
+    ``approx`` outcomes, and the availability SLO counts them good."""
+
+    _OVERLOAD = dict(
+        requests=30, qps=500.0, seeds_per_request=8, zipf_s=0.0, seed=4
+    )
+
+    def _auto_run(self, index, **kwargs):
+        from repro.serving import ApproxIndex
+
+        profile = LoadProfile(**self._OVERLOAD)
+        schedule = build_schedule(profile, index.num_nodes)
+        clock = SimulatedClock()
+        replica = ApproxIndex.for_rank(
+            index.graph, index.config.rank, num_projections=256
+        ).prepare()
+        service = _service(
+            index,
+            max_inflight_seeds=4,
+            cache_columns=0,
+            approx_index=replica,
+        )
+        try:
+            return run_load(
+                service, schedule, quality="auto",
+                clock=clock.now, sleep=clock.sleep, **kwargs,
+            ), service
+        finally:
+            service.close()
+
+    def test_auto_serves_what_exact_only_sheds(self, index):
+        report, service = self._auto_run(index)
+        # the exact-only baseline sheds all 30 (see
+        # test_shed_outcomes_under_admission_pressure); auto serves them
+        assert report.outcomes["shed"] == 0
+        assert report.outcomes["approx"] == 30
+        assert report.served_rate == 1.0
+        assert report.ok_rate == 0.0  # approx is served, but not "ok"
+        stats = service.stats()
+        assert stats.tier_approx == 30
+        assert stats.approx_downgrades == 30
+        assert stats.shed == 0
+
+    def test_availability_slo_counts_approx_as_good(self, index):
+        registry = MetricsRegistry()
+        report, _ = self._auto_run(
+            index,
+            registry=registry,
+            slos=loadgen_slos(availability=0.999),
+        )
+        assert report.slo_ok
+        text = registry.render_prometheus()
+        assert_known_families(text)
+        assert 'csrplus_loadgen_outcomes_total{outcome="approx"} 30' in text
+
+    def test_auto_report_stays_deterministic(self, index):
+        first, _ = self._auto_run(index)
+        second, _ = self._auto_run(index)
+        assert first.as_dict() == second.as_dict()

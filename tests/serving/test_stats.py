@@ -37,11 +37,13 @@ class TestAsDict:
         assert restored["compute_seconds"] == pytest.approx(1.5)
         # every dataclass field appears, plus the derived hit_rate
         assert set(restored) == set(stats.as_dict())
-        assert len(restored) == 19
-        # the robustness counters default to zero
+        assert len(restored) == 24
+        # the robustness and tier counters default to zero
         for key in (
             "retries", "shed", "deadline_exceeded",
             "degraded_requests", "cache_integrity_failures",
+            "tier_exact", "tier_approx", "approx_batches",
+            "approx_downgrades", "budget_underflows",
         ):
             assert restored[key] == 0
 
