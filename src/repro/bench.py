@@ -94,6 +94,74 @@ def _throughput(fn, amount: int, repeats: int = 3) -> float:
     return amount / max(best, 1e-12)
 
 
+def _frontend_metrics(
+    graph: DiGraph,
+    config: CSRPlusConfig,
+    workers: int,
+    profile: LoadProfile,
+    *,
+    slo_p99_ms: float,
+    slo_availability: float,
+) -> Dict[str, Dict[str, object]]:
+    """Measure the multi-process frontend (docs/frontend.md).
+
+    Builds a throwaway sharded store, boots a
+    :class:`~repro.serving.frontend.BackgroundFrontend` with ``workers``
+    worker processes, and measures the per-seed GEMV path end to end
+    over HTTP: ``frontend_columns_per_second`` repeats one 64-seed
+    batch with the dispatcher cache disabled (every repeat recomputes),
+    and ``frontend_p99_ms`` replays the loadgen schedule through
+    :class:`~repro.serving.frontend.FrontendClient` on the real clock
+    (latency across a process boundary cannot be simulated).
+    """
+    import os
+    import tempfile
+
+    from repro.serving.frontend import (
+        BackgroundFrontend,
+        FrontendClient,
+        FrontendConfig,
+    )
+    from repro.sharding import build_sharded_store
+
+    metrics: Dict[str, Dict[str, object]] = {}
+    with tempfile.TemporaryDirectory(prefix="csrplus-bench-frontend-") as tmp:
+        store = build_sharded_store(
+            graph,
+            os.path.join(tmp, "bench.shards"),
+            num_shards=max(4, workers),
+            config=config,
+        )
+        frontend = BackgroundFrontend(
+            store.path,
+            config=FrontendConfig(
+                workers=workers, cache_columns=0, topk_cache_entries=0
+            ),
+        )
+        with frontend, FrontendClient(frontend.url) as client:
+            rng = np.random.default_rng(profile.seed)
+            seeds = rng.integers(0, graph.num_nodes, size=64).tolist()
+            client.serve_batch([seeds])  # warm-up: fault shards in
+            metrics["frontend_columns_per_second"] = _metric(
+                _throughput(lambda: client.serve_batch([seeds]), len(seeds)),
+                "columns/s",
+                "higher",
+            )
+            schedule = build_schedule(profile, graph.num_nodes)
+            report = run_load(
+                client,
+                schedule,
+                registry=MetricsRegistry(),
+                slos=loadgen_slos(
+                    p99_ms=slo_p99_ms, availability=slo_availability
+                ),
+            )
+            metrics["frontend_p99_ms"] = _metric(
+                report.latency_s["p99"] * 1e3, "ms", "lower"
+            )
+    return metrics
+
+
 def run_bench(
     graph: DiGraph,
     *,
@@ -104,6 +172,7 @@ def run_bench(
     simulate: bool = False,
     slo_p99_ms: float = 250.0,
     slo_availability: float = 0.99,
+    frontend_workers: int = 0,
     workload: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Measure the bench suite on ``graph`` and return the payload.
@@ -111,8 +180,12 @@ def run_bench(
     ``simulate`` runs the loadgen pass on a
     :class:`~repro.serving.loadgen.SimulatedClock`, making its metrics
     deterministic (CI uses this; kernel timings stay real either way).
-    The ``workload`` dict is recorded verbatim so the comparator can
-    refuse cross-workload comparisons.
+    ``frontend_workers > 0`` additionally boots the multi-process HTTP
+    frontend and records ``frontend_columns_per_second`` /
+    ``frontend_p99_ms`` (a schema-compatible addition: the comparator
+    skips metrics present on only one side).  The ``workload`` dict is
+    recorded verbatim so the comparator can refuse cross-workload
+    comparisons.
     """
     profile = profile or LoadProfile(requests=200, qps=500.0, seed=0)
     config = CSRPlusConfig(damping=damping, rank=min(rank, graph.num_nodes))
@@ -241,6 +314,18 @@ def run_bench(
         min(1.0, approx_served / max(1, shed_exact)), "fraction", "higher"
     )
 
+    if frontend_workers > 0:
+        metrics.update(
+            _frontend_metrics(
+                graph,
+                config,
+                frontend_workers,
+                profile,
+                slo_p99_ms=slo_p99_ms,
+                slo_availability=slo_availability,
+            )
+        )
+
     return {
         "schema": SCHEMA,
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -251,6 +336,7 @@ def run_bench(
             "damping": config.damping,
             "topk": topk,
             "simulate": simulate,
+            "frontend_workers": frontend_workers,
             "profile": profile.as_dict(),
         },
         "environment": _environment(),

@@ -25,6 +25,10 @@
         --mutate-every 50 --mutate-edges 2
     csrplus loadgen --dataset FB --tier small --requests 500 \
         --max-inflight-seeds 4 --quality auto --slo-availability 0.99
+    csrplus serve --shards fb.shards --port 8350 --workers 4
+    csrplus serve --dataset FB --tier small --store fb.shards --workers 4
+    csrplus loadgen --url http://127.0.0.1:8350 --requests 500 --qps 200 \
+        --slo-p99-ms 250 --fail-on-slo
     csrplus bench --dataset FB --tier tiny --out BENCH_today.json
     csrplus bench --dataset FB --tier tiny --compare BENCH_prior.json
 
@@ -367,6 +371,14 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen_source.add_argument(
         "--edge-list", help="path to a SNAP-style edge list"
     )
+    loadgen_source.add_argument(
+        "--url", metavar="http://HOST:PORT",
+        help="drive a running 'csrplus serve' frontend over HTTP with "
+        "keep-alive connections instead of an in-process service "
+        "(seed range comes from /healthz; service-side knobs like "
+        "--cache-columns/--query-mode/--max-inflight-seeds are the "
+        "server's and are ignored here)",
+    )
     loadgen.add_argument(
         "--tier", choices=("tiny", "small", "bench"), default="small"
     )
@@ -480,6 +492,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the span trace here as JSON",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-process HTTP frontend: an asyncio server "
+        "fanning queries to worker processes that mmap a sharded store "
+        "read-only (docs/frontend.md)",
+    )
+    serve_src = serve.add_mutually_exclusive_group(required=True)
+    serve_src.add_argument(
+        "--shards", metavar="DIR",
+        help="existing sharded store to serve (csrplus shard-build)",
+    )
+    serve_src.add_argument(
+        "--dataset", choices=dataset_keys(),
+        help="built-in stand-in; builds the store at --store if missing",
+    )
+    serve_src.add_argument(
+        "--edge-list", help="path to a SNAP-style edge list (with --store)"
+    )
+    serve.add_argument(
+        "--tier", choices=("tiny", "small", "bench"), default="small"
+    )
+    serve.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="store directory to build/reuse with a graph source",
+    )
+    serve.add_argument("--rank", type=int, default=5)
+    serve.add_argument("--damping", type=float, default=0.6)
+    serve.add_argument(
+        "--num-shards", type=int, default=4, metavar="K",
+        help="shards when the store has to be built",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8350,
+        help="listen port (0 = ephemeral, printed in the ready line)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="worker processes; each opens the store via mmap, so all "
+        "share one physical copy of Z in page cache",
+    )
+    serve.add_argument(
+        "--chunk-size", type=int, default=16,
+        help="seeds per worker task (smaller = more cross-process "
+        "parallelism per batch, more pipe overhead)",
+    )
+    serve.add_argument(
+        "--query-mode", choices=("exact", "batched"), default="exact"
+    )
+    serve.add_argument("--cache-columns", type=int, default=1024)
+    serve.add_argument(
+        "--max-inflight-seeds", type=int, default=None, metavar="N",
+        help="admission-control budget (HTTP 503 over it)",
+    )
+    serve.add_argument(
+        "--coalesce-ms", type=float, default=2.0, metavar="MS",
+        help="window in which concurrent HTTP requests merge into one "
+        "service batch (0 = coalesce only what is already queued)",
+    )
+    serve.add_argument(
+        "--approx-projections", type=int, default=None, metavar="D",
+        help="serve quality=approx/auto from a sketch replica of width "
+        "D, built beside the store if missing (needs a graph source)",
+    )
+    serve.add_argument(
+        "--no-admin", action="store_true",
+        help="disable the /admin/* surface (publish, fault injection)",
+    )
+    serve.add_argument(
+        "--validate-reads", action="store_true",
+        help="workers re-verify shard digests on every read",
+    )
+
     bench = sub.add_parser(
         "bench",
         help="measure the perf-trajectory suite; write/compare "
@@ -512,6 +597,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--simulate", action="store_true",
         help="loadgen on a virtual clock (deterministic loadgen metrics)",
+    )
+    bench.add_argument(
+        "--frontend-workers", type=int, default=0, metavar="N",
+        help="also boot the multi-process HTTP frontend with N workers "
+        "and record frontend_columns_per_second / frontend_p99_ms "
+        "(0 skips; docs/frontend.md)",
     )
     bench.add_argument(
         "--out", default=None, metavar="PATH",
@@ -1128,6 +1219,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
     if args.metrics_out or args.trace_out:
         obs.enable()
+    if args.url:
+        return _cmd_loadgen_http(args)
     graph = _load_graph(args)
     config = CSRPlusConfig(
         damping=args.damping, rank=min(args.rank, graph.num_nodes)
@@ -1246,6 +1339,215 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_loadgen_http(args: argparse.Namespace) -> int:
+    """``csrplus loadgen --url``: the same open-loop driver over HTTP.
+
+    The schedule, SLO verdicts, and outcome classification are the
+    in-process ones; only the dispatch target changes — a keep-alive
+    :class:`~repro.serving.frontend.FrontendClient` that reconstructs
+    the server's typed errors from the wire, so shed/deadline/degraded
+    counts mean the same thing they mean in process.
+    """
+    import time as _time
+
+    import repro.obs as obs
+    from repro.errors import InvalidParameterError
+    from repro.obs.metrics import MetricsRegistry
+    from repro.serving import (
+        LoadProfile,
+        SimulatedClock,
+        build_schedule,
+        loadgen_slos,
+        run_load,
+    )
+    from repro.serving.frontend import FrontendClient
+
+    if args.mutate_every:
+        raise InvalidParameterError(
+            "--mutate-every needs an in-process service "
+            "(--dataset/--edge-list); mutate a frontend through its "
+            "POST /admin/publish endpoint instead"
+        )
+    profile = LoadProfile(
+        requests=args.requests,
+        qps=args.qps,
+        seeds_per_request=args.seeds_per_request,
+        zipf_s=args.zipf,
+        burst_factor=args.burst_factor,
+        burst_period_s=args.burst_period_s,
+        burst_duty=args.burst_duty,
+        seed=args.seed,
+    )
+    slos = loadgen_slos(
+        p99_ms=args.slo_p99_ms,
+        p50_ms=args.slo_p50_ms,
+        availability=args.slo_availability,
+    )
+    registry = MetricsRegistry()
+    deadline_s = (
+        args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+    )
+    if args.simulate:
+        sim = SimulatedClock()
+        clock, sleep = sim.now, sim.sleep
+    else:
+        clock, sleep = _time.monotonic, _time.sleep
+    with FrontendClient(args.url) as client:
+        health = client.healthz()
+        schedule = build_schedule(profile, int(health["num_nodes"]))
+        report = run_load(
+            client,
+            schedule,
+            topk=args.topk,
+            deadline_s=deadline_s,
+            quality=args.quality,
+            slos=slos,
+            registry=registry,
+            clock=clock,
+            sleep=sleep,
+        )
+        if args.metrics_out:
+            _write_metrics_dump(args.metrics_out, client, registry)
+    if args.trace_out:
+        obs.get_tracer().write_json(args.trace_out)
+
+    exit_code = 4 if args.fail_on_slo and not report.slo_ok else 0
+    if args.json:
+        payload = report.as_dict()
+        payload["url"] = args.url
+        payload["server"] = health
+        print(json.dumps(payload, indent=2))
+        return exit_code
+    print(
+        f"frontend: {args.url}  n={health['num_nodes']} "
+        f"workers={health['workers_alive']}/{health['workers_total']} "
+        f"mode={health['query_mode']} v{health['index_version']}"
+    )
+    print(report.render())
+    if report.slo is not None:
+        from repro.obs.slo import SLOReport, SLOResult
+
+        table = SLOReport(
+            results=[
+                SLOResult(**{
+                    key: value
+                    for key, value in entry.items()
+                    if key not in ("burn_rate", "budget_remaining")
+                })
+                for entry in report.slo["slos"]
+            ]
+        ).render()
+        print(table)
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
+    if exit_code:
+        print(
+            "error: SLO verdicts failed; exiting 4 (--fail-on-slo)",
+            file=sys.stderr,
+        )
+    return exit_code
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.errors import InvalidParameterError
+    from repro.serving.frontend import FrontendConfig, FrontendServer
+    from repro.serving.frontend.protocol import WIRE_VERSION
+
+    graph = None
+    approx_path = None
+    if args.shards:
+        if args.approx_projections is not None:
+            raise InvalidParameterError(
+                "--approx-projections needs a graph source "
+                "(--dataset/--edge-list) to build and load the sketch "
+                "replica against; --shards carries only the exact factors"
+            )
+        store_path = args.shards
+        if not os.path.exists(os.path.join(store_path, "manifest.json")):
+            raise InvalidParameterError(
+                f"{store_path!r} is not a sharded store (no manifest.json); "
+                "build one with 'csrplus shard-build'"
+            )
+    else:
+        if not args.store:
+            raise InvalidParameterError(
+                "--store DIR is required with a graph source (the built "
+                "store persists there for the next start)"
+            )
+        graph = _load_graph(args)
+        store_path = args.store
+        if not os.path.exists(os.path.join(store_path, "manifest.json")):
+            from repro.sharding import build_sharded_store
+
+            config = CSRPlusConfig(
+                damping=args.damping,
+                rank=min(args.rank, graph.num_nodes),
+                query_mode=args.query_mode,
+            )
+            build_sharded_store(
+                graph, store_path, num_shards=args.num_shards, config=config
+            )
+            print(f"built sharded store at {store_path}", file=sys.stderr)
+        if args.approx_projections is not None:
+            from repro.serving import ApproxIndex
+            from repro.sharding import ShardStore
+
+            manifest = ShardStore(store_path).manifest
+            approx_path = os.path.join(store_path, "approx.npz")
+            if not os.path.exists(approx_path):
+                ApproxIndex.for_rank(
+                    graph,
+                    manifest.rank,
+                    damping=manifest.damping,
+                    num_projections=args.approx_projections,
+                ).prepare().save(approx_path)
+                print(
+                    f"built approx replica at {approx_path}", file=sys.stderr
+                )
+
+    config = FrontendConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        query_mode=args.query_mode,
+        cache_columns=args.cache_columns,
+        max_inflight_seeds=args.max_inflight_seeds,
+        coalesce_window_s=args.coalesce_ms / 1000.0,
+        admin=not args.no_admin,
+        validate_reads=args.validate_reads,
+    )
+    server = FrontendServer(
+        store_path, config=config, approx_path=approx_path, graph=graph
+    )
+
+    async def _run() -> None:
+        await server.start()
+        server.install_signal_handlers()
+        # one machine-readable ready line so wrappers can scrape the
+        # bound port and worker pids, then block until SIGTERM/SIGINT
+        # completes the graceful drain
+        print(
+            json.dumps({
+                "ready": True,
+                "url": server.url,
+                "protocol": WIRE_VERSION,
+                "num_nodes": server.num_nodes,
+                "workers": server.pool.worker_pids(),
+                "store": store_path,
+                "quality_tiers": approx_path is not None,
+            }),
+            flush=True,
+        )
+        await server.run_until_drained()
+
+    asyncio.run(_run())
+    print("frontend drained, exiting", file=sys.stderr)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from datetime import datetime, timezone
 
@@ -1270,6 +1572,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         profile=profile,
         topk=args.topk,
         simulate=args.simulate,
+        frontend_workers=args.frontend_workers,
     )
     out = args.out or (
         f"BENCH_{datetime.now(timezone.utc).strftime('%Y-%m-%d')}.json"
@@ -1437,6 +1740,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_stats(args)
         if args.command == "loadgen":
             return _cmd_loadgen(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "bench":
             return _cmd_bench(args)
         if args.command == "tune":

@@ -208,6 +208,27 @@ class ColumnComputeFailed(ReproError):
         )
 
 
+class WorkerCrashed(RetryableError):
+    """A frontend worker process died mid-task.
+
+    Raised by :class:`~repro.serving.frontend.worker.WorkerPool` when
+    the pipe to a worker breaks while a task is outstanding.  The pool
+    respawns the worker before raising, so the *next* submission finds
+    a healthy process — which is why this is a :class:`RetryableError`:
+    the dispatcher's per-seed isolation retries turn one crash into at
+    most one :class:`ColumnComputeFailed` per genuinely poisonous seed,
+    never a dead server.
+    """
+
+    def __init__(self, worker_id: int, reason: str = ""):
+        self.worker_id = int(worker_id)
+        self.reason = str(reason)
+        detail = f": {self.reason}" if self.reason else ""
+        super().__init__(
+            f"frontend worker {self.worker_id} crashed mid-task{detail}"
+        )
+
+
 class DatasetError(ReproError):
     """A dataset key is unknown or a dataset failed to materialise."""
 

@@ -40,7 +40,15 @@ into a traffic-serving component:
   serving tier (docs/approx.md): random-projection sketches behind the
   exact index's query surface, with a published AvgDiff error
   contract, backing the ``quality="approx"``/``"auto"`` degrade
-  policy.
+  policy;
+* :mod:`repro.serving.frontend` — the multi-process network front end
+  (docs/frontend.md): an asyncio HTTP/JSON server fanning queries to a
+  pool of worker processes that mmap the sharded store read-only (one
+  physical copy of ``Z`` in page cache), with cross-request
+  coalescing, merged Prometheus scrapes, graceful drain, and
+  crashed-worker respawn;
+* :class:`~repro.serving.locks.FileLock` — re-entrant advisory file
+  lock coordinating multi-process access to on-disk index state.
 """
 
 from repro.serving.admission import SeedBudget
@@ -68,8 +76,19 @@ from repro.serving.scheduler import (
     effective_chunk_size,
     plan_batch,
 )
+from repro.serving.locks import FileLock
 from repro.serving.service import QUALITY_LEVELS, CoSimRankService
 from repro.serving.stats import ServingStats
+
+# the frontend imports repro.serving.service directly, so pulling it in
+# last keeps the package import acyclic
+from repro.serving.frontend import (  # noqa: E402  (deliberate ordering)
+    BackgroundFrontend,
+    FrontendClient,
+    FrontendConfig,
+    FrontendServer,
+    WorkerPool,
+)
 
 __all__ = [
     "CoSimRankService",
@@ -102,4 +121,10 @@ __all__ = [
     "run_load",
     "zipf_probabilities",
     "loadgen_slos",
+    "BackgroundFrontend",
+    "FileLock",
+    "FrontendClient",
+    "FrontendConfig",
+    "FrontendServer",
+    "WorkerPool",
 ]

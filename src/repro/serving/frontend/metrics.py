@@ -1,0 +1,159 @@
+"""Merging per-worker metric snapshots into one scrape (docs/frontend.md).
+
+Every worker process keeps a private
+:class:`~repro.obs.MetricsRegistry`; the dispatcher holds two more (the
+service's ``csrplus_serve_*`` instruments and the frontend's
+``csrplus_frontend_*`` ones).  The stock
+:func:`repro.obs.metrics.render_prometheus` refuses duplicate metric
+names across registries — the right contract for registries that are
+supposed to be disjoint, and exactly wrong for N workers that all
+increment ``csrplus_shard_reads_total``.  This module implements the
+*summing* merge a multi-process exporter needs:
+
+* samples are keyed by ``(metric name, label set)``;
+* counters and histograms with the same key are **summed** (counts,
+  sums, and per-bucket tallies) — the scrape reads as one logical
+  server, which it is;
+* gauges with the same key are summed too (the gauges workers export —
+  resident store versions — are extensive quantities; per-worker
+  identity, where it matters, is preserved by the ``worker=<id>``
+  label the worker-level instruments carry, which keeps their keys
+  distinct and the merge a pass-through);
+* families with the same name but conflicting types raise
+  :class:`~repro.errors.InvalidParameterError` — a scraper would
+  reject such an exposition, so the server must not emit it.
+
+Input is the JSON form produced by
+:meth:`~repro.obs.MetricsRegistry.as_dict` (which is also what travels
+over the worker pipe), output is Prometheus text exposition v0.0.4.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["merge_metric_dicts", "render_merged_prometheus"]
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _merge_samples(
+    metric_type: str, into: Dict[str, Any], sample: Dict[str, Any], name: str
+) -> None:
+    if metric_type == "histogram":
+        if "buckets" not in sample:
+            raise InvalidParameterError(
+                f"histogram {name!r} sample carries no buckets"
+            )
+        buckets = into.setdefault("buckets", {})
+        for bound, count in sample["buckets"].items():
+            buckets[bound] = buckets.get(bound, 0) + int(count)
+        into["sum"] = into.get("sum", 0.0) + float(sample.get("sum", 0.0))
+        into["count"] = into.get("count", 0) + int(sample.get("count", 0))
+    else:  # counter / gauge
+        if "value" not in sample:
+            raise InvalidParameterError(
+                f"{metric_type} {name!r} sample carries no value"
+            )
+        into["value"] = into.get("value", 0.0) + float(sample["value"])
+
+
+def merge_metric_dicts(dumps: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Sum any number of ``as_dict`` dumps into one logical dump.
+
+    Stable output order: families sorted by name, samples by label set
+    — so two scrapes of the same state render byte-identically.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    merged: Dict[str, Dict[_LabelKey, Dict[str, Any]]] = {}
+    for dump in dumps:
+        for family in dump.get("metrics", []):
+            name = family["name"]
+            metric_type = family["type"]
+            known = families.get(name)
+            if known is None:
+                families[name] = {
+                    "name": name,
+                    "type": metric_type,
+                    "help": family.get("help", ""),
+                }
+                merged[name] = {}
+            elif known["type"] != metric_type:
+                raise InvalidParameterError(
+                    f"metric {name!r} is a {known['type']} in one registry "
+                    f"and a {metric_type} in another; cannot merge"
+                )
+            for sample in family.get("samples", []):
+                key = _label_key(sample.get("labels", {}))
+                into = merged[name].setdefault(key, {"labels": dict(key)})
+                _merge_samples(metric_type, into, sample, name)
+    out: List[Dict[str, Any]] = []
+    for name in sorted(families):
+        family = dict(families[name])
+        family["samples"] = [merged[name][key] for key in sorted(merged[name])]
+        out.append(family)
+    return {"metrics": out}
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: Dict[str, str], extra: List[Tuple[str, str]] = ()) -> str:
+    pairs = [(k, v) for k, v in sorted(labels.items())] + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        '{}="{}"'.format(k, str(v).replace("\\", r"\\").replace('"', r"\""))
+        for k, v in pairs
+    )
+    return "{" + body + "}"
+
+
+def _bucket_sort_key(bound: str) -> float:
+    return math.inf if bound == "+Inf" else float(bound)
+
+
+def render_merged_prometheus(dumps: Iterable[Dict[str, Any]]) -> str:
+    """One Prometheus text exposition from many registry dumps."""
+    merged = merge_metric_dicts(dumps)
+    lines: List[str] = []
+    for family in merged["metrics"]:
+        name, metric_type = family["name"], family["type"]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {metric_type}")
+        for sample in family["samples"]:
+            labels = sample["labels"]
+            if metric_type == "histogram":
+                for bound in sorted(sample["buckets"], key=_bucket_sort_key):
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_format_labels(labels, [('le', bound)])} "
+                        f"{sample['buckets'][bound]}"
+                    )
+                lines.append(
+                    f"{name}_sum{_format_labels(labels)} "
+                    f"{_format_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_format_labels(labels)} {sample['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_format_labels(labels)} "
+                    f"{_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,163 @@
+"""Proxy indexes that route kernel calls to the worker pool.
+
+:class:`PooledIndex` presents the backend surface
+:class:`~repro.serving.service.CoSimRankService` computes against —
+``query_columns``, the ``top_k_chunk`` hook, and the
+``gather_z_rows``/``gather_u_rows`` pair the cache row-patcher uses —
+but every call is an RPC to a :class:`~repro.serving.frontend.worker.
+WorkerPool` process.  The service therefore *is* the frontend
+dispatcher: plan/coalesce/cache/budget/deadline/retry logic runs once
+in the dispatcher process, and only cache *misses* cross the process
+boundary, chunked exactly as the in-process path chunks them.  Because
+the workers run the unchanged kernels over the same shard bytes, a
+block served through a :class:`PooledIndex` is bit-identical to one
+served by an in-process :class:`~repro.sharding.ShardedIndex`.
+
+Each proxy is pinned to one store *version*: ``publish`` hands the
+frontend a fresh :class:`PooledIndex` for the new version while
+batches that pinned the old proxy keep resolving against the old
+store (workers keep the previous version open — see
+``KEEP_VERSIONS``), which is how
+:meth:`~repro.serving.service.CoSimRankService.publish_index`'s
+zero-downtime contract extends across processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import CSRPlusConfig
+from repro.errors import InvalidParameterError
+from repro.serving.approx import approx_query_atol
+
+__all__ = ["PooledIndex", "PooledApproxIndex"]
+
+
+class PooledIndex:
+    """The exact serving surface, evaluated in worker processes."""
+
+    def __init__(self, pool, meta: Dict[str, Any], version: int = 0):
+        self._pool = pool
+        self._meta = dict(meta)
+        self.version = int(version)
+        self.num_nodes = int(meta["num_nodes"])
+        self.dtype = np.dtype(meta["dtype"])
+        config = meta.get("config", {})
+        self.config = CSRPlusConfig(
+            damping=float(config.get("damping", 0.6)),
+            rank=int(config.get("rank", 5)),
+            epsilon=float(config.get("epsilon", 1e-4)),
+            dtype=str(np.dtype(meta["dtype"])),
+            query_mode=config.get("query_mode", "exact"),
+        )
+
+    # -- backend surface the service computes against ------------------
+    def prepare(self) -> "PooledIndex":
+        return self
+
+    @property
+    def is_prepared(self) -> bool:
+        return True
+
+    def query_columns(self, seeds, mode: Optional[str] = None) -> np.ndarray:
+        return self._pool.columns(self.version, seeds, mode)
+
+    def top_k_chunk(
+        self,
+        seeds,
+        k: int,
+        *,
+        exclude_self: bool = True,
+        mode: Optional[str] = None,
+    ) -> List[Any]:
+        """Whole top-k chunks ranked inside one worker.
+
+        This is the optional backend hook ``CoSimRankService`` prefers
+        over running :func:`~repro.core.topk.top_k_blockwise` itself —
+        shipping the chunk to the worker keeps the blockwise scan next
+        to the mmapped shard bytes instead of streaming row blocks over
+        the pipe.
+        """
+        return self._pool.topk(self.version, seeds, k, exclude_self, mode)
+
+    def gather_z_rows(self, rows) -> np.ndarray:
+        return self._pool.gather(self.version, "z", rows)
+
+    def gather_u_rows(self, rows) -> np.ndarray:
+        return self._pool.gather(self.version, "u", rows)
+
+    def close(self) -> None:
+        """The pool outlives its proxies; closing a proxy is a no-op."""
+
+    def at_version(self, version: int, meta: Optional[Dict[str, Any]] = None):
+        """A sibling proxy pinned to another published version."""
+        return PooledIndex(self._pool, meta or self._meta, version)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PooledIndex(n={self.num_nodes}, version={self.version}, "
+            f"pool={self._pool!r})"
+        )
+
+
+class PooledApproxIndex:
+    """The approximate tier's surface, evaluated in worker processes.
+
+    Mirrors what :meth:`CoSimRankService._serve_batch_approx` and
+    ``_serve_topk_approx`` touch on an
+    :class:`~repro.serving.approx.ApproxIndex`: ``query_columns`` (one
+    call per downgraded batch), ``top_k_batch``, ``num_nodes``,
+    ``dtype``, ``config.num_projections``, and ``query_atol``.
+    """
+
+    class _Config:
+        __slots__ = ("num_projections",)
+
+        def __init__(self, num_projections: int):
+            self.num_projections = int(num_projections)
+
+    def __init__(self, pool, meta: Dict[str, Any], version: int = 0):
+        approx = meta.get("approx")
+        if not approx:
+            raise InvalidParameterError(
+                "worker pool has no approx replica (build the store with "
+                "an .approx.npz sidecar to enable quality=approx)"
+            )
+        self._pool = pool
+        self._meta = dict(meta)
+        self.version = int(version)
+        self.num_nodes = int(meta["num_nodes"])
+        self.dtype = np.dtype(approx["dtype"])
+        self.config = self._Config(approx["num_projections"])
+        self._atol = float(
+            approx.get(
+                "query_atol",
+                approx_query_atol(
+                    self.config.num_projections,
+                    float(meta.get("config", {}).get("damping", 0.6)),
+                ),
+            )
+        )
+
+    def prepare(self) -> "PooledApproxIndex":
+        return self
+
+    def query_atol(self) -> float:
+        return self._atol
+
+    def query_columns(self, seeds, mode: Optional[str] = None) -> np.ndarray:
+        return self._pool.approx_columns(self.version, seeds)
+
+    def top_k_batch(self, seeds, k: int, exclude_self: bool = True) -> List[Any]:
+        return self._pool.approx_topk(self.version, seeds, k, exclude_self)
+
+    def at_version(self, version: int, meta: Optional[Dict[str, Any]] = None):
+        return PooledApproxIndex(self._pool, meta or self._meta, version)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PooledApproxIndex(n={self.num_nodes}, "
+            f"d={self.config.num_projections}, version={self.version})"
+        )

@@ -1,0 +1,291 @@
+"""Wire protocol for the multi-process HTTP front end (docs/frontend.md).
+
+JSON on the outside, raw array bytes on the inside: every numpy array
+crossing the HTTP boundary travels as ``{"dtype", "shape", "order",
+"data"}`` with ``data`` holding the base64 of the array's exact bytes.
+Base64 is lossless, so a decoded block is *bit-identical* to the block
+the dispatcher assembled — the frontend inherits the serving layer's
+exactness contract (Theorem 3.5 column purity) across the network with
+no float-text round-trip in between.
+
+Typed errors cross the wire as ``{"type", "message", ...fields}`` and
+are reconstructed into the same :mod:`repro.errors` taxonomy on the
+client, so ``csrplus loadgen --url`` classifies HTTP-served outcomes
+(shed / deadline / degraded / failed) with the exact rules it applies
+in process.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.topk import TopKResult
+from repro.errors import (
+    ColumnComputeFailed,
+    DeadlineExceeded,
+    IndexCorrupted,
+    InvalidParameterError,
+    ReproError,
+    ServiceOverloaded,
+    ShardCorrupted,
+    WorkerCrashed,
+)
+from repro.serving.results import BatchResult, RequestOutcome
+
+__all__ = [
+    "WIRE_VERSION",
+    "encode_array",
+    "decode_array",
+    "encode_topk",
+    "decode_topk",
+    "error_to_wire",
+    "error_from_wire",
+    "encode_batch_result",
+    "decode_batch_result",
+]
+
+#: Version tag embedded in ``/healthz`` so clients can detect skew.
+WIRE_VERSION = "csrplus-frontend/v1"
+
+#: Hard cap on a single decoded array (guards the server against a
+#: hostile or buggy client allocating unbounded memory).
+MAX_ARRAY_BYTES = 1 << 31
+
+
+# ----------------------------------------------------------------------
+# arrays
+# ----------------------------------------------------------------------
+def encode_array(array: np.ndarray) -> Dict[str, Any]:
+    """A JSON-safe envelope around an array's exact bytes.
+
+    2-D blocks keep their memory order (the serving layer assembles
+    F-ordered blocks; preserving order makes decode a straight
+    ``frombuffer`` + reshape with zero copies of the payload beyond the
+    base64 transform).
+    """
+    array = np.asarray(array)
+    order = "F" if array.ndim > 1 and array.flags.f_contiguous else "C"
+    return {
+        "dtype": str(array.dtype),
+        "shape": list(array.shape),
+        "order": order,
+        "data": base64.b64encode(array.tobytes(order=order)).decode("ascii"),
+    }
+
+
+def decode_array(obj: Dict[str, Any]) -> np.ndarray:
+    """Rebuild an array bit-identically from :func:`encode_array` output."""
+    try:
+        dtype = np.dtype(obj["dtype"])
+        shape = tuple(int(dim) for dim in obj["shape"])
+        order = obj.get("order", "C")
+        raw = base64.b64decode(obj["data"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidParameterError(f"malformed array envelope: {exc}") from exc
+    if order not in ("C", "F"):
+        raise InvalidParameterError(f"array order must be C or F, got {order!r}")
+    expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    if expected != len(raw):
+        raise InvalidParameterError(
+            f"array envelope carries {len(raw)} bytes but dtype/shape "
+            f"require {expected}"
+        )
+    if expected > MAX_ARRAY_BYTES:
+        raise InvalidParameterError(
+            f"array envelope of {expected} bytes exceeds the "
+            f"{MAX_ARRAY_BYTES}-byte wire limit"
+        )
+    flat = np.frombuffer(raw, dtype=dtype)
+    # copy out of the read-only base64 buffer into owned, writable memory
+    return np.array(flat.reshape(shape, order=order), order=order, copy=True)
+
+
+# ----------------------------------------------------------------------
+# top-k rankings
+# ----------------------------------------------------------------------
+def encode_topk(result: TopKResult) -> Dict[str, Any]:
+    return {
+        "nodes": encode_array(result.nodes),
+        "scores": encode_array(result.scores),
+        "candidates_scored": int(result.candidates_scored),
+        "blocks_scanned": int(result.blocks_scanned),
+        "blocks_skipped": int(result.blocks_skipped),
+    }
+
+
+def decode_topk(obj: Dict[str, Any]) -> TopKResult:
+    try:
+        return TopKResult(
+            nodes=decode_array(obj["nodes"]),
+            scores=decode_array(obj["scores"]),
+            candidates_scored=int(obj.get("candidates_scored", 0)),
+            blocks_scanned=int(obj.get("blocks_scanned", 0)),
+            blocks_skipped=int(obj.get("blocks_skipped", 0)),
+        )
+    except (KeyError, TypeError) as exc:
+        raise InvalidParameterError(f"malformed top-k envelope: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# typed errors
+# ----------------------------------------------------------------------
+def error_to_wire(error: BaseException) -> Dict[str, Any]:
+    """Flatten a typed error into its reconstructible wire form."""
+    wire: Dict[str, Any] = {
+        "type": type(error).__name__,
+        "message": str(error),
+    }
+    if isinstance(error, DeadlineExceeded):
+        wire.update(
+            deadline_seconds=error.deadline_seconds,
+            elapsed_seconds=error.elapsed_seconds,
+            completed_seeds=error.completed_seeds,
+            cancelled_seeds=error.cancelled_seeds,
+        )
+    elif isinstance(error, ServiceOverloaded):
+        wire.update(
+            requested=error.requested,
+            in_flight=error.in_flight,
+            budget=error.budget,
+        )
+    elif isinstance(error, ColumnComputeFailed):
+        cause = getattr(error, "__cause__", None)
+        wire.update(
+            seed=error.seed,
+            reason=str(cause) if cause is not None else "",
+        )
+    elif isinstance(error, ShardCorrupted):
+        wire.update(path=error.path, shard=error.shard, reason=error.reason)
+    elif isinstance(error, IndexCorrupted):
+        wire.update(path=error.path, reason=error.reason)
+    elif isinstance(error, WorkerCrashed):
+        wire.update(worker_id=error.worker_id, reason=error.reason)
+    return wire
+
+
+def error_from_wire(obj: Dict[str, Any]) -> ReproError:
+    """Rebuild the typed error a wire envelope describes.
+
+    Unknown types degrade to a plain :class:`~repro.errors.ReproError`
+    carrying the original type name in its message, so a newer server
+    never crashes an older client — it just loses classification
+    granularity.
+    """
+    kind = obj.get("type", "ReproError")
+    message = str(obj.get("message", ""))
+    try:
+        if kind == "DeadlineExceeded":
+            return DeadlineExceeded(
+                float(obj["deadline_seconds"]),
+                float(obj["elapsed_seconds"]),
+                completed_seeds=int(obj.get("completed_seeds", 0)),
+                cancelled_seeds=int(obj.get("cancelled_seeds", 0)),
+            )
+        if kind == "ServiceOverloaded":
+            return ServiceOverloaded(
+                int(obj["requested"]), int(obj["in_flight"]), int(obj["budget"])
+            )
+        if kind == "ColumnComputeFailed":
+            return ColumnComputeFailed(int(obj["seed"]), str(obj.get("reason", "")))
+        if kind == "ShardCorrupted":
+            return ShardCorrupted(
+                str(obj["path"]), int(obj["shard"]), str(obj["reason"])
+            )
+        if kind == "IndexCorrupted":
+            return IndexCorrupted(str(obj["path"]), str(obj["reason"]))
+        if kind == "WorkerCrashed":
+            return WorkerCrashed(int(obj["worker_id"]), str(obj.get("reason", "")))
+        if kind == "InvalidParameterError":
+            return InvalidParameterError(message)
+    except (KeyError, TypeError, ValueError):
+        pass  # malformed fields: fall through to the generic form
+    if kind == "ReproError":
+        return ReproError(message)
+    return ReproError(f"{kind}: {message}")
+
+
+# ----------------------------------------------------------------------
+# batch results
+# ----------------------------------------------------------------------
+def _encode_outcome(outcome: RequestOutcome) -> Dict[str, Any]:
+    wire: Dict[str, Any] = {
+        "request_id": outcome.request_id,
+        "tier": outcome.tier,
+    }
+    if outcome.ok:
+        result = outcome.result
+        if isinstance(result, TopKResult):
+            wire["topk"] = encode_topk(result)
+        else:
+            wire["block"] = encode_array(result)
+    else:
+        wire["error"] = error_to_wire(outcome.error)
+    return wire
+
+
+def _decode_outcome(obj: Dict[str, Any]) -> RequestOutcome:
+    request_id = obj.get("request_id")
+    tier = str(obj.get("tier", "exact"))
+    if "error" in obj:
+        return RequestOutcome(
+            error=error_from_wire(obj["error"]), request_id=request_id, tier=tier
+        )
+    if "topk" in obj:
+        return RequestOutcome(
+            result=decode_topk(obj["topk"]), request_id=request_id, tier=tier
+        )
+    if "block" in obj:
+        return RequestOutcome(
+            result=decode_array(obj["block"]), request_id=request_id, tier=tier
+        )
+    raise InvalidParameterError(
+        "outcome envelope carries neither a result nor an error"
+    )
+
+
+def encode_batch_result(
+    batch: BatchResult, positions: Optional[Sequence[int]] = None
+) -> Dict[str, Any]:
+    """The full :class:`~repro.serving.results.BatchResult` on the wire.
+
+    ``positions`` selects a slice of the outcomes (the coalescer splits
+    one merged service batch back into the HTTP requests it came from)
+    while batch-level correlation fields are shared by every slice.
+    """
+    outcomes = batch.outcomes
+    if positions is not None:
+        outcomes = [batch.outcomes[i] for i in positions]
+    return {
+        "batch_id": batch.batch_id,
+        "retries": int(batch.retries),
+        "failed_seeds": {
+            str(seed): error_to_wire(error)
+            for seed, error in batch.failed_seeds.items()
+        },
+        "cancelled_seeds": [int(seed) for seed in batch.cancelled_seeds],
+        "outcomes": [_encode_outcome(outcome) for outcome in outcomes],
+    }
+
+
+def decode_batch_result(obj: Dict[str, Any]) -> BatchResult:
+    try:
+        outcomes: List[RequestOutcome] = [
+            _decode_outcome(entry) for entry in obj.get("outcomes", [])
+        ]
+        return BatchResult(
+            outcomes=outcomes,
+            retries=int(obj.get("retries", 0)),
+            failed_seeds={
+                int(seed): error_from_wire(error)
+                for seed, error in obj.get("failed_seeds", {}).items()
+            },
+            cancelled_seeds=tuple(
+                int(seed) for seed in obj.get("cancelled_seeds", [])
+            ),
+            batch_id=obj.get("batch_id"),
+        )
+    except (TypeError, ValueError) as exc:
+        raise InvalidParameterError(f"malformed batch envelope: {exc}") from exc

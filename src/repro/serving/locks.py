@@ -1,0 +1,107 @@
+"""Advisory cross-process file locks for registry critical sections.
+
+Threads inside one :class:`~repro.serving.registry.IndexRegistry` are
+already serialised by its ``RLock``, but the multi-process front end
+(docs/frontend.md) runs one registry *per worker process* over the same
+on-disk root.  Two workers detecting the same corrupt shard would both
+quarantine it and both rebuild — wasted work at best, and at worst the
+second quarantine moves the freshly repaired bytes aside and rebuilds
+again.  :class:`FileLock` closes that race: the quarantine-and-rebuild
+sections take an exclusive ``flock`` on a ``<name>.lock`` sidecar, and
+a process that waited re-verifies the (possibly already repaired) state
+under the lock before doing any work of its own.
+
+``flock`` locks are advisory and per-open-file-description: they
+serialise cooperating registries without affecting readers, vanish
+automatically when the holder dies (no stale-lock recovery needed), and
+are re-acquirable recursively here because the context manager counts
+depth per instance.  On platforms without ``fcntl`` (Windows) the lock
+degrades to a per-process mutex — single-host multi-process safety is a
+POSIX feature of this codebase, matching the mmap shard design.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Optional
+
+try:  # POSIX only; the fallback below keeps imports working elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["FileLock"]
+
+
+class FileLock:
+    """An exclusive, re-entrant advisory lock on a sidecar file.
+
+    Usable as a context manager from any number of processes; the file
+    is created on first acquisition and deliberately never deleted
+    (unlinking a locked file reintroduces the race the lock exists to
+    close: a late-coming process could lock the orphaned inode while a
+    newer one locks the recreated path).
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> lock = FileLock(os.path.join(tempfile.mkdtemp(), "x.lock"))
+    >>> with lock:
+    ...     with lock:   # re-entrant within one instance
+    ...         pass
+    """
+
+    def __init__(self, path: str):
+        self.path = os.fspath(path)
+        self._fd: Optional[int] = None
+        self._depth = 0
+        # serialises threads sharing this instance; cross-instance
+        # threads in one process still exclude each other through the
+        # kernel lock (flock is per open file description, and each
+        # instance opens its own)
+        self._mutex = threading.RLock()
+
+    @property
+    def locked(self) -> bool:
+        """Whether *this instance* currently holds the lock."""
+        return self._depth > 0
+
+    def acquire(self) -> "FileLock":
+        self._mutex.acquire()
+        if self._depth == 0 and fcntl is not None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            try:
+                fcntl.flock(self._fd, fcntl.LOCK_EX)
+            except OSError:
+                os.close(self._fd)
+                self._fd = None
+                self._mutex.release()
+                raise
+        self._depth += 1
+        return self
+
+    def release(self) -> None:
+        if self._depth <= 0:
+            raise RuntimeError(f"release of unheld FileLock({self.path!r})")
+        self._depth -= 1
+        if self._depth == 0 and self._fd is not None:
+            try:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            finally:
+                os.close(self._fd)
+                self._fd = None
+        self._mutex.release()
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "held" if self.locked else "free"
+        return f"FileLock({self.path!r}, {state})"

@@ -39,6 +39,16 @@ deterministically regenerated in place
 files are never rewritten.  Only an unusable manifest (or a rebuild
 that fails to reproduce the recorded digests) condemns the whole
 store.
+
+Multi-process safety (docs/frontend.md): the in-process ``threading``
+lock serialises threads, but the frontend runs *worker processes* that
+may resolve the same name concurrently.  Disk-tier resolution
+therefore also holds a per-name advisory
+:class:`~repro.serving.locks.FileLock` (``<root>/<name>.lock``), so
+when two processes race a corrupt store, exactly one quarantines and
+rebuilds while the other blocks and then re-verifies the already
+repaired bytes — never a double rebuild, never a quarantine of the
+repairer's fresh output.
 """
 
 from __future__ import annotations
@@ -62,6 +72,7 @@ from repro.errors import (
 )
 from repro.graphs.digraph import DiGraph
 from repro.obs.metrics import MetricsRegistry
+from repro.serving.locks import FileLock
 from repro.serving.retry import Retrier, RetryPolicy
 from repro.testing import faults
 
@@ -120,6 +131,7 @@ class IndexRegistry:
         self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
         self._lock = threading.RLock()
+        self._file_locks: Dict[str, FileLock] = {}
         self._indexes: Dict[str, CSRPlusIndex] = {}
         self._approx: Dict[str, object] = {}  # name -> ApproxIndex
         self._sharded: Dict[str, object] = {}  # name -> ShardedIndex
@@ -150,6 +162,20 @@ class IndexRegistry:
             rng=rng,
             on_retry=self._count_retry,
         )
+
+    def _process_lock(self, name: str) -> FileLock:
+        """The cross-process lock serialising disk-tier work on ``name``.
+
+        One sidecar ``<root>/<name>.lock`` per name (the file is never
+        deleted — see :class:`~repro.serving.locks.FileLock`); memoised
+        so re-entry from the same process nests instead of deadlocking.
+        """
+        with self._lock:
+            lock = self._file_locks.get(name)
+            if lock is None:
+                lock = FileLock(os.path.join(self.root, f"{name}.lock"))
+                self._file_locks[name] = lock
+            return lock
 
     def _count_retry(
         self, attempt: int, delay: float, exc: BaseException
@@ -226,36 +252,42 @@ class IndexRegistry:
             index = self._indexes.get(name)
             if index is not None:
                 return index
-            if os.path.exists(path):
-                try:
-                    index = self.retrier.call(self._load_checked, path, graph)
-                except IndexCorrupted as exc:
-                    self._m_corrupt.inc()
-                    self._m_rebuilds.inc()
-                    logger.warning(
-                        "quarantining corrupt index %r and rebuilding: %s",
-                        path, exc,
-                    )
-                    self._quarantine(path)
-                    index = None
-                except OSError as exc:
-                    # retry budget exhausted on a read error: fall back
-                    # to a rebuild rather than taking the service down
-                    self._m_rebuilds.inc()
-                    logger.warning(
-                        "index %r unreadable after retries, rebuilding: %s",
-                        path, exc,
-                    )
-                    index = None
-            if index is None:
-                index = CSRPlusIndex(graph, config, **overrides).prepare()
-                try:
-                    self._save_checked(path, index)
-                except (OSError, RetryableError) as exc:
-                    logger.warning(
-                        "could not persist index %r (serving from memory "
-                        "only): %s", path, exc,
-                    )
+            # the file lock covers existence-check through rebuild-save:
+            # a process racing a corrupt file blocks here, then loads
+            # the bytes the winner already repaired
+            with self._process_lock(name):
+                if os.path.exists(path):
+                    try:
+                        index = self.retrier.call(
+                            self._load_checked, path, graph
+                        )
+                    except IndexCorrupted as exc:
+                        self._m_corrupt.inc()
+                        self._m_rebuilds.inc()
+                        logger.warning(
+                            "quarantining corrupt index %r and rebuilding: %s",
+                            path, exc,
+                        )
+                        self._quarantine(path)
+                        index = None
+                    except OSError as exc:
+                        # retry budget exhausted on a read error: fall back
+                        # to a rebuild rather than taking the service down
+                        self._m_rebuilds.inc()
+                        logger.warning(
+                            "index %r unreadable after retries, rebuilding: %s",
+                            path, exc,
+                        )
+                        index = None
+                if index is None:
+                    index = CSRPlusIndex(graph, config, **overrides).prepare()
+                    try:
+                        self._save_checked(path, index)
+                    except (OSError, RetryableError) as exc:
+                        logger.warning(
+                            "could not persist index %r (serving from memory "
+                            "only): %s", path, exc,
+                        )
             self._indexes[name] = index
             return index
 
@@ -282,36 +314,38 @@ class IndexRegistry:
             approx = self._approx.get(name)
             if approx is not None:
                 return approx
-            if os.path.exists(path):
-                try:
-                    approx = self.retrier.call(
-                        self._load_checked, path, graph, loader=ApproxIndex.load
-                    )
-                except IndexCorrupted as exc:
-                    self._m_corrupt.inc()
-                    self._m_rebuilds.inc()
-                    logger.warning(
-                        "quarantining corrupt approx replica %r and "
-                        "rebuilding: %s", path, exc,
-                    )
-                    self._quarantine(path)
-                    approx = None
-                except OSError as exc:
-                    self._m_rebuilds.inc()
-                    logger.warning(
-                        "approx replica %r unreadable after retries, "
-                        "rebuilding: %s", path, exc,
-                    )
-                    approx = None
-            if approx is None:
-                approx = ApproxIndex(graph, **params).prepare()
-                try:
-                    self._save_checked(path, approx)
-                except (OSError, RetryableError) as exc:
-                    logger.warning(
-                        "could not persist approx replica %r (serving from "
-                        "memory only): %s", path, exc,
-                    )
+            with self._process_lock(name):
+                if os.path.exists(path):
+                    try:
+                        approx = self.retrier.call(
+                            self._load_checked, path, graph,
+                            loader=ApproxIndex.load,
+                        )
+                    except IndexCorrupted as exc:
+                        self._m_corrupt.inc()
+                        self._m_rebuilds.inc()
+                        logger.warning(
+                            "quarantining corrupt approx replica %r and "
+                            "rebuilding: %s", path, exc,
+                        )
+                        self._quarantine(path)
+                        approx = None
+                    except OSError as exc:
+                        self._m_rebuilds.inc()
+                        logger.warning(
+                            "approx replica %r unreadable after retries, "
+                            "rebuilding: %s", path, exc,
+                        )
+                        approx = None
+                if approx is None:
+                    approx = ApproxIndex(graph, **params).prepare()
+                    try:
+                        self._save_checked(path, approx)
+                    except (OSError, RetryableError) as exc:
+                        logger.warning(
+                            "could not persist approx replica %r (serving "
+                            "from memory only): %s", path, exc,
+                        )
             self._approx[name] = approx
             return approx
 
@@ -363,30 +397,36 @@ class IndexRegistry:
             if sharded is not None:
                 return sharded
             store: Optional[ShardStore] = None
-            if os.path.exists(os.path.join(path, "manifest.json")):
-                faults.fire("registry.load", path=path)
-                try:
-                    store = ShardStore(path)
-                except ShardCorrupted as exc:
-                    self._m_corrupt.inc()
-                    self._m_rebuilds.inc()
-                    logger.warning(
-                        "quarantining shard store %r (bad manifest) and "
-                        "rebuilding: %s", path, exc,
+            # quarantine-and-rebuild must be single-writer across
+            # *processes*: the loser of this file lock re-verifies the
+            # winner's repaired shards instead of condemning them
+            with self._process_lock(name):
+                if os.path.exists(os.path.join(path, "manifest.json")):
+                    faults.fire("registry.load", path=path)
+                    try:
+                        store = ShardStore(path)
+                    except ShardCorrupted as exc:
+                        self._m_corrupt.inc()
+                        self._m_rebuilds.inc()
+                        logger.warning(
+                            "quarantining shard store %r (bad manifest) and "
+                            "rebuilding: %s", path, exc,
+                        )
+                        self._quarantine_store(path)
+                        store = None
+                    if store is not None:
+                        store = self._repair_shards(
+                            store, graph, rebuild_shards
+                        )
+                if store is None:
+                    store = build_sharded_store(
+                        graph,
+                        path,
+                        num_shards=num_shards,
+                        config=config,
+                        overwrite=True,
+                        **overrides,
                     )
-                    self._quarantine_store(path)
-                    store = None
-                if store is not None:
-                    store = self._repair_shards(store, graph, rebuild_shards)
-            if store is None:
-                store = build_sharded_store(
-                    graph,
-                    path,
-                    num_shards=num_shards,
-                    config=config,
-                    overwrite=True,
-                    **overrides,
-                )
             sharded = ShardedIndex(
                 store,
                 query_mode=query_mode,

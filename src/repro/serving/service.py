@@ -1185,6 +1185,20 @@ class CoSimRankService:
                     faults.fire(
                         "compute.chunk", seeds=[int(s) for s in chunk]
                     )
+                    # backends that rank remotely (a PooledIndex fans
+                    # the chunk to a worker process, keeping the
+                    # blockwise scan next to the shard bytes) expose
+                    # top_k_chunk; everything else runs the kernel here
+                    if hasattr(index, "top_k_chunk"):
+                        return (
+                            "ok",
+                            index.top_k_chunk(
+                                chunk,
+                                k,
+                                exclude_self=exclude_self,
+                                mode=self.query_mode,
+                            ),
+                        )
                     return (
                         "ok",
                         top_k_blockwise(
@@ -1230,15 +1244,23 @@ class CoSimRankService:
                         # isolation retries are single-seed; exact mode
                         # makes the retried ranking canonical, exactly
                         # as column retries do
-                        results[seed] = top_k_blockwise(
-                            index,
-                            [seed],
-                            k,
-                            exclude_self=exclude_self,
-                            mode="exact",
-                            tracer=self._tracer,
-                            parent_span=retry_span,
-                        )[0]
+                        if hasattr(index, "top_k_chunk"):
+                            results[seed] = index.top_k_chunk(
+                                [seed],
+                                k,
+                                exclude_self=exclude_self,
+                                mode="exact",
+                            )[0]
+                        else:
+                            results[seed] = top_k_blockwise(
+                                index,
+                                [seed],
+                                k,
+                                exclude_self=exclude_self,
+                                mode="exact",
+                                tracer=self._tracer,
+                                parent_span=retry_span,
+                            )[0]
                     except Exception as exc:
                         error = ColumnComputeFailed(
                             seed, str(exc) or type(exc).__name__

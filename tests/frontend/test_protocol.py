@@ -1,0 +1,165 @@
+"""The wire protocol round-trips bit-identically (docs/frontend.md)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.topk import TopKResult
+from repro.errors import (
+    ColumnComputeFailed,
+    DeadlineExceeded,
+    IndexCorrupted,
+    InvalidParameterError,
+    ReproError,
+    ServiceOverloaded,
+    ShardCorrupted,
+    WorkerCrashed,
+)
+from repro.serving.frontend.protocol import (
+    decode_array,
+    decode_batch_result,
+    decode_topk,
+    encode_array,
+    encode_batch_result,
+    encode_topk,
+    error_from_wire,
+    error_to_wire,
+)
+from repro.serving.results import BatchResult, RequestOutcome
+
+
+class TestArrayEnvelope:
+    @pytest.mark.parametrize("dtype", ["float64", "float32", "int64"])
+    def test_round_trip_is_bit_identical(self, dtype):
+        rng = np.random.default_rng(7)
+        array = rng.standard_normal((40, 3)).astype(dtype)
+        decoded = decode_array(encode_array(array))
+        assert decoded.dtype == array.dtype
+        assert np.array_equal(
+            decoded.view(np.uint8), array.view(np.uint8)
+        ), "byte-level mismatch through the wire"
+
+    def test_fortran_order_is_preserved(self):
+        array = np.asfortranarray(np.arange(12.0).reshape(4, 3))
+        envelope = encode_array(array)
+        assert envelope["order"] == "F"
+        decoded = decode_array(envelope)
+        assert decoded.flags.f_contiguous
+        assert np.array_equal(decoded, array)
+
+    def test_special_floats_survive(self):
+        array = np.array([np.nan, np.inf, -np.inf, -0.0, 1e-308])
+        decoded = decode_array(encode_array(array))
+        assert np.array_equal(
+            decoded.view(np.uint8), array.view(np.uint8)
+        )
+
+    def test_decoded_array_is_writable(self):
+        decoded = decode_array(encode_array(np.arange(3.0)))
+        decoded[0] = 99.0  # frombuffer views are read-only; copies must not be
+
+    def test_byte_count_mismatch_raises(self):
+        envelope = encode_array(np.arange(4.0))
+        envelope["shape"] = [5]
+        with pytest.raises(InvalidParameterError):
+            decode_array(envelope)
+
+    def test_malformed_envelope_raises(self):
+        with pytest.raises(InvalidParameterError):
+            decode_array({"dtype": "float64"})
+
+
+class TestTopKEnvelope:
+    def test_round_trip(self):
+        result = TopKResult(
+            nodes=np.array([3, 1, 7]),
+            scores=np.array([0.9, 0.5, 0.1]),
+            candidates_scored=42,
+            blocks_scanned=4,
+            blocks_skipped=2,
+        )
+        decoded = decode_topk(encode_topk(result))
+        assert np.array_equal(decoded.nodes, result.nodes)
+        assert np.array_equal(decoded.scores, result.scores)
+        assert decoded.candidates_scored == 42
+        assert decoded.blocks_scanned == 4
+        assert decoded.blocks_skipped == 2
+
+
+class TestErrorWire:
+    @pytest.mark.parametrize("error", [
+        DeadlineExceeded(0.5, 0.7, completed_seeds=3, cancelled_seeds=2),
+        ServiceOverloaded(10, 7, 8),
+        ShardCorrupted("/x/store", 2, "sha mismatch"),
+        IndexCorrupted("/x/index.npz", "truncated"),
+        WorkerCrashed(3, "exit code 13"),
+        InvalidParameterError("k must be >= 1"),
+    ])
+    def test_typed_round_trip(self, error):
+        rebuilt = error_from_wire(error_to_wire(error))
+        assert type(rebuilt) is type(error)
+
+    def test_deadline_fields_survive(self):
+        error = DeadlineExceeded(0.5, 0.7, completed_seeds=3, cancelled_seeds=2)
+        rebuilt = error_from_wire(error_to_wire(error))
+        assert rebuilt.deadline_seconds == 0.5
+        assert rebuilt.elapsed_seconds == 0.7
+        assert rebuilt.completed_seeds == 3
+        assert rebuilt.cancelled_seeds == 2
+
+    def test_column_compute_failed_keeps_seed_and_cause(self):
+        error = ColumnComputeFailed(17, "poisoned shard")
+        error.__cause__ = OSError("EIO")
+        rebuilt = error_from_wire(error_to_wire(error))
+        assert isinstance(rebuilt, ColumnComputeFailed)
+        assert rebuilt.seed == 17
+
+    def test_unknown_type_degrades_to_repro_error(self):
+        rebuilt = error_from_wire({"type": "FutureError", "message": "hi"})
+        assert type(rebuilt) is ReproError
+        assert "FutureError" in str(rebuilt)
+
+
+class TestBatchEnvelope:
+    def _batch(self):
+        return BatchResult(
+            outcomes=[
+                RequestOutcome(
+                    result=np.arange(6.0).reshape(3, 2),
+                    request_id="b1.0", tier="exact",
+                ),
+                RequestOutcome(
+                    error=DeadlineExceeded(0.1, 0.2),
+                    request_id="b1.1", tier="exact",
+                ),
+                RequestOutcome(
+                    result=np.ones((3, 1)), request_id="b1.2", tier="approx",
+                ),
+            ],
+            retries=2,
+            failed_seeds={4: ColumnComputeFailed(4, "bad")},
+            cancelled_seeds=(9,),
+            batch_id="b1",
+        )
+
+    def test_round_trip(self):
+        decoded = decode_batch_result(encode_batch_result(self._batch()))
+        assert decoded.batch_id == "b1"
+        assert decoded.retries == 2
+        assert decoded.cancelled_seeds == (9,)
+        assert set(decoded.failed_seeds) == {4}
+        assert decoded.outcomes[0].ok
+        assert np.array_equal(
+            decoded.outcomes[0].result, np.arange(6.0).reshape(3, 2)
+        )
+        assert decoded.outcomes[0].request_id == "b1.0"
+        assert isinstance(decoded.outcomes[1].error, DeadlineExceeded)
+        assert decoded.outcomes[2].tier == "approx"
+
+    def test_positions_slice_the_outcomes(self):
+        wire = encode_batch_result(self._batch(), positions=[2, 0])
+        decoded = decode_batch_result(wire)
+        assert len(decoded.outcomes) == 2
+        assert decoded.outcomes[0].request_id == "b1.2"
+        assert decoded.outcomes[1].request_id == "b1.0"

@@ -1,0 +1,192 @@
+"""Graceful shutdown: drain semantics, SIGTERM, no orphaned workers.
+
+The drain contract (docs/frontend.md): on SIGTERM (or an explicit
+``drain()``) the server immediately starts answering *new* requests
+with 503 while every request already in flight runs to completion; only
+then does it close the listener and shut the worker pool down, so a
+drained server leaves no worker processes behind.  Each test carries a
+``timeout`` marker so a hung drain fails fast under pytest-timeout in
+CI instead of wedging the lane.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.serving.frontend import (
+    BackgroundFrontend,
+    FrontendClient,
+    FrontendConfig,
+)
+
+
+def _pid_alive(pid: int) -> bool:
+    """True while ``pid`` is a live (non-zombie) process."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    try:
+        with open(f"/proc/{pid}/stat") as handle:
+            return handle.read().rsplit(")", 1)[1].split()[0] != "Z"
+    except OSError:
+        return False
+
+
+def _wait_pids_gone(pids, timeout_s: float = 10.0) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if not any(_pid_alive(pid) for pid in pids):
+            return True
+        time.sleep(0.05)
+    return False
+
+
+@pytest.mark.timeout(120)
+class TestBackgroundDrain:
+    def test_drain_finishes_inflight_rejects_new_kills_workers(
+        self, store_path
+    ):
+        background = BackgroundFrontend(
+            store_path,
+            config=FrontendConfig(workers=1, coalesce_window_s=0.0),
+        )
+        url = background.start()
+        try:
+            with FrontendClient(url) as client:
+                pids = client.healthz()["worker_pids"]
+                assert pids and all(_pid_alive(pid) for pid in pids)
+                # make the first (cold) query slow: each of the 3 shard
+                # loads sleeps, holding the request in flight while we
+                # drain around it
+                client.arm_faults([
+                    {"site": "shard.read", "kind": "delay",
+                     "seconds": 0.8, "times": 3},
+                ])
+
+                slow_result = {}
+
+                def slow_query():
+                    with FrontendClient(url) as slow_client:
+                        batch = slow_client.serve_batch_detailed([[0, 1]])
+                    slow_result["ok"] = all(
+                        outcome.ok for outcome in batch.outcomes
+                    )
+
+                query_thread = threading.Thread(target=slow_query)
+                query_thread.start()
+                time.sleep(0.4)  # let the slow request reach a worker
+
+                drain_thread = threading.Thread(
+                    target=background.drain, kwargs={"timeout_s": 60.0}
+                )
+                drain_thread.start()
+                time.sleep(0.3)  # let the draining flag flip
+
+                # new requests during the drain are shed with 503
+                host = url.split("://", 1)[1]
+                conn = http.client.HTTPConnection(host, timeout=10)
+                try:
+                    conn.request(
+                        "POST", "/v1/query",
+                        body=json.dumps({"seeds": [5]}).encode(),
+                    )
+                    response = conn.getresponse()
+                    assert response.status == 503
+                    assert (
+                        json.loads(response.read())["error"]["type"]
+                        == "ServiceUnavailable"
+                    )
+                finally:
+                    conn.close()
+
+                query_thread.join(timeout=60)
+                drain_thread.join(timeout=60)
+                assert not query_thread.is_alive()
+                assert not drain_thread.is_alive()
+                # the in-flight request was answered, not dropped
+                assert slow_result.get("ok") is True
+
+            # the listener is gone: fresh connections are refused
+            with pytest.raises(OSError):
+                probe = http.client.HTTPConnection(host, timeout=5)
+                try:
+                    probe.request("GET", "/healthz")
+                    probe.getresponse()
+                finally:
+                    probe.close()
+
+            # and no worker process survives the drain
+            assert _wait_pids_gone(pids), f"orphaned workers: {pids}"
+        finally:
+            background.close()
+
+    def test_drain_is_idempotent_and_close_safe(self, store_path):
+        background = BackgroundFrontend(
+            store_path,
+            config=FrontendConfig(workers=1, coalesce_window_s=0.0),
+        )
+        url = background.start()
+        with FrontendClient(url) as client:
+            pids = client.healthz()["worker_pids"]
+        background.drain(timeout_s=30.0)
+        background.drain(timeout_s=30.0)  # second drain is a no-op
+        background.close()
+        background.close()  # close after drain is safe too
+        assert _wait_pids_gone(pids)
+
+
+@pytest.mark.timeout(180)
+class TestSigtermEndToEnd:
+    def test_cli_server_drains_on_sigterm(self, store_path, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath("src")
+        env["PYTHONUNBUFFERED"] = "1"
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--shards", str(store_path),
+                "--workers", "2", "--port", "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            ready_line = process.stdout.readline()
+            ready = json.loads(ready_line)
+            assert ready["ready"] is True
+            assert len(ready["workers"]) == 2
+
+            with FrontendClient(ready["url"]) as client:
+                health = client.healthz()
+                pids = health["worker_pids"]
+                assert len(pids) == 2
+                assert all(_pid_alive(pid) for pid in pids)
+                block = client.serve_batch([[0, 1, 2]])[0]
+                assert block.shape == (ready["num_nodes"], 3)
+
+            process.send_signal(signal.SIGTERM)
+            code = process.wait(timeout=60)
+            assert code == 0, process.stderr.read()
+            assert "drained" in process.stderr.read()
+            # the whole tree is gone: server and both workers
+            assert _wait_pids_gone(pids + [process.pid]), (
+                "worker processes survived SIGTERM drain"
+            )
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)

@@ -1,0 +1,109 @@
+"""Cross-process registry safety: quarantine-and-rebuild is single-writer.
+
+Two registry processes racing the same corrupt store must not both
+quarantine it: the loser of the :class:`repro.serving.locks.FileLock`
+blocks until the winner has repaired the shard, then re-verifies the
+repaired bytes and serves them.  Exactly one repair happens, nobody
+performs a full rebuild, and both processes answer identically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import chung_lu
+from repro.obs.metrics import MetricsRegistry
+from repro.serving import IndexRegistry
+
+SEEDS = [0, 7, 99]
+
+
+def _flip_byte(path):
+    data = bytearray(open(path, "rb").read())
+    data[-9] ^= 0xFF
+    with open(path, "wb") as handle:
+        handle.write(bytes(data))
+
+
+def _race_get_sharded(root, barrier, out_path):
+    """Child: open the registry, race the barrier, serve, dump evidence."""
+    graph = chung_lu(100, 500, seed=5)
+    metrics = MetricsRegistry()
+    registry = IndexRegistry(root, metrics=metrics)
+    barrier.wait(timeout=60)
+    sharded = registry.get_sharded(
+        "cl100", graph, rank=6, num_shards=4, max_workers=1
+    )
+    columns = sharded.query_columns(SEEDS)
+    sharded.close()
+    np.savez(
+        out_path,
+        columns=columns,
+        repairs=metrics.counter(
+            "csrplus_registry_shard_repairs_total", "x"
+        ).value,
+        rebuilds=metrics.counter(
+            "csrplus_registry_rebuilds_total", "x"
+        ).value,
+    )
+
+
+@pytest.mark.timeout(180)
+def test_two_processes_racing_corrupt_store_repair_exactly_once(tmp_path):
+    graph = chung_lu(100, 500, seed=5)
+    root = tmp_path / "registry"
+
+    # seed the store, record the healthy answer, then damage one shard
+    seeder = IndexRegistry(root, metrics=MetricsRegistry())
+    built = seeder.get_sharded(
+        "cl100", graph, rank=6, num_shards=4, max_workers=1
+    )
+    want = built.query_columns(SEEDS)
+    built.close()
+    seeder.evict("cl100")
+    store_path = seeder.shard_store_path_for("cl100")
+    _flip_byte(os.path.join(store_path, "shard-00002.z.npy"))
+
+    context = multiprocessing.get_context("fork")
+    barrier = context.Barrier(2)
+    outputs = [tmp_path / "a.npz", tmp_path / "b.npz"]
+    processes = [
+        context.Process(
+            target=_race_get_sharded, args=(root, barrier, out)
+        )
+        for out in outputs
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=120)
+        assert process.exitcode == 0
+
+    repairs, rebuilds = 0, 0
+    for out in outputs:
+        with np.load(out) as data:
+            # both processes serve the repaired, correct bytes
+            assert np.array_equal(data["columns"], want)
+            repairs += int(data["repairs"])
+            rebuilds += int(data["rebuilds"])
+    assert repairs == 1, (
+        "exactly one process must win the file lock and repair the "
+        f"shard (saw {repairs} repairs)"
+    )
+    assert rebuilds == 0, "a shard repair must never escalate to a rebuild"
+
+    # the loser re-verified the winner's bytes: the store stays healthy
+    metrics = MetricsRegistry()
+    verifier = IndexRegistry(root, metrics=metrics)
+    again = verifier.get_sharded(
+        "cl100", graph, rank=6, num_shards=4, max_workers=1
+    )
+    assert np.array_equal(again.query_columns(SEEDS), want)
+    again.close()
+    assert metrics.counter(
+        "csrplus_registry_shard_repairs_total", "x"
+    ).value == 0
